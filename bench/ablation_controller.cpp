@@ -1,0 +1,123 @@
+/// \file ablation_controller.cpp
+/// Ablations of the modelling decisions DESIGN.md calls out around the
+/// memory controller and the address map:
+///
+/// 1. **Controller smarts vs router-level STI** — the explanation for
+///    deviation D3 in EXPERIMENTS.md. With the command engine dialled
+///    down to a strictly in-order, no-look-ahead controller (the
+///    closest analogue of the paper's buffer pipeline, where the
+///    *routers* are the only reordering agent), the Fig. 4(b) STI
+///    filter's contribution should grow toward the paper's Table III
+///    magnitudes; with the smart engine it nearly vanishes.
+///
+/// 2. **Address-map chunk size** — how finely banks are striped across
+///    the address space. Coarse striping starves the schedulers of
+///    bank-level parallelism and makes SAGM's AP-trains collide with
+///    their own stream; the 256-byte default sits near the knee.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace annoc;
+using core::DesignPoint;
+
+int main() {
+  // --- 1. controller smarts x STI -------------------------------------
+  {
+    struct EngineCfg {
+      const char* name;
+      std::uint32_t lookahead, reorder;
+    };
+    const std::vector<EngineCfg> engines = {
+        {"in-order, no look-ahead", 0, 1},
+        {"look-ahead 4, in-order data", 4, 1},
+        {"look-ahead 16, slip 8 (default)", 16, 8},
+    };
+    std::printf("Ablation 1 — STI benefit vs controller sophistication\n"
+                "(dual DTV, DDR III @ 800 MHz; STI gain = GSS+SAGM+STI "
+                "over GSS+SAGM)\n\n");
+    std::printf("%-34s %12s %12s %12s\n", "controller", "util base",
+                "util +STI", "STI gain");
+    bench::print_rule(76);
+    for (const EngineCfg& e : engines) {
+      std::vector<core::SystemConfig> cfgs;
+      for (const DesignPoint d :
+           {DesignPoint::kGssSagm, DesignPoint::kGssSagmSti}) {
+        bench::Row row{traffic::AppId::kDualDtv,
+                       sdram::DdrGeneration::kDdr3, 800.0};
+        core::SystemConfig cfg = bench::make_config(row, d, true);
+        cfg.engine_lookahead = e.lookahead;
+        cfg.engine_reorder_depth = e.reorder;
+        cfgs.push_back(cfg);
+      }
+      const auto m = bench::run_batch(cfgs);
+      const double base = m[0].utilization, sti = m[1].utilization;
+      std::printf("%-34s %12.3f %12.3f %+11.1f%%\n", e.name, base, sti,
+                  base > 0 ? (sti - base) / base * 100.0 : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  // --- 2. chunk-size sweep ---------------------------------------------
+  {
+    const std::vector<std::uint32_t> chunks = {4096, 1024, 512, 256, 128};
+    std::printf("Ablation 2 — address-map bank-striping granularity\n"
+                "(single DTV, DDR II @ 333 MHz; 4096 = one row per bank "
+                "switch)\n\n");
+    std::printf("%-12s | %22s | %22s\n", "chunk bytes", "GSS util / lat-all",
+                "GSS+SAGM util / lat-all");
+    bench::print_rule(66);
+    for (const std::uint32_t chunk : chunks) {
+      std::vector<core::SystemConfig> cfgs;
+      for (const DesignPoint d : {DesignPoint::kGss, DesignPoint::kGssSagm}) {
+        bench::Row row{traffic::AppId::kSingleDtv,
+                       sdram::DdrGeneration::kDdr2, 333.0};
+        core::SystemConfig cfg = bench::make_config(row, d, true);
+        cfg.map_chunk_bytes = chunk;
+        cfgs.push_back(cfg);
+      }
+      const auto m = bench::run_batch(cfgs);
+      std::printf("%-12u | %8.3f / %8.1f cy | %8.3f / %8.1f cy\n", chunk,
+                  m[0].utilization, m[0].avg_latency_all(),
+                  m[1].utilization, m[1].avg_latency_all());
+    }
+  }
+
+  // --- 3. routing policy ------------------------------------------------
+  {
+    std::printf("\nAblation 3 — XY vs minimal adaptive routing (GSS)\n\n");
+    std::printf("%-12s | %22s | %22s\n", "app", "XY util / lat-prio",
+                "adaptive util / lat-prio");
+    bench::print_rule(64);
+    for (const traffic::AppId app :
+         {traffic::AppId::kSingleDtv, traffic::AppId::kDualDtv}) {
+      std::vector<core::SystemConfig> cfgs;
+      for (const bool adaptive : {false, true}) {
+        bench::Row row{app, sdram::DdrGeneration::kDdr2,
+                       app == traffic::AppId::kDualDtv ? 400.0 : 333.0};
+        core::SystemConfig cfg =
+            bench::make_config(row, DesignPoint::kGss, true);
+        cfg.adaptive_routing = adaptive;
+        cfgs.push_back(cfg);
+      }
+      const auto m = bench::run_batch(cfgs);
+      std::printf("%-12s | %8.3f / %8.1f cy | %8.3f / %8.1f cy\n",
+                  to_string(app), m[0].utilization,
+                  m[0].avg_latency_priority(), m[1].utilization,
+                  m[1].avg_latency_priority());
+    }
+  }
+
+  std::printf(
+      "\nExpected shapes: (1) the STI gain grows as the controller gets\n"
+      "dumber — with a strictly in-order engine the router-level STI\n"
+      "filter is the only agent avoiding turnaround stalls, as in the\n"
+      "paper's RTL; (2) finer striping helps both designs, SAGM more\n"
+      "(its AP-trains stop colliding with their own stream), with\n"
+      "diminishing returns below ~256 B (and at 128 B the workload's own\n"
+      "request sizes change — masters split at the interleave boundary);\n"
+      "(3) adaptive routing lands in the same class as XY on these\n"
+      "memory-bound workloads (the paper uses XY; GSS supports either).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+/// \file ablation_knobs.cpp
+/// Ablations of the paper's two tunable mechanisms:
+///
+/// 1. **PCT sweep** (Section IV-B): the priority control token
+///    interpolates between priority-equal (PCT=1) and priority-first
+///    (PCT=max). Sweeping PCT for the GSS design shows the paper's
+///    claimed dial: priority latency falls with PCT while overall
+///    utilization/latency pay a growing (small) cost.
+///
+/// 2. **Split-granularity sweep** (Section IV-C): SAGM's subpacket size
+///    per DDR generation. The paper's choice — 4 beats (one BL4 CAS) on
+///    DDR I/II, 8 beats on DDR III (tCCD=4) — should sit at the sweet
+///    spot of each curve.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace annoc;
+using core::DesignPoint;
+
+int main() {
+  // --- PCT sweep -----------------------------------------------------
+  {
+    std::vector<core::SystemConfig> cfgs;
+    const std::vector<std::uint32_t> pcts = {1, 2, 3, 4, 5};
+    for (const std::uint32_t pct : pcts) {
+      bench::Row row{traffic::AppId::kSingleDtv,
+                     sdram::DdrGeneration::kDdr2, 333.0};
+      core::SystemConfig cfg =
+          bench::make_config(row, DesignPoint::kGss, /*priority=*/true);
+      cfg.pct = pct;
+      cfgs.push_back(cfg);
+    }
+    const auto metrics = bench::run_batch(cfgs);
+    std::printf("Ablation 1 — priority control token (GSS, single DTV, "
+                "DDR II @ 333 MHz)\n");
+    std::printf("PCT=1 is priority-equal; PCT=5 is priority-first "
+                "(Section IV-B).\n\n");
+    std::printf("%-6s %14s %18s %22s\n", "PCT", "utilization",
+                "latency all (cy)", "latency priority (cy)");
+    bench::print_rule(64);
+    for (std::size_t i = 0; i < pcts.size(); ++i) {
+      std::printf("%-6u %14.3f %18.1f %22.1f\n", pcts[i],
+                  metrics[i].utilization, metrics[i].avg_latency_all(),
+                  metrics[i].avg_latency_priority());
+    }
+    std::printf("\n");
+  }
+
+  // --- split-granularity sweep ----------------------------------------
+  {
+    struct Gen {
+      sdram::DdrGeneration gen;
+      double mhz;
+      std::uint32_t paper_choice;
+    };
+    const std::vector<Gen> gens = {
+        {sdram::DdrGeneration::kDdr1, 166.0, 4},
+        {sdram::DdrGeneration::kDdr2, 333.0, 4},
+        {sdram::DdrGeneration::kDdr3, 667.0, 8},
+    };
+    const std::vector<std::uint32_t> grans = {4, 8, 16, 32};
+    std::printf("Ablation 2 — SAGM split granularity (GSS+SAGM, single "
+                "DTV). Paper's choice marked *.\n\n");
+    for (const Gen& g : gens) {
+      std::vector<core::SystemConfig> cfgs;
+      for (const std::uint32_t beats : grans) {
+        bench::Row row{traffic::AppId::kSingleDtv, g.gen, g.mhz};
+        core::SystemConfig cfg =
+            bench::make_config(row, DesignPoint::kGssSagm, true);
+        cfg.split_beats = beats;
+        cfgs.push_back(cfg);
+      }
+      const auto metrics = bench::run_batch(cfgs);
+      std::printf("== %s @ %.0f MHz ==\n", to_string(g.gen), g.mhz);
+      std::printf("%-12s %14s %16s %18s %14s\n", "split beats",
+                  "utilization", "latency all", "latency priority",
+                  "wasted beats");
+      bench::print_rule(80);
+      for (std::size_t i = 0; i < grans.size(); ++i) {
+        std::printf("%-2u%-10s %14.3f %13.1f cy %15.1f cy %14llu\n",
+                    grans[i], grans[i] == g.paper_choice ? " *" : "",
+                    metrics[i].utilization, metrics[i].avg_latency_all(),
+                    metrics[i].avg_latency_priority(),
+                    static_cast<unsigned long long>(
+                        metrics[i].device.wasted_beats()));
+      }
+      std::printf("\n");
+    }
+  }
+
+  // --- virtual-channel sweep -------------------------------------------
+  {
+    const std::vector<std::uint32_t> vcs = {1, 2, 4};
+    std::printf("Ablation 3 — virtual channels per input port (GSS, dual "
+                "DTV, DDR II @ 400 MHz; 1 = the paper's wormhole)\n\n");
+    std::printf("%-6s %14s %18s %22s\n", "VCs", "utilization",
+                "latency all (cy)", "latency priority (cy)");
+    bench::print_rule(64);
+    std::vector<core::SystemConfig> cfgs;
+    for (const std::uint32_t v : vcs) {
+      bench::Row row{traffic::AppId::kDualDtv, sdram::DdrGeneration::kDdr2,
+                     400.0};
+      core::SystemConfig cfg =
+          bench::make_config(row, DesignPoint::kGss, true);
+      cfg.num_vcs = v;
+      cfgs.push_back(cfg);
+    }
+    const auto metrics = bench::run_batch(cfgs);
+    for (std::size_t i = 0; i < vcs.size(); ++i) {
+      std::printf("%-6u %14.3f %18.1f %22.1f\n", vcs[i],
+                  metrics[i].utilization, metrics[i].avg_latency_all(),
+                  metrics[i].avg_latency_priority());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shapes: priority latency decreases monotonically with\n"
+      "PCT at a small utilization/latency-all cost; the paper's split\n"
+      "granularity (4 beats on DDR I/II, 8 on DDR III) minimizes wasted\n"
+      "beats without starving the burst pipeline; virtual channels add\n"
+      "buffering and remove head-of-line blocking, partially overlapping\n"
+      "with what SAGM's packet splitting already buys.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+/// \file bench_util.hpp
+/// Shared machinery for the table/figure reproduction benches: the nine
+/// application x clock rows of Tables I/II, a parallel experiment
+/// runner, and paper-vs-measured formatting helpers.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/simulator.hpp"
+
+namespace annoc::bench {
+
+/// One application/clock operating point of the paper's evaluation.
+struct Row {
+  traffic::AppId app;
+  sdram::DdrGeneration gen;
+  double mhz;
+};
+
+/// The nine rows of Tables I and II, in paper order.
+inline std::vector<Row> table_rows() {
+  using traffic::AppId;
+  using sdram::DdrGeneration;
+  return {
+      {AppId::kBluray, DdrGeneration::kDdr1, 133.0},
+      {AppId::kBluray, DdrGeneration::kDdr2, 266.0},
+      {AppId::kBluray, DdrGeneration::kDdr3, 533.0},
+      {AppId::kSingleDtv, DdrGeneration::kDdr1, 166.0},
+      {AppId::kSingleDtv, DdrGeneration::kDdr2, 333.0},
+      {AppId::kSingleDtv, DdrGeneration::kDdr3, 667.0},
+      {AppId::kDualDtv, DdrGeneration::kDdr1, 200.0},
+      {AppId::kDualDtv, DdrGeneration::kDdr2, 400.0},
+      {AppId::kDualDtv, DdrGeneration::kDdr3, 800.0},
+  };
+}
+
+inline const char* row_label(const Row& r) {
+  static thread_local char buf[64];
+  std::snprintf(buf, sizeof buf, "%-10s %-7s %4.0fMHz", to_string(r.app),
+                to_string(r.gen), r.mhz);
+  return buf;
+}
+
+/// Simulation length knobs (override with ANNOC_SIM_CYCLES /
+/// ANNOC_WARMUP_CYCLES; the paper runs 1M cycles — the defaults keep
+/// every bench binary under a few minutes while staying converged).
+inline Cycle sim_cycles() { return env_u64("ANNOC_SIM_CYCLES", 80000); }
+inline Cycle warmup_cycles() { return env_u64("ANNOC_WARMUP_CYCLES", 15000); }
+
+inline core::SystemConfig make_config(const Row& row, core::DesignPoint d,
+                                      bool priority) {
+  core::SystemConfig cfg;
+  cfg.design = d;
+  cfg.app = row.app;
+  cfg.generation = row.gen;
+  cfg.clock_mhz = row.mhz;
+  cfg.priority_enabled = priority;
+  cfg.sim_cycles = sim_cycles();
+  cfg.warmup_cycles = warmup_cycles();
+  return cfg;
+}
+
+/// Run a batch of configurations in parallel (one thread per config, up
+/// to the hardware concurrency).
+inline std::vector<core::Metrics> run_batch(
+    const std::vector<core::SystemConfig>& configs) {
+  std::vector<core::Metrics> out(configs.size());
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= configs.size()) return;
+        out[i] = core::run_simulation(configs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return out;
+}
+
+/// Geometric-mean style average of a column.
+inline double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace annoc::bench

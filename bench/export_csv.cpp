@@ -1,0 +1,65 @@
+/// \file export_csv.cpp
+/// Machine-readable export: re-runs the Table I and Table II grids and
+/// prints one CSV row per (table, operating point, design) to stdout,
+/// ready for pandas/gnuplot. The human-readable benches print the same
+/// numbers formatted like the paper; this binary exists so downstream
+/// analysis never has to scrape those tables.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace annoc;
+using core::DesignPoint;
+
+namespace {
+
+void emit(const char* table, const bench::Row& row, DesignPoint d,
+          const core::Metrics& m) {
+  std::printf(
+      "%s,%s,%s,%.0f,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu\n",
+      table, to_string(row.app), to_string(row.gen), row.mhz, to_string(d),
+      m.utilization, m.raw_utilization, m.avg_latency_all(),
+      m.avg_latency_demand(), m.avg_latency_priority(),
+      static_cast<unsigned long long>(m.completed_requests),
+      static_cast<unsigned long long>(m.device.activates),
+      static_cast<unsigned long long>(m.device.precharges),
+      static_cast<unsigned long long>(m.device.auto_precharges),
+      static_cast<unsigned long long>(m.device.wasted_beats()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "table,application,ddr,clock_mhz,design,utilization,raw_utilization,"
+      "latency_all,latency_demand,latency_priority,requests,activates,"
+      "precharges,auto_precharges,wasted_beats\n");
+
+  const auto rows = bench::table_rows();
+  constexpr std::array<DesignPoint, 4> kT1 = {
+      DesignPoint::kConv, DesignPoint::kRef4, DesignPoint::kGss,
+      DesignPoint::kGssSagm};
+  constexpr std::array<DesignPoint, 4> kT2 = {
+      DesignPoint::kConvPfs, DesignPoint::kRef4Pfs, DesignPoint::kGss,
+      DesignPoint::kGssSagm};
+
+  std::vector<core::SystemConfig> cfgs;
+  for (const auto& row : rows) {
+    for (const DesignPoint d : kT1) {
+      cfgs.push_back(bench::make_config(row, d, /*priority=*/false));
+    }
+    for (const DesignPoint d : kT2) {
+      cfgs.push_back(bench::make_config(row, d, /*priority=*/true));
+    }
+  }
+  const auto metrics = bench::run_batch(cfgs);
+
+  std::size_t idx = 0;
+  for (const auto& row : rows) {
+    for (const DesignPoint d : kT1) emit("table1", row, d, metrics[idx++]);
+    for (const DesignPoint d : kT2) emit("table2", row, d, metrics[idx++]);
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+/// \file micro_hotpaths.cpp
+/// google-benchmark microbenchmarks of the simulator's hot paths: the
+/// DDR device command legality check and issue, the GSS arbitration
+/// (Algorithm 1 with the Fig. 4 filter ladder), the command engine, and
+/// a full simulator step. These guard the performance envelope of the
+/// cycle-level model (whole-table benches run ~100 simulations).
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hpp"
+#include "memctrl/streamlined.hpp"
+#include "noc/fc_gss.hpp"
+#include "sdram/device.hpp"
+
+using namespace annoc;
+
+namespace {
+
+sdram::DeviceConfig make_device_config() {
+  sdram::DeviceConfig dc;
+  dc.generation = sdram::DdrGeneration::kDdr2;
+  dc.clock_mhz = 400.0;
+  dc.burst_mode = sdram::BurstMode::kBl8;
+  dc.geometry = sdram::default_geometry(dc.generation);
+  return dc;
+}
+
+void BM_DeviceIssueStream(benchmark::State& state) {
+  sdram::Device dev(make_device_config());
+  Cycle now = 0;
+  sdram::Command act;
+  act.type = sdram::CommandType::kActivate;
+  act.bank = 0;
+  act.row = 1;
+  std::uint64_t issued = 0;
+  for (auto _ : state) {
+    dev.tick(now);
+    sdram::Command cas;
+    cas.type = sdram::CommandType::kRead;
+    cas.bank = static_cast<BankId>(issued % dev.num_banks());
+    cas.row = 1;
+    cas.col = static_cast<ColId>((issued * 8) % 1024);
+    cas.burst_beats = 8;
+    cas.useful_beats = 8;
+    if (dev.can_issue(cas, now)) {
+      dev.issue(cas, now);
+      ++issued;
+    } else {
+      act.bank = cas.bank;
+      if (dev.can_issue(act, now)) dev.issue(act, now);
+    }
+    ++now;
+  }
+  state.counters["cas_per_cycle"] =
+      static_cast<double>(issued) / static_cast<double>(now ? now : 1);
+}
+BENCHMARK(BM_DeviceIssueStream);
+
+void BM_GssSelect(benchmark::State& state) {
+  noc::GssParams params;
+  params.pct = 4;
+  params.timing = sdram::make_timing(sdram::DdrGeneration::kDdr2, 400.0);
+  noc::GssFlowController fc(params, /*sti=*/true);
+
+  std::vector<noc::Packet> pkts(4);
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    pkts[i].loc.bank = static_cast<BankId>(i % 4);
+    pkts[i].loc.row = static_cast<RowId>(i);
+    pkts[i].rw = i % 2 ? RW::kRead : RW::kWrite;
+    pkts[i].svc = i == 0 ? ServiceClass::kPriority : ServiceClass::kBestEffort;
+    pkts[i].gss_tokens = static_cast<std::uint32_t>(1 + i % 5);
+  }
+  std::vector<noc::Candidate> cands;
+  std::vector<noc::Packet*> pool;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    cands.push_back({&pkts[i], static_cast<std::uint32_t>(i)});
+    pool.push_back(&pkts[i]);
+  }
+  Cycle now = 0;
+  for (auto _ : state) {
+    auto sel = fc.select(cands, pool, now);
+    benchmark::DoNotOptimize(sel);
+    if (sel) fc.on_scheduled(*cands[*sel].pkt, now);
+    ++now;
+  }
+}
+BENCHMARK(BM_GssSelect);
+
+void BM_SimulatorStep(benchmark::State& state) {
+  core::SystemConfig cfg;
+  cfg.design = core::DesignPoint::kGssSagm;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.priority_enabled = true;
+  cfg.warmup_cycles = 0;
+  core::Simulator sim(cfg);
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.now()));
+}
+BENCHMARK(BM_SimulatorStep);
+
+void BM_FullShortSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    cfg.design = core::DesignPoint::kGss;
+    cfg.app = traffic::AppId::kBluray;
+    cfg.generation = sdram::DdrGeneration::kDdr1;
+    cfg.clock_mhz = 133.0;
+    cfg.priority_enabled = false;
+    cfg.sim_cycles = 5000;
+    cfg.warmup_cycles = 1000;
+    const core::Metrics m = core::run_simulation(cfg);
+    benchmark::DoNotOptimize(m.utilization);
+  }
+}
+BENCHMARK(BM_FullShortSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/// \file table3_sti.cpp
+/// Reproduces **Table III**: GSS+SAGM+STI (Fig. 4b flow control with
+/// short-turnaround bank-interleaving awareness) against GSS+SAGM on
+/// high-clock DDR III, where deactivation/reactivation delays are many
+/// cycles and scheduling into a still-turning-around bank stalls the
+/// device.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace annoc;
+using core::DesignPoint;
+
+int main() {
+  struct Point {
+    traffic::AppId app;
+    double mhz;
+    double paper_util, paper_util_gain;
+    double paper_lat, paper_lat_gain;
+    double paper_prio, paper_prio_gain;
+  };
+  const std::vector<Point> points = {
+      {traffic::AppId::kBluray, 533.0, 0.674, 10.9, 119, 4.0, 79, 12.2},
+      {traffic::AppId::kSingleDtv, 667.0, 0.590, 5.5, 140, 7.3, 87, 8.4},
+      {traffic::AppId::kDualDtv, 800.0, 0.593, 11.9, 161, 22.2, 81, 18.2},
+  };
+
+  std::vector<core::SystemConfig> cfgs;
+  for (const Point& p : points) {
+    bench::Row row{p.app, sdram::DdrGeneration::kDdr3, p.mhz};
+    cfgs.push_back(
+        bench::make_config(row, DesignPoint::kGssSagm, /*priority=*/true));
+    cfgs.push_back(
+        bench::make_config(row, DesignPoint::kGssSagmSti, /*priority=*/true));
+  }
+  std::printf("Table III — GSS+SAGM+STI vs GSS+SAGM on DDR III (%llu "
+              "measured cycles per point)\n\n",
+              static_cast<unsigned long long>(bench::sim_cycles()));
+  const auto metrics = bench::run_batch(cfgs);
+
+  std::printf("%-22s | %21s | %25s | %25s\n", "application / clock",
+              "utilization (gain%)", "latency all (gain%)",
+              "latency priority (gain%)");
+  bench::print_rule(104);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const core::Metrics& base = metrics[2 * i];
+    const core::Metrics& sti = metrics[2 * i + 1];
+    const auto gain = [](double b, double s, bool higher_better) {
+      if (b <= 0) return 0.0;
+      return higher_better ? (s - b) / b * 100.0 : (b - s) / b * 100.0;
+    };
+    char label[64];
+    std::snprintf(label, sizeof label, "%s @ %.0f MHz",
+                  to_string(points[i].app), points[i].mhz);
+    std::printf("%-22s | %6.3f (%+5.1f%%)      | %8.1f cy (%+5.1f%%)    "
+                "| %8.1f cy (%+5.1f%%)\n",
+                label, sti.utilization,
+                gain(base.utilization, sti.utilization, true),
+                sti.avg_latency_all(),
+                gain(base.avg_latency_all(), sti.avg_latency_all(), false),
+                sti.avg_latency_priority(),
+                gain(base.avg_latency_priority(), sti.avg_latency_priority(),
+                     false));
+    std::printf("%-22s | paper: %.3f (+%.1f%%) | paper: %4.0f cy (+%.1f%%)"
+                "    | paper: %4.0f cy (+%.1f%%)\n",
+                "", points[i].paper_util, points[i].paper_util_gain,
+                points[i].paper_lat, points[i].paper_lat_gain,
+                points[i].paper_prio, points[i].paper_prio_gain);
+  }
+  std::printf(
+      "\nShape check (paper): STI helps most at the highest clock (dual\n"
+      "DTV @ 800 MHz), because tWR+tRP spans ~23 cycles there; the paper\n"
+      "reports +9.4%% utilization / +11.2%% latency / +12.9%% priority\n"
+      "latency on average. This reproduction's router-level STI gains are\n"
+      "smaller because its memory engine already tracks bank readiness\n"
+      "(see EXPERIMENTS.md).\n");
+  return 0;
+}

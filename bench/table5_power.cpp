@@ -1,0 +1,96 @@
+/// \file table5_power.cpp
+/// Reproduces **Table V**: average power of CONV, [4] and
+/// GSS+SAGM+STI on single DTV @ 200 MHz (DDR I), Blu-ray @ 400 MHz
+/// (DDR II) and dual DTV @ 800 MHz (DDR III). Activity factors come
+/// from the cycle simulation; gate counts from the area model; energy
+/// constants calibrated to the paper's PrimeTime PX results.
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/power_model.hpp"
+#include "bench_util.hpp"
+
+using namespace annoc;
+using core::DesignPoint;
+
+int main() {
+  struct Point {
+    traffic::AppId app;
+    sdram::DdrGeneration gen;
+    double mhz;
+    std::size_t routers;
+    double paper_mw[3];  // CONV, [4], GSS+SAGM+STI
+  };
+  const std::vector<Point> points = {
+      {traffic::AppId::kSingleDtv, sdram::DdrGeneration::kDdr1, 200.0, 9,
+       {179.0, 116.0, 115.5}},
+      {traffic::AppId::kBluray, sdram::DdrGeneration::kDdr2, 400.0, 9,
+       {351.6, 227.8, 226.8}},
+      {traffic::AppId::kDualDtv, sdram::DdrGeneration::kDdr3, 800.0, 16,
+       {961.9, 726.0, 724.1}},
+  };
+  constexpr std::array<DesignPoint, 3> kDesigns = {
+      DesignPoint::kConv, DesignPoint::kRef4, DesignPoint::kGssSagmSti};
+  constexpr const char* kNames[3] = {"CONV", "[4]", "GSS+SAGM+STI"};
+
+  std::vector<core::SystemConfig> cfgs;
+  for (const Point& p : points) {
+    for (const DesignPoint d : kDesigns) {
+      bench::Row row{p.app, p.gen, p.mhz};
+      cfgs.push_back(bench::make_config(row, d, /*priority=*/true));
+    }
+  }
+  std::printf("Table V — average power (activity-based model; %llu "
+              "measured cycles per point)\n\n",
+              static_cast<unsigned long long>(bench::sim_cycles()));
+  const auto metrics = bench::run_batch(cfgs);
+  const analysis::PowerModel model;
+
+  std::printf("%-24s |", "application / clock");
+  for (const char* n : kNames) std::printf(" %12s  ratio |", n);
+  std::printf("\n");
+  for (int i = 0; i < 96; ++i) std::fputc('-', stdout);
+  std::printf("\n");
+
+  std::array<double, 3> avg{};
+  std::array<double, 3> paper_avg{};
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    char label[64];
+    std::snprintf(label, sizeof label, "%s @ %.0f MHz",
+                  to_string(points[p].app), points[p].mhz);
+    std::array<double, 3> mw{};
+    for (std::size_t d = 0; d < kDesigns.size(); ++d) {
+      const core::Metrics& m = metrics[p * kDesigns.size() + d];
+      mw[d] = model
+                  .power(kDesigns[d], points[p].routers, points[p].mhz, m)
+                  .total_mw();
+      avg[d] += mw[d] / static_cast<double>(points.size());
+      paper_avg[d] += points[p].paper_mw[d] / static_cast<double>(points.size());
+    }
+    std::printf("%-24s |", label);
+    for (std::size_t d = 0; d < 3; ++d) {
+      std::printf(" %9.1f mW  %5.3f |", mw[d], mw[d] / mw[2]);
+    }
+    std::printf("\n%-24s |", "  (paper)");
+    for (std::size_t d = 0; d < 3; ++d) {
+      std::printf(" %9.1f mW  %5.3f |", points[p].paper_mw[d],
+                  points[p].paper_mw[d] / points[p].paper_mw[2]);
+    }
+    std::printf("\n");
+  }
+  for (int i = 0; i < 96; ++i) std::fputc('-', stdout);
+  std::printf("\n%-24s |", "average");
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::printf(" %9.1f mW  %5.3f |", avg[d], avg[d] / avg[2]);
+  }
+  std::printf("\n%-24s |", "  (paper)");
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::printf(" %9.1f mW  %5.3f |", paper_avg[d], paper_avg[d] / paper_avg[2]);
+  }
+  std::printf(
+      "\n\nShape checks (paper): CONV burns ~1.33-1.55x (big always-clocked\n"
+      "buffers in its memory subsystem); [4] is within ~0.4%% of the\n"
+      "proposed design.\n");
+  return 0;
+}

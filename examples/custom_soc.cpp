@@ -1,0 +1,136 @@
+/// \file custom_soc.cpp
+/// Using the library on YOUR SoC: define a custom set of cores (an
+/// automotive surround-view system: four camera ISPs writing, a neural
+/// detector reading small scattered tiles, a GPU compositor, a display
+/// and a safety MCU whose demand reads are priority), map it to a 3x3
+/// mesh, and compare the four headline design points on it.
+///
+/// Demonstrates the public extension API: traffic::CoreSpec /
+/// traffic::Application + core::SystemConfig::custom_app.
+#include <cstdio>
+
+#include "core/simulator.hpp"
+
+using namespace annoc;
+
+namespace {
+
+traffic::Application build_surround_view() {
+  traffic::Application app;
+  app.name = "surround-view";
+  app.noc.width = 3;
+  app.noc.height = 3;
+  app.noc.mem_node = 0;
+
+  auto add = [&](traffic::CoreSpec spec, NodeId node) {
+    app.cores.push_back({std::move(spec), node});
+  };
+
+  // Safety MCU: latency-critical demand reads — next to the memory.
+  traffic::CoreSpec mcu;
+  mcu.name = "safety-mcu";
+  mcu.is_mpu = true;
+  mcu.demand_fraction = 0.7;
+  mcu.demand_bytes = 32;
+  mcu.sizes = {{64, 1.0}};
+  mcu.read_fraction = 0.8;
+  mcu.bytes_per_cycle = 0.4;
+  mcu.max_outstanding = 2;
+  mcu.region_base = 0;
+  add(mcu, 1);
+
+  // Four camera ISPs: sequential 256-byte line writes.
+  for (int i = 0; i < 4; ++i) {
+    traffic::CoreSpec isp;
+    isp.name = "cam-isp" + std::to_string(i);
+    isp.sizes = {{256, 1.0}};
+    isp.read_fraction = 0.1;  // mostly writing captured lines
+    isp.bytes_per_cycle = 0.9;
+    isp.sequential_fraction = 0.97;
+    isp.max_outstanding = 4;
+    isp.region_base = (1 + static_cast<std::uint64_t>(i)) * (4u << 20);
+    add(isp, static_cast<NodeId>(2 + i));
+  }
+
+  // Neural detector: scattered small tile reads (granularity-hostile).
+  traffic::CoreSpec nn;
+  nn.name = "nn-detector";
+  nn.sizes = {{8, 0.4}, {16, 0.4}, {32, 0.2}};
+  nn.read_fraction = 0.9;
+  nn.bytes_per_cycle = 1.2;
+  nn.sequential_fraction = 0.2;
+  nn.max_outstanding = 24;
+  nn.region_base = 5ull * (4u << 20);
+  add(nn, 0);
+
+  // GPU compositor: mixed 128-byte reads/writes.
+  traffic::CoreSpec gpu;
+  gpu.name = "gpu-comp";
+  gpu.sizes = {{128, 1.0}};
+  gpu.read_fraction = 0.6;
+  gpu.bytes_per_cycle = 1.4;
+  gpu.sequential_fraction = 0.9;
+  gpu.max_outstanding = 6;
+  gpu.region_base = 6ull * (4u << 20);
+  add(gpu, 6);
+
+  // Display controller: pure sequential reads.
+  traffic::CoreSpec disp;
+  disp.name = "display";
+  disp.sizes = {{256, 1.0}};
+  disp.read_fraction = 1.0;
+  disp.bytes_per_cycle = 1.1;
+  disp.sequential_fraction = 0.99;
+  disp.max_outstanding = 4;
+  disp.region_base = 7ull * (4u << 20);
+  add(disp, 7);
+
+  // Telemetry/logging DMA.
+  traffic::CoreSpec dma;
+  dma.name = "log-dma";
+  dma.sizes = {{64, 1.0}};
+  dma.read_fraction = 0.3;
+  dma.bytes_per_cycle = 0.3;
+  dma.sequential_fraction = 0.8;
+  dma.max_outstanding = 8;
+  dma.region_base = 8ull * (4u << 20);
+  add(dma, 8);
+
+  // Placement summary: nn-detector shares the memory corner router (0),
+  // the safety MCU sits one hop out (1), the ISPs line the first rows
+  // (2-5), and the rest fill the far side (6-8).
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  const traffic::Application app = build_surround_view();
+  std::printf("Custom SoC '%s': %zu cores, offered %.2f B/cycle\n\n",
+              app.name.c_str(), app.cores.size(),
+              app.offered_bytes_per_cycle());
+  std::printf("%-14s %12s %16s %18s %16s\n", "design", "utilization",
+              "latency(all)", "latency(priority)", "wasted beats");
+
+  for (core::DesignPoint d :
+       {core::DesignPoint::kConvPfs, core::DesignPoint::kRef4Pfs,
+        core::DesignPoint::kGss, core::DesignPoint::kGssSagm}) {
+    core::SystemConfig cfg;
+    cfg.design = d;
+    cfg.custom_app = app;
+    cfg.generation = sdram::DdrGeneration::kDdr1;
+    cfg.clock_mhz = 200.0;
+    cfg.priority_enabled = true;
+    cfg.sim_cycles = 60000;
+    cfg.warmup_cycles = 10000;
+    const core::Metrics m = core::run_simulation(cfg);
+    std::printf("%-14s %12.3f %13.1f cy %15.1f cy %15llu\n", to_string(d),
+                m.utilization, m.avg_latency_all(), m.avg_latency_priority(),
+                static_cast<unsigned long long>(m.device.wasted_beats()));
+  }
+  std::printf(
+      "\nThe detector's 8-32 byte tiles make this workload granularity-\n"
+      "hostile: watch the wasted-beats column collapse under GSS+SAGM\n"
+      "while the safety MCU's priority latency stays low.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+/// \file inspect_run.cpp
+/// Deep-dive example: run one configuration and dump every statistic the
+/// library collects — latency stage breakdown, device activity, command
+/// engine behaviour and per-core achieved bandwidth. Useful both as API
+/// documentation and for diagnosing a workload.
+///
+/// Usage: inspect_run [design] [app] [ddr] [mhz]
+///   design: conv | conv+pfs | ref4 | ref4+pfs | gss | gss+sagm | gss+sagm+sti
+///   app:    bluray | sdtv | ddtv
+///   ddr:    1 | 2 | 3
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/simulator.hpp"
+#include "memctrl/streamlined.hpp"
+
+namespace {
+
+annoc::core::DesignPoint parse_design(const char* s) {
+  using annoc::core::DesignPoint;
+  if (!std::strcmp(s, "conv")) return DesignPoint::kConv;
+  if (!std::strcmp(s, "conv+pfs")) return DesignPoint::kConvPfs;
+  if (!std::strcmp(s, "ref4")) return DesignPoint::kRef4;
+  if (!std::strcmp(s, "ref4+pfs")) return DesignPoint::kRef4Pfs;
+  if (!std::strcmp(s, "gss")) return DesignPoint::kGss;
+  if (!std::strcmp(s, "gss+sagm")) return DesignPoint::kGssSagm;
+  if (!std::strcmp(s, "gss+sagm+sti")) return DesignPoint::kGssSagmSti;
+  std::fprintf(stderr, "unknown design '%s'\n", s);
+  std::exit(2);
+}
+
+annoc::traffic::AppId parse_app(const char* s) {
+  using annoc::traffic::AppId;
+  if (!std::strcmp(s, "bluray")) return AppId::kBluray;
+  if (!std::strcmp(s, "sdtv")) return AppId::kSingleDtv;
+  if (!std::strcmp(s, "ddtv")) return AppId::kDualDtv;
+  std::fprintf(stderr, "unknown app '%s'\n", s);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace annoc;
+  core::SystemConfig cfg;
+  cfg.design = argc > 1 ? parse_design(argv[1]) : core::DesignPoint::kGss;
+  cfg.app = argc > 2 ? parse_app(argv[2]) : traffic::AppId::kSingleDtv;
+  const int ddr = argc > 3 ? std::atoi(argv[3]) : 2;
+  cfg.generation = ddr == 1   ? sdram::DdrGeneration::kDdr1
+                   : ddr == 3 ? sdram::DdrGeneration::kDdr3
+                              : sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = argc > 4 ? std::atof(argv[4]) : 333.0;
+  cfg.priority_enabled = std::getenv("ANNOC_NO_PRIORITY") == nullptr;
+  cfg.sim_cycles = 100000;
+
+  core::Simulator sim(cfg);
+  sim.run();
+  const core::Metrics m = sim.metrics();
+
+  std::printf("== %s | %s | %s @ %.0f MHz ==\n", to_string(cfg.design),
+              to_string(cfg.app), to_string(cfg.generation), cfg.clock_mhz);
+  std::printf("utilization (useful)  %.3f\n", m.utilization);
+  std::printf("utilization (raw bus) %.3f\n", m.raw_utilization);
+  std::printf("requests completed    %llu (%llu subpackets)\n",
+              static_cast<unsigned long long>(m.completed_requests),
+              static_cast<unsigned long long>(m.completed_subpackets));
+  std::printf("latency all/demand/priority  %.1f / %.1f / %.1f cycles\n",
+              m.avg_latency_all(), m.avg_latency_demand(),
+              m.avg_latency_priority());
+  std::printf("stage breakdown (per subpacket): source %.1f | network %.1f "
+              "| memory %.1f\n",
+              m.source_queue.mean(), m.network.mean(), m.memory.mean());
+  std::printf("priority stages:                 source %.1f | network %.1f "
+              "| memory %.1f\n",
+              m.source_queue_prio.mean(), m.network_prio.mean(),
+              m.memory_prio.mean());
+
+  std::printf("\n-- SDRAM device --\n");
+  std::printf("ACT %llu  PRE %llu  AP %llu  RD %llu  WR %llu  rowhit-CAS %llu\n",
+              static_cast<unsigned long long>(m.device.activates),
+              static_cast<unsigned long long>(m.device.precharges),
+              static_cast<unsigned long long>(m.device.auto_precharges),
+              static_cast<unsigned long long>(m.device.reads),
+              static_cast<unsigned long long>(m.device.writes),
+              static_cast<unsigned long long>(m.device.cas_row_hits));
+  std::printf("beats total %llu useful %llu wasted %llu; bus turnarounds %llu\n",
+              static_cast<unsigned long long>(m.device.total_beats),
+              static_cast<unsigned long long>(m.device.useful_beats),
+              static_cast<unsigned long long>(m.device.wasted_beats()),
+              static_cast<unsigned long long>(
+                  m.device.bus_direction_turnarounds));
+
+  std::printf("\n-- command engine --\n");
+  std::printf("cas %llu act %llu pre %llu prep-act %llu stall cycles %llu\n",
+              static_cast<unsigned long long>(m.engine.cas_issued),
+              static_cast<unsigned long long>(m.engine.act_issued),
+              static_cast<unsigned long long>(m.engine.pre_issued),
+              static_cast<unsigned long long>(m.engine.prep_acts),
+              static_cast<unsigned long long>(m.engine.stall_cycles));
+  std::printf("stall causes: need-act %llu need-pre %llu cas-timing %llu\n",
+              static_cast<unsigned long long>(m.engine.stall_need_act),
+              static_cast<unsigned long long>(m.engine.stall_need_pre),
+              static_cast<unsigned long long>(m.engine.stall_cas_timing));
+
+  if (const auto* str = dynamic_cast<const memctrl::StreamlinedSubsystem*>(
+          &sim.subsystem())) {
+    std::printf("subsystem starved (engine+input empty): %llu cycles\n",
+                static_cast<unsigned long long>(str->starved_cycles()));
+  }
+  std::printf("\n-- NoC --\n");
+  std::printf("packets forwarded %llu, flits forwarded %llu\n",
+              static_cast<unsigned long long>(m.noc_packets_forwarded),
+              static_cast<unsigned long long>(m.noc_flits_forwarded));
+
+  std::printf("\n-- router output-channel occupancy (fraction of cycles) --\n");
+  const auto total_cy = static_cast<double>(sim.now());
+  for (std::size_t r = 0; r < sim.network().num_routers(); ++r) {
+    const auto& st = sim.network().router(static_cast<annoc::NodeId>(r)).stats();
+    std::printf("router %zu:", r);
+    for (int p = 0; p < noc::kNumPorts; ++p) {
+      if (st.output_busy[p] == 0) continue;
+      std::printf("  %s %.2f", to_string(static_cast<noc::Port>(p)),
+                  static_cast<double>(st.output_busy[p]) / total_cy);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- per core --\n");
+  std::printf("%-14s %10s %12s %10s\n", "core", "requests", "avg-lat",
+              "B/cycle");
+  for (const auto& [name, cm] : m.per_core) {
+    std::printf("%-14s %10llu %9.1f cy %10.3f\n", name.c_str(),
+                static_cast<unsigned long long>(cm.requests), cm.avg_latency,
+                cm.achieved_bytes_per_cycle);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// \file latency_budget.cpp
+/// Capacity planning with the library: given a priority-latency budget
+/// for the MPU's demand misses (a real-time deadline), find — by
+/// bisection on a workload scale factor — how much stream bandwidth
+/// each design point can carry while staying inside the budget.
+///
+/// This is the question the paper's QoS machinery exists to answer:
+/// GSS-class designs should sustain more background traffic at the same
+/// demand-latency budget than a priority-first retrofit.
+#include <cstdio>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+using namespace annoc;
+
+namespace {
+
+/// Build the single-DTV application with every stream core's rate
+/// scaled by `factor` (the MPU stays fixed — it is the latency victim,
+/// not the load).
+traffic::Application scaled_app(double factor) {
+  traffic::Application app =
+      traffic::build_application(traffic::AppId::kSingleDtv);
+  for (auto& core : app.cores) {
+    if (!core.spec.is_mpu) core.spec.bytes_per_cycle *= factor;
+  }
+  return app;
+}
+
+double priority_latency_at(core::DesignPoint design, double factor) {
+  core::SystemConfig cfg;
+  cfg.design = design;
+  cfg.custom_app = scaled_app(factor);
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 40000;
+  cfg.warmup_cycles = 8000;
+  const core::Metrics m = core::run_simulation(cfg);
+  return m.avg_latency_priority();
+}
+
+/// Largest stream-scale factor whose priority latency fits the budget.
+double max_scale_within(core::DesignPoint design, double budget_cycles) {
+  double lo = 0.2, hi = 2.0;
+  if (priority_latency_at(design, hi) <= budget_cycles) return hi;
+  if (priority_latency_at(design, lo) > budget_cycles) return 0.0;
+  for (int iter = 0; iter < 7; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (priority_latency_at(design, mid) <= budget_cycles) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  const double budget = 130.0;  // demand misses must average <= 130 cycles
+  std::printf("Capacity planning: max stream load meeting a %.0f-cycle\n"
+              "priority-latency budget (single DTV, DDR II @ 333 MHz;\n"
+              "stream rates scaled around the paper's operating point).\n\n",
+              budget);
+  std::printf("%-14s %22s %26s\n", "design", "max stream scale",
+              "stream bandwidth (B/cycle)");
+  for (int i = 0; i < 66; ++i) std::fputc('-', stdout);
+  std::printf("\n");
+
+  const traffic::Application base = scaled_app(1.0);
+  double stream_base = 0.0;
+  for (const auto& c : base.cores) {
+    if (!c.spec.is_mpu) stream_base += c.spec.bytes_per_cycle;
+  }
+
+  for (core::DesignPoint d :
+       {core::DesignPoint::kConvPfs, core::DesignPoint::kRef4Pfs,
+        core::DesignPoint::kGss, core::DesignPoint::kGssSagm}) {
+    const double scale = max_scale_within(d, budget);
+    std::printf("%-14s %22.2f %26.2f\n", to_string(d), scale,
+                scale * stream_base);
+  }
+  std::printf(
+      "\nReading the result: a design that schedules priority packets\n"
+      "without wrecking SDRAM efficiency sustains more background load\n"
+      "inside the same deadline — the paper's pitch for GSS(+SAGM) over\n"
+      "a priority-first retrofit.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+/// \file quickstart.cpp
+/// Smallest end-to-end use of the library: simulate the single-DTV
+/// application on DDR II at 333 MHz for each of the four headline
+/// design points and print the paper's three metrics.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/simulator.hpp"
+
+int main() {
+  using namespace annoc;
+  using core::DesignPoint;
+
+  std::printf("Application-aware NoC for efficient SDRAM access — quickstart\n");
+  std::printf("Workload: single DTV, DDR II @ 333 MHz, priority enabled\n\n");
+  std::printf("%-14s %12s %16s %18s\n", "design", "utilization",
+              "latency(all)", "latency(priority)");
+
+  for (DesignPoint d :
+       {DesignPoint::kConvPfs, DesignPoint::kRef4Pfs, DesignPoint::kGss,
+        DesignPoint::kGssSagm}) {
+    core::SystemConfig cfg;
+    cfg.design = d;
+    cfg.app = traffic::AppId::kSingleDtv;
+    cfg.generation = sdram::DdrGeneration::kDdr2;
+    cfg.clock_mhz = 333.0;
+    cfg.priority_enabled = true;
+    cfg.sim_cycles = 100000;
+
+    const core::Metrics m = core::run_simulation(cfg);
+    std::printf("%-14s %12.3f %13.1f cy %15.1f cy\n", to_string(d),
+                m.utilization, m.avg_latency_all(), m.avg_latency_priority());
+  }
+  std::printf(
+      "\nExpected shape (Table II of the paper): CONV+PFS is clearly the\n"
+      "worst on every column; GSS matches or beats [4]+PFS; GSS+SAGM is\n"
+      "the best on average across operating points (at a single point it\n"
+      "can sit within noise of GSS — run bench/table2_priority for the\n"
+      "full nine-point grid).\n");
+  return 0;
+}

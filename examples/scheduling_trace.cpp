@@ -1,0 +1,161 @@
+/// \file scheduling_trace.cpp
+/// Didactic reproduction of the paper's Fig. 1: six memory requests —
+/// two MPU demands (priority), two prefetches and two video requests —
+/// scheduled by (b) a priority-equal best-effort scheduler, (c) a
+/// priority-first scheduler, and (d) the GSS hybrid. The demo prints
+/// each schedule with a rough device-time estimate so the trade-off is
+/// visible: priority-first serves demands earliest but triggers the
+/// demand1/demand2 bank conflict; best-effort avoids all conflicts but
+/// starves demand2; GSS does both jobs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "noc/fc_gss.hpp"
+#include "noc/flow_controller.hpp"
+#include "sdram/config.hpp"
+
+using namespace annoc;
+
+namespace {
+
+struct Request {
+  const char* name;
+  noc::Packet pkt;
+};
+
+std::vector<Request> fig1_requests() {
+  auto mk = [](const char* name, BankId bank, RowId row, Cycle arrived,
+               bool priority) {
+    Request r;
+    r.name = name;
+    r.pkt.loc.bank = bank;
+    r.pkt.loc.row = row;
+    r.pkt.rw = RW::kRead;
+    r.pkt.head_arrival = arrived;
+    r.pkt.svc =
+        priority ? ServiceClass::kPriority : ServiceClass::kBestEffort;
+    r.pkt.flits = 4;
+    return r;
+  };
+  // Fig. 1(a): BAs per the figure; all rows distinct except prefetch2
+  // and request(video)2, which share a row (row-buffer hit pair).
+  return {
+      mk("demand1 ", 1, 100, 0, true),  mk("prefetch1", 2, 200, 1, false),
+      mk("video1  ", 3, 300, 2, false), mk("demand2 ", 1, 101, 3, true),
+      mk("prefetch2", 2, 201, 4, false), mk("video2  ", 2, 201, 5, false),
+  };
+}
+
+/// Estimated execution time of a schedule on a simplified device: a
+/// request takes 4 cycles of data; a bank conflict with any of the two
+/// previous requests adds a reactivation penalty of 8 cycles.
+int estimate_cycles(const std::vector<const Request*>& order) {
+  int t = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    int penalty = 0;
+    for (std::size_t back = 1; back <= 2 && back <= i; ++back) {
+      const auto& prev = order[i - back]->pkt;
+      const auto& cur = order[i]->pkt;
+      if (prev.loc.bank == cur.loc.bank && prev.loc.row != cur.loc.row) {
+        penalty = 8;  // bank conflict: deactivate + reactivate
+      }
+    }
+    t += 4 + penalty;
+  }
+  return t;
+}
+
+int demand_finish(const std::vector<const Request*>& order) {
+  int t = 0, finish = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    int penalty = 0;
+    for (std::size_t back = 1; back <= 2 && back <= i; ++back) {
+      const auto& prev = order[i - back]->pkt;
+      const auto& cur = order[i]->pkt;
+      if (prev.loc.bank == cur.loc.bank && prev.loc.row != cur.loc.row) {
+        penalty = 8;
+      }
+    }
+    t += 4 + penalty;
+    if (order[i]->pkt.is_priority()) finish = t;
+  }
+  return finish;
+}
+
+void show(const char* title, const std::vector<const Request*>& order) {
+  std::printf("%-34s:", title);
+  for (const Request* r : order) std::printf(" %s", r->name);
+  std::printf("\n%34s  total %d cycles, last demand done at %d cycles\n",
+              "", estimate_cycles(order), demand_finish(order));
+}
+
+std::vector<const Request*> schedule_with(noc::FlowController& fc,
+                                          std::vector<Request>& reqs) {
+  // Register arrivals (tokens for GSS).
+  std::vector<noc::Packet*> seen;
+  for (Request& r : reqs) {
+    fc.on_packet_arrival(r.pkt, seen, r.pkt.head_arrival);
+    seen.push_back(&r.pkt);
+  }
+  std::vector<const Request*> order;
+  std::vector<Request*> waiting;
+  for (Request& r : reqs) waiting.push_back(&r);
+  Cycle now = 10;
+  while (!waiting.empty()) {
+    std::vector<noc::Candidate> cands;
+    std::vector<noc::Packet*> pool;
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      cands.push_back({&waiting[i]->pkt, static_cast<std::uint32_t>(i)});
+      pool.push_back(&waiting[i]->pkt);
+    }
+    const auto sel = fc.select(cands, pool, now);
+    if (!sel) break;
+    Request* granted = waiting[*sel];
+    fc.on_scheduled(granted->pkt, now);
+    order.push_back(granted);
+    waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(*sel));
+    now += granted->pkt.flits;
+  }
+  return order;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 1 scheduling example — two demands (priority, bank 1 with\n"
+      "different rows), two prefetches, two video requests (prefetch2 and\n"
+      "video2 row-hit each other on bank 2).\n\n");
+
+  // (b) priority-equal / best-effort: the SDRAM-aware scheduler of [4].
+  {
+    std::vector<Request> reqs = fig1_requests();
+    auto fc = noc::make_flow_controller(noc::FlowControlKind::kSdramAware);
+    show("(b) priority-equal (best effort)", schedule_with(*fc, reqs));
+  }
+  // (c) priority-first.
+  {
+    std::vector<Request> reqs = fig1_requests();
+    auto fc = noc::make_flow_controller(noc::FlowControlKind::kPriorityFirst);
+    show("(c) priority-first", schedule_with(*fc, reqs));
+  }
+  // (d) GSS hybrid.
+  {
+    std::vector<Request> reqs = fig1_requests();
+    noc::GssParams params;
+    params.pct = 2;  // moderate priority: the hybrid sweet spot for this trace
+    params.timing = sdram::make_timing(sdram::DdrGeneration::kDdr2, 333.0);
+    noc::GssFlowController fc(params, /*sti=*/false);
+    show("(d) GSS hybrid (this paper)", schedule_with(fc, reqs));
+  }
+
+  std::printf(
+      "\nReading the result: (c) schedules the two demands back to back on\n"
+      "bank 1 with different rows — a bank conflict that stretches the\n"
+      "total execution; (d) slips one other-bank request between them, so\n"
+      "the demands still finish early while total execution time drops\n"
+      "back toward the best-effort schedule (b). That is exactly the\n"
+      "hybrid behaviour of Fig. 1(d).\n");
+  return 0;
+}

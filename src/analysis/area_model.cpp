@@ -1,0 +1,164 @@
+#include "analysis/area_model.hpp"
+
+#include "common/assert.hpp"
+
+namespace annoc::analysis {
+namespace {
+
+/// Global synthesis overhead (clock tree, scan, routing congestion)
+/// applied on top of raw component sums — one calibrated constant.
+constexpr double kSynthesisOverhead = 1.7;
+/// Datapath-dominated blocks (buffers, crossbars) synthesize denser.
+constexpr double kDatapathOverhead = 1.33;
+
+/// Fixed SDRAM back-end shared by every subsystem: interface signal
+/// generator, init/MRS engine, refresh engine, bank timing trackers,
+/// read/write datapath between 64-bit NoC flits and the 32-bit DDR bus.
+constexpr double kSdramBackendGates = 102400.0;
+
+}  // namespace
+
+double AreaModel::flow_controller_gates(noc::FlowControlKind kind) const {
+  const auto& g = prim_;
+  const double ports = kPorts;
+  // Conventional round-robin core present in every variant: request
+  // latches, per-port grant FSMs, rotating pointer, winner-take-all
+  // hold with flit countdown, downstream credit counters.
+  const double base = ports * 7 * g.register_bit + ports * 3 * g.fsm_state +
+                      3 * g.counter_bit +
+                      ports * (g.fsm_state + 5 * g.counter_bit) +
+                      ports * 5 * g.counter_bit;
+
+  // SDRAM-relation hardware shared by [4] and GSS: the h(n) register
+  // (bank 3b + row 14b + direction) and per-port relation comparators.
+  const double relation_bits = 3 + 14 + 1;
+  const double relation = relation_bits * g.register_bit +
+                          ports * relation_bits * g.comparator_bit;
+
+  switch (kind) {
+    case noc::FlowControlKind::kRoundRobin:
+      return base * kSynthesisOverhead;
+    case noc::FlowControlKind::kPriorityFirst:
+      // Priority stage: per-port priority latch + 2-level select.
+      return (base + ports * 2 * g.register_bit + 2 * g.fsm_state) *
+             kSynthesisOverhead;
+    case noc::FlowControlKind::kSdramAware:
+    case noc::FlowControlKind::kSdramAwarePfs: {
+      // [4]: rank encoders and starvation age counters per port.
+      const double extra = relation + ports * 3 * g.fsm_state +
+                           ports * 9 * g.counter_bit;
+      return (base + extra) * kSynthesisOverhead;
+    }
+    case noc::FlowControlKind::kGss: {
+      // Token counters (3 b/port), the event-driven filter network, the
+      // same-bank exclusion comparators and the SP = A?B?C select chain.
+      // The event-driven filter is cheaper than [4]'s rank encoders,
+      // which is why the GSS controller comes out slightly smaller.
+      const double extra = relation + ports * 3 * g.counter_bit +
+                           4 * g.fsm_state +
+                           ports * 2 * g.comparator_bit * 2 +
+                           2 * g.fsm_state;
+      return (base + extra) * kSynthesisOverhead;
+    }
+    case noc::FlowControlKind::kGssSti: {
+      const double gss =
+          flow_controller_gates(noc::FlowControlKind::kGss) /
+          kSynthesisOverhead;
+      // Eight 6-bit bank turnaround counters + compare taps.
+      const double sti =
+          8 * 6 * prim_.counter_bit + kPorts * 3 * prim_.comparator_bit;
+      return (gss + sti) * kSynthesisOverhead;
+    }
+  }
+  ANNOC_ASSERT_MSG(false, "unknown flow controller kind");
+  return 0;
+}
+
+double AreaModel::router_gates(noc::FlowControlKind kind,
+                               std::uint32_t buffer_flits) const {
+  const auto& g = prim_;
+  const double ports = kPorts;
+  // Datapath: input buffers, crossbar, output registers; control: XY
+  // route computation.
+  const double buffers =
+      ports * buffer_flits * kFlitBits * g.sram_bit * 2.4;
+  const double crossbar = ports * ports * kFlitBits * g.mux_leg_bit * 3.0;
+  const double routing = ports * 3 * g.fsm_state + ports * 10 * g.comparator_bit;
+  const double outregs = ports * kFlitBits * g.register_bit;
+  const double body =
+      (buffers + crossbar + routing + outregs) * kDatapathOverhead;
+
+  // Per Section V, only the outputs on paths toward the memory carry the
+  // specialized flow controller (two per router in the 3x3 layout); the
+  // rest keep the conventional one.
+  const double conv_fc =
+      flow_controller_gates(noc::FlowControlKind::kRoundRobin);
+  const double special_fc = flow_controller_gates(kind);
+  const double fcs = kind == noc::FlowControlKind::kRoundRobin
+                         ? ports * conv_fc
+                         : 3 * conv_fc + 2 * special_fc;
+  return body + fcs;
+}
+
+double AreaModel::memory_subsystem_gates(core::DesignPoint d) const {
+  const auto& g = prim_;
+  using core::DesignPoint;
+  const double entry_bits = 44;  // bank+row+col+len+id+flags per request
+
+  if (core::uses_conv_subsystem(d)) {
+    // MemMax: 4 threads x (32-flit request buffer + 32-flit data
+    // buffer), register-file based; QoS/thread scheduler; response
+    // reorder and output buffering; Databahn-style look-ahead command
+    // queue and per-bank page/timing trackers.
+    const double thread_buffers = 8.0 * 32 * kFlitBits * g.register_bit;
+    const double response_reorder = 64.0 * kFlitBits * g.register_bit;
+    const double request_state = 32.0 * 4 * 48 * g.register_bit;
+    const double scheduler =
+        4 * (8 * g.fsm_state + 24 * g.counter_bit) + 5000;
+    const double databahn = 16 * 40 * g.register_bit +
+                            8 * 14 * g.register_bit +
+                            8 * 3 * 8 * g.counter_bit;
+    const double own = (thread_buffers + response_reorder + request_state +
+                        scheduler + databahn) *
+                       1.5;
+    return kSdramBackendGates + own;
+  }
+
+  if (d == DesignPoint::kRef4 || d == DesignPoint::kRef4Pfs) {
+    // [4]'s subsystem: 32-flit input FIFO, PRE/RAS/CAS buffers (12
+    // entries each — no auto-precharge, so every access may need an
+    // explicit PRE slot), response assembly buffer.
+    const double own = (32.0 * kFlitBits * g.register_bit +
+                        3 * 12 * entry_bits * g.register_bit +
+                        16.0 * kFlitBits * g.register_bit + 1000) *
+                       1.5;
+    return kSdramBackendGates + own;
+  }
+
+  // GSS / GSS+SAGM subsystem (Fig. 6): auto-precharge removes most PRE
+  // buffering (4 entries suffice for the priority-conflict case), and
+  // no reorder buffers exist at all.
+  const double own = (32.0 * kFlitBits * g.register_bit +
+                      4 * entry_bits * g.register_bit +
+                      2 * 12 * entry_bits * g.register_bit +
+                      8.0 * kFlitBits * g.register_bit + 1200) *
+                     1.5;
+  return kSdramBackendGates + own;
+}
+
+DesignArea AreaModel::design_area(core::DesignPoint d) const {
+  DesignArea a;
+  const noc::FlowControlKind kind = core::router_kind(d);
+  a.flow_controller = flow_controller_gates(kind);
+  a.router = router_gates(kind, /*buffer_flits=*/16);
+  a.memory_subsystem = memory_subsystem_gates(d);
+  // Per Section V / Fig. 8, only the three routers adjacent to the
+  // memory corner need the specialized flow controllers; the other six
+  // stay conventional.
+  const double conv_router =
+      router_gates(noc::FlowControlKind::kRoundRobin, 16);
+  a.noc_3x3 = 3 * a.router + 6 * conv_router + a.memory_subsystem;
+  return a;
+}
+
+}  // namespace annoc::analysis

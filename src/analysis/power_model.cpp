@@ -1,0 +1,45 @@
+#include "analysis/power_model.hpp"
+
+#include <algorithm>
+
+namespace annoc::analysis {
+
+PowerBreakdown PowerModel::power(core::DesignPoint d,
+                                 std::size_t num_routers, double clock_mhz,
+                                 const core::Metrics& m) const {
+  const DesignArea a = area_.design_area(d);
+  const double cycles = std::max<double>(1.0, static_cast<double>(m.measured_cycles));
+
+  // NoC activity: average flit movement per router per cycle (a router
+  // moving one flit every cycle on some port is "fully active").
+  const double noc_activity = std::min(
+      1.0, static_cast<double>(m.noc_flits_forwarded) /
+               (cycles * static_cast<double>(std::max<std::size_t>(1, num_routers))));
+
+  // Memory subsystem activity: raw data-bus occupancy (includes padding
+  // beats — they burn power even though they carry nothing useful) plus
+  // command activity.
+  const double cmd_rate =
+      static_cast<double>(m.engine.cas_issued + m.engine.act_issued +
+                          m.engine.pre_issued) /
+      cycles;
+  const double mem_activity =
+      std::min(1.0, 0.8 * m.raw_utilization + 0.2 * std::min(1.0, cmd_rate));
+
+  const double noc_gates = static_cast<double>(num_routers) * a.router;
+  const double mem_gates = a.memory_subsystem;
+
+  const auto module_power = [&](double gates, double activity) {
+    const double nw_per_mhz =
+        params_.idle_nw_per_gate_mhz +
+        params_.active_nw_per_gate_mhz * activity;
+    return gates * nw_per_mhz * clock_mhz * 1e-6;  // nW -> mW
+  };
+
+  PowerBreakdown p;
+  p.noc_mw = module_power(noc_gates, noc_activity);
+  p.memory_mw = module_power(mem_gates, mem_activity);
+  return p;
+}
+
+}  // namespace annoc::analysis

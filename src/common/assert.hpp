@@ -1,0 +1,34 @@
+/// \file assert.hpp
+/// Always-on invariant checking. Cycle-level simulators are exactly the
+/// kind of code where a silently-violated timing invariant produces a
+/// plausible-looking but wrong result, so checks stay on in release
+/// builds; the hot paths are cheap comparisons.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace annoc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "annoc assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace annoc::detail
+
+#define ANNOC_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::annoc::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                   \
+  } while (false)
+
+#define ANNOC_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::annoc::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                \
+  } while (false)

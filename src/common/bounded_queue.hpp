@@ -1,0 +1,91 @@
+/// \file bounded_queue.hpp
+/// Fixed-capacity FIFO used for router input buffers and controller
+/// command queues. Capacity is a run-time parameter (buffer depths are
+/// design-space knobs in the paper), backed by a ring buffer.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace annoc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity), capacity_(capacity) {
+    ANNOC_ASSERT_MSG(capacity > 0, "queue capacity must be positive");
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == capacity_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t free_slots() const { return capacity_ - size_; }
+
+  /// Returns false (and leaves the queue unchanged) when full.
+  bool push(T value) {
+    if (full()) return false;
+    slots_[(head_ + size_) % capacity_] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] T& front() {
+    ANNOC_ASSERT(!empty());
+    return slots_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    ANNOC_ASSERT(!empty());
+    return slots_[head_];
+  }
+
+  /// Random access from the front (0 == front). Used by schedulers that
+  /// inspect all waiting entries without consuming them.
+  [[nodiscard]] T& at(std::size_t i) {
+    ANNOC_ASSERT(i < size_);
+    return slots_[(head_ + i) % capacity_];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    ANNOC_ASSERT(i < size_);
+    return slots_[(head_ + i) % capacity_];
+  }
+
+  T pop() {
+    ANNOC_ASSERT(!empty());
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return out;
+  }
+
+  /// Remove the i-th entry (0 == front), preserving the order of the
+  /// rest. O(n); queues are short (≤ tens of entries). Used by
+  /// out-of-order schedulers that pick a non-head packet.
+  T erase_at(std::size_t i) {
+    ANNOC_ASSERT(i < size_);
+    T out = std::move(slots_[(head_ + i) % capacity_]);
+    for (std::size_t j = i; j + 1 < size_; ++j) {
+      slots_[(head_ + j) % capacity_] =
+          std::move(slots_[(head_ + j + 1) % capacity_]);
+    }
+    --size_;
+    return out;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace annoc

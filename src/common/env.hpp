@@ -1,0 +1,30 @@
+/// \file env.hpp
+/// Environment-variable overrides for experiment knobs (e.g.
+/// ANNOC_SIM_CYCLES shortens benchmark runs). Keeps bench binaries
+/// zero-argument runnable while letting CI dial effort up or down.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace annoc {
+
+[[nodiscard]] inline std::uint64_t env_u64(const char* name,
+                                           std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+[[nodiscard]] inline bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+}  // namespace annoc

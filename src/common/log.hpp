@@ -1,0 +1,41 @@
+/// \file log.hpp
+/// Minimal leveled logging. Off by default; enable with
+/// Log::set_level(). Trace logging of scheduling decisions is the main
+/// debugging tool for a cycle-level model.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace annoc {
+
+enum class LogLevel : int { kNone = 0, kWarn = 1, kInfo = 2, kTrace = 3 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+  static void set_level(LogLevel lvl) { level() = lvl; }
+
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
+
+  __attribute__((format(printf, 2, 3)))
+  static void write(LogLevel lvl, const char* fmt, ...) {
+    if (!enabled(lvl)) return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+  }
+};
+
+#define ANNOC_WARN(...) ::annoc::Log::write(::annoc::LogLevel::kWarn, __VA_ARGS__)
+#define ANNOC_INFO(...) ::annoc::Log::write(::annoc::LogLevel::kInfo, __VA_ARGS__)
+#define ANNOC_TRACE(...) ::annoc::Log::write(::annoc::LogLevel::kTrace, __VA_ARGS__)
+
+}  // namespace annoc

@@ -1,0 +1,133 @@
+/// \file stats.hpp
+/// Lightweight statistics primitives: counters and latency aggregators
+/// with fixed-bucket histograms for percentile queries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace annoc {
+
+/// Streaming aggregate of a sample set (latencies, sizes, ...).
+class SampleStat {
+ public:
+  void add(double v) {
+    ++count_;
+    sum_ += v;
+    sum_sq_ += v * v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = count_ == 1 ? v : std::max(max_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    if (count_ < 2) return 0.0;
+    const double n = static_cast<double>(count_);
+    return std::max(0.0, (sum_sq_ - sum_ * sum_ / n) / (n - 1));
+  }
+
+  void merge(const SampleStat& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+    sum_sq_ += o.sum_sq_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  void reset() { *this = SampleStat{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Histogram with uniform integer buckets plus an overflow bucket;
+/// supports approximate percentile queries. Used for latency tails.
+class Histogram {
+ public:
+  Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+      : width_(bucket_width), buckets_(num_buckets + 1, 0) {
+    ANNOC_ASSERT(bucket_width > 0);
+    ANNOC_ASSERT(num_buckets > 0);
+  }
+
+  void add(std::uint64_t v) {
+    const std::size_t idx =
+        std::min(static_cast<std::size_t>(v / width_), buckets_.size() - 1);
+    ++buckets_[idx];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Approximate p-th percentile (p in [0,100]); returns the upper edge
+  /// of the bucket containing that rank.
+  [[nodiscard]] std::uint64_t percentile(double p) const {
+    if (total_ == 0) return 0;
+    const double rank = p / 100.0 * static_cast<double>(total_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (static_cast<double>(seen) >= rank) {
+        return (static_cast<std::uint64_t>(i) + 1) * width_;
+      }
+    }
+    return static_cast<std::uint64_t>(buckets_.size()) * width_;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    ANNOC_ASSERT(i < buckets_.size());
+    return buckets_[i];
+  }
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket_width() const { return width_; }
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Latency aggregate: streaming stats + histogram.
+class LatencyStat {
+ public:
+  LatencyStat() : hist_(8, 512) {}  // 8-cycle buckets up to 4096 cycles
+
+  void add(Cycle latency) {
+    agg_.add(static_cast<double>(latency));
+    hist_.add(latency);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return agg_.count(); }
+  [[nodiscard]] double mean() const { return agg_.mean(); }
+  [[nodiscard]] double min() const { return agg_.min(); }
+  [[nodiscard]] double max() const { return agg_.max(); }
+  [[nodiscard]] std::uint64_t p50() const { return hist_.percentile(50); }
+  [[nodiscard]] std::uint64_t p95() const { return hist_.percentile(95); }
+  [[nodiscard]] std::uint64_t p99() const { return hist_.percentile(99); }
+
+  void merge(const LatencyStat& o) { agg_.merge(o.agg_); /* hist merge not needed */ }
+
+ private:
+  SampleStat agg_;
+  Histogram hist_;
+};
+
+}  // namespace annoc

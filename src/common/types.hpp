@@ -1,0 +1,68 @@
+/// \file types.hpp
+/// Fundamental value types shared across the whole simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace annoc {
+
+/// Simulation time, in memory-clock cycles. The whole system runs in a
+/// single clock domain at the SDRAM clock (see DESIGN.md).
+using Cycle = std::uint64_t;
+
+/// Sentinel for "never" / "not yet scheduled".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Identifier of a core (traffic generator / IP block) on the mesh.
+using CoreId = std::uint32_t;
+
+/// Identifier of a router node on the mesh (row-major index).
+using NodeId = std::uint32_t;
+
+/// Identifier of a packet, unique per simulation run.
+using PacketId = std::uint64_t;
+
+/// SDRAM bank index.
+using BankId = std::uint32_t;
+
+/// SDRAM row index within a bank.
+using RowId = std::uint32_t;
+
+/// SDRAM column index within a row (in device-word units).
+using ColId = std::uint32_t;
+
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Direction of a memory access.
+enum class RW : std::uint8_t { kRead, kWrite };
+
+/// Service class of a memory-request packet. In the paper, demand
+/// requests from a microprocessor can be assigned kPriority; everything
+/// else is best-effort.
+enum class ServiceClass : std::uint8_t { kBestEffort, kPriority };
+
+/// What kind of traffic a core emits (used for statistics and for the
+/// demand/prefetch distinction in the MPU model).
+enum class RequestKind : std::uint8_t { kDemand, kPrefetch, kStream };
+
+[[nodiscard]] inline const char* to_string(RW rw) {
+  return rw == RW::kRead ? "R" : "W";
+}
+
+[[nodiscard]] inline const char* to_string(ServiceClass sc) {
+  return sc == ServiceClass::kPriority ? "priority" : "best-effort";
+}
+
+[[nodiscard]] inline const char* to_string(RequestKind k) {
+  switch (k) {
+    case RequestKind::kDemand: return "demand";
+    case RequestKind::kPrefetch: return "prefetch";
+    case RequestKind::kStream: return "stream";
+  }
+  return "?";
+}
+
+}  // namespace annoc

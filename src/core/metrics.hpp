@@ -1,0 +1,105 @@
+/// \file metrics.hpp
+/// Results of one simulation run — exactly the quantities the paper's
+/// tables report, plus supporting activity counters for the power model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "traffic/application.hpp"
+#include "memctrl/command_engine.hpp"
+#include "sdram/device.hpp"
+
+namespace annoc::core {
+
+struct CoreMetrics {
+  std::string name;
+  std::uint64_t requests = 0;
+  double avg_latency = 0.0;
+  double achieved_bytes_per_cycle = 0.0;
+};
+
+struct Metrics {
+  /// Paper's memory utilization: useful data-bus cycles / total cycles.
+  double utilization = 0.0;
+  /// Raw bus occupancy including padding beats (diagnostic).
+  double raw_utilization = 0.0;
+
+  LatencyStat all_packets;     ///< every completed parent request
+  LatencyStat demand_packets;  ///< demand-class requests (MPU)
+  LatencyStat priority_packets;  ///< priority-tagged requests
+
+  // Stage breakdown, per subpacket (diagnostic):
+  LatencyStat source_queue;  ///< created -> injected
+  LatencyStat network;       ///< injected -> mem_arrival
+  LatencyStat memory;        ///< mem_arrival -> service_done
+  LatencyStat source_queue_prio, network_prio, memory_prio;  ///< priority only
+  /// Read-data return stage (service_done -> delivery at the core);
+  /// only populated when SystemConfig::model_response_path is set.
+  LatencyStat response_path;
+
+  std::uint64_t completed_requests = 0;
+  std::uint64_t completed_subpackets = 0;
+  Cycle measured_cycles = 0;
+
+  sdram::DeviceStats device;       ///< over the measurement window
+  memctrl::EngineStats engine;     ///< over the measurement window
+  std::uint64_t noc_flits_forwarded = 0;
+  std::uint64_t noc_packets_forwarded = 0;
+
+  std::map<std::string, CoreMetrics> per_core;
+
+  /// Jain fairness index over per-core achieved/offered bandwidth
+  /// ratios: 1.0 = perfectly proportional service, 1/n = one core owns
+  /// the memory. Uses only cores with a positive offered rate.
+  [[nodiscard]] double fairness_index(
+      const traffic::Application& app) const {
+    double sum = 0.0, sum_sq = 0.0;
+    std::size_t n = 0;
+    for (const auto& core : app.cores) {
+      if (core.spec.bytes_per_cycle <= 0.0) continue;
+      const auto it = per_core.find(core.spec.name);
+      const double achieved =
+          it == per_core.end() ? 0.0 : it->second.achieved_bytes_per_cycle;
+      const double ratio = achieved / core.spec.bytes_per_cycle;
+      sum += ratio;
+      sum_sq += ratio * ratio;
+      ++n;
+    }
+    if (n == 0 || sum_sq <= 0.0) return 0.0;
+    return (sum * sum) / (static_cast<double>(n) * sum_sq);
+  }
+
+  /// Ratio of the busiest bank's CAS count to the mean (1.0 = perfectly
+  /// interleaved; large = bank camping).
+  [[nodiscard]] double bank_imbalance(std::uint32_t num_banks) const {
+    if (num_banks == 0) return 0.0;
+    std::uint64_t total = 0, peak = 0;
+    for (std::uint32_t b = 0; b < num_banks && b < device.cas_per_bank.size();
+         ++b) {
+      total += device.cas_per_bank[b];
+      peak = std::max(peak, device.cas_per_bank[b]);
+    }
+    if (total == 0) return 0.0;
+    return static_cast<double>(peak) * num_banks / static_cast<double>(total);
+  }
+
+  [[nodiscard]] double avg_latency_all() const { return all_packets.mean(); }
+  [[nodiscard]] double avg_latency_demand() const {
+    return demand_packets.mean();
+  }
+  [[nodiscard]] double avg_latency_priority() const {
+    return priority_packets.count() > 0 ? priority_packets.mean()
+                                        : demand_packets.mean();
+  }
+  /// Useful payload throughput: 2 beats/cycle x 4 B/beat at full
+  /// utilization.
+  [[nodiscard]] double achieved_bytes_per_cycle() const {
+    return utilization * 8.0;
+  }
+};
+
+}  // namespace annoc::core

@@ -1,0 +1,52 @@
+#include "core/response_path.hpp"
+
+#include "common/assert.hpp"
+
+namespace annoc::core {
+
+ResponsePath::ResponsePath(const noc::NocConfig& cfg)
+    : cfg_(cfg),
+      net_(cfg, {noc::FlowControlKind::kRoundRobin}, noc::GssParams{}) {
+  net_.attach_local_sink([this](noc::Packet&& pkt, Cycle now) {
+    ANNOC_ASSERT(on_delivered_);
+    on_delivered_(std::move(pkt), now);
+  });
+  // The response network never ejects at the memory port, but attach a
+  // defensive sink so a misrouted packet trips an assertion rather than
+  // a null dereference.
+  class NoSink final : public noc::PacketSink {
+   public:
+    bool can_accept(const noc::Packet&) const override { return false; }
+    void deliver(noc::Packet&&, Cycle) override {
+      ANNOC_ASSERT_MSG(false, "response routed to the memory port");
+    }
+  };
+  static NoSink no_sink;
+  net_.attach_sink(&no_sink);
+}
+
+void ResponsePath::queue_response(const noc::Packet& served, Cycle now) {
+  (void)now;
+  noc::Packet resp = served;
+  resp.to_memory = false;
+  resp.src_node = cfg_.mem_node;
+  resp.dst_node = served.src_node;
+  // The response carries the read data: same flit count as the request
+  // (body flits are the payload in both directions).
+  backlog_.push_back(std::move(resp));
+}
+
+void ResponsePath::tick(Cycle now) {
+  // Serialize responses onto the subsystem's response port, one packet
+  // at a time, like every other link in the model.
+  if (!backlog_.empty() && now >= link_free_at_) {
+    const std::uint32_t flits = backlog_.front().flits;
+    if (net_.try_inject(std::move(backlog_.front()), now)) {
+      backlog_.pop_front();
+      link_free_at_ = now + flits;
+    }
+  }
+  net_.tick(now);
+}
+
+}  // namespace annoc::core

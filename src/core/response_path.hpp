@@ -1,0 +1,56 @@
+/// \file response_path.hpp
+/// Optional read-response network.
+///
+/// The paper's evaluation measures the request path (where all the
+/// scheduling happens) and treats read-data return as out of scope; by
+/// default this library does the same. With
+/// `SystemConfig::model_response_path` set, read data physically
+/// returns: the memory subsystem serializes response packets out of its
+/// output buffer onto a dedicated response mesh (same topology,
+/// round-robin routers — responses carry no SDRAM-ordering value), and
+/// a read request only completes at its core once the data lands. SoCs
+/// commonly run separate request/response networks precisely so that
+/// responses never interfere with request scheduling, which is why the
+/// default-off simplification is faithful.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+#include "noc/network.hpp"
+
+namespace annoc::core {
+
+class ResponsePath {
+ public:
+  /// `cfg` — topology shared with the request network.
+  explicit ResponsePath(const noc::NocConfig& cfg);
+
+  /// Called with each delivered response and the delivery cycle.
+  void set_on_delivered(std::function<void(noc::Packet&&, Cycle)> cb) {
+    on_delivered_ = std::move(cb);
+  }
+
+  /// Queue the response for a serviced read subpacket. The response
+  /// carries the read data (same flit count) from the memory node back
+  /// to the requesting core.
+  void queue_response(const noc::Packet& served, Cycle now);
+
+  /// Inject backlog (one packet at a time over the subsystem's response
+  /// port) and advance the response mesh by one cycle.
+  void tick(Cycle now);
+
+  [[nodiscard]] const noc::Network& network() const { return net_; }
+  [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+
+ private:
+  noc::NocConfig cfg_;
+  noc::Network net_;
+  std::deque<noc::Packet> backlog_;
+  Cycle link_free_at_ = 0;
+  std::function<void(noc::Packet&&, Cycle)> on_delivered_;
+};
+
+}  // namespace annoc::core

@@ -1,0 +1,329 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "memctrl/conv.hpp"
+#include "memctrl/streamlined.hpp"
+
+namespace annoc::core {
+
+Simulator::Simulator(const SystemConfig& cfg)
+    : cfg_(cfg),
+      app_(cfg.custom_app ? *cfg.custom_app
+                          : traffic::build_application(cfg.app)) {
+  // --- SDRAM device ---
+  dev_cfg_.generation = cfg.generation;
+  dev_cfg_.clock_mhz = cfg.clock_mhz;
+  dev_cfg_.burst_mode = burst_mode(cfg.design, cfg.generation);
+  dev_cfg_.geometry = sdram::default_geometry(cfg.generation);
+  mapper_ = std::make_unique<sdram::AddressMapper>(
+      dev_cfg_.geometry, sdram::MapPolicy::kChunkedBankInterleave,
+      cfg.map_chunk_bytes != 0 ? cfg.map_chunk_bytes : 256u);
+
+  // --- memory subsystem ---
+  if (uses_conv_subsystem(cfg.design)) {
+    memctrl::ConvConfig mc;
+    mc.priority_first =
+        cfg.design == DesignPoint::kConvPfs && cfg.priority_enabled;
+    if (cfg.engine_window) mc.window_depth = *cfg.engine_window;
+    if (cfg.engine_lookahead) mc.lookahead = *cfg.engine_lookahead;
+    if (cfg.engine_reorder_depth) mc.reorder_depth = *cfg.engine_reorder_depth;
+    subsystem_ = std::make_unique<memctrl::ConvSubsystem>(dev_cfg_, mc);
+  } else {
+    memctrl::StreamlinedConfig sc;
+    if (uses_sagm(cfg.design)) {
+      // SAGM entries are single subpackets (<= 4 beats), i.e. half the
+      // time-horizon of a BL8 request; double the window so the bank
+      // look-ahead covers the same number of cycles.
+      sc.window_depth *= 2;
+      sc.lookahead *= 2;
+    }
+    if (cfg.engine_window) sc.window_depth = *cfg.engine_window;
+    if (cfg.engine_lookahead) sc.lookahead = *cfg.engine_lookahead;
+    if (cfg.engine_reorder_depth) sc.reorder_depth = *cfg.engine_reorder_depth;
+    subsystem_ = std::make_unique<memctrl::StreamlinedSubsystem>(dev_cfg_, sc);
+  }
+
+  // --- network ---
+  noc::GssParams gss;
+  gss.pct = cfg.pct;
+  gss.timing = sdram::make_timing(cfg.generation, cfg.clock_mhz);
+  std::vector<noc::FlowControlKind> kinds;
+  if (cfg.num_gss_routers) {
+    // Fig. 8 mixed configuration: GSS routers nearest the memory,
+    // priority-first (the paper's conventional baseline there) elsewhere.
+    kinds = noc::Network::mixed_kinds(app_.noc, *cfg.num_gss_routers,
+                                      router_kind(cfg.design),
+                                      noc::FlowControlKind::kPriorityFirst);
+  } else {
+    kinds = {router_kind(cfg.design)};
+  }
+  if (cfg.adaptive_routing) {
+    app_.noc.routing = noc::RoutingPolicy::kAdaptiveMinimal;
+  }
+  if (cfg.num_vcs > 1) app_.noc.num_vcs = cfg.num_vcs;
+  network_ = std::make_unique<noc::Network>(app_.noc, std::move(kinds), gss);
+  network_->attach_sink(subsystem_.get());
+
+  if (!cfg.trace_path.empty()) {
+    trace_ = std::make_unique<TraceWriter>(cfg.trace_path);
+  }
+
+  if (cfg.model_response_path) {
+    response_path_ = std::make_unique<ResponsePath>(app_.noc);
+    response_path_->set_on_delivered([this](noc::Packet&& pkt, Cycle now) {
+      if (measuring_ && pkt.created >= measure_start_) {
+        lat_resp_.add(now >= pkt.service_done ? now - pkt.service_done : 0);
+      }
+      finish_subpacket(pkt, now);
+    });
+  }
+
+  // --- traffic generators ---
+  const std::uint32_t split =
+      uses_sagm(cfg.design)
+          ? (cfg.split_beats != 0 ? cfg.split_beats
+                                  : default_split_beats(cfg.generation))
+          : 0u;
+  CoreId core_id = 0;
+  for (const traffic::CorePlacement& cp : app_.cores) {
+    traffic::GeneratorConfig gc;
+    gc.spec = cp.spec;
+    gc.core_id = core_id;
+    gc.node = cp.node;
+    gc.mem_node = app_.noc.mem_node;
+    gc.bus_bytes = dev_cfg_.geometry.bus_bytes;
+    gc.priority_demand = cfg.priority_enabled && cp.spec.is_mpu;
+    gc.split_beats = split;
+    gc.seed = cfg.seed;
+    gc.on_request = [this](const noc::Packet& parent,
+                           std::uint32_t num_subpackets) {
+      ParentState ps;
+      ps.subpackets_outstanding = num_subpackets;
+      ps.created = parent.created;
+      ps.kind = parent.kind;
+      ps.svc = parent.svc;
+      ps.core = parent.src_core;
+      ps.useful_bytes = parent.useful_bytes;
+      const bool inserted = parents_.emplace(parent.id, ps).second;
+      ANNOC_ASSERT_MSG(inserted, "duplicate parent id");
+    };
+    generators_.push_back(std::make_unique<traffic::CoreGenerator>(
+        gc, *mapper_, next_packet_id_));
+    core_names_[core_id] = cp.spec.name;
+    ++core_id;
+  }
+}
+
+const memctrl::EngineStats& Simulator::engine_stats() const {
+  if (const auto* conv =
+          dynamic_cast<const memctrl::ConvSubsystem*>(subsystem_.get())) {
+    return conv->engine_stats();
+  }
+  const auto* str =
+      dynamic_cast<const memctrl::StreamlinedSubsystem*>(subsystem_.get());
+  ANNOC_ASSERT(str != nullptr);
+  return str->engine_stats();
+}
+
+void Simulator::begin_measurement() {
+  measuring_ = true;
+  measure_start_ = now_;
+  device_baseline_ = subsystem_->device().stats();
+  engine_baseline_ = engine_stats();
+  noc_flits_baseline_ = 0;
+  noc_packets_baseline_ = 0;
+  for (std::size_t i = 0; i < network_->num_routers(); ++i) {
+    noc_flits_baseline_ +=
+        network_->router(static_cast<NodeId>(i)).stats().flits_forwarded;
+    noc_packets_baseline_ +=
+        network_->router(static_cast<NodeId>(i)).stats().packets_forwarded;
+  }
+}
+
+void Simulator::record_parent(const ParentState& ps) {
+  // The paper's "memory latency": from the request being raised by the
+  // core to the last useful data beat at the SDRAM. Backpressure into
+  // the source queue counts — a congested design delays requests before
+  // they even enter the mesh, and hiding that would flatter it.
+  const Cycle latency =
+      ps.last_done >= ps.created ? ps.last_done - ps.created : 0;
+  // Only requests created inside the measurement window count.
+  if (!measuring_ || ps.created < measure_start_) return;
+  lat_all_.add(latency);
+  if (ps.kind == RequestKind::kDemand) lat_demand_.add(latency);
+  if (ps.svc == ServiceClass::kPriority) lat_priority_.add(latency);
+  ++completed_requests_;
+  core_bytes_[ps.core] += ps.useful_bytes;
+  CoreMetrics& cm = per_core_[core_names_[ps.core]];
+  cm.name = core_names_[ps.core];
+  ++cm.requests;
+  cm.avg_latency += static_cast<double>(latency);  // finalized in metrics()
+}
+
+void Simulator::on_subpacket_complete(const noc::Packet& pkt) {
+  if (measuring_) {
+    ++completed_subpackets_;
+    if (pkt.created >= measure_start_) {
+      lat_src_.add(pkt.injected - pkt.created);
+      lat_net_.add(pkt.mem_arrival - pkt.injected);
+      lat_mem_.add(pkt.service_done >= pkt.mem_arrival
+                       ? pkt.service_done - pkt.mem_arrival
+                       : 0);
+      if (pkt.is_priority()) {
+        lat_src_prio_.add(pkt.injected - pkt.created);
+        lat_net_prio_.add(pkt.mem_arrival - pkt.injected);
+        lat_mem_prio_.add(pkt.service_done >= pkt.mem_arrival
+                              ? pkt.service_done - pkt.mem_arrival
+                              : 0);
+      }
+    }
+  }
+  // With the response path modelled, a read is only finished once its
+  // data lands back at the core.
+  if (response_path_ && pkt.rw == RW::kRead) {
+    response_path_->queue_response(pkt, now_);
+    return;
+  }
+  finish_subpacket(pkt, pkt.service_done);
+}
+
+void Simulator::finish_subpacket(const noc::Packet& pkt, Cycle done) {
+  if (trace_) trace_->record(pkt, done);
+  auto it = parents_.find(pkt.parent_id);
+  ANNOC_ASSERT_MSG(it != parents_.end(), "completion for unknown parent");
+  ParentState& ps = it->second;
+  ANNOC_ASSERT(ps.subpackets_outstanding > 0);
+  --ps.subpackets_outstanding;
+  ps.first_injected = std::min(ps.first_injected, pkt.injected);
+  ps.last_done = std::max(ps.last_done, done);
+  if (ps.subpackets_outstanding == 0) {
+    record_parent(ps);
+    generators_[ps.core]->on_parent_completed();
+    parents_.erase(it);
+  }
+}
+
+void Simulator::step() {
+  if (!measuring_ && now_ >= cfg_.warmup_cycles) begin_measurement();
+
+  // 1. Memory subsystem: issue commands, retire requests.
+  subsystem_->tick(now_);
+  for (noc::Packet& done : subsystem_->drain_completions()) {
+    on_subpacket_complete(done);
+  }
+
+  // 2. Network: free channels, arbitrate, move packets; then the
+  //    response mesh (when modelled).
+  network_->tick(now_);
+  if (response_path_) response_path_->tick(now_);
+
+  // 3. Cores: generate new requests (parents register via the
+  //    on_request hook) and inject backlog into the mesh.
+  for (auto& gen : generators_) {
+    gen->tick(now_, *network_);
+  }
+
+  ++now_;
+}
+
+Metrics Simulator::run() {
+  const Cycle total = cfg_.warmup_cycles + cfg_.sim_cycles;
+  while (now_ < total) step();
+  if (trace_) trace_->flush();
+  return metrics();
+}
+
+Metrics Simulator::metrics() const {
+  Metrics m;
+  m.measured_cycles = now_ > measure_start_ ? now_ - measure_start_ : 0;
+  m.all_packets = lat_all_;
+  m.demand_packets = lat_demand_;
+  m.priority_packets = lat_priority_;
+  m.source_queue = lat_src_;
+  m.network = lat_net_;
+  m.memory = lat_mem_;
+  m.source_queue_prio = lat_src_prio_;
+  m.network_prio = lat_net_prio_;
+  m.memory_prio = lat_mem_prio_;
+  m.response_path = lat_resp_;
+  m.completed_requests = completed_requests_;
+  m.completed_subpackets = completed_subpackets_;
+
+  const sdram::DeviceStats& ds = subsystem_->device().stats();
+  auto sub = [](std::uint64_t a, std::uint64_t b) { return a - b; };
+  m.device.activates = sub(ds.activates, device_baseline_.activates);
+  m.device.precharges = sub(ds.precharges, device_baseline_.precharges);
+  m.device.auto_precharges =
+      sub(ds.auto_precharges, device_baseline_.auto_precharges);
+  m.device.reads = sub(ds.reads, device_baseline_.reads);
+  m.device.writes = sub(ds.writes, device_baseline_.writes);
+  m.device.refreshes = sub(ds.refreshes, device_baseline_.refreshes);
+  m.device.cas_row_hits = sub(ds.cas_row_hits, device_baseline_.cas_row_hits);
+  m.device.total_beats = sub(ds.total_beats, device_baseline_.total_beats);
+  m.device.useful_beats =
+      sub(ds.useful_beats, device_baseline_.useful_beats);
+  m.device.bus_direction_turnarounds =
+      sub(ds.bus_direction_turnarounds,
+          device_baseline_.bus_direction_turnarounds);
+  for (std::size_t b = 0; b < ds.cas_per_bank.size(); ++b) {
+    m.device.cas_per_bank[b] =
+        sub(ds.cas_per_bank[b], device_baseline_.cas_per_bank[b]);
+  }
+
+  if (m.measured_cycles > 0) {
+    m.utilization = static_cast<double>(m.device.useful_beats) /
+                    (2.0 * static_cast<double>(m.measured_cycles));
+    m.raw_utilization = static_cast<double>(m.device.total_beats) /
+                        (2.0 * static_cast<double>(m.measured_cycles));
+  }
+
+  const memctrl::EngineStats& es = engine_stats();
+  m.engine.requests_completed =
+      sub(es.requests_completed, engine_baseline_.requests_completed);
+  m.engine.cas_issued = sub(es.cas_issued, engine_baseline_.cas_issued);
+  m.engine.act_issued = sub(es.act_issued, engine_baseline_.act_issued);
+  m.engine.pre_issued = sub(es.pre_issued, engine_baseline_.pre_issued);
+  m.engine.prep_acts = sub(es.prep_acts, engine_baseline_.prep_acts);
+  m.engine.stall_cycles = sub(es.stall_cycles, engine_baseline_.stall_cycles);
+  m.engine.stall_need_act =
+      sub(es.stall_need_act, engine_baseline_.stall_need_act);
+  m.engine.stall_need_pre =
+      sub(es.stall_need_pre, engine_baseline_.stall_need_pre);
+  m.engine.stall_cas_timing =
+      sub(es.stall_cas_timing, engine_baseline_.stall_cas_timing);
+
+  std::uint64_t flits = 0, pkts = 0;
+  for (std::size_t i = 0; i < network_->num_routers(); ++i) {
+    flits += network_->router(static_cast<NodeId>(i)).stats().flits_forwarded;
+    pkts += network_->router(static_cast<NodeId>(i)).stats().packets_forwarded;
+  }
+  m.noc_flits_forwarded = flits - noc_flits_baseline_;
+  m.noc_packets_forwarded = pkts - noc_packets_baseline_;
+
+  m.per_core = per_core_;
+  for (auto& [name, cm] : m.per_core) {
+    if (cm.requests > 0) {
+      cm.avg_latency /= static_cast<double>(cm.requests);
+    }
+  }
+  for (const auto& [core, bytes] : core_bytes_) {
+    auto it = core_names_.find(core);
+    if (it == core_names_.end()) continue;
+    auto pit = m.per_core.find(it->second);
+    if (pit != m.per_core.end() && m.measured_cycles > 0) {
+      pit->second.achieved_bytes_per_cycle =
+          static_cast<double>(bytes) /
+          static_cast<double>(m.measured_cycles);
+    }
+  }
+  return m;
+}
+
+Metrics run_simulation(const SystemConfig& cfg) {
+  Simulator sim(cfg);
+  return sim.run();
+}
+
+}  // namespace annoc::core

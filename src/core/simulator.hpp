@@ -1,0 +1,106 @@
+/// \file simulator.hpp
+/// Top-level cycle-driven simulation: wires an application's traffic
+/// generators, the mesh network with the design point's flow
+/// controllers, and the design point's memory subsystem around a DDR
+/// device; runs for the configured number of cycles and aggregates the
+/// paper's metrics.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/response_path.hpp"
+#include "core/system_config.hpp"
+#include "core/trace.hpp"
+#include "memctrl/subsystem.hpp"
+#include "noc/network.hpp"
+#include "sdram/address.hpp"
+#include "traffic/application.hpp"
+#include "traffic/generator.hpp"
+
+namespace annoc::core {
+
+class Simulator {
+ public:
+  explicit Simulator(const SystemConfig& cfg);
+
+  /// Run to completion and return the metrics of the measurement window
+  /// (warmup excluded).
+  Metrics run();
+
+  /// Step a single cycle (exposed for integration tests).
+  void step();
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] noc::Network& network() { return *network_; }
+  [[nodiscard]] memctrl::MemorySubsystem& subsystem() { return *subsystem_; }
+  [[nodiscard]] const traffic::Application& application() const {
+    return app_;
+  }
+
+  /// Snapshot metrics accumulated so far (measurement window only).
+  [[nodiscard]] Metrics metrics() const;
+
+ private:
+  struct ParentState {
+    std::uint32_t subpackets_outstanding = 0;
+    Cycle created = 0;
+    Cycle first_injected = kNeverCycle;
+    Cycle last_done = 0;
+    RequestKind kind = RequestKind::kStream;
+    ServiceClass svc = ServiceClass::kBestEffort;
+    CoreId core = kInvalidCore;
+    std::uint32_t useful_bytes = 0;
+  };
+
+  void on_subpacket_complete(const noc::Packet& pkt);
+  /// Final bookkeeping once a subpacket is truly done at `done` (its
+  /// SDRAM service, or — with the response path — data delivery).
+  void finish_subpacket(const noc::Packet& pkt, Cycle done);
+  void record_parent(const ParentState& ps);
+  void begin_measurement();
+
+  SystemConfig cfg_;
+  traffic::Application app_;
+  sdram::DeviceConfig dev_cfg_;
+  std::unique_ptr<sdram::AddressMapper> mapper_;
+  std::unique_ptr<memctrl::MemorySubsystem> subsystem_;
+  std::unique_ptr<noc::Network> network_;
+  std::unique_ptr<ResponsePath> response_path_;
+  std::unique_ptr<TraceWriter> trace_;
+  std::vector<std::unique_ptr<traffic::CoreGenerator>> generators_;
+  PacketId next_packet_id_ = 1;
+
+  Cycle now_ = 0;
+  bool measuring_ = false;
+  Cycle measure_start_ = 0;
+
+  // Parent-request completion tracking (SAGM splits one request into
+  // several subpackets; latency is measured on the whole request).
+  std::map<PacketId, ParentState> parents_;
+
+  // Measurement accumulators.
+  LatencyStat lat_all_, lat_demand_, lat_priority_;
+  LatencyStat lat_src_, lat_net_, lat_mem_;
+  LatencyStat lat_net_prio_, lat_mem_prio_, lat_src_prio_;
+  LatencyStat lat_resp_;
+  std::uint64_t completed_requests_ = 0;
+  std::uint64_t completed_subpackets_ = 0;
+  std::map<std::string, CoreMetrics> per_core_;
+  std::map<CoreId, std::string> core_names_;
+  std::map<CoreId, std::uint64_t> core_bytes_;
+  sdram::DeviceStats device_baseline_{};
+  memctrl::EngineStats engine_baseline_{};
+  std::uint64_t noc_flits_baseline_ = 0;
+  std::uint64_t noc_packets_baseline_ = 0;
+
+  [[nodiscard]] const memctrl::EngineStats& engine_stats() const;
+};
+
+/// Convenience: build, run, return metrics.
+[[nodiscard]] Metrics run_simulation(const SystemConfig& cfg);
+
+}  // namespace annoc::core

@@ -1,0 +1,147 @@
+/// \file system_config.hpp
+/// One experiment point: design x application x DDR generation/clock,
+/// plus the knobs the paper sweeps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "noc/flow_controller.hpp"
+#include "sdram/config.hpp"
+#include "traffic/application.hpp"
+
+namespace annoc::core {
+
+/// The seven design points compared across the paper's tables.
+enum class DesignPoint : std::uint8_t {
+  kConv,        ///< round-robin NoC + MemMax/Databahn subsystem, BL8
+  kConvPfs,     ///< CONV with priority-first routers and subsystem
+  kRef4,        ///< [4]: SDRAM-aware NoC + streamlined subsystem, BL8
+  kRef4Pfs,     ///< [4] with a priority-first stage
+  kGss,         ///< GSS routers (Fig. 4a) + streamlined subsystem, BL8
+  kGssSagm,     ///< GSS + SAGM splitting + BL4/OTF + AP subsystem
+  kGssSagmSti,  ///< GSS (Fig. 4b) + SAGM
+};
+
+[[nodiscard]] inline const char* to_string(DesignPoint d) {
+  switch (d) {
+    case DesignPoint::kConv: return "CONV";
+    case DesignPoint::kConvPfs: return "CONV+PFS";
+    case DesignPoint::kRef4: return "[4]";
+    case DesignPoint::kRef4Pfs: return "[4]+PFS";
+    case DesignPoint::kGss: return "GSS";
+    case DesignPoint::kGssSagm: return "GSS+SAGM";
+    case DesignPoint::kGssSagmSti: return "GSS+SAGM+STI";
+  }
+  return "?";
+}
+
+/// Does this design split packets per SAGM?
+[[nodiscard]] inline bool uses_sagm(DesignPoint d) {
+  return d == DesignPoint::kGssSagm || d == DesignPoint::kGssSagmSti;
+}
+
+/// Does this design use the conventional (MemMax/Databahn) subsystem?
+[[nodiscard]] inline bool uses_conv_subsystem(DesignPoint d) {
+  return d == DesignPoint::kConv || d == DesignPoint::kConvPfs;
+}
+
+/// Router flow-control kind for a design point.
+[[nodiscard]] inline noc::FlowControlKind router_kind(DesignPoint d) {
+  switch (d) {
+    case DesignPoint::kConv: return noc::FlowControlKind::kRoundRobin;
+    case DesignPoint::kConvPfs: return noc::FlowControlKind::kPriorityFirst;
+    case DesignPoint::kRef4: return noc::FlowControlKind::kSdramAware;
+    case DesignPoint::kRef4Pfs: return noc::FlowControlKind::kSdramAwarePfs;
+    case DesignPoint::kGss: return noc::FlowControlKind::kGss;
+    case DesignPoint::kGssSagm: return noc::FlowControlKind::kGss;
+    case DesignPoint::kGssSagmSti: return noc::FlowControlKind::kGssSti;
+  }
+  return noc::FlowControlKind::kRoundRobin;
+}
+
+/// Device burst mode for a design point (Section V: CONV and [4] program
+/// BL8 via MRS; SAGM programs BL4 on DDR I/II and BL4/BL8 OTF on
+/// DDR III).
+[[nodiscard]] inline sdram::BurstMode burst_mode(DesignPoint d,
+                                                 sdram::DdrGeneration gen) {
+  if (!uses_sagm(d)) return sdram::BurstMode::kBl8;
+  return gen == sdram::DdrGeneration::kDdr3 ? sdram::BurstMode::kBl4Otf
+                                            : sdram::BurstMode::kBl4;
+}
+
+struct SystemConfig {
+  DesignPoint design = DesignPoint::kGss;
+  traffic::AppId app = traffic::AppId::kSingleDtv;
+  /// When set, overrides `app`: simulate a user-defined SoC instead of
+  /// one of the paper's three models (see examples/custom_soc.cpp).
+  std::optional<traffic::Application> custom_app;
+  sdram::DdrGeneration generation = sdram::DdrGeneration::kDdr2;
+  double clock_mhz = 333.0;
+
+  /// Table II mode: MPU demand requests become priority packets.
+  bool priority_enabled = false;
+
+  /// Model the read-data return path through a dedicated response mesh
+  /// (default off: the paper measures the request path and SoCs run
+  /// separate response networks; see core/response_path.hpp). When on,
+  /// a read completes at its core only when the data lands, and
+  /// Metrics::response_path records the return-stage latency.
+  bool model_response_path = false;
+
+  Cycle sim_cycles = 200000;
+  Cycle warmup_cycles = 20000;
+  std::uint64_t seed = 42;
+
+  /// GSS priority control token (2..5/6); paper Section IV-B.
+  std::uint32_t pct = 4;
+
+  /// Fig. 8: number of routers (closest to memory first) running the
+  /// GSS flow control; the rest run priority-first. nullopt = all
+  /// routers use the design's kind.
+  std::optional<std::size_t> num_gss_routers;
+
+  /// Memory-controller ablation knobs (nullopt = design-point default).
+  /// Lookahead = banks prepared ahead of the oldest request;
+  /// reorder depth = cross-master CAS slip window (1 = strictly
+  /// in-order data, the dumbest paper-faithful controller).
+  std::optional<std::uint32_t> engine_lookahead;
+  std::optional<std::uint32_t> engine_reorder_depth;
+  std::optional<std::uint32_t> engine_window;
+
+  /// Address-map chunk size in bytes for the chunked bank-interleave
+  /// policy (0 = default 256). Must divide the row size.
+  std::uint32_t map_chunk_bytes = 0;
+
+  /// Virtual channels per router input port (1 = wormhole, the paper's
+  /// experimental configuration; >1 switches to virtual-channel flow
+  /// control, the alternative Section IV-A mentions).
+  std::uint32_t num_vcs = 1;
+
+  /// Use minimal adaptive (negative-first, congestion-aware) routing
+  /// instead of deterministic XY (Section IV-A allows either; the
+  /// paper's experiments use XY, which stays the default).
+  bool adaptive_routing = false;
+
+  /// When non-empty, write one CSV row per completed subpacket to this
+  /// path (see core/trace.hpp).
+  std::string trace_path;
+
+  /// SAGM split granularity in beats; 0 = per-generation default.
+  /// DDR I/II: 4 beats (one BL4 CAS, 2 bus cycles — the paper's "packet
+  /// BL 2"). DDR III: 8 beats — tCCD = 4 cycles means a BL4 CAS cannot
+  /// be followed for 4 cycles anyway, so splitting finer than 8 beats
+  /// would idle half of every data slot (the paper's explanation of why
+  /// SAGM gains less on DDR III).
+  std::uint32_t split_beats = 0;
+};
+
+/// Resolve the SAGM split granularity for a generation.
+[[nodiscard]] inline std::uint32_t default_split_beats(
+    sdram::DdrGeneration gen) {
+  return gen == sdram::DdrGeneration::kDdr3 ? 8u : 4u;
+}
+
+}  // namespace annoc::core

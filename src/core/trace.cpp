@@ -1,0 +1,49 @@
+#include "core/trace.hpp"
+
+#include "common/log.hpp"
+
+namespace annoc::core {
+
+const char* TraceWriter::header() {
+  return "id,parent_id,core,src_node,rw,class,kind,bytes,beats,flits,"
+         "bank,row,col,ap_tag,split,created,injected,mem_arrival,"
+         "service_done,done";
+}
+
+TraceWriter::TraceWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    ANNOC_WARN("trace: cannot open '%s'; tracing disabled", path.c_str());
+    return;
+  }
+  std::fprintf(file_, "%s\n", header());
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceWriter::record(const noc::Packet& pkt, Cycle done) {
+  if (file_ == nullptr) return;
+  std::fprintf(
+      file_,
+      "%llu,%llu,%u,%u,%s,%s,%s,%u,%u,%u,%u,%u,%u,%d,%d,%llu,%llu,%llu,"
+      "%llu,%llu\n",
+      static_cast<unsigned long long>(pkt.id),
+      static_cast<unsigned long long>(pkt.parent_id), pkt.src_core,
+      pkt.src_node, to_string(pkt.rw), to_string(pkt.svc),
+      to_string(pkt.kind), pkt.useful_bytes, pkt.useful_beats, pkt.flits,
+      pkt.loc.bank, pkt.loc.row, pkt.loc.col, pkt.ap_tag ? 1 : 0,
+      pkt.is_split ? 1 : 0, static_cast<unsigned long long>(pkt.created),
+      static_cast<unsigned long long>(pkt.injected),
+      static_cast<unsigned long long>(pkt.mem_arrival),
+      static_cast<unsigned long long>(pkt.service_done),
+      static_cast<unsigned long long>(done));
+  ++rows_;
+}
+
+void TraceWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace annoc::core

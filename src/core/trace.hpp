@@ -1,0 +1,47 @@
+/// \file trace.hpp
+/// Per-packet lifecycle tracing.
+///
+/// When `SystemConfig::trace_path` is set, the simulator writes one CSV
+/// row per completed subpacket with every lifecycle timestamp — the
+/// raw material for latency-breakdown plots, scheduling forensics, or
+/// validating the model against an RTL trace.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+
+namespace annoc::core {
+
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and emits the CSV header. Throws nothing;
+  /// check ok() — a simulation should not die because /tmp filled up.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t rows_written() const { return rows_; }
+
+  /// Record a completed subpacket; `done` is its final completion cycle
+  /// (SDRAM service, or response delivery when the response path is
+  /// modelled).
+  void record(const noc::Packet& pkt, Cycle done);
+
+  /// Flush buffered rows to disk.
+  void flush();
+
+  /// The CSV header, exposed so readers can validate the schema.
+  static const char* header();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace annoc::core

@@ -1,0 +1,192 @@
+#include "memctrl/command_engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace annoc::memctrl {
+
+using sdram::BurstMode;
+using sdram::Command;
+using sdram::CommandType;
+
+CommandEngine::CommandEngine(sdram::Device& device, std::uint32_t window_depth,
+                             std::uint32_t lookahead,
+                             std::uint32_t reorder_depth)
+    : device_(device),
+      window_depth_(window_depth),
+      lookahead_(lookahead),
+      reorder_depth_(reorder_depth) {
+  ANNOC_ASSERT(window_depth >= 1);
+  ANNOC_ASSERT(reorder_depth >= 1);
+}
+
+void CommandEngine::enqueue(noc::Packet&& pkt) {
+  ANNOC_ASSERT(can_accept());
+  Entry e;
+  e.beats_left = std::max(pkt.useful_beats, 1u);
+  e.next_col = pkt.loc.col;
+  e.pkt = std::move(pkt);
+  entries_.push_back(std::move(e));
+}
+
+std::uint32_t CommandEngine::next_burst(const Entry& e) const {
+  switch (device_.config().burst_mode) {
+    case BurstMode::kBl4: return 4;
+    case BurstMode::kBl8: return 8;
+    case BurstMode::kBl4Otf: return e.beats_left >= 8 ? 8u : 4u;
+  }
+  return 8;
+}
+
+bool CommandEngine::bank_needed_earlier(std::size_t i, BankId b) const {
+  for (std::size_t j = 0; j < i; ++j) {
+    if (!entries_[j].all_cas_issued && entries_[j].pkt.loc.bank == b) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CommandEngine::try_cas(Entry& e, Cycle now) {
+  ANNOC_ASSERT(!e.all_cas_issued);
+  const std::uint32_t burst = next_burst(e);
+  const bool last = e.beats_left <= burst;
+
+  Command c;
+  c.type = e.pkt.rw == RW::kRead ? CommandType::kRead : CommandType::kWrite;
+  c.bank = e.pkt.loc.bank;
+  c.row = e.pkt.loc.row;
+  c.col = e.next_col;
+  c.burst_beats = burst;
+  c.useful_beats = std::min(e.beats_left, burst);
+  c.auto_precharge = last && e.pkt.ap_tag;
+  if (!device_.can_issue(c, now)) return false;
+
+  const sdram::DataWindow w = device_.issue(c, now);
+  ++stats_.cas_issued;
+  e.finish = w.end;
+  e.next_col += burst;
+  e.beats_left -= c.useful_beats;
+  if (last) {
+    e.all_cas_issued = true;
+    e.beats_left = 0;
+  }
+  return true;
+}
+
+bool CommandEngine::try_prepare(Entry& e, Cycle now, bool is_prep) {
+  const BankId bank = e.pkt.loc.bank;
+  const RowId row = e.pkt.loc.row;
+  if (device_.row_open(bank, row)) return false;  // nothing to prepare
+
+  if (device_.bank_open(bank)) {
+    // Row miss: close the bank first.
+    Command pre;
+    pre.type = CommandType::kPrecharge;
+    pre.bank = bank;
+    if (!device_.can_issue(pre, now)) return false;
+    device_.issue(pre, now);
+    ++stats_.pre_issued;
+    return true;
+  }
+  // Bank idle (or precharging; ACT becomes legal once it settles).
+  Command act;
+  act.type = CommandType::kActivate;
+  act.bank = bank;
+  act.row = row;
+  if (!device_.can_issue(act, now)) return false;
+  device_.issue(act, now);
+  ++stats_.act_issued;
+  if (is_prep) ++stats_.prep_acts;
+  return true;
+}
+
+void CommandEngine::retire(Cycle now, std::vector<noc::Packet>& completions) {
+  // Entries retire individually once their data has fully crossed the
+  // bus. Per-core order is preserved because CAS slip never lets an
+  // entry bypass an older entry of the same core (see tick()).
+  for (std::size_t i = 0; i < entries_.size();) {
+    if (entries_[i].all_cas_issued && now >= entries_[i].finish) {
+      Entry done = std::move(entries_[i]);
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      done.pkt.service_done = done.finish;
+      ++stats_.requests_completed;
+      completions.push_back(std::move(done.pkt));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void CommandEngine::tick(Cycle now, std::vector<noc::Packet>& completions) {
+  device_.tick(now);
+  retire(now, completions);
+  if (entries_.empty()) return;
+
+  // 1. CAS with bounded slip: walk the window in order and issue the
+  //    first legal CAS, skipping at most reorder_depth unfinished
+  //    entries. Priority entries are scanned first (the Fig. 6
+  //    subsystem honours priority: the PRE buffer closes banks early
+  //    for priority conflicts, and the CAS path serves them ahead).
+  //    An entry never bypasses an older entry of the same core
+  //    (per-master data must stay in order, as OCP requires), so the
+  //    slip only interleaves different masters — the freedom a
+  //    MemMax/Databahn-class controller has anyway.
+  for (const bool priority_pass : {true, false}) {
+    // Priority entries are visible anywhere in the window (the Fig. 6
+    // subsystem tracks priority globally); best-effort slip is bounded.
+    std::uint32_t scanned = 0;
+    bool core_blocked[64] = {};
+    for (Entry& e : entries_) {
+      if (e.all_cas_issued) continue;
+      if (!priority_pass && scanned >= reorder_depth_) break;
+      ++scanned;
+      const std::size_t core_slot = e.pkt.src_core % 64;
+      const bool eligible = priority_pass ? e.pkt.is_priority() : true;
+      if (eligible && !core_blocked[core_slot] &&
+          device_.row_open(e.pkt.loc.bank, e.pkt.loc.row)) {
+        if (try_cas(e, now)) return;
+      }
+      core_blocked[core_slot] = true;
+    }
+  }
+
+  // 2. Bank preparation within the look-ahead horizon, never touching a
+  //    bank an older incomplete entry still needs. Priority entries are
+  //    prepared first — this is the paper's "PRE buffer issues a PRE
+  //    when a priority packet has a bank-conflict relation with the
+  //    previous best-effort packet" rule.
+  {
+    std::size_t cur = 0;
+    while (cur < entries_.size() && entries_[cur].all_cas_issued) ++cur;
+    if (cur >= entries_.size()) return;
+    for (const bool priority_pass : {true, false}) {
+      // Priority banks are prepared wherever the entry sits; best-effort
+      // preparation is limited to the look-ahead horizon.
+      const std::size_t limit =
+          priority_pass ? entries_.size()
+                        : std::min(entries_.size(), cur + 1 + lookahead_);
+      for (std::size_t i = cur; i < limit; ++i) {
+        Entry& e = entries_[i];
+        if (e.all_cas_issued) continue;
+        if (priority_pass != e.pkt.is_priority()) continue;
+        if (device_.row_open(e.pkt.loc.bank, e.pkt.loc.row)) continue;
+        if (i > cur && bank_needed_earlier(i, e.pkt.loc.bank)) continue;
+        if (try_prepare(e, now, /*is_prep=*/i > cur)) return;
+      }
+    }
+
+    ++stats_.stall_cycles;
+    const Entry& e = entries_[cur];
+    if (device_.row_open(e.pkt.loc.bank, e.pkt.loc.row)) {
+      ++stats_.stall_cas_timing;
+    } else if (device_.bank_open(e.pkt.loc.bank)) {
+      ++stats_.stall_need_pre;
+    } else {
+      ++stats_.stall_need_act;
+    }
+  }
+}
+
+}  // namespace annoc::memctrl

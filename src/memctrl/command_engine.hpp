@@ -1,0 +1,104 @@
+/// \file command_engine.hpp
+/// Shared command-generation core: turns an ordered window of admitted
+/// requests into legal ACT/PRE/RD/WR sequences on the device.
+///
+/// This plays the role of the PRE/RAS/CAS buffers + command scheduler of
+/// Fig. 6 (for the streamlined subsystems) and of the Databahn-style
+/// command look-ahead (for the conventional subsystem): data transfers
+/// stay in admission order, but activate/precharge commands for younger
+/// requests may issue early ("prepare" a bank) while an older request
+/// still streams data — that is what makes bank interleaving pay off.
+///
+/// Page policy is open-page with two refinements used by SAGM:
+///  * a CAS carrying the packet's AP tag is issued with auto-precharge
+///    (self-timed close, no PRE command-bus slot — partially open page);
+///  * an explicit PRE is only emitted when the needed row differs from
+///    the open one (row miss / bank conflict).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/packet.hpp"
+#include "sdram/device.hpp"
+
+namespace annoc::memctrl {
+
+struct EngineStats {
+  std::uint64_t requests_completed = 0;
+  std::uint64_t cas_issued = 0;
+  std::uint64_t act_issued = 0;
+  std::uint64_t pre_issued = 0;
+  std::uint64_t prep_acts = 0;  ///< look-ahead activates for younger requests
+  std::uint64_t stall_cycles = 0;  ///< work pending, no command legal
+  // Stall classification for the oldest unfinished request:
+  std::uint64_t stall_need_act = 0;   ///< bank idle/precharging, ACT not legal
+  std::uint64_t stall_need_pre = 0;   ///< other row open, PRE not legal
+  std::uint64_t stall_cas_timing = 0; ///< row open, CAS blocked (tCCD/bus/turnaround)
+};
+
+class CommandEngine {
+ public:
+  /// `lookahead` — how many younger requests may have banks prepared
+  /// early (0 = strict in-order commands). `reorder_depth` — CAS slip
+  /// window: how many unfinished entries a ready entry may bypass
+  /// (never bypassing an older entry of the same core, so per-master
+  /// order holds; 1 = strictly in-order data).
+  CommandEngine(sdram::Device& device, std::uint32_t window_depth,
+                std::uint32_t lookahead, std::uint32_t reorder_depth = 8);
+
+  [[nodiscard]] bool can_accept() const {
+    return entries_.size() < window_depth_;
+  }
+  [[nodiscard]] std::size_t pending() const { return entries_.size(); }
+  [[nodiscard]] bool idle() const { return entries_.empty(); }
+
+  /// Admit a request. Must only be called when can_accept().
+  void enqueue(noc::Packet&& pkt);
+
+  /// One cycle: settle the device, retire finished requests, and issue
+  /// at most one command.
+  void tick(Cycle now, std::vector<noc::Packet>& completions);
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  /// The request whose data the engine is currently producing (for
+  /// tests); nullptr when idle.
+  [[nodiscard]] const noc::Packet* current() const {
+    return entries_.empty() ? nullptr : &entries_.front().pkt;
+  }
+
+ private:
+  struct Entry {
+    noc::Packet pkt;
+    std::uint32_t beats_left = 0;  ///< useful beats not yet covered by a CAS
+    ColId next_col = 0;
+    Cycle finish = 0;        ///< data end of the last issued CAS
+    bool all_cas_issued = false;
+  };
+
+  /// Beats the next CAS for `e` will move, per the device burst mode.
+  [[nodiscard]] std::uint32_t next_burst(const Entry& e) const;
+
+  /// Try to issue the next CAS of `e`; true if a command went out.
+  bool try_cas(Entry& e, Cycle now);
+  /// Try to bring `e`'s bank/row toward open (PRE if other row open,
+  /// ACT if idle); true if a command went out.
+  bool try_prepare(Entry& e, Cycle now, bool is_prep);
+
+  /// Retire entries whose data has fully transferred.
+  void retire(Cycle now, std::vector<noc::Packet>& completions);
+
+  /// Does any entry older than index `i` still need bank `b`?
+  [[nodiscard]] bool bank_needed_earlier(std::size_t i, BankId b) const;
+
+  sdram::Device& device_;
+  std::uint32_t window_depth_;
+  std::uint32_t lookahead_;
+  std::uint32_t reorder_depth_;
+  std::vector<Entry> entries_;
+  EngineStats stats_;
+};
+
+}  // namespace annoc::memctrl

@@ -1,0 +1,100 @@
+#include "memctrl/conv.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace annoc::memctrl {
+
+ConvSubsystem::ConvSubsystem(const sdram::DeviceConfig& dev_cfg,
+                             const ConvConfig& cfg)
+    : MemorySubsystem(dev_cfg),
+      cfg_(cfg),
+      engine_(device_, cfg.window_depth, cfg.lookahead, cfg.reorder_depth) {
+  ANNOC_ASSERT(cfg.num_threads >= 1);
+  threads_.reserve(cfg.num_threads);
+  for (std::uint32_t i = 0; i < cfg.num_threads; ++i) {
+    threads_.emplace_back(/*cap_packets=*/cfg.thread_buffer_flits);
+  }
+}
+
+bool ConvSubsystem::can_accept(const noc::Packet& pkt) const {
+  const Thread& t = threads_[thread_of(pkt)];
+  if (t.queue.full()) return false;
+  return t.used_flits + charged_flits(pkt) <= cfg_.thread_buffer_flits ||
+         t.queue.empty();
+}
+
+void ConvSubsystem::deliver(noc::Packet&& pkt, Cycle now) {
+  (void)now;
+  Thread& t = threads_[thread_of(pkt)];
+  t.used_flits += charged_flits(pkt);
+  const bool ok = t.queue.push(std::move(pkt));
+  ANNOC_ASSERT_MSG(ok, "deliver() without can_accept()");
+}
+
+std::uint32_t ConvSubsystem::rank(const noc::Packet& pkt) const {
+  if (!has_last_) return 0;
+  if (noc::SdramRelation::row_hit(last_admitted_, pkt)) return 0;
+  if (noc::SdramRelation::bank_interleave(last_admitted_, pkt)) {
+    return noc::SdramRelation::data_contention(last_admitted_, pkt) ? 2u : 1u;
+  }
+  return 3;  // bank conflict
+}
+
+std::optional<std::size_t> ConvSubsystem::pick_thread(Cycle now) const {
+  std::optional<std::size_t> best;
+  bool best_prio = false;
+  std::uint32_t best_rank = 0;
+  std::uint32_t best_dist = 0;
+
+  for (std::size_t off = 0; off < threads_.size(); ++off) {
+    // Rotate the starting thread so rank ties are served round-robin.
+    const std::size_t i = (rr_cursor_ + off) % threads_.size();
+    const Thread& t = threads_[i];
+    if (t.queue.empty()) continue;
+    const noc::Packet& head = t.queue.front();
+    if (now < head.mem_arrival) continue;  // tail not yet received
+
+    const bool prio = cfg_.priority_first && head.is_priority();
+    const std::uint32_t r = rank(head);
+    const auto dist = static_cast<std::uint32_t>(off);
+    const bool wins = !best ||
+                      (prio != best_prio ? prio
+                       : r != best_rank  ? r < best_rank
+                                         : dist < best_dist);
+    if (wins) {
+      best = i;
+      best_prio = prio;
+      best_rank = r;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+std::size_t ConvSubsystem::pending_requests() const {
+  std::size_t n = engine_.pending();
+  for (const Thread& t : threads_) n += t.queue.size();
+  return n;
+}
+
+void ConvSubsystem::tick(Cycle now) {
+  // MemMax arbitration: admit at most one request per cycle into the
+  // Databahn command window.
+  if (engine_.can_accept()) {
+    if (const auto pick = pick_thread(now)) {
+      Thread& t = threads_[*pick];
+      noc::Packet pkt = t.queue.pop();
+      t.used_flits -= charged_flits(pkt);
+      last_admitted_ = pkt;
+      has_last_ = true;
+      rr_cursor_ = static_cast<std::uint32_t>(*pick + 1) %
+                   static_cast<std::uint32_t>(threads_.size());
+      engine_.enqueue(std::move(pkt));
+    }
+  }
+  engine_.tick(now, completions_);
+}
+
+}  // namespace annoc::memctrl

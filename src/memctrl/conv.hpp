@@ -1,0 +1,85 @@
+/// \file conv.hpp
+/// The conventional memory subsystem (CONV): a MemMax-style thread-based
+/// scheduler in front of a Databahn-style look-ahead SDRAM controller
+/// (Section V). Requests are demultiplexed into per-thread request
+/// buffers (32 flits each by default, as in the paper's 4-thread
+/// MemMax); the arbiter may freely reorder across threads — it picks the
+/// thread head that avoids bank conflict and data contention and favours
+/// row hits — but within a thread order is preserved. The chosen request
+/// enters the shared command engine, whose look-ahead plays the role of
+/// Databahn's command look-ahead.
+///
+/// With `priority_first` set (CONV+PFS), any priority thread-head wins
+/// over best-effort heads regardless of SDRAM friendliness — which is
+/// precisely the behaviour whose cost Table II quantifies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "memctrl/command_engine.hpp"
+#include "memctrl/subsystem.hpp"
+
+namespace annoc::memctrl {
+
+struct ConvConfig {
+  std::uint32_t num_threads = 4;
+  std::uint32_t thread_buffer_flits = 32;  ///< per-thread request buffer
+  std::uint32_t window_depth = 8;          ///< Databahn command window
+  std::uint32_t lookahead = 4;             ///< command look-ahead depth
+  std::uint32_t reorder_depth = 8;         ///< cross-master CAS slip window
+  bool priority_first = false;             ///< CONV+PFS
+};
+
+class ConvSubsystem final : public MemorySubsystem {
+ public:
+  ConvSubsystem(const sdram::DeviceConfig& dev_cfg, const ConvConfig& cfg);
+
+  // PacketSink
+  [[nodiscard]] bool can_accept(const noc::Packet& pkt) const override;
+  void deliver(noc::Packet&& pkt, Cycle now) override;
+
+  void tick(Cycle now) override;
+
+  [[nodiscard]] std::size_t pending_requests() const override;
+  [[nodiscard]] const EngineStats& engine_stats() const {
+    return engine_.stats();
+  }
+  [[nodiscard]] std::uint32_t thread_of(const noc::Packet& pkt) const {
+    return pkt.src_core % cfg_.num_threads;
+  }
+
+  /// Buffer occupancy charged to a packet. MemMax keeps a request
+  /// buffer (headers) and a data buffer (write payloads) per thread:
+  /// a read costs one request slot regardless of its burst length,
+  /// a write additionally occupies data-buffer flits.
+  [[nodiscard]] std::uint32_t charged_flits(const noc::Packet& pkt) const {
+    if (pkt.rw == RW::kRead) return 1;
+    return std::min(1u + pkt.flits, cfg_.thread_buffer_flits);
+  }
+
+ private:
+  struct Thread {
+    BoundedQueue<noc::Packet> queue;
+    std::uint32_t used_flits = 0;
+    explicit Thread(std::uint32_t cap_packets) : queue(cap_packets) {}
+  };
+
+  /// MemMax arbitration: choose the best admissible thread head.
+  [[nodiscard]] std::optional<std::size_t> pick_thread(Cycle now) const;
+  /// SDRAM-friendliness rank of `pkt` w.r.t. the last admitted request
+  /// (lower is better).
+  [[nodiscard]] std::uint32_t rank(const noc::Packet& pkt) const;
+
+  ConvConfig cfg_;
+  CommandEngine engine_;
+  std::vector<Thread> threads_;
+  noc::Packet last_admitted_{};
+  bool has_last_ = false;
+  std::uint32_t rr_cursor_ = 0;  ///< tie-break rotation across threads
+};
+
+}  // namespace annoc::memctrl

@@ -1,0 +1,42 @@
+#include "memctrl/streamlined.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace annoc::memctrl {
+
+StreamlinedSubsystem::StreamlinedSubsystem(const sdram::DeviceConfig& dev_cfg,
+                                           const StreamlinedConfig& cfg)
+    : MemorySubsystem(dev_cfg),
+      cfg_(cfg),
+      engine_(device_, cfg.window_depth, cfg.lookahead, cfg.reorder_depth),
+      input_(/*capacity=*/cfg.input_flits) {}
+
+bool StreamlinedSubsystem::can_accept(const noc::Packet& pkt) const {
+  if (input_.full()) return false;
+  const std::uint32_t charged = std::min(pkt.flits, cfg_.input_flits);
+  return input_used_flits_ + charged <= cfg_.input_flits ||
+         (input_.empty() && engine_.can_accept());
+}
+
+void StreamlinedSubsystem::deliver(noc::Packet&& pkt, Cycle now) {
+  (void)now;
+  input_used_flits_ += std::min(pkt.flits, cfg_.input_flits);
+  const bool ok = input_.push(std::move(pkt));
+  ANNOC_ASSERT_MSG(ok, "deliver() without can_accept()");
+}
+
+void StreamlinedSubsystem::tick(Cycle now) {
+  // Admit requests whose tail has fully arrived, in order.
+  while (!input_.empty() && engine_.can_accept() &&
+         now >= input_.front().mem_arrival) {
+    noc::Packet pkt = input_.pop();
+    input_used_flits_ -= std::min(pkt.flits, cfg_.input_flits);
+    engine_.enqueue(std::move(pkt));
+  }
+  if (engine_.idle() && input_.empty()) ++starved_;
+  engine_.tick(now, completions_);
+}
+
+}  // namespace annoc::memctrl

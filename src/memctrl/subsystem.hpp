@@ -1,0 +1,44 @@
+/// \file subsystem.hpp
+/// Memory-subsystem interface: the component hanging off the mesh
+/// corner that turns memory-request packets into SDRAM commands.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/network.hpp"
+#include "noc/packet.hpp"
+#include "sdram/device.hpp"
+
+namespace annoc::memctrl {
+
+/// Base for all memory subsystems. Owns the SDRAM device; the simulator
+/// drains completed packets every cycle (their `service_done` is the
+/// cycle the last useful data beat crossed the SDRAM data bus).
+class MemorySubsystem : public noc::PacketSink {
+ public:
+  explicit MemorySubsystem(const sdram::DeviceConfig& dev_cfg)
+      : device_(dev_cfg) {}
+
+  /// Advance one cycle: issue at most one SDRAM command and retire
+  /// finished requests into the completion list.
+  virtual void tick(Cycle now) = 0;
+
+  /// Completed packets since the last drain (service_done stamped).
+  [[nodiscard]] std::vector<noc::Packet> drain_completions() {
+    return std::exchange(completions_, {});
+  }
+
+  [[nodiscard]] const sdram::Device& device() const { return device_; }
+  [[nodiscard]] sdram::Device& device() { return device_; }
+
+  /// Requests admitted but not yet completed.
+  [[nodiscard]] virtual std::size_t pending_requests() const = 0;
+
+ protected:
+  sdram::Device device_;
+  std::vector<noc::Packet> completions_;
+};
+
+}  // namespace annoc::memctrl

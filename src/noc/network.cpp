@@ -1,0 +1,230 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace annoc::noc {
+
+Network::Network(const NocConfig& cfg, std::vector<FlowControlKind> fc_kinds,
+                 const GssParams& gss)
+    : cfg_(cfg) {
+  const std::size_t n =
+      static_cast<std::size_t>(cfg.width) * static_cast<std::size_t>(cfg.height);
+  ANNOC_ASSERT(n > 0);
+  ANNOC_ASSERT(cfg.mem_node < n);
+  ANNOC_ASSERT_MSG(fc_kinds.size() == 1 || fc_kinds.size() == n,
+                   "fc_kinds must have 1 or width*height entries");
+  routers_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const FlowControlKind kind =
+        fc_kinds.size() == 1 ? fc_kinds[0] : fc_kinds[id];
+    routers_.push_back(std::make_unique<Router>(
+        id, x_of(id), y_of(id), cfg.buffer_flits, cfg.pipeline_latency, kind,
+        gss, std::max(1u, cfg.num_vcs)));
+  }
+}
+
+std::uint32_t Network::downstream_free(NodeId at, Port out) const {
+  const std::uint32_t x = x_of(at), y = y_of(at);
+  NodeId nb = kInvalidNode;
+  Port nb_in = kPortLocal;
+  switch (out) {
+    case kPortNorth: nb = node_at(x, y - 1); nb_in = kPortSouth; break;
+    case kPortSouth: nb = node_at(x, y + 1); nb_in = kPortNorth; break;
+    case kPortEast: nb = node_at(x + 1, y); nb_in = kPortWest; break;
+    case kPortWest: nb = node_at(x - 1, y); nb_in = kPortEast; break;
+    default: return 0;
+  }
+  return routers_[nb]->free_flits(nb_in);
+}
+
+Port Network::route(NodeId at, NodeId dst, bool to_memory) const {
+  ANNOC_ASSERT(at < routers_.size() && dst < routers_.size());
+  const std::uint32_t ax = x_of(at), ay = y_of(at);
+  const std::uint32_t dx = x_of(dst), dy = y_of(dst);
+  if (at == dst) {
+    // Arrived: memory-bound packets eject into the subsystem,
+    // core-bound packets (read responses) into the local core.
+    return to_memory ? kPortMem : kPortLocal;
+  }
+
+  if (cfg_.routing == RoutingPolicy::kAdaptiveMinimal) {
+    // Negative-first: take all west/north moves before any east/south
+    // move (deadlock-free turn model); when both are productive, pick
+    // the downstream buffer with more free space.
+    const bool need_west = ax > dx;
+    const bool need_north = ay > dy;
+    if (need_west && need_north) {
+      return downstream_free(at, kPortNorth) > downstream_free(at, kPortWest)
+                 ? kPortNorth
+                 : kPortWest;
+    }
+    if (need_west) return kPortWest;
+    if (need_north) return kPortNorth;
+    // Only positive moves remain: deterministic XY order.
+    if (ax < dx) return kPortEast;
+    return kPortSouth;
+  }
+
+  // Deterministic XY.
+  if (ax < dx) return kPortEast;
+  if (ax > dx) return kPortWest;
+  if (ay < dy) return kPortSouth;  // y grows southward (row-major)
+  return kPortNorth;
+}
+
+std::uint32_t Network::hops(NodeId a, NodeId b) const {
+  const auto dx = static_cast<std::int64_t>(x_of(a)) - x_of(b);
+  const auto dy = static_cast<std::int64_t>(y_of(a)) - y_of(b);
+  return static_cast<std::uint32_t>((dx < 0 ? -dx : dx) +
+                                    (dy < 0 ? -dy : dy));
+}
+
+std::size_t Network::in_flight_packets() const {
+  std::size_t total = 0;
+  for (const auto& r : routers_) total += r->buffered_packets();
+  return total;
+}
+
+bool Network::try_inject(Packet&& pkt, Cycle now) {
+  ANNOC_ASSERT(pkt.src_node < routers_.size());
+  Router& r = *routers_[pkt.src_node];
+  const auto vc = r.find_vc(kPortLocal, pkt);
+  if (!vc) return false;
+  pkt.injected = now;
+  pkt.head_arrival = now + 1;
+  pkt.tail_arrival = now + pkt.flits;
+  stats_.injected_packets += 1;
+  stats_.injected_flits += pkt.flits;
+  const Port out = route(pkt.src_node, pkt.dst_node, pkt.to_memory);
+  r.on_arrival(std::move(pkt), kPortLocal, *vc, out, now);
+  return true;
+}
+
+void Network::deliver(Packet&& pkt, NodeId to, Port in_port,
+                      std::uint32_t vc, Cycle now) {
+  Router& r = *routers_[to];
+  const Port out = route(to, pkt.dst_node, pkt.to_memory);
+  r.on_arrival(std::move(pkt), in_port, vc, out, now);
+}
+
+void Network::tick(Cycle now) {
+  // Phase 1: free channels whose transfer has completed.
+  for (auto& r : routers_) {
+    for (int p = 0; p < kNumPorts; ++p) {
+      Transfer& tr = r->output(static_cast<Port>(p));
+      if (tr.active && now >= tr.end) tr.active = false;
+    }
+  }
+
+  // Phase 2: arbitrate every free output. Routers are visited in id
+  // order; within a router, the memory port first (it gates everything
+  // downstream of it).
+  static constexpr Port kOrder[kNumPorts] = {kPortMem,   kPortNorth,
+                                             kPortEast,  kPortSouth,
+                                             kPortWest,  kPortLocal};
+  for (auto& r : routers_) {
+    for (const Port out : kOrder) {
+      Transfer& tr = r->output(out);
+      if (tr.active) continue;
+      const std::optional<VcId> win = r->arbitrate(out, now);
+      if (!win) continue;
+
+      if (out == kPortMem) {
+        ANNOC_ASSERT_MSG(r->id() == cfg_.mem_node,
+                         "memory port used away from the memory node");
+        ANNOC_ASSERT(sink_ != nullptr);
+        if (!sink_->can_accept(r->head(*win))) {
+          r->note_blocked();
+          continue;
+        }
+        Packet pkt = r->grant(*win, out, now);
+        pkt.mem_arrival = pkt.tail_arrival;  // tail lands when channel frees
+        stats_.ejected_packets += 1;
+        stats_.ejected_flits += pkt.flits;
+        sink_->deliver(std::move(pkt), now);
+        continue;
+      }
+
+      if (out == kPortLocal) {
+        // Core-bound ejection (read responses): cores always sink. The
+        // packet counts as delivered when its tail lands.
+        ANNOC_ASSERT_MSG(local_sink_ != nullptr,
+                         "core-bound packet without a local sink");
+        Packet pkt = r->grant(*win, out, now);
+        const Cycle done = pkt.tail_arrival;
+        stats_.ejected_packets += 1;
+        stats_.ejected_flits += pkt.flits;
+        local_sink_(std::move(pkt), done);
+        continue;
+      }
+
+      // Mesh link: find the neighbour and its facing input port.
+      NodeId nb = kInvalidNode;
+      Port nb_in = kPortLocal;
+      const std::uint32_t x = r->x(), y = r->y();
+      switch (out) {
+        case kPortNorth:
+          ANNOC_ASSERT(y > 0);
+          nb = node_at(x, y - 1);
+          nb_in = kPortSouth;
+          break;
+        case kPortSouth:
+          ANNOC_ASSERT(y + 1 < cfg_.height);
+          nb = node_at(x, y + 1);
+          nb_in = kPortNorth;
+          break;
+        case kPortEast:
+          ANNOC_ASSERT(x + 1 < cfg_.width);
+          nb = node_at(x + 1, y);
+          nb_in = kPortWest;
+          break;
+        case kPortWest:
+          ANNOC_ASSERT(x > 0);
+          nb = node_at(x - 1, y);
+          nb_in = kPortEast;
+          break;
+        default:
+          ANNOC_ASSERT_MSG(false, "local output is never routed");
+      }
+
+      Router& down = *routers_[nb];
+      const auto vc = down.find_vc(nb_in, r->head(*win));
+      if (!vc) {
+        r->note_blocked();
+        continue;
+      }
+      Packet pkt = r->grant(*win, out, now);
+      deliver(std::move(pkt), nb, nb_in, *vc, now);
+    }
+  }
+}
+
+std::vector<FlowControlKind> Network::mixed_kinds(const NocConfig& cfg,
+                                                  std::size_t num_gss,
+                                                  FlowControlKind gss_kind,
+                                                  FlowControlKind base_kind) {
+  const std::size_t n =
+      static_cast<std::size_t>(cfg.width) * static_cast<std::size_t>(cfg.height);
+  // Sort nodes by Manhattan distance to the memory node (closest first).
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto dist = [&](NodeId id) {
+    const auto x = id % cfg.width, y = id / cfg.width;
+    const auto mx = cfg.mem_node % cfg.width, my = cfg.mem_node / cfg.width;
+    const auto dx = x > mx ? x - mx : mx - x;
+    const auto dy = y > my ? y - my : my - y;
+    return dx + dy;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) { return dist(a) < dist(b); });
+  std::vector<FlowControlKind> kinds(n, base_kind);
+  for (std::size_t i = 0; i < std::min(num_gss, n); ++i) {
+    kinds[order[i]] = gss_kind;
+  }
+  return kinds;
+}
+
+}  // namespace annoc::noc

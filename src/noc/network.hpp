@@ -1,0 +1,138 @@
+/// \file network.hpp
+/// 2-D mesh network with XY routing and a memory subsystem hanging off a
+/// corner router's dedicated port (Fig. 7).
+///
+/// XY routing is deterministic and minimal, hence deadlock- and
+/// livelock-free (Section IV-A); all request traffic is memory-bound.
+/// Read responses return on a dedicated response network modelled as
+/// contention-free (fixed per-hop latency), which matches the paper's
+/// focus: all scheduling effects are on the request path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/router.hpp"
+
+namespace annoc::noc {
+
+/// Receives packets ejected at the memory port.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  /// May the network start delivering this packet now?
+  [[nodiscard]] virtual bool can_accept(const Packet& pkt) const = 0;
+  /// Delivery begins; pkt.mem_arrival is the cycle its tail lands.
+  virtual void deliver(Packet&& pkt, Cycle now) = 0;
+};
+
+/// Packet routing policy (Section IV-A: the GSS router works with
+/// deterministic or adaptive routing; the paper's experiments use XY).
+enum class RoutingPolicy : std::uint8_t {
+  kXY,               ///< deterministic dimension-ordered (default)
+  kAdaptiveMinimal,  ///< negative-first minimal adaptive: when both a
+                     ///< west and a north move are productive, take the
+                     ///< one whose downstream buffer has more free
+                     ///< space. Deadlock-free (negative-first turn
+                     ///< model) and minimal, per the paper's
+                     ///< requirement of deadlock/livelock freedom.
+};
+
+struct NocConfig {
+  std::uint32_t width = 3;
+  std::uint32_t height = 3;
+  /// Mesh node whose kPortMem connects to the memory subsystem.
+  NodeId mem_node = 0;
+  std::uint32_t buffer_flits = 16;
+  std::uint32_t pipeline_latency = 1;
+  RoutingPolicy routing = RoutingPolicy::kXY;
+  /// Virtual channels per input port (1 = wormhole, the paper's
+  /// experimental configuration; >1 enables VC flow control).
+  std::uint32_t num_vcs = 1;
+};
+
+struct NetworkStats {
+  std::uint64_t injected_packets = 0;
+  std::uint64_t injected_flits = 0;
+  std::uint64_t ejected_packets = 0;
+  std::uint64_t ejected_flits = 0;
+};
+
+class Network {
+ public:
+  /// `fc_kinds` holds one flow-control kind per router (row-major); a
+  /// single-element vector applies to all routers.
+  Network(const NocConfig& cfg, std::vector<FlowControlKind> fc_kinds,
+          const GssParams& gss);
+
+  void attach_sink(PacketSink* sink) { sink_ = sink; }
+
+  /// Receiver for packets ejected at a node's local port (core-bound
+  /// responses). Local ejection is never backpressured: cores always
+  /// sink their read data.
+  using LocalSink = std::function<void(Packet&&, Cycle)>;
+  void attach_local_sink(LocalSink sink) { local_sink_ = std::move(sink); }
+
+  /// Try to place `pkt` into its source node's local input buffer.
+  /// Returns false when the buffer cannot take it this cycle.
+  [[nodiscard]] bool try_inject(Packet&& pkt, Cycle now);
+
+  /// Advance one cycle: free completed channels, then arbitrate and
+  /// grant on every free output.
+  void tick(Cycle now);
+
+  [[nodiscard]] Router& router(NodeId id) {
+    ANNOC_ASSERT(id < routers_.size());
+    return *routers_[id];
+  }
+  [[nodiscard]] const Router& router(NodeId id) const {
+    ANNOC_ASSERT(id < routers_.size());
+    return *routers_[id];
+  }
+  [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
+  [[nodiscard]] const NocConfig& config() const { return cfg_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  [[nodiscard]] NodeId node_at(std::uint32_t x, std::uint32_t y) const {
+    return y * cfg_.width + x;
+  }
+  [[nodiscard]] std::uint32_t x_of(NodeId n) const { return n % cfg_.width; }
+  [[nodiscard]] std::uint32_t y_of(NodeId n) const { return n / cfg_.width; }
+
+  /// Route decision at `at` toward `dst` under the configured policy;
+  /// at the destination, memory-bound packets take kPortMem and
+  /// core-bound packets take kPortLocal. The adaptive policy consults
+  /// downstream buffer occupancy, so the choice is time-dependent.
+  [[nodiscard]] Port route(NodeId at, NodeId dst, bool to_memory = true) const;
+
+  /// Downstream free space (flits) seen from `at` through output `out`.
+  [[nodiscard]] std::uint32_t downstream_free(NodeId at, Port out) const;
+
+  /// Manhattan hop distance between two nodes.
+  [[nodiscard]] std::uint32_t hops(NodeId a, NodeId b) const;
+
+  /// Number of packets currently buffered anywhere in the mesh.
+  [[nodiscard]] std::size_t in_flight_packets() const;
+
+  /// Helper for the Fig. 8 sweep: per-router flow-control kinds where
+  /// the `num_gss` routers closest to the memory node (ties broken by
+  /// node id) use `gss_kind` and the rest use `base_kind`.
+  [[nodiscard]] static std::vector<FlowControlKind> mixed_kinds(
+      const NocConfig& cfg, std::size_t num_gss, FlowControlKind gss_kind,
+      FlowControlKind base_kind);
+
+ private:
+  void deliver(Packet&& pkt, NodeId to, Port in_port, std::uint32_t vc,
+               Cycle now);
+
+  NocConfig cfg_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  PacketSink* sink_ = nullptr;
+  LocalSink local_sink_;
+  NetworkStats stats_;
+};
+
+}  // namespace annoc::noc

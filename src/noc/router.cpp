@@ -1,0 +1,142 @@
+#include "noc/router.hpp"
+
+#include <algorithm>
+
+namespace annoc::noc {
+
+Router::Router(NodeId id, std::uint32_t x, std::uint32_t y,
+               std::uint32_t buffer_flits, std::uint32_t pipeline_latency,
+               FlowControlKind fc_kind, const GssParams& gss,
+               std::uint32_t num_vcs)
+    : id_(id),
+      x_(x),
+      y_(y),
+      pipeline_(pipeline_latency),
+      fc_kind_(fc_kind),
+      num_vcs_(num_vcs) {
+  ANNOC_ASSERT_MSG(num_vcs >= 1, "at least one virtual channel");
+  inputs_.resize(kNumPorts);
+  routed_.resize(kNumPorts);
+  for (int p = 0; p < kNumPorts; ++p) {
+    inputs_[p].reserve(num_vcs);
+    for (std::uint32_t v = 0; v < num_vcs; ++v) {
+      inputs_[p].emplace_back(buffer_flits);
+    }
+    routed_[p].resize(num_vcs);
+  }
+  outputs_.resize(kNumPorts);
+  fc_.reserve(kNumPorts);
+  for (int p = 0; p < kNumPorts; ++p) {
+    fc_.push_back(make_flow_controller(fc_kind, gss));
+  }
+}
+
+std::optional<std::uint32_t> Router::find_vc(Port p,
+                                             const Packet& pkt) const {
+  const std::uint32_t v = pkt.src_core % num_vcs_;
+  if (inputs_[p][v].can_accept(pkt.flits)) return v;
+  return std::nullopt;
+}
+
+std::uint32_t Router::free_flits(Port p) const {
+  std::uint32_t total = 0;
+  for (std::uint32_t v = 0; v < num_vcs_; ++v) {
+    const InputBuffer& buf = inputs_[p][v];
+    total += buf.capacity_flits() -
+             std::min(buf.capacity_flits(), buf.used_flits());
+  }
+  return total;
+}
+
+std::size_t Router::buffered_packets() const {
+  std::size_t n = 0;
+  for (const auto& port : inputs_) {
+    for (const InputBuffer& b : port) n += b.size();
+  }
+  return n;
+}
+
+std::vector<Packet*> Router::pool_for(Port out) {
+  std::vector<Packet*> pool;
+  for (int in = 0; in < kNumPorts; ++in) {
+    for (std::uint32_t v = 0; v < num_vcs_; ++v) {
+      InputBuffer& buf = inputs_[in][v];
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        if (routed_[in][v][i] == out) pool.push_back(&buf.at(i));
+      }
+    }
+  }
+  return pool;
+}
+
+void Router::on_arrival(Packet&& pkt, Port in, std::uint32_t vc, Port out,
+                        Cycle now) {
+  ANNOC_ASSERT(vc < num_vcs_);
+  std::vector<Packet*> pool = pool_for(out);
+  fc_[out]->on_packet_arrival(pkt, pool, now);
+  routed_[in][vc].push_back(out);
+  inputs_[in][vc].push(std::move(pkt));
+  ANNOC_ASSERT(routed_[in][vc].size() == inputs_[in][vc].size());
+}
+
+std::optional<VcId> Router::arbitrate(Port out, Cycle now) {
+  ANNOC_ASSERT(!outputs_[out].active);
+  std::vector<Candidate> candidates;
+  std::vector<VcId> sources;
+  for (int in = 0; in < kNumPorts; ++in) {
+    for (std::uint32_t v = 0; v < num_vcs_; ++v) {
+      InputBuffer& buf = inputs_[in][v];
+      if (buf.empty()) continue;
+      if (routed_[in][v].front() != out) continue;  // head wants elsewhere
+      Packet& hd = buf.front();
+      // A head flit is grantable the cycle it lands (pipeline_latency 1
+      // = one cycle per hop); extra pipeline stages delay eligibility.
+      if (now + 1 < hd.head_arrival + pipeline_) continue;
+      candidates.push_back(Candidate{
+          &hd, static_cast<std::uint32_t>(in) * num_vcs_ + v});
+      sources.push_back(VcId{static_cast<Port>(in), v});
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  ++stats_.arbitration_rounds;
+  std::vector<Packet*> pool = pool_for(out);
+  const std::optional<std::size_t> sel =
+      fc_[out]->select(candidates, pool, now);
+  if (!sel) {
+    ++stats_.idle_grants;
+    return std::nullopt;
+  }
+  return sources[*sel];
+}
+
+Packet Router::grant(const VcId& in, Port out, Cycle now) {
+  InputBuffer& buf = inputs_[in.port][in.vc];
+  auto& routed = routed_[in.port][in.vc];
+  ANNOC_ASSERT(!buf.empty());
+  ANNOC_ASSERT(routed.front() == out);
+  Packet pkt = buf.pop();
+  routed.erase(routed.begin());
+
+  fc_[out]->on_scheduled(pkt, now);
+
+  Transfer& tr = outputs_[out];
+  ANNOC_ASSERT(!tr.active);
+  tr.active = true;
+  tr.start = now;
+  // One flit per cycle from the grant; the tail cannot leave before it
+  // has arrived here (virtual cut-through).
+  tr.end = std::max(now + pkt.flits, pkt.tail_arrival + 1);
+
+  ++stats_.packets_forwarded;
+  stats_.flits_forwarded += pkt.flits;
+  stats_.output_busy[out] += tr.end - tr.start;
+
+  // Stamp downstream arrival: the head lands one cycle after the grant,
+  // the tail when the channel frees.
+  pkt.head_arrival = now + 1;
+  pkt.tail_arrival = tr.end;
+  return pkt;
+}
+
+}  // namespace annoc::noc

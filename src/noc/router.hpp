@@ -1,0 +1,223 @@
+/// \file router.hpp
+/// GSS-capable router (Fig. 3) modelled at packet granularity, with
+/// wormhole (1 virtual channel) or virtual-channel flow control
+/// (Section IV-A offers both; the paper's experiments use wormhole,
+/// which stays the default).
+///
+/// Modelling notes (see DESIGN.md): flits stream at one per cycle and
+/// the winner-take-all allocator holds an output channel from the grant
+/// until the packet tail has passed, so a transfer of an L-flit packet
+/// occupies the channel for L cycles (and cannot finish before the tail
+/// has even arrived at this router — virtual cut-through pipelining).
+/// The packet object moves to the downstream buffer at grant time with
+/// head/tail arrival stamps; the Transfer record models only the channel
+/// occupancy. Buffers are accounted in flits; a packet longer than the
+/// buffer may still enter a half-empty buffer, emulating wormhole
+/// streaming through. With V > 1 virtual channels, each input port has
+/// V buffers and the heads of *all* VCs compete for outputs — a packet
+/// blocked toward one output no longer blocks packets behind it in
+/// other VCs.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "noc/flow_controller.hpp"
+#include "noc/packet.hpp"
+
+namespace annoc::noc {
+
+/// Router ports. kMem exists only on the router adjacent to the memory
+/// subsystem (the paper places the subsystem off a mesh corner, Fig. 7).
+enum Port : std::uint8_t {
+  kPortLocal = 0,
+  kPortNorth = 1,
+  kPortEast = 2,
+  kPortSouth = 3,
+  kPortWest = 4,
+  kPortMem = 5,
+  kNumPorts = 6,
+};
+
+[[nodiscard]] inline const char* to_string(Port p) {
+  switch (p) {
+    case kPortLocal: return "local";
+    case kPortNorth: return "north";
+    case kPortEast: return "east";
+    case kPortSouth: return "south";
+    case kPortWest: return "west";
+    case kPortMem: return "mem";
+    default: return "?";
+  }
+}
+
+/// Flit-accounted input FIFO (one per port per virtual channel).
+///
+/// Wormhole streaming of packets longer than the buffer is approximated
+/// with bounded overcommit: a packet may enter once at least
+/// min(flits, capacity/2) slots are free — its head and early flits fit
+/// while the tail still occupies upstream links (which the
+/// packet-granular model has already released). Occupancy is charged at
+/// min(flits, capacity), so a long packet blocks further admissions
+/// until it drains, exactly the head-of-line pressure the paper's SAGM
+/// splitting relieves. Without this relaxation, a long packet would
+/// need a *completely empty* buffer and large-burst cores starve
+/// outright under continuous small-packet traffic.
+class InputBuffer {
+ public:
+  explicit InputBuffer(std::uint32_t capacity_flits)
+      : capacity_(capacity_flits) {
+    ANNOC_ASSERT(capacity_flits > 0);
+  }
+
+  [[nodiscard]] bool can_accept(std::uint32_t flits) const {
+    const std::uint32_t need =
+        std::min(flits, std::max(1u, capacity_ / 2));
+    return used_ + need <= capacity_;
+  }
+
+  void push(Packet&& p) {
+    ANNOC_ASSERT(can_accept(p.flits));
+    used_ += std::min(p.flits, capacity_);
+    packets_.push_back(std::move(p));
+  }
+
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] Packet& front() { return packets_.front(); }
+  [[nodiscard]] const Packet& front() const { return packets_.front(); }
+  [[nodiscard]] Packet& at(std::size_t i) { return packets_[i]; }
+  [[nodiscard]] const Packet& at(std::size_t i) const { return packets_[i]; }
+  [[nodiscard]] std::uint32_t used_flits() const { return used_; }
+  [[nodiscard]] std::uint32_t capacity_flits() const { return capacity_; }
+
+  Packet pop() {
+    ANNOC_ASSERT(!packets_.empty());
+    Packet p = std::move(packets_.front());
+    packets_.erase(packets_.begin());
+    used_ -= std::min(p.flits, capacity_);
+    return p;
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t used_ = 0;
+  std::vector<Packet> packets_;
+};
+
+/// Output-channel occupancy (winner-take-all hold).
+struct Transfer {
+  bool active = false;
+  Cycle start = 0;
+  Cycle end = 0;  ///< channel free again at this cycle
+};
+
+struct RouterStats {
+  std::uint64_t packets_forwarded = 0;
+  std::uint64_t flits_forwarded = 0;
+  std::uint64_t arbitration_rounds = 0;
+  std::uint64_t idle_grants = 0;  ///< select() declined (GSS exclusion)
+  std::uint64_t blocked_on_downstream = 0;
+  /// Cycles each output channel was held by a transfer.
+  std::array<std::uint64_t, kNumPorts> output_busy{};
+};
+
+/// Identifies one input buffer: (port, virtual channel).
+struct VcId {
+  Port port = kPortLocal;
+  std::uint32_t vc = 0;
+};
+
+class Router {
+ public:
+  Router(NodeId id, std::uint32_t x, std::uint32_t y,
+         std::uint32_t buffer_flits, std::uint32_t pipeline_latency,
+         FlowControlKind fc_kind, const GssParams& gss,
+         std::uint32_t num_vcs = 1);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::uint32_t x() const { return x_; }
+  [[nodiscard]] std::uint32_t y() const { return y_; }
+  [[nodiscard]] FlowControlKind fc_kind() const { return fc_kind_; }
+  [[nodiscard]] std::uint32_t num_vcs() const { return num_vcs_; }
+
+  [[nodiscard]] InputBuffer& input(Port p, std::uint32_t vc = 0) {
+    return inputs_[p][vc];
+  }
+  [[nodiscard]] const InputBuffer& input(Port p, std::uint32_t vc = 0) const {
+    return inputs_[p][vc];
+  }
+  [[nodiscard]] Transfer& output(Port p) { return outputs_[p]; }
+  [[nodiscard]] const Transfer& output(Port p) const { return outputs_[p]; }
+
+  /// Virtual channel of input `p` for packet `pkt`, if it has room.
+  /// VCs are keyed by source core (flow), which preserves per-master
+  /// packet order end to end — interleaving one stream across VCs would
+  /// shuffle its subpackets and break the row-hit trains the GSS
+  /// scheduling relies on.
+  [[nodiscard]] std::optional<std::uint32_t> find_vc(Port p,
+                                                     const Packet& pkt) const;
+
+  /// Total free flits across the VCs of input `p` (adaptive-routing
+  /// congestion signal).
+  [[nodiscard]] std::uint32_t free_flits(Port p) const;
+
+  /// A packet lands in input buffer (`in`, `vc`); `out` is the output
+  /// port it will take (precomputed by the network's routing). Runs the
+  /// flow controller's arrival hook (token assignment/aging for GSS).
+  void on_arrival(Packet&& pkt, Port in, std::uint32_t vc, Port out,
+                  Cycle now);
+
+  /// Arbitrate output `out` at cycle `now` (channel must be free) over
+  /// the head packets of every (port, vc) wanting `out`. Returns the
+  /// winning buffer, or nullopt.
+  [[nodiscard]] std::optional<VcId> arbitrate(Port out, Cycle now);
+
+  /// Peek the head packet of input (`in`, `vc`) (must be non-empty).
+  [[nodiscard]] const Packet& head(Port in, std::uint32_t vc = 0) const {
+    return inputs_[in][vc].front();
+  }
+  [[nodiscard]] const Packet& head(const VcId& id) const {
+    return head(id.port, id.vc);
+  }
+
+  /// Pop the winner, mark it h(n) in `out`'s flow controller, occupy
+  /// the channel, and return the packet (stamped with downstream
+  /// head/tail arrival cycles).
+  [[nodiscard]] Packet grant(const VcId& in, Port out, Cycle now);
+
+  /// Mark downstream-full stall for stats.
+  void note_blocked() { ++stats_.blocked_on_downstream; }
+
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t pipeline_latency() const { return pipeline_; }
+  [[nodiscard]] FlowController& controller(Port p) { return *fc_[p]; }
+
+  /// Total packets currently buffered in this router.
+  [[nodiscard]] std::size_t buffered_packets() const;
+
+ private:
+  /// Every waiting packet in this router routed to output `out`.
+  [[nodiscard]] std::vector<Packet*> pool_for(Port out);
+
+  NodeId id_;
+  std::uint32_t x_, y_;
+  std::uint32_t pipeline_;
+  FlowControlKind fc_kind_;
+  std::uint32_t num_vcs_;
+  /// inputs_[port][vc]
+  std::vector<std::vector<InputBuffer>> inputs_;
+  std::vector<Transfer> outputs_;
+  std::vector<std::unique_ptr<FlowController>> fc_;
+  /// routed_[port][vc][i] is the output port of inputs_[port][vc].at(i).
+  std::vector<std::vector<std::vector<Port>>> routed_;
+  RouterStats stats_;
+};
+
+}  // namespace annoc::noc

@@ -1,0 +1,69 @@
+/// \file bank.hpp
+/// Per-bank state machine. A bank tracks its open row and the earliest
+/// cycles at which the next ACT / CAS / PRE become legal; the device
+/// layers global constraints (command bus, data bus, tCCD, tRRD, tFAW)
+/// on top.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sdram/config.hpp"
+
+namespace annoc::sdram {
+
+enum class BankState : std::uint8_t {
+  kIdle,         ///< precharged, ready for ACT (once ready_at passes)
+  kActive,       ///< row open
+  kPrecharging,  ///< PRE (explicit or AP) in flight; idle at ready_at
+};
+
+struct Bank {
+  BankState state = BankState::kIdle;
+  RowId open_row = 0;
+
+  Cycle ready_at = 0;          ///< when the current transition completes
+  Cycle act_cycle = 0;         ///< when the open row was activated
+  Cycle last_read_cas = 0;     ///< cycle of most recent read CAS here
+  Cycle read_data_end = 0;     ///< end of most recent read burst here
+  Cycle write_data_end = 0;    ///< end of most recent write burst here
+  bool has_read = false;
+  bool has_write = false;
+
+  /// Earliest cycle an explicit PRE (or the internal AP event) may start,
+  /// honouring tRAS, tRTP, and tWR.
+  [[nodiscard]] Cycle earliest_precharge(const Timing& t) const {
+    Cycle e = act_cycle + t.tras;
+    if (has_read) {
+      const Cycle by_rtp = last_read_cas + t.trtp;
+      if (by_rtp > e) e = by_rtp;
+    }
+    if (has_write) {
+      const Cycle by_wr = write_data_end + t.twr;
+      if (by_wr > e) e = by_wr;
+    }
+    return e;
+  }
+
+  void on_activate(Cycle now, RowId row, const Timing& t) {
+    state = BankState::kActive;
+    open_row = row;
+    act_cycle = now;
+    ready_at = now + t.trcd;  // earliest CAS
+    has_read = false;
+    has_write = false;
+  }
+
+  void on_precharge(Cycle start, const Timing& t) {
+    state = BankState::kPrecharging;
+    ready_at = start + t.trp;  // earliest ACT
+  }
+
+  void settle(Cycle now) {
+    if (state == BankState::kPrecharging && now >= ready_at) {
+      state = BankState::kIdle;
+    }
+  }
+};
+
+}  // namespace annoc::sdram

@@ -1,0 +1,51 @@
+/// \file command.hpp
+/// SDRAM command-bus vocabulary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace annoc::sdram {
+
+enum class CommandType : std::uint8_t {
+  kActivate,   ///< RAS: open a row in a bank
+  kRead,       ///< CAS read
+  kWrite,      ///< CAS write
+  kPrecharge,  ///< PRE: close a bank
+  kRefresh,    ///< REF (all banks)
+};
+
+[[nodiscard]] inline const char* to_string(CommandType c) {
+  switch (c) {
+    case CommandType::kActivate: return "ACT";
+    case CommandType::kRead: return "RD";
+    case CommandType::kWrite: return "WR";
+    case CommandType::kPrecharge: return "PRE";
+    case CommandType::kRefresh: return "REF";
+  }
+  return "?";
+}
+
+/// One command as presented on the command/address bus.
+struct Command {
+  CommandType type = CommandType::kActivate;
+  BankId bank = 0;
+  RowId row = 0;   ///< for kActivate
+  ColId col = 0;   ///< for kRead/kWrite
+  std::uint32_t burst_beats = 8;   ///< beats moved by this CAS
+  std::uint32_t useful_beats = 8;  ///< beats that carry requested data
+  bool auto_precharge = false;     ///< CAS with AP (self-timed precharge)
+
+  [[nodiscard]] bool is_cas() const {
+    return type == CommandType::kRead || type == CommandType::kWrite;
+  }
+};
+
+/// Outcome of issuing a CAS: when its data occupies the bus.
+struct DataWindow {
+  Cycle start = 0;  ///< first data cycle (inclusive)
+  Cycle end = 0;    ///< one past the last data cycle
+};
+
+}  // namespace annoc::sdram

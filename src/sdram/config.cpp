@@ -1,0 +1,110 @@
+#include "sdram/config.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace annoc::sdram {
+namespace {
+
+[[nodiscard]] std::uint32_t ns_to_cycles(double ns, double mhz) {
+  if (ns <= 0.0) return 0;
+  const double cycles = ns * mhz / 1000.0;
+  const auto c = static_cast<std::uint32_t>(std::ceil(cycles - 1e-9));
+  return c == 0 ? 1u : c;
+}
+
+}  // namespace
+
+TimingSpecNs reference_spec(DdrGeneration gen) {
+  switch (gen) {
+    case DdrGeneration::kDdr1:
+      // DDR-266/400 class parts (e.g. Samsung K4H series).
+      return TimingSpecNs{
+          .cl_ns = 15.0,
+          .cwl_ns = 0.0,  // unused: WL is 1 tCK
+          .trcd_ns = 15.0,
+          .trp_ns = 15.0,
+          .tras_ns = 40.0,
+          .twr_ns = 15.0,
+          .twtr_ns = 5.0,
+          .trtp_ns = 7.5,
+          .trrd_ns = 10.0,
+          .tfaw_ns = 0.0,  // no tFAW in DDR1
+          .trfc_ns = 72.0,
+          .trefi_ns = 7800.0,
+          .tccd_cycles = 1,
+          .wl_is_one_cycle = true,
+      };
+    case DdrGeneration::kDdr2:
+      // DDR2-533/800 class parts.
+      return TimingSpecNs{
+          .cl_ns = 15.0,
+          .cwl_ns = 12.0,
+          .trcd_ns = 15.0,
+          .trp_ns = 15.0,
+          .tras_ns = 45.0,
+          .twr_ns = 15.0,
+          .twtr_ns = 7.5,
+          .trtp_ns = 7.5,
+          .trrd_ns = 7.5,
+          .tfaw_ns = 37.5,
+          .trfc_ns = 127.5,
+          .trefi_ns = 7800.0,
+          .tccd_cycles = 2,
+          .wl_is_one_cycle = false,
+      };
+    case DdrGeneration::kDdr3:
+      // DDR3-1066/1600 class parts.
+      return TimingSpecNs{
+          .cl_ns = 13.75,
+          .cwl_ns = 10.0,
+          .trcd_ns = 13.75,
+          .trp_ns = 13.75,
+          .tras_ns = 35.0,
+          .twr_ns = 15.0,
+          .twtr_ns = 7.5,
+          .trtp_ns = 7.5,
+          .trrd_ns = 7.5,
+          .tfaw_ns = 40.0,
+          .trfc_ns = 160.0,
+          .trefi_ns = 7800.0,
+          .tccd_cycles = 4,
+          .wl_is_one_cycle = false,
+      };
+  }
+  ANNOC_ASSERT_MSG(false, "unknown DDR generation");
+  return {};
+}
+
+Timing make_timing(DdrGeneration gen, double clock_mhz) {
+  ANNOC_ASSERT_MSG(clock_mhz > 0.0, "clock must be positive");
+  const TimingSpecNs s = reference_spec(gen);
+  Timing t;
+  t.cl = ns_to_cycles(s.cl_ns, clock_mhz);
+  t.cwl = s.wl_is_one_cycle ? 1u : ns_to_cycles(s.cwl_ns, clock_mhz);
+  t.trcd = ns_to_cycles(s.trcd_ns, clock_mhz);
+  t.trp = ns_to_cycles(s.trp_ns, clock_mhz);
+  t.tras = ns_to_cycles(s.tras_ns, clock_mhz);
+  t.twr = ns_to_cycles(s.twr_ns, clock_mhz);
+  t.twtr = ns_to_cycles(s.twtr_ns, clock_mhz);
+  t.trtp = ns_to_cycles(s.trtp_ns, clock_mhz);
+  t.trrd = ns_to_cycles(s.trrd_ns, clock_mhz);
+  t.tfaw = s.tfaw_ns > 0.0 ? ns_to_cycles(s.tfaw_ns, clock_mhz) : 0u;
+  t.trfc = ns_to_cycles(s.trfc_ns, clock_mhz);
+  t.trefi = static_cast<std::uint64_t>(s.trefi_ns * clock_mhz / 1000.0);
+  t.tccd = s.tccd_cycles;
+  t.bus_turnaround = 1;
+  return t;
+}
+
+Geometry default_geometry(DdrGeneration gen) {
+  Geometry g;
+  g.num_banks = gen == DdrGeneration::kDdr1 ? 4u : 8u;
+  g.rows_per_bank = 8192;
+  g.cols_per_row = 1024;
+  g.bus_bytes = 4;
+  return g;
+}
+
+}  // namespace annoc::sdram

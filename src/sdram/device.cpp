@@ -1,0 +1,266 @@
+#include "sdram/device.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace annoc::sdram {
+
+Device::Device(const DeviceConfig& cfg)
+    : cfg_(cfg),
+      timing_(make_timing(cfg.generation, cfg.clock_mhz)),
+      banks_(cfg.geometry.num_banks),
+      ap_(cfg.geometry.num_banks),
+      act_history_(4, kNeverCycle) {
+  ANNOC_ASSERT(cfg.geometry.num_banks >= 1);
+  if (cfg_.refresh_enabled) next_refresh_ = timing_.trefi;
+}
+
+const Bank& Device::bank(BankId b) const {
+  ANNOC_ASSERT(b < banks_.size());
+  return banks_[b];
+}
+
+bool Device::row_open(BankId b, RowId row) const {
+  const Bank& bk = bank(b);
+  return bk.state == BankState::kActive && bk.open_row == row &&
+         !ap_[b].pending;
+}
+
+bool Device::bank_open(BankId b) const {
+  return bank(b).state == BankState::kActive && !ap_[b].pending;
+}
+
+double Device::useful_utilization(Cycle elapsed) const {
+  if (elapsed == 0) return 0.0;
+  // DDR moves 2 beats per cycle: useful cycles = useful_beats / 2.
+  return static_cast<double>(stats_.useful_beats) /
+         (2.0 * static_cast<double>(elapsed));
+}
+
+double Device::raw_utilization(Cycle elapsed) const {
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(stats_.total_beats) /
+         (2.0 * static_cast<double>(elapsed));
+}
+
+bool Device::refresh_blocked(Cycle now) const {
+  if (!cfg_.refresh_enabled) return false;
+  return refresh_waiting_ || now < refresh_done_;
+}
+
+void Device::tick(Cycle now) {
+  // Auto-precharge events: once the self-timed precharge point passes,
+  // the bank transitions to precharging without a command-bus slot.
+  for (BankId b = 0; b < banks_.size(); ++b) {
+    if (ap_[b].pending && now >= ap_[b].start) {
+      banks_[b].on_precharge(ap_[b].start, timing_);
+      ap_[b].pending = false;
+      ++stats_.auto_precharges;
+    }
+    banks_[b].settle(now);
+  }
+
+  if (!cfg_.refresh_enabled) return;
+
+  if (!refresh_waiting_ && now >= next_refresh_ && now >= refresh_done_) {
+    refresh_waiting_ = true;
+  }
+  if (refresh_waiting_) {
+    // Models the controller draining to all-banks-idle and issuing REF;
+    // uniform across all design points. Force precharges as they become
+    // legal.
+    bool all_idle = true;
+    for (BankId b = 0; b < banks_.size(); ++b) {
+      Bank& bk = banks_[b];
+      if (ap_[b].pending) {
+        all_idle = false;
+        continue;
+      }
+      if (bk.state == BankState::kActive) {
+        if (now >= bk.earliest_precharge(timing_)) {
+          bk.on_precharge(now, timing_);
+          ++stats_.precharges;
+        }
+        all_idle = false;
+      } else if (bk.state == BankState::kPrecharging) {
+        all_idle = false;
+      }
+    }
+    if (all_idle && now >= data_busy_until_) {
+      refresh_done_ = now + timing_.trfc;
+      next_refresh_ += timing_.trefi;
+      refresh_waiting_ = false;
+      ++stats_.refreshes;
+      for (Bank& bk : banks_) bk.ready_at = refresh_done_;
+    }
+  }
+}
+
+bool Device::can_issue(const Command& cmd, Cycle now) const {
+  // One command per cycle on the command bus.
+  if (last_cmd_cycle_ != kNeverCycle && now <= last_cmd_cycle_) return false;
+  if (refresh_blocked(now) && cmd.type != CommandType::kPrecharge) {
+    return false;
+  }
+  switch (cmd.type) {
+    case CommandType::kActivate:
+      return can_issue_activate(cmd, now);
+    case CommandType::kRead:
+    case CommandType::kWrite:
+      return can_issue_cas(cmd, now);
+    case CommandType::kPrecharge:
+      return can_issue_precharge(cmd, now);
+    case CommandType::kRefresh:
+      // Refresh is handled by the internal engine in this model.
+      return false;
+  }
+  return false;
+}
+
+bool Device::can_issue_activate(const Command& c, Cycle now) const {
+  const Bank& bk = bank(c.bank);
+  if (ap_[c.bank].pending) return false;
+  if (bk.state == BankState::kActive) return false;
+  if (now < bk.ready_at) return false;  // still precharging (or post-REF)
+  if (last_act_ != kNeverCycle && now < last_act_ + timing_.trrd) {
+    return false;
+  }
+  if (timing_.tfaw > 0) {
+    // At most 4 activates inside any tFAW window: the 4th-previous ACT
+    // must be at least tFAW ago.
+    const Cycle fourth_back = act_history_[act_history_pos_];
+    if (fourth_back != kNeverCycle && now < fourth_back + timing_.tfaw) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DataWindow Device::cas_window(const Command& c, Cycle now) const {
+  const std::uint32_t lat =
+      c.type == CommandType::kRead ? timing_.cl : timing_.cwl;
+  const Cycle start = now + lat;
+  const Cycle len = (c.burst_beats + 1) / 2;  // 2 beats per cycle
+  return DataWindow{start, start + len};
+}
+
+bool Device::can_issue_cas(const Command& c, Cycle now) const {
+  const Bank& bk = bank(c.bank);
+  if (ap_[c.bank].pending) return false;  // row is closing
+  if (bk.state != BankState::kActive) return false;
+  if (bk.open_row != c.row) return false;  // CAS must address the open row
+  if (now < bk.ready_at) return false;  // tRCD not yet satisfied
+  if (last_cas_ != kNeverCycle && now < last_cas_ + timing_.tccd) {
+    return false;
+  }
+  // Burst length legality for the programmed mode.
+  switch (cfg_.burst_mode) {
+    case BurstMode::kBl4:
+      if (c.burst_beats != 4) return false;
+      break;
+    case BurstMode::kBl8:
+      if (c.burst_beats != 8) return false;
+      break;
+    case BurstMode::kBl4Otf:
+      if (c.burst_beats != 4 && c.burst_beats != 8) return false;
+      break;
+  }
+
+  const RW dir = c.type == CommandType::kRead ? RW::kRead : RW::kWrite;
+  if (dir == RW::kRead && last_write_data_end_ > 0) {
+    // Write-to-read turnaround (tWTR after the last write data beat).
+    if (now < last_write_data_end_ + timing_.twtr) return false;
+  }
+  const DataWindow w = cas_window(c, now);
+  Cycle bus_free = data_busy_until_;
+  if (have_data_dir_ && dir != data_dir_) {
+    bus_free += timing_.bus_turnaround;  // data contention gap
+  }
+  if (w.start < bus_free) return false;
+
+  // CAS-with-AP needs no extra legality check: the device computes the
+  // self-timed precharge point at issue.
+  return true;
+}
+
+bool Device::can_issue_precharge(const Command& c, Cycle now) const {
+  const Bank& bk = bank(c.bank);
+  if (ap_[c.bank].pending) return false;  // AP already closing it
+  if (bk.state != BankState::kActive) return false;
+  return now >= bk.earliest_precharge(timing_);
+}
+
+DataWindow Device::issue(const Command& cmd, Cycle now) {
+  ANNOC_ASSERT_MSG(can_issue(cmd, now), "illegal SDRAM command issue");
+  last_cmd_cycle_ = now;
+  Bank& bk = banks_[cmd.bank];
+
+  switch (cmd.type) {
+    case CommandType::kActivate: {
+      bk.on_activate(now, cmd.row, timing_);
+      last_act_ = now;
+      act_history_[act_history_pos_] = now;
+      act_history_pos_ = (act_history_pos_ + 1) % act_history_.size();
+      ++stats_.activates;
+      return {};
+    }
+    case CommandType::kPrecharge: {
+      bk.on_precharge(now, timing_);
+      ++stats_.precharges;
+      return {};
+    }
+    case CommandType::kRead:
+    case CommandType::kWrite: {
+      const RW dir =
+          cmd.type == CommandType::kRead ? RW::kRead : RW::kWrite;
+      const DataWindow w = cas_window(cmd, now);
+      if (have_data_dir_ && dir != data_dir_) {
+        ++stats_.bus_direction_turnarounds;
+      }
+      data_busy_until_ = w.end;
+      data_dir_ = dir;
+      have_data_dir_ = true;
+      last_cas_ = now;
+
+      const bool first_cas_this_activation = !bk.has_read && !bk.has_write;
+      if (!first_cas_this_activation) ++stats_.cas_row_hits;
+
+      if (dir == RW::kRead) {
+        bk.has_read = true;
+        bk.last_read_cas = now;
+        bk.read_data_end = w.end;
+        ++stats_.reads;
+      } else {
+        bk.has_write = true;
+        bk.write_data_end = w.end;
+        last_write_data_end_ = std::max(last_write_data_end_, w.end);
+        ++stats_.writes;
+      }
+      stats_.total_beats += cmd.burst_beats;
+      stats_.useful_beats += std::min(cmd.useful_beats, cmd.burst_beats);
+      ++stats_.cas_per_bank[cmd.bank % stats_.cas_per_bank.size()];
+
+      if (cmd.auto_precharge) {
+        // Self-timed precharge at the latest of tRAS / tRTP / tWR.
+        ApEvent& ev = ap_[cmd.bank];
+        ev.pending = true;
+        if (dir == RW::kRead) {
+          ev.start = std::max(bk.act_cycle + timing_.tras,
+                              now + timing_.trtp);
+        } else {
+          ev.start = std::max(bk.act_cycle + timing_.tras,
+                              w.end + timing_.twr);
+        }
+      }
+      return w;
+    }
+    case CommandType::kRefresh:
+      ANNOC_ASSERT_MSG(false, "REF is driven by the internal engine");
+      return {};
+  }
+  return {};
+}
+
+}  // namespace annoc::sdram

@@ -1,0 +1,126 @@
+/// \file device.hpp
+/// Cycle-level DDR SDRAM device model.
+///
+/// The device enforces the constraints the paper's mechanisms interact
+/// with: per-bank ACT/CAS/PRE timing (tRCD/tRAS/tRP/tWR/tRTP), CAS-to-CAS
+/// spacing (tCCD — the reason SAGM gains little on DDR III), shared
+/// bidirectional data bus with turnaround (data contention), write-to-
+/// read tWTR, ACT-to-ACT tRRD/tFAW, a one-command-per-cycle command bus
+/// (the reason BL4 without auto-precharge congests, Fig. 5), and
+/// CAS-with-auto-precharge (the SAGM enabler).
+///
+/// Controllers drive it with can_issue()/issue(); the device never
+/// reorders anything itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sdram/bank.hpp"
+#include "sdram/command.hpp"
+#include "sdram/config.hpp"
+
+namespace annoc::sdram {
+
+/// Activity and efficiency counters exposed for metrics and the power
+/// model.
+struct DeviceStats {
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;      ///< explicit PRE commands
+  std::uint64_t auto_precharges = 0; ///< CAS-with-AP events
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t cas_row_hits = 0;  ///< CAS to an already-open row beyond the first
+  std::uint64_t total_beats = 0;   ///< beats moved on the data bus
+  std::uint64_t useful_beats = 0;  ///< beats carrying requested data
+  std::uint64_t bus_direction_turnarounds = 0;
+  /// CAS commands per bank (bank-pressure distribution diagnostic).
+  std::array<std::uint64_t, 16> cas_per_bank{};
+
+  [[nodiscard]] std::uint64_t wasted_beats() const {
+    return total_beats - useful_beats;
+  }
+};
+
+class Device {
+ public:
+  explicit Device(const DeviceConfig& cfg);
+
+  /// True when `cmd` may legally be placed on the command bus at `now`.
+  /// Does not mutate state. `now` must be >= the cycle of the last
+  /// issued command.
+  [[nodiscard]] bool can_issue(const Command& cmd, Cycle now) const;
+
+  /// Issue `cmd` at `now`. Must only be called when can_issue() holds.
+  /// For CAS commands, returns the data-bus window; otherwise {0,0}.
+  DataWindow issue(const Command& cmd, Cycle now);
+
+  /// Advance internal events (bank settling, auto-precharge starts,
+  /// refresh engine) up to cycle `now`. Call once per cycle before
+  /// issuing.
+  void tick(Cycle now);
+
+  [[nodiscard]] const Bank& bank(BankId b) const;
+  [[nodiscard]] std::uint32_t num_banks() const {
+    return cfg_.geometry.num_banks;
+  }
+  /// True when bank `b` is active with `row` open and not closing.
+  [[nodiscard]] bool row_open(BankId b, RowId row) const;
+  /// True when bank `b` is active (any row) and not closing.
+  [[nodiscard]] bool bank_open(BankId b) const;
+
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  [[nodiscard]] const Timing& timing() const { return timing_; }
+  [[nodiscard]] const DeviceConfig& config() const { return cfg_; }
+  [[nodiscard]] Cycle data_bus_busy_until() const { return data_busy_until_; }
+  /// Cycle at which the most recent CAS was issued (kNeverCycle if none).
+  [[nodiscard]] Cycle last_cas_cycle() const { return last_cas_; }
+
+  /// Busy data-bus cycles assuming `elapsed` total cycles; "useful"
+  /// counts only requested beats (the paper's utilization definition —
+  /// padding fetched by granularity mismatch does not count).
+  [[nodiscard]] double useful_utilization(Cycle elapsed) const;
+  [[nodiscard]] double raw_utilization(Cycle elapsed) const;
+
+  /// True while a refresh (or forced pre-refresh drain) blocks commands.
+  [[nodiscard]] bool refresh_blocked(Cycle now) const;
+
+ private:
+  struct ApEvent {
+    bool pending = false;
+    Cycle start = 0;  ///< when the internal precharge begins
+  };
+
+  [[nodiscard]] bool can_issue_activate(const Command& c, Cycle now) const;
+  [[nodiscard]] bool can_issue_cas(const Command& c, Cycle now) const;
+  [[nodiscard]] bool can_issue_precharge(const Command& c, Cycle now) const;
+  [[nodiscard]] DataWindow cas_window(const Command& c, Cycle now) const;
+
+  DeviceConfig cfg_;
+  Timing timing_;
+  std::vector<Bank> banks_;
+  std::vector<ApEvent> ap_;
+
+  Cycle last_cmd_cycle_ = kNeverCycle;   ///< command-bus occupancy
+  Cycle last_cas_ = kNeverCycle;         ///< for tCCD
+  Cycle last_act_ = kNeverCycle;         ///< for tRRD
+  std::vector<Cycle> act_history_;       ///< ring of recent ACTs for tFAW
+  std::size_t act_history_pos_ = 0;
+
+  Cycle data_busy_until_ = 0;
+  bool have_data_dir_ = false;
+  RW data_dir_ = RW::kRead;
+  Cycle last_write_data_end_ = 0;  ///< global, for tWTR
+
+  // Refresh engine state.
+  Cycle next_refresh_ = 0;
+  Cycle refresh_done_ = 0;
+  bool refresh_waiting_ = false;
+
+  DeviceStats stats_;
+};
+
+}  // namespace annoc::sdram

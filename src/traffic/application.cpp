@@ -1,0 +1,169 @@
+#include "traffic/application.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace annoc::traffic {
+namespace {
+
+// Request-size mixes used by the paper's motivating cores (Section
+// III-C): H.264 motion compensation asks for 4/8/16 bytes, MPEG-1/2 for
+// 8/16 bytes, and the video enhancer / format converter moves 64-BL
+// (256-byte) packets [21].
+const std::vector<SizeMix> kH264Sizes{{4, 0.2}, {8, 0.5}, {16, 0.3}};
+const std::vector<SizeMix> kMpeg2Sizes{{8, 0.6}, {16, 0.4}};
+const std::vector<SizeMix> kEnhancerSizes{{256, 1.0}};
+const std::vector<SizeMix> kDisplaySizes{{256, 1.0}};
+const std::vector<SizeMix> kOsdSizes{{32, 0.7}, {64, 0.3}};
+const std::vector<SizeMix> kAudioSizes{{16, 0.6}, {32, 0.4}};
+const std::vector<SizeMix> kDemuxSizes{{64, 1.0}};
+const std::vector<SizeMix> kDmaSizes{{64, 0.5}, {128, 0.5}};
+const std::vector<SizeMix> kPvrSizes{{16, 0.5}, {32, 0.5}};
+
+CoreSpec mpu(const std::string& name, double rate) {
+  CoreSpec s;
+  s.name = name;
+  s.is_mpu = true;
+  s.demand_fraction = 0.65;
+  s.demand_bytes = 32;
+  s.sizes = {{64, 1.0}};  // prefetches
+  s.read_fraction = 0.8;
+  s.bytes_per_cycle = rate;
+  s.max_outstanding = 3;  // a few demand misses + a prefetch in flight
+  s.sequential_fraction = 0.6;
+  s.placement_weight = 1.15;  // latency-critical: one hop from the memory corner
+  return s;
+}
+
+CoreSpec stream(const std::string& name, std::vector<SizeMix> sizes,
+                double rate, double read_frac, double seq,
+                std::uint32_t max_out = 4) {
+  CoreSpec s;
+  s.name = name;
+  s.sizes = std::move(sizes);
+  s.bytes_per_cycle = rate;
+  s.read_fraction = read_frac;
+  s.sequential_fraction = seq;
+  s.max_outstanding = max_out;
+  return s;
+}
+
+/// Assign disjoint 4 MiB regions and place cores: highest offered
+/// bandwidth closest to the memory corner (the A3MAP substitution).
+Application finalize(std::string name, noc::NocConfig noc,
+                     std::vector<CoreSpec> specs) {
+  const std::size_t n = specs.size();
+  ANNOC_ASSERT(n == static_cast<std::size_t>(noc.width) * noc.height);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    specs[i].region_base = static_cast<std::uint64_t>(i) * (4u << 20);
+    specs[i].region_bytes = 4u << 20;
+  }
+
+  // Node ids ordered by Manhattan distance to the memory corner.
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  const auto dist = [&](NodeId id) {
+    const auto x = id % noc.width, y = id / noc.width;
+    const auto mx = noc.mem_node % noc.width, my = noc.mem_node / noc.width;
+    return (x > mx ? x - mx : mx - x) + (y > my ? y - my : my - y);
+  };
+  std::stable_sort(nodes.begin(), nodes.end(),
+                   [&](NodeId a, NodeId b) { return dist(a) < dist(b); });
+
+  // Core indices ordered by bandwidth, heaviest first.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto weight = [&](std::size_t i) {
+    return specs[i].placement_weight > 0.0 ? specs[i].placement_weight
+                                           : specs[i].bytes_per_cycle;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return weight(a) > weight(b);
+  });
+
+  Application app;
+  app.name = std::move(name);
+  app.noc = noc;
+  app.cores.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    app.cores[order[i]] =
+        CorePlacement{std::move(specs[order[i]]), nodes[i]};
+  }
+  return app;
+}
+
+}  // namespace
+
+Application build_application(AppId id) {
+  noc::NocConfig noc;
+  noc.mem_node = 0;  // memory subsystem off the (0,0) corner router
+
+  switch (id) {
+    case AppId::kBluray: {
+      noc.width = 3;
+      noc.height = 3;
+      // 9 cores: host MPU, two H.264 decoders (main + BD-J/PiP),
+      // video enhancer, OSD/graphics, display output, audio DSP,
+      // stream demux and a peripheral DMA.
+      std::vector<CoreSpec> specs;
+      specs.push_back(mpu("mpu", 0.6));
+      specs.push_back(stream("h264-dec0", kH264Sizes, 1.0, 0.7, 0.25, 32));
+      specs.push_back(stream("h264-dec1", kH264Sizes, 0.7, 0.7, 0.25, 32));
+      specs.push_back(stream("enhancer", kEnhancerSizes, 1.4, 0.5, 0.95, 6));
+      specs.push_back(stream("osd", kOsdSizes, 0.5, 0.6, 0.7, 8));
+      specs.push_back(stream("display", kDisplaySizes, 1.0, 1.0, 0.98, 6));
+      specs.push_back(stream("audio", kAudioSizes, 0.2, 0.7, 0.8, 8));
+      specs.push_back(stream("demux", kDemuxSizes, 0.4, 0.3, 0.9, 8));
+      specs.push_back(stream("io-dma", kDmaSizes, 0.25, 0.5, 0.6, 8));
+      return finalize("Blu-ray", noc, std::move(specs));
+    }
+    case AppId::kSingleDtv: {
+      noc.width = 3;
+      noc.height = 3;
+      // 9 cores: MPU, MPEG-2/H.264 decoder, video enhancer, format
+      // converter, OSD, display, audio, TS demux and a PVR encoder.
+      std::vector<CoreSpec> specs;
+      specs.push_back(mpu("mpu", 0.6));
+      specs.push_back(stream("vdec", kMpeg2Sizes, 1.2, 0.7, 0.3, 32));
+      specs.push_back(stream("enhancer", kEnhancerSizes, 1.4, 0.5, 0.95, 6));
+      specs.push_back(stream("format-conv", kEnhancerSizes, 0.5, 0.5, 0.95, 6));
+      specs.push_back(stream("osd", kOsdSizes, 0.5, 0.6, 0.7, 8));
+      specs.push_back(stream("display", kDisplaySizes, 1.0, 1.0, 0.98, 6));
+      specs.push_back(stream("audio", kAudioSizes, 0.2, 0.7, 0.8, 8));
+      specs.push_back(stream("ts-demux", kDemuxSizes, 0.45, 0.3, 0.9, 8));
+      specs.push_back(stream("pvr-enc", kPvrSizes, 0.5, 0.3, 0.85, 12));
+      return finalize("Single DTV", noc, std::move(specs));
+    }
+    case AppId::kDualDtv: {
+      noc.width = 4;
+      noc.height = 4;
+      // 16 cores: one MPU plus two DTV pipelines and shared peripherals.
+      std::vector<CoreSpec> specs;
+      specs.push_back(mpu("mpu", 0.6));
+      specs.push_back(stream("vdec0", kMpeg2Sizes, 0.7, 0.7, 0.3, 32));
+      specs.push_back(stream("vdec1", kH264Sizes, 0.6, 0.7, 0.25, 32));
+      specs.push_back(stream("enhancer0", kEnhancerSizes, 0.8, 0.5, 0.95, 6));
+      specs.push_back(stream("enhancer1", kEnhancerSizes, 0.7, 0.5, 0.95, 6));
+      specs.push_back(stream("format-conv", kEnhancerSizes, 0.5, 0.5, 0.95, 6));
+      specs.push_back(stream("osd0", kOsdSizes, 0.35, 0.6, 0.7, 8));
+      specs.push_back(stream("osd1", kOsdSizes, 0.3, 0.6, 0.7, 8));
+      specs.push_back(stream("display0", kDisplaySizes, 0.65, 1.0, 0.98, 6));
+      specs.push_back(stream("display1", kDisplaySizes, 0.65, 1.0, 0.98, 6));
+      specs.push_back(stream("audio0", kAudioSizes, 0.15, 0.7, 0.8, 8));
+      specs.push_back(stream("audio1", kAudioSizes, 0.15, 0.7, 0.8, 8));
+      specs.push_back(stream("ts-demux0", kDemuxSizes, 0.3, 0.3, 0.9, 8));
+      specs.push_back(stream("ts-demux1", kDemuxSizes, 0.3, 0.3, 0.9, 8));
+      specs.push_back(stream("pvr-enc", kPvrSizes, 0.3, 0.3, 0.85, 12));
+      specs.push_back(stream("io-dma", kDmaSizes, 0.25, 0.5, 0.6, 8));
+      return finalize("Dual DTV", noc, std::move(specs));
+    }
+  }
+  ANNOC_ASSERT_MSG(false, "unknown application");
+  return {};
+}
+
+}  // namespace annoc::traffic

@@ -1,0 +1,58 @@
+/// \file core_spec.hpp
+/// Declarative description of one IP core's memory-traffic behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace annoc::traffic {
+
+/// One entry of a request-size distribution.
+struct SizeMix {
+  std::uint32_t bytes = 32;
+  double weight = 1.0;
+};
+
+/// Traffic model parameters for one core. Rates are in bytes of useful
+/// payload per memory-clock cycle; the generator is closed-loop — it
+/// stops accruing credit while `max_outstanding` requests are in flight,
+/// which is how the RTL cores of the paper behave when their local FIFOs
+/// fill (and what keeps latencies finite at saturating offered loads).
+struct CoreSpec {
+  std::string name;
+  /// Demand/prefetch mix: fraction of requests that are demand-class.
+  /// Non-MPU cores use 0 (pure stream traffic).
+  double demand_fraction = 0.0;
+  bool is_mpu = false;
+
+  double read_fraction = 0.7;
+  double bytes_per_cycle = 1.0;
+  std::vector<SizeMix> sizes{{32, 1.0}};
+  /// Demand-request size for MPU cores (a cache line).
+  std::uint32_t demand_bytes = 32;
+
+  std::uint32_t max_outstanding = 8;
+  /// Open-loop core: the request rate is a real-time requirement (video
+  /// pipelines), so credit accrues regardless of outstanding requests
+  /// and the backlog grows when the memory system cannot keep up —
+  /// which is exactly how congestion becomes latency in the paper's
+  /// RTL testbench. Closed-loop (false) models cores that stall on
+  /// outstanding requests, like a CPU on demand misses.
+  bool open_loop = false;
+  /// Probability the next request continues the sequential stream.
+  double sequential_fraction = 0.9;
+
+  /// Address region (frame buffers, bitstream buffers, ...).
+  std::uint64_t region_base = 0;
+  std::uint64_t region_bytes = 4u << 20;
+
+  /// Placement priority for the A3MAP-substitute mapper (0 = use
+  /// bytes_per_cycle). The MPU gets a large weight: its demand misses
+  /// are latency-critical, so A3MAP places it next to the memory.
+  double placement_weight = 0.0;
+};
+
+}  // namespace annoc::traffic

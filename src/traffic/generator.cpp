@@ -1,0 +1,136 @@
+#include "traffic/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "traffic/splitter.hpp"
+
+namespace annoc::traffic {
+
+CoreGenerator::CoreGenerator(const GeneratorConfig& cfg,
+                             const sdram::AddressMapper& mapper,
+                             PacketId& id_source)
+    : cfg_(cfg),
+      mapper_(mapper),
+      id_source_(id_source),
+      rng_(cfg.seed ^ (0xa5a5a5a5ULL + cfg.core_id * 0x9e3779b9ULL)) {
+  ANNOC_ASSERT(!cfg_.spec.sizes.empty());
+  ANNOC_ASSERT(cfg_.spec.region_bytes > 0);
+  cursor_ = cfg_.spec.region_base;
+  next_size_ = pick_size();
+}
+
+std::uint32_t CoreGenerator::pick_size() {
+  const CoreSpec& s = cfg_.spec;
+  next_is_demand_ = s.demand_fraction > 0.0 && rng_.chance(s.demand_fraction);
+  if (next_is_demand_) return s.demand_bytes;
+  std::vector<double> w;
+  w.reserve(s.sizes.size());
+  for (const SizeMix& m : s.sizes) w.push_back(m.weight);
+  return s.sizes[rng_.pick_weighted(w.data(), w.size())].bytes;
+}
+
+std::uint64_t CoreGenerator::pick_address(std::uint32_t bytes) {
+  const CoreSpec& s = cfg_.spec;
+  const std::uint64_t align = std::max<std::uint64_t>(cfg_.bus_bytes, 4);
+
+  if (!rng_.chance(s.sequential_fraction)) {
+    // Jump somewhere else in the region (aligned).
+    const std::uint64_t span = s.region_bytes / align;
+    cursor_ = s.region_base + rng_.next_below(span) * align;
+  }
+  // Keep the request inside one mapping unit (chunk/row): SDRAM bursts
+  // never cross rows, and a request crossing a chunk would change bank
+  // mid-request; real masters split at these boundaries anyway.
+  if (mapper_.bytes_to_boundary(cursor_) < bytes) {
+    cursor_ += mapper_.bytes_to_boundary(cursor_);
+  }
+  // Wrap at the region end.
+  if (cursor_ + bytes > s.region_base + s.region_bytes) {
+    cursor_ = s.region_base;
+  }
+  const std::uint64_t addr = cursor_;
+  cursor_ += bytes;
+  return addr;
+}
+
+void CoreGenerator::emit_request(Cycle now) {
+  const CoreSpec& s = cfg_.spec;
+  // Masters split their bursts at the interconnect's interleave
+  // boundary; a request can never span two banks.
+  next_size_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      next_size_, mapper_.boundary_unit()));
+  noc::Packet pkt;
+  pkt.id = id_source_++;
+  pkt.parent_id = pkt.id;
+  pkt.src_core = cfg_.core_id;
+  pkt.src_node = cfg_.node;
+  pkt.dst_node = cfg_.mem_node;
+  pkt.rw = rng_.chance(s.read_fraction) ? RW::kRead : RW::kWrite;
+  pkt.kind = next_is_demand_
+                 ? RequestKind::kDemand
+                 : (s.is_mpu ? RequestKind::kPrefetch : RequestKind::kStream);
+  pkt.svc = (next_is_demand_ && cfg_.priority_demand)
+                ? ServiceClass::kPriority
+                : ServiceClass::kBestEffort;
+  pkt.useful_bytes = next_size_;
+  pkt.byte_addr = pick_address(next_size_);
+  pkt.useful_beats =
+      (pkt.useful_bytes + cfg_.bus_bytes - 1) / cfg_.bus_bytes;
+  pkt.flits = noc::Packet::flits_for_beats(pkt.useful_beats);
+  pkt.loc = mapper_.map(pkt.byte_addr);
+  pkt.created = now;
+
+  ++stats_.requests_generated;
+  stats_.bytes_requested += pkt.useful_bytes;
+  ++outstanding_;
+
+  if (cfg_.split_beats > 0) {
+    std::vector<noc::Packet> subs = split_packet(
+        pkt, cfg_.split_beats, cfg_.bus_bytes, mapper_, id_source_);
+    if (cfg_.on_request) {
+      cfg_.on_request(pkt, static_cast<std::uint32_t>(subs.size()));
+    }
+    for (noc::Packet& sub : subs) backlog_.push_back(std::move(sub));
+  } else {
+    if (cfg_.on_request) cfg_.on_request(pkt, 1);
+    backlog_.push_back(std::move(pkt));
+  }
+  next_size_ = pick_size();
+}
+
+void CoreGenerator::tick(Cycle now, noc::Network& net) {
+  const CoreSpec& s = cfg_.spec;
+  // Open-loop cores accrue credit unconditionally (their rate is a
+  // real-time requirement); closed-loop cores stop while their
+  // outstanding window is full.
+  const bool may_emit = s.open_loop || outstanding_ < s.max_outstanding;
+  if (may_emit) {
+    credit_ += s.bytes_per_cycle;
+    while (credit_ >= static_cast<double>(next_size_) &&
+           (s.open_loop || outstanding_ < s.max_outstanding)) {
+      credit_ -= static_cast<double>(next_size_);
+      emit_request(now);
+    }
+    if (!s.open_loop) {
+      // Credit never banks more than one maximal request ahead, so an
+      // idle period does not produce a thundering burst later.
+      credit_ = std::min(credit_, 2.0 * static_cast<double>(next_size_));
+    }
+  }
+
+  // Injection: one packet at a time over the core link. try_inject
+  // consumes the packet only on success.
+  if (backlog_.empty() || now < link_free_at_) return;
+  const std::uint32_t flits = backlog_.front().flits;
+  if (net.try_inject(std::move(backlog_.front()), now)) {
+    backlog_.pop_front();
+    link_free_at_ = now + flits;
+    ++stats_.packets_injected;
+  } else {
+    ++stats_.inject_stalls;
+  }
+}
+
+}  // namespace annoc::traffic

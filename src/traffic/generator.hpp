@@ -1,0 +1,84 @@
+/// \file generator.hpp
+/// Closed-loop traffic generator for one core: accrues payload credit,
+/// emits requests per the core's size/direction/locality distributions,
+/// optionally splits them per SAGM, and injects them over the core's
+/// link into the local router.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "noc/network.hpp"
+#include "noc/packet.hpp"
+#include "sdram/address.hpp"
+#include "traffic/core_spec.hpp"
+
+namespace annoc::traffic {
+
+struct GeneratorConfig {
+  CoreSpec spec;
+  CoreId core_id = 0;
+  NodeId node = 0;
+  NodeId mem_node = 0;
+  std::uint32_t bus_bytes = 4;
+  /// Assign ServiceClass::kPriority to demand requests (Table II mode).
+  bool priority_demand = false;
+  /// SAGM: split requests into subpackets of this many beats (0 = off).
+  std::uint32_t split_beats = 0;
+  std::uint64_t seed = 1;
+  /// Invoked for every generated request with the parent packet (before
+  /// splitting) and the number of subpackets it became.
+  std::function<void(const noc::Packet&, std::uint32_t)> on_request;
+};
+
+struct GeneratorStats {
+  std::uint64_t requests_generated = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t inject_stalls = 0;  ///< cycles blocked on a full buffer
+};
+
+class CoreGenerator {
+ public:
+  CoreGenerator(const GeneratorConfig& cfg,
+                const sdram::AddressMapper& mapper, PacketId& id_source);
+
+  /// Generate (credit permitting) and inject (link/buffer permitting).
+  void tick(Cycle now, noc::Network& net);
+
+  /// A parent request completed (all subpackets serviced).
+  void on_parent_completed() {
+    ANNOC_ASSERT(outstanding_ > 0);
+    --outstanding_;
+  }
+
+  [[nodiscard]] const GeneratorStats& stats() const { return stats_; }
+  [[nodiscard]] CoreId core_id() const { return cfg_.core_id; }
+  [[nodiscard]] const CoreSpec& spec() const { return cfg_.spec; }
+  [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
+  [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+
+ private:
+  [[nodiscard]] std::uint32_t pick_size();
+  [[nodiscard]] std::uint64_t pick_address(std::uint32_t bytes);
+  void emit_request(Cycle now);
+
+  GeneratorConfig cfg_;
+  const sdram::AddressMapper& mapper_;
+  PacketId& id_source_;
+  Rng rng_;
+
+  double credit_ = 0.0;
+  std::uint32_t next_size_ = 0;
+  bool next_is_demand_ = false;
+  std::uint64_t cursor_ = 0;
+  std::uint32_t outstanding_ = 0;
+  Cycle link_free_at_ = 0;
+  std::deque<noc::Packet> backlog_;
+  GeneratorStats stats_;
+};
+
+}  // namespace annoc::traffic

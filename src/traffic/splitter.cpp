@@ -1,0 +1,57 @@
+#include "traffic/splitter.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace annoc::traffic {
+
+std::vector<noc::Packet> split_packet(const noc::Packet& base,
+                                      std::uint32_t granularity_beats,
+                                      std::uint32_t bus_bytes,
+                                      const sdram::AddressMapper& mapper,
+                                      PacketId& next_id) {
+  ANNOC_ASSERT(granularity_beats > 0);
+  ANNOC_ASSERT(bus_bytes > 0);
+  std::vector<noc::Packet> out;
+  const std::uint32_t gran_bytes = granularity_beats * bus_bytes;
+  std::uint32_t remaining = base.useful_bytes;
+  std::uint64_t addr = base.byte_addr;
+
+  while (remaining > 0) {
+    noc::Packet sub = base;
+    sub.id = next_id++;
+    sub.parent_id = base.id;
+    sub.is_split = true;
+    sub.byte_addr = addr;
+    sub.useful_bytes = std::min(remaining, gran_bytes);
+    sub.useful_beats =
+        (sub.useful_bytes + bus_bytes - 1) / bus_bytes;
+    sub.flits = noc::Packet::flits_for_beats(sub.useful_beats);
+    sub.loc = mapper.map(addr);
+    ANNOC_ASSERT_MSG(sub.loc.row == base.loc.row &&
+                         sub.loc.bank == base.loc.bank,
+                     "request straddles a row; generator must prevent this");
+    remaining -= sub.useful_bytes;
+    addr += sub.useful_bytes;
+    out.push_back(sub);
+  }
+  if (out.size() > 1) {
+    // The AP tag marks the last subpacket of a *split* packet
+    // (Section IV-C): the train is done with the row, so the bank
+    // closes via auto-precharge. An unsplit request carries no tag —
+    // the bank stays open (partially open page), which matters for
+    // small scattered requests whose neighbourhood may still be hot.
+    out.back().ap_tag = true;
+  }
+  if (out.empty()) {
+    // Degenerate zero-byte request: forward as a single untagged packet.
+    noc::Packet sub = base;
+    sub.id = next_id++;
+    sub.parent_id = base.id;
+    out.push_back(sub);
+  }
+  return out;
+}
+
+}  // namespace annoc::traffic

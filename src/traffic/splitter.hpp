@@ -1,0 +1,28 @@
+/// \file splitter.hpp
+/// SAGM packet splitting (Section IV-C): a request is cut into
+/// subpackets of at most the SDRAM access granularity; the last
+/// subpacket carries the AP tag that tells the memory subsystem to
+/// close the bank with auto-precharge. All subpackets address the same
+/// row (callers guarantee requests never straddle a row), so the
+/// sibling relation is row-hit and the GSS row-hit preference keeps the
+/// train together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/packet.hpp"
+#include "sdram/address.hpp"
+
+namespace annoc::traffic {
+
+/// Split `base` into subpackets of at most `granularity_beats` beats.
+/// `next_id` supplies fresh packet ids; the parent id of every subpacket
+/// is base.id. A request no longer than the granularity still gets its
+/// AP tag set (it is its own last subpacket).
+[[nodiscard]] std::vector<noc::Packet> split_packet(
+    const noc::Packet& base, std::uint32_t granularity_beats,
+    std::uint32_t bus_bytes, const sdram::AddressMapper& mapper,
+    PacketId& next_id);
+
+}  // namespace annoc::traffic

@@ -1,0 +1,134 @@
+/// Tests for the minimal adaptive (negative-first) routing policy.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/simulator.hpp"
+#include "noc/network.hpp"
+
+namespace annoc::noc {
+namespace {
+
+NocConfig adaptive_cfg() {
+  NocConfig c;
+  c.width = 3;
+  c.height = 3;
+  c.mem_node = 0;
+  c.buffer_flits = 8;
+  c.routing = RoutingPolicy::kAdaptiveMinimal;
+  return c;
+}
+
+TEST(AdaptiveRouting, StaysMinimal) {
+  Network net(adaptive_cfg(), {FlowControlKind::kRoundRobin}, {});
+  // From every node toward the corner, the chosen port must reduce the
+  // Manhattan distance.
+  for (NodeId n = 1; n < 9; ++n) {
+    const Port p = net.route(n, 0);
+    NodeId next = kInvalidNode;
+    switch (p) {
+      case kPortWest: next = n - 1; break;
+      case kPortNorth: next = n - 3; break;
+      default: FAIL() << "non-productive port from node " << n;
+    }
+    EXPECT_EQ(net.hops(next, 0) + 1, net.hops(n, 0));
+  }
+}
+
+TEST(AdaptiveRouting, PrefersEmptierDownstream) {
+  Network net(adaptive_cfg(), {FlowControlKind::kRoundRobin}, {});
+  // From node 4 (1,1), both West (node 3) and North (node 1) are
+  // productive toward node 0. Fill node 3's east input buffer; the
+  // route must switch to North.
+  const Port before = net.route(4, 0);
+  Packet filler;
+  filler.flits = 8;
+  filler.dst_node = 0;
+  net.router(3).on_arrival(std::move(filler), kPortEast, 0, kPortWest, 0);
+  const Port after = net.route(4, 0);
+  EXPECT_EQ(after, kPortNorth);
+  (void)before;
+}
+
+TEST(AdaptiveRouting, PositiveMovesFallBackToXy) {
+  NocConfig c = adaptive_cfg();
+  c.mem_node = 8;  // memory at the positive corner
+  Network net(c, {FlowControlKind::kRoundRobin}, {});
+  // From node 0 toward node 8: only positive moves, deterministic XY.
+  EXPECT_EQ(net.route(0, 8), kPortEast);
+  EXPECT_EQ(net.route(2, 8), kPortSouth);
+}
+
+TEST(AdaptiveRouting, ConservationUnderLoad) {
+  Network net(adaptive_cfg(), {FlowControlKind::kGss},
+              GssParams{4, sdram::make_timing(sdram::DdrGeneration::kDdr2,
+                                              400.0)});
+  class Sink final : public PacketSink {
+   public:
+    bool can_accept(const Packet&) const override { return true; }
+    void deliver(Packet&& p, Cycle) override { ++seen[p.id]; }
+    std::map<PacketId, int> seen;
+  } sink;
+  net.attach_sink(&sink);
+  Rng rng(5);
+  PacketId id = 1;
+  std::size_t injected = 0;
+  for (Cycle t = 0; t < 4000; ++t) {
+    if (rng.chance(0.5)) {
+      Packet p;
+      p.id = id;
+      p.parent_id = id;
+      p.src_node = static_cast<NodeId>(rng.next_below(9));
+      p.dst_node = 0;
+      p.flits = static_cast<std::uint32_t>(1 + rng.next_below(8));
+      p.useful_beats = p.flits * 2;
+      p.loc.bank = static_cast<BankId>(rng.next_below(8));
+      if (net.try_inject(std::move(p), t)) {
+        ++id;
+        ++injected;
+      }
+    }
+    net.tick(t);
+  }
+  for (Cycle t = 4000; t < 20000 && net.in_flight_packets() > 0; ++t) {
+    net.tick(t);
+  }
+  EXPECT_EQ(net.in_flight_packets(), 0u) << "adaptive routing must not "
+                                            "deadlock or drop packets";
+  EXPECT_EQ(sink.seen.size(), injected);
+}
+
+TEST(AdaptiveRouting, FullSimulationRuns) {
+  core::SystemConfig cfg;
+  cfg.design = core::DesignPoint::kGss;
+  cfg.app = traffic::AppId::kDualDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 400.0;
+  cfg.priority_enabled = true;
+  cfg.adaptive_routing = true;
+  cfg.sim_cycles = 12000;
+  cfg.warmup_cycles = 3000;
+  const core::Metrics m = core::run_simulation(cfg);
+  EXPECT_GT(m.completed_requests, 100u);
+  EXPECT_GT(m.utilization, 0.2);
+}
+
+TEST(AdaptiveRouting, ComparableToXy) {
+  core::SystemConfig cfg;
+  cfg.design = core::DesignPoint::kGss;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.sim_cycles = 12000;
+  cfg.warmup_cycles = 3000;
+  const core::Metrics xy = core::run_simulation(cfg);
+  cfg.adaptive_routing = true;
+  const core::Metrics ad = core::run_simulation(cfg);
+  // Adaptive must be in the same performance class as XY (it only
+  // spreads load; the workload here is memory-bound).
+  EXPECT_NEAR(ad.utilization, xy.utilization, 0.08);
+}
+
+}  // namespace
+}  // namespace annoc::noc

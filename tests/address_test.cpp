@@ -1,0 +1,142 @@
+/// Tests for the address mapper: bijectivity, boundary semantics and
+/// the chunked bank-striping behaviour the schedulers rely on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "sdram/address.hpp"
+
+namespace annoc::sdram {
+namespace {
+
+Geometry small_geom() {
+  Geometry g;
+  g.num_banks = 4;
+  g.rows_per_bank = 32;
+  g.cols_per_row = 256;  // 1 KiB rows at 4 B bus
+  g.bus_bytes = 4;
+  return g;
+}
+
+TEST(AddressMapper, CapacityMatchesGeometry) {
+  AddressMapper m(small_geom());
+  EXPECT_EQ(m.capacity_bytes(), 4ull * 256 * 4 * 32);
+  EXPECT_EQ(m.row_bytes(), 1024u);
+}
+
+TEST(AddressMapper, SequentialAddressesWalkColumns) {
+  AddressMapper m(small_geom(), MapPolicy::kChunkedBankInterleave, 256);
+  const Location a = m.map(0);
+  const Location b = m.map(4);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col + 1, b.col);
+}
+
+TEST(AddressMapper, ChunkCrossingChangesBank) {
+  AddressMapper m(small_geom(), MapPolicy::kChunkedBankInterleave, 256);
+  const Location a = m.map(255);
+  const Location b = m.map(256);
+  EXPECT_NE(a.bank, b.bank);
+  EXPECT_EQ((a.bank + 1) % 4, b.bank);
+}
+
+TEST(AddressMapper, StripeReturnsToSameRow) {
+  // After visiting all banks, the stream returns to bank 0 in the SAME
+  // row (continuing its column range) — the property that makes the
+  // reopen after an AP a row hit.
+  AddressMapper m(small_geom(), MapPolicy::kChunkedBankInterleave, 256);
+  const Location first = m.map(0);
+  const Location back = m.map(4ull * 256);  // one full stripe later
+  EXPECT_EQ(back.bank, first.bank);
+  EXPECT_EQ(back.row, first.row);
+  EXPECT_NE(back.col, first.col);
+}
+
+TEST(AddressMapper, RowAdvancesAfterFullRowOfStripes) {
+  AddressMapper m(small_geom(), MapPolicy::kChunkedBankInterleave, 256);
+  const std::uint64_t bytes_per_row_group = 4ull * 1024;  // banks * row
+  const Location a = m.map(0);
+  const Location b = m.map(bytes_per_row_group);
+  EXPECT_EQ(b.bank, a.bank);
+  EXPECT_EQ(b.row, a.row + 1);
+}
+
+TEST(AddressMapper, BoundarySemanticsPerPolicy) {
+  AddressMapper chunked(small_geom(), MapPolicy::kChunkedBankInterleave, 256);
+  EXPECT_EQ(chunked.bytes_to_boundary(0), 256u);
+  EXPECT_EQ(chunked.bytes_to_boundary(250), 6u);
+  AddressMapper rowwise(small_geom(), MapPolicy::kRowBankCol);
+  EXPECT_EQ(rowwise.bytes_to_boundary(0), 1024u);
+  EXPECT_EQ(rowwise.bytes_to_boundary(1000), 24u);
+}
+
+TEST(AddressMapper, RowBankColLayout) {
+  AddressMapper m(small_geom(), MapPolicy::kRowBankCol);
+  // Crossing a row boundary moves to the next bank, same row index.
+  const Location a = m.map(1023);
+  const Location b = m.map(1024);
+  EXPECT_EQ(a.bank + 1, b.bank);
+  EXPECT_EQ(a.row, b.row);
+}
+
+TEST(AddressMapper, BankRowColLayout) {
+  AddressMapper m(small_geom(), MapPolicy::kBankRowCol);
+  // Consecutive rows stay in the same bank until the bank is exhausted.
+  const Location a = m.map(1023);
+  const Location b = m.map(1024);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.row + 1, b.row);
+}
+
+/// Property: the mapping is a bijection between word addresses and
+/// (bank,row,col) triples within the device capacity, for every policy.
+class MapperBijection : public ::testing::TestWithParam<MapPolicy> {};
+
+TEST_P(MapperBijection, NoTwoAddressesCollide) {
+  AddressMapper m(small_geom(), GetParam(), 256);
+  std::map<std::tuple<BankId, RowId, ColId>, std::uint64_t> seen;
+  const std::uint64_t cap = m.capacity_bytes();
+  for (std::uint64_t addr = 0; addr < cap; addr += 4) {
+    const Location loc = m.map(addr);
+    EXPECT_LT(loc.bank, 4u);
+    EXPECT_LT(loc.row, 32u);
+    EXPECT_LT(loc.col, 256u);
+    const auto key = std::make_tuple(loc.bank, loc.row, loc.col);
+    auto [it, inserted] = seen.emplace(key, addr);
+    EXPECT_TRUE(inserted) << "address " << addr << " collides with "
+                          << it->second;
+  }
+  EXPECT_EQ(seen.size(), cap / 4);
+}
+
+TEST_P(MapperBijection, WrapsAtCapacity) {
+  AddressMapper m(small_geom(), GetParam(), 256);
+  EXPECT_EQ(m.map(0), m.map(m.capacity_bytes()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, MapperBijection,
+                         ::testing::Values(MapPolicy::kChunkedBankInterleave,
+                                           MapPolicy::kRowBankCol,
+                                           MapPolicy::kBankRowCol));
+
+TEST(AddressMapper, RequestsWithinChunkShareBankAndRow) {
+  // Property used by the SAGM splitter: a request that does not cross a
+  // chunk boundary maps to one (bank, row) for all its bytes.
+  AddressMapper m(small_geom(), MapPolicy::kChunkedBankInterleave, 256);
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t addr = rng.next_below(m.capacity_bytes() - 256);
+    const std::uint64_t span = std::min<std::uint64_t>(
+        m.bytes_to_boundary(addr), 4 + 4 * rng.next_below(63));
+    const Location first = m.map(addr);
+    const Location last = m.map(addr + span - 1);
+    EXPECT_EQ(first.bank, last.bank);
+    EXPECT_EQ(first.row, last.row);
+  }
+}
+
+}  // namespace
+}  // namespace annoc::sdram

@@ -1,0 +1,132 @@
+/// Tests for the area and power models (Tables IV and V substitutes).
+#include <gtest/gtest.h>
+
+#include "analysis/area_model.hpp"
+#include "analysis/power_model.hpp"
+#include "core/simulator.hpp"
+
+namespace annoc::analysis {
+namespace {
+
+using core::DesignPoint;
+using noc::FlowControlKind;
+
+TEST(AreaModel, FlowControllerOrdering) {
+  AreaModel m;
+  const double conv = m.flow_controller_gates(FlowControlKind::kRoundRobin);
+  const double pfs = m.flow_controller_gates(FlowControlKind::kPriorityFirst);
+  const double ref4 = m.flow_controller_gates(FlowControlKind::kSdramAware);
+  const double gss = m.flow_controller_gates(FlowControlKind::kGss);
+  const double sti = m.flow_controller_gates(FlowControlKind::kGssSti);
+  EXPECT_LT(conv, pfs);
+  EXPECT_LT(pfs, gss);
+  // Paper Table IV: the GSS controller is smaller than [4]'s.
+  EXPECT_LT(gss, ref4);
+  EXPECT_GT(sti, gss);
+  // The paper's headline ratios: GSS+STI / CONV ~= 1.85, [4]/GSS+STI ~= 1.10.
+  EXPECT_NEAR(sti / conv, 6136.0 / 3310.0, 0.25);
+  EXPECT_NEAR(ref4 / sti, 6732.0 / 6136.0, 0.15);
+}
+
+TEST(AreaModel, RouterDominatedByDatapath) {
+  AreaModel m;
+  const double conv_r = m.router_gates(FlowControlKind::kRoundRobin, 16);
+  const double gss_r = m.router_gates(FlowControlKind::kGssSti, 16);
+  // Routers differ by ~10% despite the controller being ~2x (Table IV).
+  EXPECT_GT(gss_r, conv_r);
+  EXPECT_LT(gss_r / conv_r, 1.2);
+  // Bigger buffers mean a bigger router.
+  EXPECT_GT(m.router_gates(FlowControlKind::kRoundRobin, 32), conv_r);
+}
+
+TEST(AreaModel, MemorySubsystemRatiosMatchPaperShape) {
+  AreaModel m;
+  const double conv = m.memory_subsystem_gates(DesignPoint::kConv);
+  const double ref4 = m.memory_subsystem_gates(DesignPoint::kRef4);
+  const double ours = m.memory_subsystem_gates(DesignPoint::kGssSagmSti);
+  EXPECT_GT(conv, 2.5 * ours) << "reorder buffers dominate CONV";
+  EXPECT_LT(conv, 4.0 * ours);
+  EXPECT_GT(ref4, ours) << "[4] needs more PRE buffering than AP-based ours";
+  EXPECT_LT(ref4 / ours, 1.15);
+}
+
+TEST(AreaModel, FullNocRatio) {
+  AreaModel m;
+  const DesignArea conv = m.design_area(DesignPoint::kConv);
+  const DesignArea ours = m.design_area(DesignPoint::kGssSagmSti);
+  const double ratio = conv.noc_3x3 / ours.noc_3x3;
+  EXPECT_GT(ratio, 1.25);
+  EXPECT_LT(ratio, 1.7);
+}
+
+TEST(AreaModel, PfsVariantsPricedLikeTheirBase) {
+  AreaModel m;
+  EXPECT_DOUBLE_EQ(m.memory_subsystem_gates(DesignPoint::kRef4),
+                   m.memory_subsystem_gates(DesignPoint::kRef4Pfs));
+  EXPECT_DOUBLE_EQ(m.memory_subsystem_gates(DesignPoint::kConv),
+                   m.memory_subsystem_gates(DesignPoint::kConvPfs));
+}
+
+core::Metrics quick_metrics(DesignPoint d) {
+  core::SystemConfig cfg;
+  cfg.design = d;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 10000;
+  cfg.warmup_cycles = 2000;
+  return core::run_simulation(cfg);
+}
+
+TEST(PowerModel, ScalesWithClock) {
+  PowerModel pm;
+  const core::Metrics m = quick_metrics(DesignPoint::kGss);
+  const double p200 = pm.power(DesignPoint::kGss, 9, 200.0, m).total_mw();
+  const double p400 = pm.power(DesignPoint::kGss, 9, 400.0, m).total_mw();
+  EXPECT_NEAR(p400 / p200, 2.0, 0.01);
+}
+
+TEST(PowerModel, ScalesWithMeshSize) {
+  PowerModel pm;
+  const core::Metrics m = quick_metrics(DesignPoint::kGss);
+  const double p9 = pm.power(DesignPoint::kGss, 9, 400.0, m).noc_mw;
+  const double p16 = pm.power(DesignPoint::kGss, 16, 400.0, m).noc_mw;
+  EXPECT_GT(p16, p9);
+}
+
+TEST(PowerModel, ConvBurnsMore) {
+  PowerModel pm;
+  const core::Metrics mc = quick_metrics(DesignPoint::kConv);
+  const core::Metrics mg = quick_metrics(DesignPoint::kGssSagmSti);
+  const double pc = pm.power(DesignPoint::kConv, 9, 333.0, mc).total_mw();
+  const double pg =
+      pm.power(DesignPoint::kGssSagmSti, 9, 333.0, mg).total_mw();
+  EXPECT_GT(pc / pg, 1.2);
+  EXPECT_LT(pc / pg, 1.8);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal) {
+  PowerModel pm;
+  const core::Metrics m = quick_metrics(DesignPoint::kGss);
+  const PowerBreakdown b = pm.power(DesignPoint::kGss, 9, 333.0, m);
+  EXPECT_GT(b.noc_mw, 0.0);
+  EXPECT_GT(b.memory_mw, 0.0);
+  EXPECT_DOUBLE_EQ(b.total_mw(), b.noc_mw + b.memory_mw);
+}
+
+TEST(PowerModel, MoreActivityMorePower) {
+  PowerModel pm;
+  core::Metrics idle;  // zero activity
+  idle.measured_cycles = 1000;
+  core::Metrics busy = idle;
+  busy.noc_flits_forwarded = 9000;  // ~1 flit/router/cycle
+  busy.raw_utilization = 0.9;
+  busy.engine.cas_issued = 500;
+  const double p_idle = pm.power(DesignPoint::kGss, 9, 400.0, idle).total_mw();
+  const double p_busy = pm.power(DesignPoint::kGss, 9, 400.0, busy).total_mw();
+  EXPECT_GT(p_busy, 1.3 * p_idle);
+}
+
+}  // namespace
+}  // namespace annoc::analysis

@@ -1,0 +1,295 @@
+/// Tests for the shared command engine: request-to-command translation,
+/// open-page policy, auto-precharge tags, look-ahead bank preparation,
+/// and the bounded CAS slip with per-core ordering.
+#include <gtest/gtest.h>
+
+#include "memctrl/command_engine.hpp"
+#include "sdram/device.hpp"
+
+namespace annoc::memctrl {
+namespace {
+
+using sdram::BurstMode;
+using sdram::DdrGeneration;
+
+sdram::DeviceConfig dev_cfg(BurstMode mode = BurstMode::kBl8) {
+  sdram::DeviceConfig c;
+  c.generation = DdrGeneration::kDdr2;
+  c.clock_mhz = 400.0;
+  c.burst_mode = mode;
+  c.geometry = sdram::default_geometry(c.generation);
+  return c;
+}
+
+noc::Packet req(PacketId id, CoreId core, BankId bank, RowId row, ColId col,
+                std::uint32_t beats, RW rw = RW::kRead, bool ap = false) {
+  noc::Packet p;
+  p.id = id;
+  p.parent_id = id;
+  p.src_core = core;
+  p.loc.bank = bank;
+  p.loc.row = row;
+  p.loc.col = col;
+  p.useful_beats = beats;
+  p.useful_bytes = beats * 4;
+  p.flits = noc::Packet::flits_for_beats(beats);
+  p.rw = rw;
+  p.ap_tag = ap;
+  return p;
+}
+
+/// Run the engine until `count` completions or a cycle limit.
+std::vector<noc::Packet> run_until(sdram::Device&, CommandEngine& eng,
+                                   std::size_t count, Cycle& t,
+                                   Cycle limit = 5000) {
+  std::vector<noc::Packet> done;
+  const Cycle end = t + limit;
+  while (done.size() < count && t < end) {
+    eng.tick(t, done);
+    ++t;
+  }
+  return done;
+}
+
+TEST(CommandEngine, SingleReadLifecycle) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, 4);
+  eng.enqueue(req(1, 0, 0, 5, 0, 8));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 1, t);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, 1u);
+  EXPECT_GT(done[0].service_done, 0u);
+  EXPECT_EQ(dev.stats().activates, 1u);
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.stats().useful_beats, 8u);
+  // Timing: ACT at ~0, CAS at tRCD, data ends CL + 4 later.
+  const auto& tm = dev.timing();
+  EXPECT_GE(done[0].service_done, tm.trcd + tm.cl + 4);
+}
+
+TEST(CommandEngine, MultiCasChunkingWithPadding) {
+  sdram::Device dev(dev_cfg(BurstMode::kBl8));
+  CommandEngine eng(dev, 8, 4);
+  // 9 useful beats in BL8 mode: 2 CAS, 16 beats total, 7 wasted.
+  eng.enqueue(req(1, 0, 0, 5, 0, 9));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 1, t);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(dev.stats().reads, 2u);
+  EXPECT_EQ(dev.stats().total_beats, 16u);
+  EXPECT_EQ(dev.stats().useful_beats, 9u);
+  EXPECT_EQ(dev.stats().wasted_beats(), 7u);
+}
+
+TEST(CommandEngine, OtfChoosesBurstPerRemainder) {
+  sdram::DeviceConfig c = dev_cfg(BurstMode::kBl4Otf);
+  c.generation = DdrGeneration::kDdr3;
+  c.clock_mhz = 667.0;
+  sdram::Device dev(c);
+  CommandEngine eng(dev, 8, 4);
+  // 12 useful beats: one BL8 + one BL4, zero waste.
+  eng.enqueue(req(1, 0, 0, 5, 0, 12));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 1, t);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(dev.stats().reads, 2u);
+  EXPECT_EQ(dev.stats().total_beats, 12u);
+  EXPECT_EQ(dev.stats().wasted_beats(), 0u);
+}
+
+TEST(CommandEngine, RowHitSkipsActivate) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, 4);
+  eng.enqueue(req(1, 0, 0, 5, 0, 8));
+  eng.enqueue(req(2, 1, 0, 5, 8, 8));  // same bank, same row
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(dev.stats().activates, 1u) << "second request must row-hit";
+  EXPECT_EQ(dev.stats().cas_row_hits, 1u);
+}
+
+TEST(CommandEngine, RowMissPrechargesAndReactivates) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, 4);
+  eng.enqueue(req(1, 0, 0, 5, 0, 8));
+  eng.enqueue(req(2, 1, 0, 9, 0, 8));  // bank conflict
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(dev.stats().activates, 2u);
+  EXPECT_EQ(dev.stats().precharges, 1u);
+}
+
+TEST(CommandEngine, ApTagUsesAutoPrechargeInsteadOfPre) {
+  sdram::Device dev(dev_cfg(BurstMode::kBl4));
+  CommandEngine eng(dev, 8, 4);
+  eng.enqueue(req(1, 0, 0, 5, 0, 4, RW::kRead, /*ap=*/true));
+  eng.enqueue(req(2, 1, 0, 9, 0, 4));  // same bank, other row
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(dev.stats().auto_precharges, 1u);
+  EXPECT_EQ(dev.stats().precharges, 0u)
+      << "AP must remove the explicit PRE command";
+  EXPECT_EQ(dev.stats().activates, 2u);
+}
+
+TEST(CommandEngine, ApOnlyOnLastCasOfRequest) {
+  sdram::Device dev(dev_cfg(BurstMode::kBl4));
+  CommandEngine eng(dev, 8, 4);
+  // 12 beats with AP: three BL4 CAS; only the last carries AP.
+  eng.enqueue(req(1, 0, 0, 5, 0, 12, RW::kRead, /*ap=*/true));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 1, t);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(dev.stats().reads, 3u);
+  EXPECT_EQ(dev.stats().auto_precharges, 1u);
+}
+
+TEST(CommandEngine, LookaheadPreparesYoungerBank) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, /*lookahead=*/4);
+  // A long request on bank 0 and a follower on bank 1: bank 1's ACT
+  // should issue while bank 0 still streams (prep_acts > 0).
+  eng.enqueue(req(1, 0, 0, 5, 0, 64));
+  eng.enqueue(req(2, 1, 1, 3, 0, 8));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_GT(eng.stats().prep_acts, 0u);
+}
+
+TEST(CommandEngine, NoLookaheadMeansNoPrepActs) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, /*lookahead=*/0);
+  eng.enqueue(req(1, 0, 0, 5, 0, 64));
+  eng.enqueue(req(2, 1, 1, 3, 0, 8));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(eng.stats().prep_acts, 0u);
+}
+
+TEST(CommandEngine, LookaheadNeverStealsNeededBank) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, 4);
+  // Older request still needs bank 0 row 5; younger wants bank 0 row 9.
+  // The younger's PRE/ACT must not fire before the older finished.
+  eng.enqueue(req(1, 0, 0, 5, 0, 32));
+  eng.enqueue(req(2, 1, 0, 9, 0, 8));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, 1u);
+  EXPECT_EQ(done[1].id, 2u);
+  // Exactly 2 ACT (one per row), never a flip-flop.
+  EXPECT_EQ(dev.stats().activates, 2u);
+}
+
+TEST(CommandEngine, SlipLetsReadyEntryBypassStalledOne) {
+  // Request 1 closes bank 0 via AP; request 2 (another core) needs the
+  // same bank and stalls through the recycle; request 3 (a third core)
+  // targets an independent bank and should slip past request 2.
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, 4, /*reorder_depth=*/4);
+  eng.enqueue(req(1, 0, 0, 5, 0, 8, RW::kRead, /*ap=*/true));
+  eng.enqueue(req(2, 1, 0, 9, 0, 8));
+  eng.enqueue(req(3, 2, 1, 3, 0, 8));
+  std::vector<noc::Packet> done;
+  Cycle t = 0;
+  while (done.size() < 3 && t < 5000) {
+    eng.tick(t, done);
+    ++t;
+  }
+  ASSERT_EQ(done.size(), 3u);
+  // Request 3 (bank 1) should finish before request 2 (bank 0 recycle).
+  Cycle t2 = 0, t3 = 0;
+  for (const auto& p : done) {
+    if (p.id == 2) t2 = p.service_done;
+    if (p.id == 3) t3 = p.service_done;
+  }
+  EXPECT_LT(t3, t2) << "CAS slip should let the ready bank go first";
+}
+
+TEST(CommandEngine, SlipPreservesPerCoreOrder) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 8, 4, /*reorder_depth=*/8);
+  // Two requests from the SAME core; the first stalls on a bank
+  // recycle, the second is ready — it must NOT bypass.
+  eng.enqueue(req(1, 7, 0, 5, 0, 8, RW::kRead, true));  // AP closes bank 0
+  eng.enqueue(req(2, 7, 0, 9, 0, 8));  // same core, bank 0 recycle
+  eng.enqueue(req(3, 7, 1, 3, 0, 8));  // same core, bank 1 ready
+  std::vector<noc::Packet> done;
+  Cycle t = 0;
+  while (done.size() < 3 && t < 5000) {
+    eng.tick(t, done);
+    ++t;
+  }
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].id, 1u);
+  EXPECT_EQ(done[1].id, 2u);
+  EXPECT_EQ(done[2].id, 3u);
+}
+
+TEST(CommandEngine, PriorityEntryScannedAnywhereInWindow) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 16, 4, /*reorder_depth=*/2);
+  // Fill the window with best-effort requests on bank 0 (serialized by
+  // row conflicts), then a priority request on bank 1 deep behind them.
+  for (PacketId i = 0; i < 6; ++i) {
+    eng.enqueue(req(1 + i, static_cast<CoreId>(i), 0,
+                    static_cast<RowId>(10 + i), 0, 8));
+  }
+  noc::Packet prio = req(99, 42, 1, 3, 0, 8);
+  prio.svc = ServiceClass::kPriority;
+  eng.enqueue(std::move(prio));
+
+  std::vector<noc::Packet> done;
+  Cycle t = 0;
+  while (done.size() < 7 && t < 10000) {
+    eng.tick(t, done);
+    ++t;
+  }
+  ASSERT_EQ(done.size(), 7u);
+  // The priority request must complete well before the last best-effort
+  // conflicts (position strictly earlier than its FIFO slot).
+  std::size_t prio_pos = 99;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    if (done[i].id == 99) prio_pos = i;
+  }
+  EXPECT_LT(prio_pos, 4u);
+}
+
+TEST(CommandEngine, WindowBackpressure) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 2, 1);
+  EXPECT_TRUE(eng.can_accept());
+  eng.enqueue(req(1, 0, 0, 5, 0, 8));
+  eng.enqueue(req(2, 1, 1, 5, 0, 8));
+  EXPECT_FALSE(eng.can_accept());
+  std::vector<noc::Packet> done;
+  Cycle t = 0;
+  while (done.empty() && t < 1000) {
+    eng.tick(t, done);
+    ++t;
+  }
+  EXPECT_TRUE(eng.can_accept());
+}
+
+TEST(CommandEngine, ServiceDoneMatchesDataWindowEnd) {
+  sdram::Device dev(dev_cfg());
+  CommandEngine eng(dev, 4, 2);
+  eng.enqueue(req(1, 0, 0, 5, 0, 8, RW::kWrite));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 1, t);
+  ASSERT_EQ(done.size(), 1u);
+  const auto& tm = dev.timing();
+  // ACT at a0, CAS >= a0+tRCD, data end = CAS + CWL + 4.
+  EXPECT_GE(done[0].service_done, tm.trcd + tm.cwl + 4);
+  EXPECT_LE(done[0].service_done, t);
+}
+
+}  // namespace
+}  // namespace annoc::memctrl

@@ -1,0 +1,200 @@
+/// Tests for the baseline flow controllers: round-robin (CONV),
+/// priority-first (PFS) and the SDRAM-aware controller of [4], plus its
+/// +PFS variant.
+#include <gtest/gtest.h>
+
+#include "noc/flow_controller.hpp"
+
+namespace annoc::noc {
+namespace {
+
+Packet mk(BankId bank, RowId row, RW rw, Cycle arrived,
+          ServiceClass svc = ServiceClass::kBestEffort) {
+  Packet p;
+  p.loc.bank = bank;
+  p.loc.row = row;
+  p.rw = rw;
+  p.head_arrival = arrived;
+  p.svc = svc;
+  return p;
+}
+
+std::vector<Candidate> cands(std::vector<Packet>& pkts) {
+  std::vector<Candidate> c;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    c.push_back({&pkts[i], static_cast<std::uint32_t>(i)});
+  }
+  return c;
+}
+
+std::vector<Packet*> pool(std::vector<Packet>& pkts) {
+  std::vector<Packet*> p;
+  for (auto& x : pkts) p.push_back(&x);
+  return p;
+}
+
+TEST(SdramRelation, Definitions) {
+  const Packet a = mk(1, 10, RW::kRead, 0);
+  EXPECT_TRUE(SdramRelation::row_hit(a, mk(1, 10, RW::kRead, 0)));
+  EXPECT_TRUE(SdramRelation::bank_conflict(a, mk(1, 11, RW::kRead, 0)));
+  EXPECT_TRUE(SdramRelation::bank_interleave(a, mk(2, 10, RW::kRead, 0)));
+  EXPECT_TRUE(SdramRelation::data_contention(a, mk(2, 10, RW::kWrite, 0)));
+  EXPECT_FALSE(SdramRelation::bank_conflict(a, mk(2, 11, RW::kRead, 0)));
+  EXPECT_FALSE(SdramRelation::row_hit(a, mk(1, 11, RW::kRead, 0)));
+}
+
+TEST(RoundRobinFc, RotatesAcrossPorts) {
+  auto fc = make_flow_controller(FlowControlKind::kRoundRobin);
+  std::vector<Packet> pkts(3);
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  std::vector<std::uint32_t> grants;
+  for (int i = 0; i < 6; ++i) {
+    auto sel = fc->select(c, p, i);
+    ASSERT_TRUE(sel.has_value());
+    grants.push_back(c[*sel].port);
+    fc->on_scheduled(*c[*sel].pkt, i);
+  }
+  // Every port served twice over six grants.
+  int counts[3] = {0, 0, 0};
+  for (auto g : grants) ++counts[g];
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  // No port served twice in a row while others wait.
+  for (std::size_t i = 1; i < grants.size(); ++i) {
+    EXPECT_NE(grants[i], grants[i - 1]);
+  }
+}
+
+TEST(PriorityFirstFc, PriorityBeatsBestEffort) {
+  auto fc = make_flow_controller(FlowControlKind::kPriorityFirst);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(0, 0, RW::kRead, 5));
+  pkts.push_back(mk(1, 0, RW::kRead, 10, ServiceClass::kPriority));
+  pkts.push_back(mk(2, 0, RW::kRead, 1));
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 20);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u);  // priority wins despite being youngest
+}
+
+TEST(PriorityFirstFc, OldestFirstAmongEquals) {
+  auto fc = make_flow_controller(FlowControlKind::kPriorityFirst);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(0, 0, RW::kRead, 9));
+  pkts.push_back(mk(1, 0, RW::kRead, 3));
+  pkts.push_back(mk(2, 0, RW::kRead, 6));
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 20);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u);
+}
+
+TEST(SdramAwareFc, PrefersRowHit) {
+  auto fc = make_flow_controller(FlowControlKind::kSdramAware);
+  fc->on_scheduled(mk(1, 10, RW::kRead, 0), 0);  // h(n): bank 1 row 10
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(1, 11, RW::kRead, 1));  // bank conflict
+  pkts.push_back(mk(1, 10, RW::kRead, 5));  // row hit (younger)
+  pkts.push_back(mk(2, 10, RW::kRead, 2));  // interleave
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u);
+}
+
+TEST(SdramAwareFc, PrefersInterleaveWithoutContention) {
+  auto fc = make_flow_controller(FlowControlKind::kSdramAware);
+  fc->on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(2, 10, RW::kWrite, 1));  // interleave + contention
+  pkts.push_back(mk(3, 10, RW::kRead, 5));   // interleave, same direction
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u);
+}
+
+TEST(SdramAwareFc, AvoidsBankConflictLast) {
+  auto fc = make_flow_controller(FlowControlKind::kSdramAware);
+  fc->on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(1, 12, RW::kRead, 0));   // conflict, oldest
+  pkts.push_back(mk(4, 9, RW::kWrite, 8));   // interleave w/ contention
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u);
+}
+
+TEST(SdramAwareFc, StarvationCapPromotesAncientPackets) {
+  auto fc = make_flow_controller(FlowControlKind::kSdramAware);
+  fc->on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(1, 12, RW::kRead, 0));    // conflict but ancient
+  pkts.push_back(mk(2, 10, RW::kRead, 999));  // fresh interleave
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, /*now=*/1000);  // waited 1000 > cap 512
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 0u);
+}
+
+TEST(SdramAwareFc, NoHistorySelectsOldest) {
+  auto fc = make_flow_controller(FlowControlKind::kSdramAware);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(0, 0, RW::kRead, 7));
+  pkts.push_back(mk(1, 1, RW::kWrite, 2));
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u);
+}
+
+TEST(SdramAwarePfsFc, PriorityOverridesSdramRank) {
+  auto fc = make_flow_controller(FlowControlKind::kSdramAwarePfs);
+  fc->on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(2, 10, RW::kRead, 0));  // perfect interleave
+  pkts.push_back(
+      mk(1, 12, RW::kWrite, 5, ServiceClass::kPriority));  // worst rank
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u) << "+PFS must serve the priority packet first";
+}
+
+TEST(SdramAwarePfsFc, SdramRankAmongBestEffort) {
+  auto fc = make_flow_controller(FlowControlKind::kSdramAwarePfs);
+  fc->on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+  std::vector<Packet> pkts;
+  pkts.push_back(mk(1, 12, RW::kRead, 0));  // conflict
+  pkts.push_back(mk(1, 10, RW::kRead, 9));  // row hit
+  auto c = cands(pkts);
+  auto p = pool(pkts);
+  auto sel = fc->select(c, p, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 1u);
+}
+
+TEST(Factory, MakesEveryKind) {
+  for (auto kind :
+       {FlowControlKind::kRoundRobin, FlowControlKind::kPriorityFirst,
+        FlowControlKind::kSdramAware, FlowControlKind::kSdramAwarePfs,
+        FlowControlKind::kGss, FlowControlKind::kGssSti}) {
+    auto fc = make_flow_controller(kind);
+    ASSERT_NE(fc, nullptr);
+    EXPECT_EQ(fc->kind(), kind);
+  }
+}
+
+}  // namespace
+}  // namespace annoc::noc

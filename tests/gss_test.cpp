@@ -1,0 +1,330 @@
+/// Tests for the GSS flow controller — Algorithm 1, the Fig. 4 filter
+/// ladders, the priority-bank exclusion, the STI bank counters, and a
+/// reproduction of the paper's Fig. 1 scheduling example.
+#include <gtest/gtest.h>
+
+#include "noc/fc_gss.hpp"
+
+namespace annoc::noc {
+namespace {
+
+GssParams params(std::uint32_t pct = 4) {
+  GssParams p;
+  p.pct = pct;
+  p.timing = sdram::make_timing(sdram::DdrGeneration::kDdr3, 800.0);
+  return p;
+}
+
+Packet mk(BankId bank, RowId row, RW rw, Cycle arrived,
+          ServiceClass svc = ServiceClass::kBestEffort) {
+  Packet p;
+  p.loc.bank = bank;
+  p.loc.row = row;
+  p.rw = rw;
+  p.head_arrival = arrived;
+  p.svc = svc;
+  p.flits = 4;
+  return p;
+}
+
+std::vector<Candidate> cands(std::vector<Packet*> pkts) {
+  std::vector<Candidate> c;
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    c.push_back({pkts[i], static_cast<std::uint32_t>(i)});
+  }
+  return c;
+}
+
+TEST(GssTokens, InitialAssignment) {
+  GssFlowController fc(params(4), /*sti=*/false);
+  Packet be = mk(0, 0, RW::kRead, 0);
+  Packet pr = mk(1, 0, RW::kRead, 0, ServiceClass::kPriority);
+  std::vector<Packet*> empty;
+  fc.on_packet_arrival(be, empty, 0);
+  fc.on_packet_arrival(pr, empty, 0);
+  EXPECT_EQ(be.gss_tokens, 1u);   // Algorithm 1 line 11
+  EXPECT_EQ(pr.gss_tokens, 4u);   // line 9: PCT
+}
+
+TEST(GssTokens, PctCappedAtLadderTop) {
+  GssFlowController fc(params(99), /*sti=*/false);
+  Packet pr = mk(1, 0, RW::kRead, 0, ServiceClass::kPriority);
+  std::vector<Packet*> empty;
+  fc.on_packet_arrival(pr, empty, 0);
+  EXPECT_LE(pr.gss_tokens, fc.max_token_level());
+}
+
+TEST(GssTokens, ArrivalAgesWaitingPackets) {
+  GssFlowController fc(params(), /*sti=*/false);
+  Packet old1 = mk(0, 0, RW::kRead, 0);
+  Packet old2 = mk(1, 0, RW::kRead, 0);
+  std::vector<Packet*> empty;
+  fc.on_packet_arrival(old1, empty, 0);
+  std::vector<Packet*> pool1{&old1};
+  fc.on_packet_arrival(old2, pool1, 1);
+  EXPECT_EQ(old1.gss_tokens, 2u);  // aged by the arrival (line 3)
+  Packet newest = mk(2, 0, RW::kRead, 2);
+  std::vector<Packet*> pool2{&old1, &old2};
+  fc.on_packet_arrival(newest, pool2, 2);
+  EXPECT_EQ(old1.gss_tokens, 3u);
+  EXPECT_EQ(old2.gss_tokens, 2u);
+}
+
+TEST(GssTokens, AgingCapsAtLadderTop) {
+  GssFlowController fc(params(), /*sti=*/false);
+  Packet old1 = mk(0, 0, RW::kRead, 0);
+  std::vector<Packet*> empty;
+  fc.on_packet_arrival(old1, empty, 0);
+  for (int i = 0; i < 20; ++i) {
+    Packet p = mk(1, 0, RW::kRead, Cycle(i));
+    std::vector<Packet*> pool{&old1};
+    fc.on_packet_arrival(p, pool, Cycle(i));
+  }
+  EXPECT_EQ(old1.gss_tokens, fc.max_token_level());
+}
+
+TEST(GssFilter, LadderLevels4a) {
+  GssFlowController fc(params(), /*sti=*/false);
+  EXPECT_EQ(fc.max_token_level(), 5u);
+  fc.on_scheduled(mk(1, 10, RW::kRead, 0), 0);  // h(n)
+
+  const Packet conflict = mk(1, 11, RW::kRead, 1);
+  const Packet contention = mk(2, 10, RW::kWrite, 1);
+  const Packet clean = mk(2, 10, RW::kRead, 1);
+
+  // Levels 1-2: strict.
+  EXPECT_FALSE(fc.passes_filter(conflict, 1, 10));
+  EXPECT_FALSE(fc.passes_filter(contention, 2, 10));
+  EXPECT_TRUE(fc.passes_filter(clean, 1, 10));
+  // Levels 3-4: contention allowed, conflict still blocked.
+  EXPECT_TRUE(fc.passes_filter(contention, 3, 10));
+  EXPECT_FALSE(fc.passes_filter(conflict, 4, 10));
+  // Level 5: anything goes.
+  EXPECT_TRUE(fc.passes_filter(conflict, 5, 10));
+}
+
+TEST(GssFilter, EverythingPassesBeforeFirstSchedule) {
+  GssFlowController fc(params(), /*sti=*/false);
+  const Packet conflict = mk(1, 11, RW::kRead, 1);
+  EXPECT_TRUE(fc.passes_filter(conflict, 1, 0));
+}
+
+TEST(GssFilter, LadderLevels4bIncludeSti) {
+  GssFlowController fc(params(), /*sti=*/true);
+  EXPECT_EQ(fc.max_token_level(), 6u);
+  // Schedule a write to bank 2: the STI counter arms for
+  // flits + tWR + tRP cycles.
+  Packet w = mk(2, 7, RW::kWrite, 0);
+  fc.on_scheduled(w, 100);
+  const auto& t = params().timing;
+  const Cycle busy_until = 100 + w.flits + t.twr + t.trp;
+
+  const Packet same_bank_new_row = mk(2, 9, RW::kRead, 1);
+  EXPECT_TRUE(fc.sti_violation(same_bank_new_row, 101));
+  EXPECT_FALSE(fc.sti_violation(same_bank_new_row, busy_until));
+
+  // Row hits never trip the STI check (no re-activation needed)...
+  const Packet row_hit = mk(2, 7, RW::kWrite, 1);
+  EXPECT_FALSE(fc.sti_violation(row_hit, 101));
+  // ...nor do different banks.
+  const Packet other_bank = mk(3, 7, RW::kWrite, 1);
+  EXPECT_FALSE(fc.sti_violation(other_bank, 101));
+
+  // The level-1..2 filters reject STI violations; level 3 tolerates
+  // them as long as there is no conflict/contention.
+  const Packet sti_clean_dir = mk(3, 9, RW::kWrite, 1);  // same dir as h(n)
+  fc.on_scheduled(w, 200);  // rearm
+  Packet probe = mk(2, 9, RW::kWrite, 1);
+  EXPECT_FALSE(fc.passes_filter(probe, 1, 201));
+  EXPECT_TRUE(fc.passes_filter(sti_clean_dir, 1, 201));
+}
+
+TEST(GssSelect, PriorityFirstThenRowHitThenBestEffort) {
+  GssFlowController fc(params(), /*sti=*/false);
+  fc.on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+
+  Packet rowhit = mk(1, 10, RW::kRead, 1);
+  rowhit.gss_tokens = 1;
+  Packet interleave = mk(2, 3, RW::kRead, 1);
+  interleave.gss_tokens = 1;
+  Packet prio = mk(3, 4, RW::kRead, 2, ServiceClass::kPriority);
+  prio.gss_tokens = 4;
+
+  {
+    auto c = cands({&rowhit, &interleave, &prio});
+    std::vector<Packet*> pool{&rowhit, &interleave, &prio};
+    auto sel = fc.select(c, pool, 10);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_EQ(c[*sel].pkt, &prio) << "priority passing its filter wins";
+  }
+  {
+    auto c = cands({&rowhit, &interleave});
+    std::vector<Packet*> pool{&rowhit, &interleave};
+    auto sel = fc.select(c, pool, 10);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_EQ(c[*sel].pkt, &rowhit) << "row hit (T(0)) is second choice";
+  }
+  {
+    auto c = cands({&interleave});
+    std::vector<Packet*> pool{&interleave};
+    auto sel = fc.select(c, pool, 10);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_EQ(c[*sel].pkt, &interleave);
+  }
+}
+
+TEST(GssSelect, ExclusionBlocksSameBankBestEffort) {
+  // Algorithm 1 line 5: a best-effort candidate addressing the same
+  // bank as a priority candidate is not scheduled until the priority
+  // packet has been.
+  GssFlowController fc(params(), /*sti=*/false);
+  fc.on_scheduled(mk(0, 1, RW::kRead, 0), 0);
+
+  Packet be_same_bank = mk(5, 10, RW::kRead, 1);  // row hit? no: bank 5
+  be_same_bank.gss_tokens = 5;                    // very old
+  Packet prio = mk(5, 11, RW::kRead, 2, ServiceClass::kPriority);
+  prio.gss_tokens = 4;
+
+  auto c = cands({&be_same_bank, &prio});
+  std::vector<Packet*> pool{&be_same_bank, &prio};
+  auto sel = fc.select(c, pool, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(c[*sel].pkt, &prio)
+      << "the same-bank best-effort packet must be excluded";
+}
+
+TEST(GssSelect, ExclusionDoesNotApplyAcrossBanks) {
+  GssFlowController fc(params(), /*sti=*/false);
+  fc.on_scheduled(mk(0, 1, RW::kRead, 0), 0);
+  Packet be = mk(3, 10, RW::kRead, 1);
+  be.gss_tokens = 5;
+  Packet prio = mk(5, 11, RW::kWrite, 2, ServiceClass::kPriority);
+  prio.gss_tokens = 1;  // low PCT: fails its filter at level 1 (contention)
+  auto c = cands({&be, &prio});
+  std::vector<Packet*> pool{&be, &prio};
+  auto sel = fc.select(c, pool, 10);
+  ASSERT_TRUE(sel.has_value());
+  // The best-effort packet on another bank is eligible and passes.
+  EXPECT_EQ(c[*sel].pkt, &be);
+}
+
+TEST(GssSelect, AllExcludedIdlesChannel) {
+  GssFlowController fc(params(), /*sti=*/false);
+  fc.on_scheduled(mk(0, 1, RW::kRead, 0), 0);
+  // Only candidate is best-effort sharing the bank of a priority
+  // candidate... with a single candidate no exclusion can occur, so
+  // build two: both best-effort on the priority's bank — but the
+  // priority must itself be a candidate for exclusion to trigger, and
+  // then it is selectable. Verify select never returns nullopt when a
+  // priority candidate exists.
+  Packet prio = mk(5, 11, RW::kRead, 2, ServiceClass::kPriority);
+  prio.gss_tokens = 4;
+  Packet be = mk(5, 9, RW::kRead, 1);
+  be.gss_tokens = 5;
+  auto c = cands({&be, &prio});
+  std::vector<Packet*> pool{&be, &prio};
+  auto sel = fc.select(c, pool, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(c[*sel].pkt, &prio);
+}
+
+TEST(GssSelect, RetryLoopTerminatesAndInflatesTokens) {
+  GssFlowController fc(params(), /*sti=*/false);
+  fc.on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+  // Single candidate with a bank conflict and one token: fails levels
+  // 1-4, so the retry loop must grant tokens until level 5 admits it.
+  Packet conflict = mk(1, 11, RW::kRead, 1);
+  conflict.gss_tokens = 1;
+  auto c = cands({&conflict});
+  std::vector<Packet*> pool{&conflict};
+  auto sel = fc.select(c, pool, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(*sel, 0u);
+  EXPECT_EQ(conflict.gss_tokens, fc.max_token_level())
+      << "line 21 token grants persist";
+}
+
+TEST(GssSelect, BestEffortTieBreaksOnSdramRank) {
+  GssFlowController fc(params(), /*sti=*/false);
+  fc.on_scheduled(mk(1, 10, RW::kRead, 0), 0);
+  Packet contention = mk(2, 5, RW::kWrite, 1);
+  contention.gss_tokens = 3;
+  Packet clean = mk(3, 5, RW::kRead, 2);
+  clean.gss_tokens = 3;
+  auto c = cands({&contention, &clean});
+  std::vector<Packet*> pool{&contention, &clean};
+  auto sel = fc.select(c, pool, 10);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(c[*sel].pkt, &clean);
+}
+
+/// Reproduction of Fig. 1: two demand requests (priority), two prefetch
+/// requests and two video requests. The hybrid scheduler must (a) serve
+/// demand packets early, and (b) avoid the bank conflict that the pure
+/// priority-first scheduler incurs (demand2 on bank 1 right after
+/// demand1 on bank 1 with a different row).
+TEST(GssScenario, Fig1HybridSchedule) {
+  GssFlowController fc(params(/*pct=*/2), /*sti=*/false);
+  // Input buffer of Fig. 1(a) (front to back):
+  //   demand1  (BA1), prefetch1 (BA2), video1 (BA3),
+  //   demand2  (BA1, different row), prefetch2 (BA2 row X),
+  //   video2  (BA2 row X -> row hit with prefetch2)
+  Packet demand1 = mk(1, 100, RW::kRead, 0, ServiceClass::kPriority);
+  Packet prefetch1 = mk(2, 200, RW::kRead, 1);
+  Packet video1 = mk(3, 300, RW::kRead, 2);
+  Packet demand2 = mk(1, 101, RW::kRead, 3, ServiceClass::kPriority);
+  Packet prefetch2 = mk(2, 201, RW::kRead, 4);
+  Packet video2 = mk(2, 201, RW::kRead, 5);
+
+  std::vector<Packet*> all{&demand1, &prefetch1, &video1,
+                           &demand2, &prefetch2, &video2};
+  std::vector<Packet*> seen;
+  for (Packet* p : all) {
+    fc.on_packet_arrival(*p, seen, p->head_arrival);
+    seen.push_back(p);
+  }
+
+  std::vector<Packet*> order;
+  std::vector<Packet*> waiting = all;
+  Cycle now = 10;
+  while (!waiting.empty()) {
+    auto c = cands(waiting);
+    auto sel = fc.select(c, waiting, now);
+    ASSERT_TRUE(sel.has_value());
+    Packet* granted = c[*sel].pkt;
+    fc.on_scheduled(*granted, now);
+    order.push_back(granted);
+    waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(*sel));
+    now += granted->flits;
+  }
+
+  const auto pos = [&](const Packet* p) {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == p) return i;
+    }
+    return order.size();
+  };
+  // Demand packets are served in the first half of the schedule.
+  EXPECT_LT(pos(&demand1), 3u);
+  EXPECT_LT(pos(&demand2), 3u);
+  // The two same-bank demands are NOT scheduled back to back: at least
+  // one other-bank packet sits between them (the hybrid avoids the
+  // priority-first bank conflict of Fig. 1(c)). With PCT=2 the second
+  // demand fails the strict filter while it conflicts with h(n).
+  const std::size_t d1 = pos(&demand1), d2 = pos(&demand2);
+  const std::size_t lo = std::min(d1, d2), hi = std::max(d1, d2);
+  ASSERT_GT(hi - lo, 1u) << "demands must not be adjacent";
+  bool separated = false;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    if (order[i]->loc.bank != 1) separated = true;
+  }
+  EXPECT_TRUE(separated);
+  // prefetch2 and video2 are row hits; once one of them is scheduled
+  // the other follows immediately (row-hit preference keeps them
+  // together).
+  const std::size_t p2 = pos(&prefetch2), v2 = pos(&video2);
+  EXPECT_EQ(std::max(p2, v2) - std::min(p2, v2), 1u);
+}
+
+}  // namespace
+}  // namespace annoc::noc

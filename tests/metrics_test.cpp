@@ -1,0 +1,93 @@
+/// Tests for the derived metrics: fairness index and bank imbalance.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+
+namespace annoc::core {
+namespace {
+
+TEST(Metrics, FairnessIndexBounds) {
+  traffic::Application app;
+  app.name = "toy";
+  app.noc.width = 2;
+  app.noc.height = 1;
+  app.noc.mem_node = 0;
+  for (int i = 0; i < 2; ++i) {
+    traffic::CoreSpec s;
+    s.name = "c" + std::to_string(i);
+    s.bytes_per_cycle = 1.0;
+    app.cores.push_back({s, static_cast<NodeId>(i)});
+  }
+
+  Metrics even;
+  even.per_core["c0"] = {"c0", 10, 100.0, 0.5};
+  even.per_core["c1"] = {"c1", 10, 100.0, 0.5};
+  EXPECT_NEAR(even.fairness_index(app), 1.0, 1e-9);
+
+  Metrics skewed;
+  skewed.per_core["c0"] = {"c0", 10, 100.0, 1.0};
+  skewed.per_core["c1"] = {"c1", 10, 100.0, 0.0};
+  EXPECT_NEAR(skewed.fairness_index(app), 0.5, 1e-9);  // 1/n for n=2
+}
+
+TEST(Metrics, BankImbalanceBounds) {
+  Metrics m;
+  for (int b = 0; b < 8; ++b) m.device.cas_per_bank[b] = 100;
+  EXPECT_NEAR(m.bank_imbalance(8), 1.0, 1e-9);
+  Metrics hot;
+  hot.device.cas_per_bank[0] = 800;
+  EXPECT_NEAR(hot.bank_imbalance(8), 8.0, 1e-9);
+  Metrics empty;
+  EXPECT_EQ(empty.bank_imbalance(8), 0.0);
+}
+
+TEST(Metrics, FullSimulationProducesReasonableDerivedMetrics) {
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kGss;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 15000;
+  cfg.warmup_cycles = 3000;
+  const Metrics m = run_simulation(cfg);
+  const auto app = traffic::build_application(cfg.app);
+
+  const double fairness = m.fairness_index(app);
+  EXPECT_GT(fairness, 0.3) << "no core should be starved outright";
+  EXPECT_LE(fairness, 1.0 + 1e-9);
+
+  const std::uint32_t banks =
+      sdram::default_geometry(cfg.generation).num_banks;
+  const double imbalance = m.bank_imbalance(banks);
+  EXPECT_GE(imbalance, 1.0 - 1e-9);
+  EXPECT_LT(imbalance, 3.0) << "chunked interleaving should spread CAS "
+                               "across banks";
+  // Per-bank CAS counts sum to the total CAS count.
+  std::uint64_t bank_sum = 0;
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    bank_sum += m.device.cas_per_bank[b];
+  }
+  EXPECT_EQ(bank_sum, m.device.reads + m.device.writes);
+}
+
+TEST(Metrics, GssFairerThanPlainRef4UnderPriority) {
+  // GSS's anti-starvation tokens should keep fairness at least in the
+  // same class as [4]'s age-based starvation cap.
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kRef4;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 15000;
+  cfg.warmup_cycles = 3000;
+  const Metrics ref4 = run_simulation(cfg);
+  cfg.design = DesignPoint::kGss;
+  const Metrics gss = run_simulation(cfg);
+  const auto app = traffic::build_application(cfg.app);
+  EXPECT_GT(gss.fairness_index(app), ref4.fairness_index(app) - 0.12);
+}
+
+}  // namespace
+}  // namespace annoc::core

@@ -1,0 +1,144 @@
+/// Reproduction-shape regression tests: the headline relationships of
+/// the paper's tables, asserted at reduced scale so any future change
+/// that breaks the reproduction fails CI loudly. These run a bit longer
+/// than the unit tests (a few seconds total).
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+
+namespace annoc::core {
+namespace {
+
+Metrics run(DesignPoint d, traffic::AppId app, sdram::DdrGeneration gen,
+            double mhz, bool priority) {
+  SystemConfig cfg;
+  cfg.design = d;
+  cfg.app = app;
+  cfg.generation = gen;
+  cfg.clock_mhz = mhz;
+  cfg.priority_enabled = priority;
+  cfg.sim_cycles = 40000;
+  cfg.warmup_cycles = 8000;
+  return run_simulation(cfg);
+}
+
+TEST(ReproductionShape, TableI_UtilizationOrdering_Ddr2SingleDtv) {
+  // Paper Table I, single DTV @ DDR II: CONV < [4] <= GSS < GSS+SAGM.
+  const auto conv = run(DesignPoint::kConv, traffic::AppId::kSingleDtv,
+                        sdram::DdrGeneration::kDdr2, 333.0, false);
+  const auto ref4 = run(DesignPoint::kRef4, traffic::AppId::kSingleDtv,
+                        sdram::DdrGeneration::kDdr2, 333.0, false);
+  const auto gss = run(DesignPoint::kGss, traffic::AppId::kSingleDtv,
+                       sdram::DdrGeneration::kDdr2, 333.0, false);
+  const auto sagm = run(DesignPoint::kGssSagm, traffic::AppId::kSingleDtv,
+                        sdram::DdrGeneration::kDdr2, 333.0, false);
+  EXPECT_LT(conv.utilization, ref4.utilization);
+  EXPECT_GE(gss.utilization, ref4.utilization - 0.01);
+  // At this operating point SAGM's margin over [4] is within run noise
+  // at test scale; assert non-regression here and the clear win on the
+  // DDR I row below.
+  EXPECT_GE(sagm.utilization, ref4.utilization - 0.015);
+
+  const auto ref4_d1 = run(DesignPoint::kRef4, traffic::AppId::kBluray,
+                           sdram::DdrGeneration::kDdr1, 133.0, false);
+  const auto sagm_d1 = run(DesignPoint::kGssSagm, traffic::AppId::kBluray,
+                           sdram::DdrGeneration::kDdr1, 133.0, false);
+  EXPECT_GT(sagm_d1.utilization, ref4_d1.utilization + 0.02);
+}
+
+TEST(ReproductionShape, TableI_UtilizationFallsWithDdrGeneration) {
+  // Paper Table I: at matched workloads, utilization falls from DDR I
+  // to DDR III (analog timings span more cycles at higher clocks).
+  const auto d1 = run(DesignPoint::kGss, traffic::AppId::kBluray,
+                      sdram::DdrGeneration::kDdr1, 133.0, false);
+  const auto d2 = run(DesignPoint::kGss, traffic::AppId::kBluray,
+                      sdram::DdrGeneration::kDdr2, 266.0, false);
+  const auto d3 = run(DesignPoint::kGss, traffic::AppId::kBluray,
+                      sdram::DdrGeneration::kDdr3, 533.0, false);
+  EXPECT_GT(d1.utilization, d2.utilization - 0.02);
+  EXPECT_GT(d2.utilization, d3.utilization);
+}
+
+TEST(ReproductionShape, TableII_GssBeatsPfsRetrofitOnUtilization) {
+  // Paper Table II: GSS keeps utilization that [4]+PFS gives up, at
+  // comparable priority latency.
+  const auto pfs = run(DesignPoint::kRef4Pfs, traffic::AppId::kSingleDtv,
+                       sdram::DdrGeneration::kDdr2, 333.0, true);
+  const auto gss = run(DesignPoint::kGss, traffic::AppId::kSingleDtv,
+                       sdram::DdrGeneration::kDdr2, 333.0, true);
+  EXPECT_GE(gss.utilization, pfs.utilization - 0.01);
+  EXPECT_LE(gss.avg_latency_priority(), pfs.avg_latency_priority() * 1.15);
+}
+
+TEST(ReproductionShape, TableII_PriorityServiceActuallyPrioritizes) {
+  // Priority latency must sit well below best-effort latency for every
+  // priority-capable design.
+  for (DesignPoint d : {DesignPoint::kConvPfs, DesignPoint::kRef4Pfs,
+                        DesignPoint::kGss, DesignPoint::kGssSagm}) {
+    const auto m = run(d, traffic::AppId::kSingleDtv,
+                       sdram::DdrGeneration::kDdr2, 333.0, true);
+    ASSERT_GT(m.priority_packets.count(), 50u) << to_string(d);
+    EXPECT_LT(m.avg_latency_priority(), 0.7 * m.avg_latency_all())
+        << to_string(d);
+  }
+}
+
+TEST(ReproductionShape, Fig8_FirstThreeRoutersCaptureMostOfTheGain) {
+  // Paper Fig. 8: the three routers adjacent to the memory corner
+  // capture the bulk of the utilization benefit.
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kGss;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr1;
+  cfg.clock_mhz = 200.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 40000;
+  cfg.warmup_cycles = 8000;
+
+  double util[3];
+  const std::size_t counts[3] = {0, 3, 9};
+  for (int i = 0; i < 3; ++i) {
+    cfg.num_gss_routers = counts[i];
+    util[i] = run_simulation(cfg).utilization;
+  }
+  const double total_gain = util[2] - util[0];
+  ASSERT_GT(total_gain, 0.01) << "GSS must help at all";
+  const double three_gain = util[1] - util[0];
+  EXPECT_GT(three_gain, 0.55 * total_gain)
+      << "three routers should capture most of the benefit";
+}
+
+TEST(ReproductionShape, SagmGranularityMatchingCutsWaste) {
+  // The mechanism behind Table I's SAGM gain: padding disappears.
+  const auto bl8 = run(DesignPoint::kGss, traffic::AppId::kSingleDtv,
+                       sdram::DdrGeneration::kDdr2, 333.0, false);
+  const auto sagm = run(DesignPoint::kGssSagm, traffic::AppId::kSingleDtv,
+                        sdram::DdrGeneration::kDdr2, 333.0, false);
+  const double bl8_waste =
+      static_cast<double>(bl8.device.wasted_beats()) /
+      static_cast<double>(bl8.device.total_beats);
+  const double sagm_waste =
+      static_cast<double>(sagm.device.wasted_beats()) /
+      static_cast<double>(sagm.device.total_beats);
+  EXPECT_LT(sagm_waste, 0.3 * bl8_waste);
+}
+
+TEST(ReproductionShape, SagmGainSmallerOnDdr3) {
+  // Paper Section V-A: tCCD=4 makes DDR III behave BL8-like, so SAGM's
+  // utilization delta is much smaller (here: possibly slightly
+  // negative, deviation D4) than on DDR II.
+  const auto gss2 = run(DesignPoint::kGss, traffic::AppId::kSingleDtv,
+                        sdram::DdrGeneration::kDdr2, 333.0, false);
+  const auto sagm2 = run(DesignPoint::kGssSagm, traffic::AppId::kSingleDtv,
+                         sdram::DdrGeneration::kDdr2, 333.0, false);
+  const auto gss3 = run(DesignPoint::kGss, traffic::AppId::kSingleDtv,
+                        sdram::DdrGeneration::kDdr3, 667.0, false);
+  const auto sagm3 = run(DesignPoint::kGssSagm, traffic::AppId::kSingleDtv,
+                         sdram::DdrGeneration::kDdr3, 667.0, false);
+  const double delta2 = sagm2.utilization - gss2.utilization;
+  const double delta3 = sagm3.utilization - gss3.utilization;
+  EXPECT_GT(delta2, delta3);
+}
+
+}  // namespace
+}  // namespace annoc::core

@@ -1,0 +1,105 @@
+/// Tests for the optional read-response network.
+#include <gtest/gtest.h>
+
+#include "core/response_path.hpp"
+#include "core/simulator.hpp"
+
+namespace annoc::core {
+namespace {
+
+TEST(ResponsePath, DeliversResponsesBackToSource) {
+  noc::NocConfig cfg;
+  cfg.width = 3;
+  cfg.height = 3;
+  cfg.mem_node = 0;
+  ResponsePath rp(cfg);
+  std::vector<std::pair<NodeId, Cycle>> delivered;
+  rp.set_on_delivered([&](noc::Packet&& p, Cycle now) {
+    delivered.emplace_back(p.dst_node, now);
+  });
+
+  noc::Packet served;
+  served.id = 1;
+  served.parent_id = 1;
+  served.src_node = 8;  // far corner
+  served.rw = RW::kRead;
+  served.flits = 4;
+  served.service_done = 10;
+  rp.queue_response(served, 10);
+  EXPECT_EQ(rp.backlog(), 1u);
+
+  for (Cycle t = 10; t < 100 && delivered.empty(); ++t) rp.tick(t);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].first, 8u);
+  // 4 hops + 4 flits: at least 8 cycles after queueing.
+  EXPECT_GE(delivered[0].second, 18u);
+}
+
+TEST(ResponsePath, SerializesOnOutputLink) {
+  noc::NocConfig cfg;
+  cfg.width = 2;
+  cfg.height = 2;
+  cfg.mem_node = 0;
+  ResponsePath rp(cfg);
+  int count = 0;
+  Cycle last_done = 0;
+  rp.set_on_delivered([&](noc::Packet&&, Cycle done) {
+    ++count;
+    last_done = std::max(last_done, done);
+  });
+  for (PacketId i = 0; i < 4; ++i) {
+    noc::Packet p;
+    p.id = i + 1;
+    p.src_node = 3;
+    p.rw = RW::kRead;
+    p.flits = 8;
+    rp.queue_response(p, 0);
+  }
+  // 4 responses x 8 flits over one link: the last tail cannot land
+  // before 32 cycles of link time have elapsed.
+  for (Cycle t = 0; t < 200 && count < 4; ++t) rp.tick(t);
+  EXPECT_EQ(count, 4);
+  EXPECT_GE(last_done, 32u);
+}
+
+TEST(ResponsePath, FullSimulationReadsWaitForData) {
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kGss;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 15000;
+  cfg.warmup_cycles = 3000;
+
+  const Metrics base = run_simulation(cfg);
+  cfg.model_response_path = true;
+  const Metrics with_resp = run_simulation(cfg);
+
+  EXPECT_GT(with_resp.completed_requests, 100u);
+  EXPECT_GT(with_resp.response_path.count(), 100u);
+  EXPECT_GT(with_resp.response_path.mean(), 0.0);
+  EXPECT_EQ(base.response_path.count(), 0u);
+  // Read completions now include the return trip: parent latency rises.
+  EXPECT_GT(with_resp.avg_latency_all(), base.avg_latency_all() * 0.9);
+}
+
+TEST(ResponsePath, EveryDesignRunsWithResponses) {
+  for (DesignPoint d : {DesignPoint::kConvPfs, DesignPoint::kRef4,
+                        DesignPoint::kGssSagm}) {
+    SystemConfig cfg;
+    cfg.design = d;
+    cfg.app = traffic::AppId::kBluray;
+    cfg.generation = sdram::DdrGeneration::kDdr1;
+    cfg.clock_mhz = 166.0;
+    cfg.model_response_path = true;
+    cfg.sim_cycles = 8000;
+    cfg.warmup_cycles = 2000;
+    const Metrics m = run_simulation(cfg);
+    EXPECT_GT(m.completed_requests, 50u) << to_string(d);
+    EXPECT_GT(m.response_path.count(), 50u) << to_string(d);
+  }
+}
+
+}  // namespace
+}  // namespace annoc::core

@@ -1,0 +1,279 @@
+/// Tests for the router (buffers, arbitration, wormhole timing) and the
+/// mesh network (XY routing, injection, ejection, backpressure).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/network.hpp"
+#include "noc/router.hpp"
+
+namespace annoc::noc {
+namespace {
+
+Packet mk(NodeId src, NodeId dst, std::uint32_t flits, PacketId id = 1) {
+  Packet p;
+  p.id = id;
+  p.parent_id = id;
+  p.src_node = src;
+  p.dst_node = dst;
+  p.flits = flits;
+  p.useful_beats = flits * 2;
+  p.useful_bytes = p.useful_beats * 4;
+  return p;
+}
+
+TEST(InputBuffer, AcceptsUpToCapacity) {
+  InputBuffer buf(8);
+  EXPECT_TRUE(buf.can_accept(8));
+  Packet p = mk(0, 0, 8);
+  buf.push(std::move(p));
+  EXPECT_EQ(buf.used_flits(), 8u);
+  EXPECT_FALSE(buf.can_accept(1));
+}
+
+TEST(InputBuffer, OversizedPacketUsesHalfBufferRule) {
+  InputBuffer buf(16);
+  // A 32-flit packet needs only capacity/2 = 8 free slots (wormhole
+  // streaming with bounded overcommit), and is charged the full 16.
+  Packet small = mk(0, 0, 6);
+  buf.push(std::move(small));
+  EXPECT_TRUE(buf.can_accept(32)) << "6 used, 10 free >= 8 needed";
+  Packet big = mk(0, 0, 32);
+  buf.push(std::move(big));
+  EXPECT_EQ(buf.used_flits(), 22u);
+  EXPECT_FALSE(buf.can_accept(32)) << "no room for a second giant";
+  EXPECT_FALSE(buf.can_accept(1));
+}
+
+TEST(InputBuffer, PopRestoresSpace) {
+  InputBuffer buf(8);
+  buf.push(mk(0, 0, 5));
+  buf.push(mk(0, 0, 3));
+  EXPECT_EQ(buf.used_flits(), 8u);
+  (void)buf.pop();
+  EXPECT_EQ(buf.used_flits(), 3u);
+  EXPECT_TRUE(buf.can_accept(5));
+}
+
+TEST(Router, GrantOccupiesChannelForPacketLength) {
+  Router r(0, 0, 0, 16, 1, FlowControlKind::kRoundRobin, {});
+  Packet p = mk(0, 99, 6);
+  p.head_arrival = 10;
+  p.tail_arrival = 15;
+  r.on_arrival(std::move(p), kPortEast, 0, kPortWest, 10);
+
+  auto win = r.arbitrate(kPortWest, 10);
+  ASSERT_TRUE(win.has_value());
+  EXPECT_EQ(win->port, kPortEast);
+  EXPECT_EQ(win->vc, 0u);
+  Packet granted = r.grant(*win, kPortWest, 10);
+  const Transfer& tr = r.output(kPortWest);
+  EXPECT_TRUE(tr.active);
+  EXPECT_EQ(tr.start, 10u);
+  EXPECT_EQ(tr.end, 16u);  // max(10+6, 15+1)
+  EXPECT_EQ(granted.head_arrival, 11u);
+  EXPECT_EQ(granted.tail_arrival, 16u);
+}
+
+TEST(Router, TailArrivalExtendsHold) {
+  Router r(0, 0, 0, 16, 1, FlowControlKind::kRoundRobin, {});
+  Packet p = mk(0, 99, 4);
+  p.head_arrival = 10;
+  p.tail_arrival = 30;  // still streaming in from upstream
+  r.on_arrival(std::move(p), kPortEast, 0, kPortWest, 10);
+  auto win = r.arbitrate(kPortWest, 12);
+  ASSERT_TRUE(win.has_value());
+  (void)r.grant(*win, kPortWest, 12);
+  EXPECT_EQ(r.output(kPortWest).end, 31u);  // max(12+4, 30+1)
+}
+
+TEST(Router, PipelineDelaysEligibility) {
+  Router r(0, 0, 0, 16, /*pipeline=*/3, FlowControlKind::kRoundRobin, {});
+  Packet p = mk(0, 99, 2);
+  p.head_arrival = 10;
+  p.tail_arrival = 11;
+  r.on_arrival(std::move(p), kPortEast, 0, kPortWest, 10);
+  EXPECT_FALSE(r.arbitrate(kPortWest, 10).has_value());
+  EXPECT_FALSE(r.arbitrate(kPortWest, 11).has_value());
+  EXPECT_TRUE(r.arbitrate(kPortWest, 12).has_value());
+}
+
+TEST(Router, HeadOfLineBlocksOtherOutputs) {
+  Router r(0, 0, 0, 16, 1, FlowControlKind::kRoundRobin, {});
+  Packet a = mk(0, 99, 2, 1);  // head, routed to West
+  a.head_arrival = 5;
+  a.tail_arrival = 6;
+  Packet b = mk(0, 98, 2, 2);  // behind it, routed to North
+  b.head_arrival = 6;
+  b.tail_arrival = 7;
+  r.on_arrival(std::move(a), kPortEast, 0, kPortWest, 5);
+  r.on_arrival(std::move(b), kPortEast, 0, kPortNorth, 6);
+  // The second packet cannot arbitrate for North while the head wants
+  // West (in-order buffers).
+  EXPECT_FALSE(r.arbitrate(kPortNorth, 10).has_value());
+  EXPECT_TRUE(r.arbitrate(kPortWest, 10).has_value());
+}
+
+class MemSink final : public PacketSink {
+ public:
+  bool can_accept(const Packet&) const override { return accept_; }
+  void deliver(Packet&& p, Cycle now) override {
+    delivered.push_back(std::move(p));
+    last_cycle = now;
+  }
+  bool accept_ = true;
+  std::vector<Packet> delivered;
+  Cycle last_cycle = 0;
+};
+
+NocConfig cfg3x3() {
+  NocConfig c;
+  c.width = 3;
+  c.height = 3;
+  c.mem_node = 0;
+  c.buffer_flits = 16;
+  c.pipeline_latency = 1;
+  return c;
+}
+
+TEST(Network, XyRoutingReachesMemoryPort) {
+  Network net(cfg3x3(), {FlowControlKind::kRoundRobin}, {});
+  // From node 8 (x=2,y=2) to node 0: west first (X), then north (Y).
+  EXPECT_EQ(net.route(8, 0), kPortWest);
+  EXPECT_EQ(net.route(6, 0), kPortNorth);  // x already 0
+  EXPECT_EQ(net.route(2, 0), kPortWest);
+  EXPECT_EQ(net.route(0, 0), kPortMem);
+}
+
+TEST(Network, HopsAreManhattan) {
+  Network net(cfg3x3(), {FlowControlKind::kRoundRobin}, {});
+  EXPECT_EQ(net.hops(0, 0), 0u);
+  EXPECT_EQ(net.hops(8, 0), 4u);
+  EXPECT_EQ(net.hops(5, 0), 3u);
+  EXPECT_EQ(net.hops(1, 3), 2u);
+}
+
+TEST(Network, InjectDeliverEndToEnd) {
+  Network net(cfg3x3(), {FlowControlKind::kRoundRobin}, {});
+  MemSink sink;
+  net.attach_sink(&sink);
+
+  Packet p = mk(8, 0, 4, 42);
+  p.created = 0;
+  ASSERT_TRUE(net.try_inject(std::move(p), 0));
+  EXPECT_EQ(net.in_flight_packets(), 1u);
+
+  for (Cycle t = 0; t < 100 && sink.delivered.empty(); ++t) net.tick(t);
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  const Packet& d = sink.delivered[0];
+  EXPECT_EQ(d.id, 42u);
+  // 4 hops, 4 flits: arrival no earlier than hops + flits.
+  EXPECT_GE(d.mem_arrival, 8u);
+  EXPECT_LE(d.mem_arrival, 30u);
+  EXPECT_EQ(net.in_flight_packets(), 0u);
+  EXPECT_EQ(net.stats().injected_packets, 1u);
+  EXPECT_EQ(net.stats().ejected_packets, 1u);
+}
+
+TEST(Network, LocalInjectionAtMemNodeIsOneGrantAway) {
+  Network net(cfg3x3(), {FlowControlKind::kRoundRobin}, {});
+  MemSink sink;
+  net.attach_sink(&sink);
+  ASSERT_TRUE(net.try_inject(mk(0, 0, 2, 7), 0));
+  for (Cycle t = 0; t < 20 && sink.delivered.empty(); ++t) net.tick(t);
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  EXPECT_LE(sink.delivered[0].mem_arrival, 6u);
+}
+
+TEST(Network, SinkBackpressureHoldsPackets) {
+  Network net(cfg3x3(), {FlowControlKind::kRoundRobin}, {});
+  MemSink sink;
+  sink.accept_ = false;
+  net.attach_sink(&sink);
+  ASSERT_TRUE(net.try_inject(mk(1, 0, 2, 1), 0));
+  for (Cycle t = 0; t < 50; ++t) net.tick(t);
+  EXPECT_TRUE(sink.delivered.empty());
+  EXPECT_EQ(net.in_flight_packets(), 1u);
+  sink.accept_ = true;
+  for (Cycle t = 50; t < 80 && sink.delivered.empty(); ++t) net.tick(t);
+  EXPECT_EQ(sink.delivered.size(), 1u);
+}
+
+TEST(Network, InjectFailsWhenBufferFull) {
+  NocConfig c = cfg3x3();
+  c.buffer_flits = 4;
+  Network net(c, {FlowControlKind::kRoundRobin}, {});
+  MemSink sink;
+  sink.accept_ = false;  // nothing drains
+  net.attach_sink(&sink);
+  EXPECT_TRUE(net.try_inject(mk(0, 0, 4, 1), 0));
+  // The local buffer (4 flits) is now full; packets must be refused.
+  EXPECT_FALSE(net.try_inject(mk(0, 0, 4, 2), 1));
+}
+
+TEST(Network, ManyPacketsAllArrive) {
+  Network net(cfg3x3(), {FlowControlKind::kSdramAware}, {});
+  MemSink sink;
+  net.attach_sink(&sink);
+  PacketId id = 1;
+  std::size_t injected = 0;
+  Cycle t = 0;
+  while (injected < 50 && t < 2000) {
+    for (NodeId n = 0; n < 9; ++n) {
+      Packet p = mk(n, 0, 2, id);
+      p.loc.bank = static_cast<BankId>(n % 4);
+      if (injected < 50 && net.try_inject(std::move(p), t)) {
+        ++id;
+        ++injected;
+      }
+    }
+    net.tick(t);
+    ++t;
+  }
+  for (; t < 5000 && sink.delivered.size() < injected; ++t) net.tick(t);
+  EXPECT_EQ(sink.delivered.size(), injected);
+  // No duplicates.
+  std::map<PacketId, int> ids;
+  for (const auto& p : sink.delivered) ++ids[p.id];
+  for (const auto& [pid, count] : ids) {
+    EXPECT_EQ(count, 1) << "packet " << pid << " duplicated";
+  }
+}
+
+TEST(Network, MixedKindsOrdersByDistance) {
+  NocConfig c = cfg3x3();
+  auto kinds = Network::mixed_kinds(c, 3, FlowControlKind::kGss,
+                                    FlowControlKind::kPriorityFirst);
+  ASSERT_EQ(kinds.size(), 9u);
+  // Closest three to node 0: nodes 0 (d0), 1 and 3 (d1).
+  EXPECT_EQ(kinds[0], FlowControlKind::kGss);
+  EXPECT_EQ(kinds[1], FlowControlKind::kGss);
+  EXPECT_EQ(kinds[3], FlowControlKind::kGss);
+  EXPECT_EQ(kinds[2], FlowControlKind::kPriorityFirst);
+  EXPECT_EQ(kinds[4], FlowControlKind::kPriorityFirst);
+}
+
+TEST(Network, MixedKindsZeroAndAll) {
+  NocConfig c = cfg3x3();
+  auto none = Network::mixed_kinds(c, 0, FlowControlKind::kGss,
+                                   FlowControlKind::kRoundRobin);
+  for (auto k : none) EXPECT_EQ(k, FlowControlKind::kRoundRobin);
+  auto all = Network::mixed_kinds(c, 9, FlowControlKind::kGss,
+                                  FlowControlKind::kRoundRobin);
+  for (auto k : all) EXPECT_EQ(k, FlowControlKind::kGss);
+  auto over = Network::mixed_kinds(c, 99, FlowControlKind::kGss,
+                                   FlowControlKind::kRoundRobin);
+  for (auto k : over) EXPECT_EQ(k, FlowControlKind::kGss);
+}
+
+TEST(Network, PerRouterKindsApplied) {
+  NocConfig c = cfg3x3();
+  auto kinds = Network::mixed_kinds(c, 3, FlowControlKind::kGssSti,
+                                    FlowControlKind::kPriorityFirst);
+  Network net(c, kinds, {});
+  EXPECT_EQ(net.router(0).fc_kind(), FlowControlKind::kGssSti);
+  EXPECT_EQ(net.router(8).fc_kind(), FlowControlKind::kPriorityFirst);
+}
+
+}  // namespace
+}  // namespace annoc::noc

@@ -1,0 +1,380 @@
+/// Cycle-level tests of the DDR device model: bank state machine,
+/// command legality (the constraints the paper's schedulers manage),
+/// auto-precharge semantics, utilization accounting, and a random-
+/// command fuzz against global invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sdram/device.hpp"
+
+namespace annoc::sdram {
+namespace {
+
+DeviceConfig cfg_ddr2(BurstMode mode = BurstMode::kBl8) {
+  DeviceConfig c;
+  c.generation = DdrGeneration::kDdr2;
+  c.clock_mhz = 400.0;
+  c.burst_mode = mode;
+  c.geometry = default_geometry(c.generation);
+  return c;
+}
+
+Command act(BankId b, RowId r) {
+  Command c;
+  c.type = CommandType::kActivate;
+  c.bank = b;
+  c.row = r;
+  return c;
+}
+
+Command pre(BankId b) {
+  Command c;
+  c.type = CommandType::kPrecharge;
+  c.bank = b;
+  return c;
+}
+
+Command rd(BankId b, RowId r, ColId col, std::uint32_t beats = 8,
+           bool ap = false) {
+  Command c;
+  c.type = CommandType::kRead;
+  c.bank = b;
+  c.row = r;
+  c.col = col;
+  c.burst_beats = beats;
+  c.useful_beats = beats;
+  c.auto_precharge = ap;
+  return c;
+}
+
+Command wr(BankId b, RowId r, ColId col, std::uint32_t beats = 8,
+           bool ap = false) {
+  Command c = rd(b, r, col, beats, ap);
+  c.type = CommandType::kWrite;
+  return c;
+}
+
+/// Advance until cmd becomes legal (bounded); returns the issue cycle.
+Cycle issue_when_legal(Device& dev, const Command& c, Cycle from,
+                       Cycle limit = 10000) {
+  for (Cycle t = from; t < from + limit; ++t) {
+    dev.tick(t);
+    if (dev.can_issue(c, t)) {
+      dev.issue(c, t);
+      return t;
+    }
+  }
+  ADD_FAILURE() << "command never became legal";
+  return kNeverCycle;
+}
+
+TEST(Device, BanksStartIdle) {
+  Device dev(cfg_ddr2());
+  for (BankId b = 0; b < dev.num_banks(); ++b) {
+    EXPECT_EQ(dev.bank(b).state, BankState::kIdle);
+    EXPECT_FALSE(dev.bank_open(b));
+  }
+}
+
+TEST(Device, CasIllegalOnIdleBank) {
+  Device dev(cfg_ddr2());
+  dev.tick(0);
+  EXPECT_FALSE(dev.can_issue(rd(0, 5, 0), 0));
+}
+
+TEST(Device, ActivateThenCasAfterTrcd) {
+  Device dev(cfg_ddr2());
+  dev.tick(1);
+  ASSERT_TRUE(dev.can_issue(act(0, 5), 1));
+  dev.issue(act(0, 5), 1);
+  const Timing& t = dev.timing();
+  // Before tRCD: illegal.
+  for (Cycle c = 2; c < 1 + t.trcd; ++c) {
+    dev.tick(c);
+    EXPECT_FALSE(dev.can_issue(rd(0, 5, 0), c)) << "cycle " << c;
+  }
+  dev.tick(1 + t.trcd);
+  EXPECT_TRUE(dev.can_issue(rd(0, 5, 0), 1 + t.trcd));
+}
+
+TEST(Device, CasToWrongRowIllegal) {
+  Device dev(cfg_ddr2());
+  issue_when_legal(dev, act(0, 5), 0);
+  const Cycle t = 100;
+  dev.tick(t);
+  EXPECT_TRUE(dev.can_issue(rd(0, 5, 0), t));
+  EXPECT_FALSE(dev.can_issue(rd(0, 6, 0), t));
+}
+
+TEST(Device, ActivateOnActiveBankIllegal) {
+  Device dev(cfg_ddr2());
+  issue_when_legal(dev, act(0, 5), 0);
+  dev.tick(200);
+  EXPECT_FALSE(dev.can_issue(act(0, 7), 200));
+}
+
+TEST(Device, OneCommandPerCycle) {
+  Device dev(cfg_ddr2());
+  dev.tick(3);
+  ASSERT_TRUE(dev.can_issue(act(0, 1), 3));
+  dev.issue(act(0, 1), 3);
+  EXPECT_FALSE(dev.can_issue(act(1, 1), 3));  // same cycle: bus taken
+  // The next ACT becomes legal once both the command bus frees and tRRD
+  // elapses.
+  const Cycle next = 3 + dev.timing().trrd;
+  dev.tick(next);
+  EXPECT_TRUE(dev.can_issue(act(1, 1), next));
+}
+
+TEST(Device, TccdSpacingBetweenCas) {
+  Device dev(cfg_ddr2());
+  const Cycle a0 = issue_when_legal(dev, act(0, 1), 0);
+  issue_when_legal(dev, act(1, 1), a0 + 1);
+  const Cycle c0 = issue_when_legal(dev, rd(0, 1, 0), a0 + 1);
+  const Timing& t = dev.timing();
+  dev.tick(c0 + 1);
+  if (t.tccd > 1) {
+    EXPECT_FALSE(dev.can_issue(rd(1, 1, 0), c0 + 1));
+  }
+  const Cycle c1 = issue_when_legal(dev, rd(1, 1, 0), c0 + 1);
+  EXPECT_GE(c1 - c0, t.tccd);
+}
+
+TEST(Device, PrechargeRequiresTras) {
+  Device dev(cfg_ddr2());
+  const Cycle a = issue_when_legal(dev, act(0, 1), 0);
+  const Timing& t = dev.timing();
+  dev.tick(a + 1);
+  EXPECT_FALSE(dev.can_issue(pre(0), a + 1));
+  const Cycle p = issue_when_legal(dev, pre(0), a + 1);
+  EXPECT_GE(p - a, t.tras);
+}
+
+TEST(Device, WriteDelaysPrechargeByTwr) {
+  Device dev(cfg_ddr2());
+  const Cycle a = issue_when_legal(dev, act(0, 1), 0);
+  const Cycle w = issue_when_legal(dev, wr(0, 1, 0), a + 1);
+  const Timing& t = dev.timing();
+  const Cycle data_end = w + t.cwl + 4;  // BL8 = 4 data cycles
+  const Cycle p = issue_when_legal(dev, pre(0), w + 1);
+  EXPECT_GE(p, data_end + t.twr);
+}
+
+TEST(Device, ReactivationOnlyAfterTrp) {
+  Device dev(cfg_ddr2());
+  issue_when_legal(dev, act(0, 1), 0);
+  const Cycle p = issue_when_legal(dev, pre(0), 1);
+  const Cycle a2 = issue_when_legal(dev, act(0, 2), p + 1);
+  EXPECT_GE(a2 - p, dev.timing().trp);
+}
+
+TEST(Device, WriteToReadTurnaroundEnforced) {
+  Device dev(cfg_ddr2());
+  const Cycle a = issue_when_legal(dev, act(0, 1), 0);
+  const Cycle w = issue_when_legal(dev, wr(0, 1, 0), a + 1);
+  const Timing& t = dev.timing();
+  const Cycle wdata_end = w + t.cwl + 4;
+  const Cycle r = issue_when_legal(dev, rd(0, 1, 8), w + 1);
+  EXPECT_GE(r, wdata_end + t.twtr);
+}
+
+TEST(Device, DataBusWindowsNeverOverlap) {
+  Device dev(cfg_ddr2());
+  issue_when_legal(dev, act(0, 1), 0);
+  issue_when_legal(dev, act(1, 1), 1);
+  Cycle t = 50;
+  Cycle prev_end = 0;
+  for (int i = 0; i < 8; ++i) {
+    const Command c = i % 2 ? rd(1, 1, ColId(8 * i)) : rd(0, 1, ColId(8 * i));
+    for (;; ++t) {
+      dev.tick(t);
+      if (dev.can_issue(c, t)) break;
+    }
+    const DataWindow w = dev.issue(c, t);
+    EXPECT_GE(w.start, prev_end);
+    EXPECT_GT(w.end, w.start);
+    prev_end = w.end;
+  }
+}
+
+TEST(Device, AutoPrechargeClosesBankWithoutCommand) {
+  Device dev(cfg_ddr2());
+  const Cycle a = issue_when_legal(dev, act(0, 1), 0);
+  const Cycle c = issue_when_legal(dev, rd(0, 1, 0, 8, /*ap=*/true), a + 1);
+  // Immediately after the AP CAS, further CAS to the bank are illegal.
+  dev.tick(c + 1);
+  EXPECT_FALSE(dev.can_issue(rd(0, 1, 8), c + 1));
+  // Eventually the bank can be re-activated without any PRE issued.
+  const std::uint64_t pre_before = dev.stats().precharges;
+  const Cycle a2 = issue_when_legal(dev, act(0, 2), c + 1);
+  EXPECT_EQ(dev.stats().precharges, pre_before);
+  EXPECT_EQ(dev.stats().auto_precharges, 1u);
+  const Timing& t = dev.timing();
+  EXPECT_GE(a2, a + t.tras + t.trp);
+}
+
+TEST(Device, AutoPrechargeAfterWriteHonoursTwr) {
+  Device dev(cfg_ddr2());
+  const Cycle a = issue_when_legal(dev, act(0, 1), 0);
+  const Cycle c = issue_when_legal(dev, wr(0, 1, 0, 8, /*ap=*/true), a + 1);
+  const Timing& t = dev.timing();
+  const Cycle data_end = c + t.cwl + 4;
+  const Cycle a2 = issue_when_legal(dev, act(0, 2), c + 1);
+  EXPECT_GE(a2, data_end + t.twr + t.trp);
+}
+
+TEST(Device, BurstModeLegality) {
+  Device dev(cfg_ddr2(BurstMode::kBl8));
+  issue_when_legal(dev, act(0, 1), 0);
+  dev.tick(100);
+  EXPECT_FALSE(dev.can_issue(rd(0, 1, 0, 4), 100));  // BL4 in BL8 mode
+  EXPECT_TRUE(dev.can_issue(rd(0, 1, 0, 8), 100));
+
+  Device dev4(cfg_ddr2(BurstMode::kBl4));
+  issue_when_legal(dev4, act(0, 1), 0);
+  dev4.tick(100);
+  EXPECT_TRUE(dev4.can_issue(rd(0, 1, 0, 4), 100));
+  EXPECT_FALSE(dev4.can_issue(rd(0, 1, 0, 8), 100));
+
+  DeviceConfig otf = cfg_ddr2(BurstMode::kBl4Otf);
+  otf.generation = DdrGeneration::kDdr3;
+  otf.clock_mhz = 667.0;
+  Device dev_otf(otf);
+  issue_when_legal(dev_otf, act(0, 1), 0);
+  dev_otf.tick(200);
+  EXPECT_TRUE(dev_otf.can_issue(rd(0, 1, 0, 4), 200));
+  EXPECT_TRUE(dev_otf.can_issue(rd(0, 1, 0, 8), 200));
+}
+
+TEST(Device, UtilizationCountsUsefulVsRaw) {
+  Device dev(cfg_ddr2());
+  issue_when_legal(dev, act(0, 1), 0);
+  Command c = rd(0, 1, 0, 8);
+  c.useful_beats = 2;  // 8-byte request through a BL8 CAS: 6 beats wasted
+  issue_when_legal(dev, c, 1);
+  EXPECT_EQ(dev.stats().total_beats, 8u);
+  EXPECT_EQ(dev.stats().useful_beats, 2u);
+  EXPECT_EQ(dev.stats().wasted_beats(), 6u);
+  const Cycle elapsed = 100;
+  EXPECT_DOUBLE_EQ(dev.useful_utilization(elapsed), 2.0 / 200.0);
+  EXPECT_DOUBLE_EQ(dev.raw_utilization(elapsed), 8.0 / 200.0);
+}
+
+TEST(Device, RowHitCounterCountsSecondCas) {
+  Device dev(cfg_ddr2());
+  issue_when_legal(dev, act(0, 1), 0);
+  issue_when_legal(dev, rd(0, 1, 0), 1);
+  EXPECT_EQ(dev.stats().cas_row_hits, 0u);  // first CAS after ACT
+  issue_when_legal(dev, rd(0, 1, 8), 1);
+  EXPECT_EQ(dev.stats().cas_row_hits, 1u);
+}
+
+TEST(Device, DirectionTurnaroundCounted) {
+  Device dev(cfg_ddr2());
+  issue_when_legal(dev, act(0, 1), 0);
+  issue_when_legal(dev, rd(0, 1, 0), 1);
+  issue_when_legal(dev, wr(0, 1, 8), 1);
+  EXPECT_EQ(dev.stats().bus_direction_turnarounds, 1u);
+  issue_when_legal(dev, wr(0, 1, 16), 1);
+  EXPECT_EQ(dev.stats().bus_direction_turnarounds, 1u);  // same direction
+}
+
+TEST(Device, TrrdBetweenActivates) {
+  Device dev(cfg_ddr2());
+  const Cycle a0 = issue_when_legal(dev, act(0, 1), 0);
+  const Cycle a1 = issue_when_legal(dev, act(1, 1), a0 + 1);
+  EXPECT_GE(a1 - a0, dev.timing().trrd);
+}
+
+TEST(Device, FawLimitsActivateBursts) {
+  DeviceConfig c = cfg_ddr2();
+  c.clock_mhz = 800.0;  // make tFAW span many cycles
+  Device dev(c);
+  const Timing& t = dev.timing();
+  std::vector<Cycle> acts;
+  Cycle from = 0;
+  for (BankId b = 0; b < 5; ++b) {
+    acts.push_back(issue_when_legal(dev, act(b, 1), from));
+    from = acts.back() + 1;
+  }
+  // The 5th ACT must be at least tFAW after the 1st.
+  EXPECT_GE(acts[4] - acts[0], t.tfaw);
+}
+
+TEST(Device, RefreshEngineRunsWhenEnabled) {
+  DeviceConfig c = cfg_ddr2();
+  c.refresh_enabled = true;
+  Device dev(c);
+  // Idle the device long enough for several refresh intervals.
+  for (Cycle t = 0; t < 3 * dev.timing().trefi + 1000; ++t) dev.tick(t);
+  EXPECT_GE(dev.stats().refreshes, 2u);
+}
+
+TEST(Device, RefreshForcesOpenBankClosed) {
+  DeviceConfig c = cfg_ddr2();
+  c.refresh_enabled = true;
+  Device dev(c);
+  issue_when_legal(dev, act(0, 1), 0);
+  for (Cycle t = 1; t < dev.timing().trefi + 2000; ++t) dev.tick(t);
+  EXPECT_GE(dev.stats().refreshes, 1u);
+  EXPECT_NE(dev.bank(0).state, BankState::kActive);
+}
+
+/// Fuzz: drive random legal commands for a long time; global invariants
+/// must hold continuously.
+TEST(DeviceFuzz, RandomLegalTrafficKeepsInvariants) {
+  for (auto gen : {DdrGeneration::kDdr1, DdrGeneration::kDdr2,
+                   DdrGeneration::kDdr3}) {
+    DeviceConfig c;
+    c.generation = gen;
+    c.clock_mhz = gen == DdrGeneration::kDdr3 ? 667.0 : 333.0;
+    c.burst_mode = BurstMode::kBl8;
+    c.geometry = default_geometry(gen);
+    Device dev(c);
+    Rng rng(2024 + static_cast<int>(gen));
+    Cycle prev_data_end = 0;
+    std::uint64_t issued = 0;
+    for (Cycle t = 0; t < 20000; ++t) {
+      dev.tick(t);
+      const BankId b = static_cast<BankId>(rng.next_below(c.geometry.num_banks));
+      const RowId r = static_cast<RowId>(rng.next_below(64));
+      Command cand;
+      switch (rng.next_below(4)) {
+        case 0: cand = act(b, r); break;
+        case 1: cand = pre(b); break;
+        case 2:
+          cand = rd(b, dev.bank(b).open_row,
+                    static_cast<ColId>(8 * rng.next_below(100)));
+          cand.auto_precharge = rng.chance(0.2);
+          break;
+        default:
+          cand = wr(b, dev.bank(b).open_row,
+                    static_cast<ColId>(8 * rng.next_below(100)));
+          cand.auto_precharge = rng.chance(0.2);
+          break;
+      }
+      if (dev.can_issue(cand, t)) {
+        const DataWindow w = dev.issue(cand, t);
+        ++issued;
+        if (cand.is_cas()) {
+          EXPECT_GE(w.start, prev_data_end)
+              << "data bus overlap at cycle " << t;
+          prev_data_end = w.end;
+        }
+      }
+      // Bank-state sanity every cycle.
+      for (BankId bb = 0; bb < dev.num_banks(); ++bb) {
+        const Bank& bank = dev.bank(bb);
+        if (bank.state == BankState::kActive) {
+          EXPECT_LE(bank.act_cycle, t);
+        }
+      }
+    }
+    EXPECT_GT(issued, 1000u) << "fuzz made no progress for " << to_string(gen);
+    EXPECT_EQ(dev.stats().total_beats,
+              8 * (dev.stats().reads + dev.stats().writes));
+  }
+}
+
+}  // namespace
+}  // namespace annoc::sdram

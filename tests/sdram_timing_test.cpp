@@ -1,0 +1,125 @@
+/// Tests for the DDR timing derivation (ns -> cycles per generation and
+/// clock), including the paper's anchor points.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sdram/config.hpp"
+
+namespace annoc::sdram {
+namespace {
+
+TEST(Timing, Ddr3At800MatchesPaperTurnaroundAnchor) {
+  // Section IV-B: "in DDR III SDRAM working at an 800 MHz clock
+  // frequency, it takes 23 clock cycles to deactivate any bank after
+  // writing data" — i.e. tWR + tRP = 23 cycles.
+  const Timing t = make_timing(DdrGeneration::kDdr3, 800.0);
+  EXPECT_EQ(t.twr + t.trp, 23u);
+}
+
+TEST(Timing, TccdIsGenerationFixed) {
+  for (double mhz : {100.0, 400.0, 800.0}) {
+    EXPECT_EQ(make_timing(DdrGeneration::kDdr1, mhz).tccd, 1u);
+    EXPECT_EQ(make_timing(DdrGeneration::kDdr2, mhz).tccd, 2u);
+    EXPECT_EQ(make_timing(DdrGeneration::kDdr3, mhz).tccd, 4u);
+  }
+}
+
+TEST(Timing, Ddr1WriteLatencyIsOneCycle) {
+  for (double mhz : {133.0, 200.0}) {
+    EXPECT_EQ(make_timing(DdrGeneration::kDdr1, mhz).cwl, 1u);
+  }
+}
+
+TEST(Timing, AnalogTimingsScaleWithClock) {
+  // Same part, double the clock -> roughly double the cycles for
+  // ns-specified parameters (within ceiling rounding).
+  const Timing lo = make_timing(DdrGeneration::kDdr2, 200.0);
+  const Timing hi = make_timing(DdrGeneration::kDdr2, 400.0);
+  EXPECT_GE(hi.trp, 2 * lo.trp - 1);
+  EXPECT_LE(hi.trp, 2 * lo.trp + 1);
+  EXPECT_GE(hi.tras, 2 * lo.tras - 1);
+  EXPECT_LE(hi.tras, 2 * lo.tras + 1);
+  EXPECT_GE(hi.cl, lo.cl);
+}
+
+TEST(Timing, AllFieldsPositiveAtTypicalClocks) {
+  for (auto gen : {DdrGeneration::kDdr1, DdrGeneration::kDdr2,
+                   DdrGeneration::kDdr3}) {
+    for (double mhz : {133.0, 266.0, 333.0, 533.0, 667.0, 800.0}) {
+      const Timing t = make_timing(gen, mhz);
+      EXPECT_GT(t.cl, 0u);
+      EXPECT_GT(t.cwl, 0u);
+      EXPECT_GT(t.trcd, 0u);
+      EXPECT_GT(t.trp, 0u);
+      EXPECT_GT(t.tras, 0u);
+      EXPECT_GT(t.twr, 0u);
+      EXPECT_GT(t.trfc, 0u);
+      EXPECT_GT(t.trefi, 0u);
+    }
+  }
+}
+
+TEST(Timing, ReadLatencyAtLeastWriteLatency) {
+  // CL >= CWL for DDR2/3 (equal only at coarse low-clock rounding),
+  // and DDR1's WL is a single cycle.
+  for (auto gen : {DdrGeneration::kDdr2, DdrGeneration::kDdr3}) {
+    for (double mhz : {266.0, 533.0, 800.0}) {
+      const Timing t = make_timing(gen, mhz);
+      EXPECT_GE(t.cl, t.cwl) << to_string(gen) << " @ " << mhz;
+    }
+  }
+  EXPECT_GT(make_timing(DdrGeneration::kDdr3, 800.0).cl,
+            make_timing(DdrGeneration::kDdr3, 800.0).cwl);
+}
+
+TEST(Timing, RasLongerThanRcd) {
+  for (auto gen : {DdrGeneration::kDdr1, DdrGeneration::kDdr2,
+                   DdrGeneration::kDdr3}) {
+    const Timing t = make_timing(gen, 400.0);
+    EXPECT_GT(t.tras, t.trcd);
+  }
+}
+
+TEST(Geometry, DefaultsPerGeneration) {
+  EXPECT_EQ(default_geometry(DdrGeneration::kDdr1).num_banks, 4u);
+  EXPECT_EQ(default_geometry(DdrGeneration::kDdr2).num_banks, 8u);
+  EXPECT_EQ(default_geometry(DdrGeneration::kDdr3).num_banks, 8u);
+  EXPECT_EQ(default_geometry(DdrGeneration::kDdr2).bus_bytes, 4u);
+}
+
+TEST(BurstMode, BeatsPerCas) {
+  EXPECT_EQ(beats_per_cas(BurstMode::kBl4), 4u);
+  EXPECT_EQ(beats_per_cas(BurstMode::kBl8), 8u);
+  EXPECT_EQ(beats_per_cas(BurstMode::kBl4Otf), 4u);
+}
+
+/// Property sweep: derived cycle counts are monotone in clock frequency
+/// for every analog parameter and never zero.
+class TimingSweep
+    : public ::testing::TestWithParam<std::tuple<DdrGeneration, double>> {};
+
+TEST_P(TimingSweep, MonotoneInClock) {
+  const auto [gen, mhz] = GetParam();
+  const Timing a = make_timing(gen, mhz);
+  const Timing b = make_timing(gen, mhz * 1.5);
+  EXPECT_LE(a.trcd, b.trcd);
+  EXPECT_LE(a.trp, b.trp);
+  EXPECT_LE(a.tras, b.tras);
+  EXPECT_LE(a.twr, b.twr);
+  EXPECT_LE(a.twtr, b.twtr);
+  EXPECT_LE(a.trfc, b.trfc);
+  EXPECT_LE(a.trefi, b.trefi);
+  EXPECT_EQ(a.tccd, b.tccd);  // cycle-fixed
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerationsAndClocks, TimingSweep,
+    ::testing::Combine(::testing::Values(DdrGeneration::kDdr1,
+                                         DdrGeneration::kDdr2,
+                                         DdrGeneration::kDdr3),
+                       ::testing::Values(100.0, 166.0, 266.0, 400.0, 533.0,
+                                         667.0, 800.0)));
+
+}  // namespace
+}  // namespace annoc::sdram

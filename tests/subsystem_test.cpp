@@ -1,0 +1,238 @@
+/// Tests for the memory subsystems: the streamlined (Fig. 6) subsystem
+/// used by [4]/GSS/SAGM and the conventional MemMax/Databahn subsystem.
+#include <gtest/gtest.h>
+
+#include "memctrl/conv.hpp"
+#include "memctrl/streamlined.hpp"
+
+namespace annoc::memctrl {
+namespace {
+
+sdram::DeviceConfig dev_cfg() {
+  sdram::DeviceConfig c;
+  c.generation = sdram::DdrGeneration::kDdr2;
+  c.clock_mhz = 400.0;
+  c.burst_mode = sdram::BurstMode::kBl8;
+  c.geometry = sdram::default_geometry(c.generation);
+  return c;
+}
+
+noc::Packet req(PacketId id, CoreId core, BankId bank, RowId row,
+                std::uint32_t beats, RW rw = RW::kRead,
+                ServiceClass svc = ServiceClass::kBestEffort) {
+  noc::Packet p;
+  p.id = id;
+  p.parent_id = id;
+  p.src_core = core;
+  p.loc.bank = bank;
+  p.loc.row = row;
+  p.useful_beats = beats;
+  p.useful_bytes = beats * 4;
+  p.flits = noc::Packet::flits_for_beats(beats);
+  p.rw = rw;
+  p.svc = svc;
+  p.mem_arrival = 0;
+  return p;
+}
+
+std::vector<noc::Packet> run(MemorySubsystem& sub, std::size_t count,
+                             Cycle& t, Cycle limit = 10000) {
+  std::vector<noc::Packet> all;
+  const Cycle end = t + limit;
+  while (all.size() < count && t < end) {
+    sub.tick(t);
+    for (auto& p : sub.drain_completions()) all.push_back(std::move(p));
+    ++t;
+  }
+  return all;
+}
+
+TEST(Streamlined, ServesInArrivalOrderPerCore) {
+  StreamlinedSubsystem sub(dev_cfg(), {});
+  for (PacketId i = 1; i <= 4; ++i) {
+    noc::Packet p = req(i, 3, static_cast<BankId>(i % 2), 5, 8);
+    ASSERT_TRUE(sub.can_accept(p));
+    sub.deliver(std::move(p), 0);
+  }
+  Cycle t = 0;
+  auto done = run(sub, 4, t);
+  ASSERT_EQ(done.size(), 4u);
+  for (PacketId i = 0; i < 4; ++i) EXPECT_EQ(done[i].id, i + 1);
+}
+
+TEST(Streamlined, BackpressuresWhenInputFull) {
+  StreamlinedConfig cfg;
+  cfg.input_flits = 8;
+  cfg.window_depth = 2;
+  StreamlinedSubsystem sub(dev_cfg(), cfg);
+  int accepted = 0;
+  for (PacketId i = 1; i <= 20; ++i) {
+    noc::Packet p = req(i, 0, 0, 5, 8);  // 4 flits each
+    if (sub.can_accept(p)) {
+      sub.deliver(std::move(p), 0);
+      ++accepted;
+    }
+  }
+  EXPECT_LT(accepted, 20);
+  EXPECT_GE(accepted, 2);
+  // After draining, acceptance resumes.
+  Cycle t = 0;
+  (void)run(sub, static_cast<std::size_t>(accepted), t);
+  EXPECT_TRUE(sub.can_accept(req(99, 0, 0, 5, 8)));
+}
+
+TEST(Streamlined, HonoursMemArrivalTime) {
+  StreamlinedSubsystem sub(dev_cfg(), {});
+  noc::Packet p = req(1, 0, 0, 5, 8);
+  p.mem_arrival = 500;  // tail lands late
+  sub.deliver(std::move(p), 0);
+  Cycle t = 0;
+  std::vector<noc::Packet> done;
+  while (t < 400) {
+    sub.tick(t);
+    for (auto& d : sub.drain_completions()) done.push_back(std::move(d));
+    ++t;
+  }
+  EXPECT_TRUE(done.empty()) << "must not serve before the data arrived";
+  done = run(sub, 1, t);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_GE(done[0].service_done, 500u);
+}
+
+TEST(Streamlined, StarvedCounterTracksIdleEmpty) {
+  StreamlinedSubsystem sub(dev_cfg(), {});
+  for (Cycle t = 0; t < 50; ++t) sub.tick(t);
+  EXPECT_EQ(sub.starved_cycles(), 50u);
+}
+
+TEST(Streamlined, PendingAccounting) {
+  StreamlinedSubsystem sub(dev_cfg(), {});
+  EXPECT_EQ(sub.pending_requests(), 0u);
+  sub.deliver(req(1, 0, 0, 5, 8), 0);
+  sub.deliver(req(2, 0, 1, 5, 8), 0);
+  EXPECT_EQ(sub.pending_requests(), 2u);
+  Cycle t = 0;
+  (void)run(sub, 2, t);
+  EXPECT_EQ(sub.pending_requests(), 0u);
+}
+
+TEST(Conv, ThreadAssignmentByCore) {
+  ConvConfig cfg;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  EXPECT_EQ(sub.thread_of(req(1, 0, 0, 0, 8)), 0u);
+  EXPECT_EQ(sub.thread_of(req(1, 5, 0, 0, 8)), 1u);
+  EXPECT_EQ(sub.thread_of(req(1, 7, 0, 0, 8)), 3u);
+}
+
+TEST(Conv, ReadsChargeOneSlotWritesChargeData) {
+  ConvConfig cfg;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  // MemMax keeps headers and write data separately: a big read costs 1.
+  EXPECT_EQ(sub.charged_flits(req(1, 0, 0, 0, 64, RW::kRead)), 1u);
+  EXPECT_EQ(sub.charged_flits(req(1, 0, 0, 0, 8, RW::kWrite)), 5u);
+}
+
+TEST(Conv, ReordersAcrossThreadsForRowHits) {
+  ConvConfig cfg;
+  cfg.window_depth = 1;  // expose the thread-pick order directly
+  cfg.lookahead = 0;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  // Thread 0 head: bank 0 row 1. Thread 1 head: bank 0 row 2 (conflict
+  // with the first pick). Thread 2 head: bank 0 row 1 (row hit).
+  sub.deliver(req(1, 0, 0, 1, 8), 0);
+  sub.deliver(req(2, 1, 0, 2, 8), 0);
+  sub.deliver(req(3, 2, 0, 1, 8), 0);
+  Cycle t = 0;
+  auto done = run(sub, 3, t);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].id, 1u);
+  EXPECT_EQ(done[1].id, 3u) << "row-hit head must be admitted before the "
+                               "conflicting one";
+  EXPECT_EQ(done[2].id, 2u);
+}
+
+TEST(Conv, PreservesOrderWithinThread) {
+  ConvConfig cfg;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  // Same thread (core 1): conflict-heavy order must still be FIFO.
+  sub.deliver(req(1, 1, 0, 1, 8), 0);
+  sub.deliver(req(2, 1, 0, 9, 8), 0);
+  sub.deliver(req(3, 1, 0, 1, 8), 0);
+  Cycle t = 0;
+  auto done = run(sub, 3, t);
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].id, 1u);
+  EXPECT_EQ(done[1].id, 2u);
+  EXPECT_EQ(done[2].id, 3u);
+}
+
+TEST(Conv, PriorityFirstPicksPriorityHead) {
+  ConvConfig cfg;
+  cfg.priority_first = true;
+  cfg.window_depth = 1;
+  cfg.lookahead = 0;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  sub.deliver(req(1, 0, 0, 1, 8), 0);  // thread 0, row-hit-friendly
+  sub.deliver(req(2, 1, 0, 9, 8, RW::kRead, ServiceClass::kPriority), 0);
+  Cycle t = 0;
+  // Let one admission happen, then compare completion order.
+  auto done = run(sub, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, 2u) << "priority head must be admitted first";
+}
+
+TEST(Conv, WithoutPfsPriorityGetsNoBoost) {
+  ConvConfig cfg;
+  cfg.priority_first = false;
+  cfg.window_depth = 1;
+  cfg.lookahead = 0;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  sub.deliver(req(1, 0, 0, 1, 8), 0);
+  sub.deliver(req(2, 1, 0, 9, 8, RW::kRead, ServiceClass::kPriority), 0);
+  Cycle t = 0;
+  auto done = run(sub, 2, t);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].id, 1u);
+}
+
+TEST(Conv, BackpressurePerThread) {
+  ConvConfig cfg;
+  cfg.thread_buffer_flits = 8;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  // Fill thread 0 with writes (5 charged flits each).
+  int accepted = 0;
+  for (PacketId i = 1; i <= 10; ++i) {
+    noc::Packet p = req(i, 0, 0, 5, 8, RW::kWrite);
+    if (sub.can_accept(p)) {
+      sub.deliver(std::move(p), 0);
+      ++accepted;
+    }
+  }
+  EXPECT_LT(accepted, 10);
+  // Another thread still has room.
+  EXPECT_TRUE(sub.can_accept(req(99, 1, 0, 5, 8, RW::kWrite)));
+}
+
+TEST(Conv, RoundRobinAcrossEqualThreads) {
+  ConvConfig cfg;
+  cfg.window_depth = 1;
+  cfg.lookahead = 0;
+  ConvSubsystem sub(dev_cfg(), cfg);
+  // Four equal-rank heads (all same row on different banks is not
+  // equal; use independent banks same direction which rank equally
+  // after the first).
+  sub.deliver(req(1, 0, 0, 1, 8), 0);
+  sub.deliver(req(2, 1, 1, 1, 8), 0);
+  sub.deliver(req(3, 2, 2, 1, 8), 0);
+  sub.deliver(req(4, 3, 3, 1, 8), 0);
+  Cycle t = 0;
+  auto done = run(sub, 4, t);
+  ASSERT_EQ(done.size(), 4u);
+  // All four complete; every thread served exactly once.
+  std::set<PacketId> ids;
+  for (auto& p : done) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace annoc::memctrl
