@@ -22,7 +22,8 @@
 using namespace annoc;
 using core::DesignPoint;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   // --- 1. controller smarts x STI -------------------------------------
   {
     struct EngineCfg {
@@ -51,7 +52,7 @@ int main() {
         cfg.engine_reorder_depth = e.reorder;
         cfgs.push_back(cfg);
       }
-      const auto m = bench::run_batch(cfgs);
+      const auto m = bench::run_batch(cfgs, jobs);
       const double base = m[0].utilization, sti = m[1].utilization;
       std::printf("%-34s %12.3f %12.3f %+11.1f%%\n", e.name, base, sti,
                   base > 0 ? (sti - base) / base * 100.0 : 0.0);
@@ -77,7 +78,7 @@ int main() {
         cfg.map_chunk_bytes = chunk;
         cfgs.push_back(cfg);
       }
-      const auto m = bench::run_batch(cfgs);
+      const auto m = bench::run_batch(cfgs, jobs);
       std::printf("%-12u | %8.3f / %8.1f cy | %8.3f / %8.1f cy\n", chunk,
                   m[0].utilization, m[0].avg_latency_all(),
                   m[1].utilization, m[1].avg_latency_all());
@@ -101,7 +102,7 @@ int main() {
         cfg.adaptive_routing = adaptive;
         cfgs.push_back(cfg);
       }
-      const auto m = bench::run_batch(cfgs);
+      const auto m = bench::run_batch(cfgs, jobs);
       std::printf("%-12s | %8.3f / %8.1f cy | %8.3f / %8.1f cy\n",
                   to_string(app), m[0].utilization,
                   m[0].avg_latency_priority(), m[1].utilization,

@@ -19,7 +19,8 @@
 using namespace annoc;
 using core::DesignPoint;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   // --- PCT sweep -----------------------------------------------------
   {
     std::vector<core::SystemConfig> cfgs;
@@ -32,7 +33,7 @@ int main() {
       cfg.pct = pct;
       cfgs.push_back(cfg);
     }
-    const auto metrics = bench::run_batch(cfgs);
+    const auto metrics = bench::run_batch(cfgs, jobs);
     std::printf("Ablation 1 — priority control token (GSS, single DTV, "
                 "DDR II @ 333 MHz)\n");
     std::printf("PCT=1 is priority-equal; PCT=5 is priority-first "
@@ -72,7 +73,7 @@ int main() {
         cfg.split_beats = beats;
         cfgs.push_back(cfg);
       }
-      const auto metrics = bench::run_batch(cfgs);
+      const auto metrics = bench::run_batch(cfgs, jobs);
       std::printf("== %s @ %.0f MHz ==\n", to_string(g.gen), g.mhz);
       std::printf("%-12s %14s %16s %18s %14s\n", "split beats",
                   "utilization", "latency all", "latency priority",
@@ -107,7 +108,7 @@ int main() {
       cfg.num_vcs = v;
       cfgs.push_back(cfg);
     }
-    const auto metrics = bench::run_batch(cfgs);
+    const auto metrics = bench::run_batch(cfgs, jobs);
     for (std::size_t i = 0; i < vcs.size(); ++i) {
       std::printf("%-6u %14.3f %18.1f %22.1f\n", vcs[i],
                   metrics[i].utilization, metrics[i].avg_latency_all(),

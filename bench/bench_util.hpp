@@ -1,19 +1,17 @@
 /// \file bench_util.hpp
 /// Shared machinery for the table/figure reproduction benches: the nine
-/// application x clock rows of Tables I/II, a parallel experiment
-/// runner, and paper-vs-measured formatting helpers.
+/// application x clock rows of Tables I/II, the --jobs command line
+/// shared by every bench binary, batch execution through the
+/// ExperimentRunner, and paper-vs-measured formatting helpers.
 #pragma once
 
-#include <atomic>
 #include <cstdio>
-#include <functional>
-#include <future>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/env.hpp"
 #include "core/simulator.hpp"
+#include "runner/experiment_runner.hpp"
 
 namespace annoc::bench {
 
@@ -67,27 +65,33 @@ inline core::SystemConfig make_config(const Row& row, core::DesignPoint d,
   return cfg;
 }
 
-/// Run a batch of configurations in parallel (one thread per config, up
-/// to the hardware concurrency).
-inline std::vector<core::Metrics> run_batch(
-    const std::vector<core::SystemConfig>& configs) {
-  std::vector<core::Metrics> out(configs.size());
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= configs.size()) return;
-        out[i] = core::run_simulation(configs[i]);
-      }
-    });
+/// The worker-count knob every bench binary shares: `--jobs N` /
+/// `--jobs=N` / `-j N`, then ANNOC_JOBS, then 0 (= hardware
+/// concurrency). See runner::parse_jobs.
+inline unsigned parse_jobs(int argc, char** argv) {
+  return runner::parse_jobs(argc, argv);
+}
+
+/// Build a runner for a bench binary: honors the jobs knob and, when
+/// ANNOC_PROGRESS is set, reports per-run completion on stderr.
+inline runner::ExperimentRunner make_runner(unsigned jobs) {
+  runner::RunnerOptions opts;
+  opts.jobs = jobs;
+  if (env_flag("ANNOC_PROGRESS", false)) {
+    opts.on_progress = [](const runner::ProgressEvent& ev) {
+      std::fprintf(stderr, "[%zu/%zu] run %zu finished in %.2fs\n",
+                   ev.completed, ev.total, ev.index, ev.wall_seconds);
+    };
   }
-  for (auto& t : pool) t.join();
-  return out;
+  return runner::ExperimentRunner(opts);
+}
+
+/// Run a batch of configurations through the ExperimentRunner and
+/// return the metrics in submission order. Results are bit-identical
+/// for every jobs value; jobs only changes wall-clock.
+inline std::vector<core::Metrics> run_batch(
+    const std::vector<core::SystemConfig>& configs, unsigned jobs = 0) {
+  return make_runner(jobs).run_metrics(configs);
 }
 
 /// Geometric-mean style average of a column.

@@ -1,41 +1,34 @@
 /// \file export_csv.cpp
 /// Machine-readable export: re-runs the Table I and Table II grids and
-/// prints one CSV row per (table, operating point, design) to stdout,
-/// ready for pandas/gnuplot. The human-readable benches print the same
+/// prints one row per (table, operating point, design) to stdout,
+/// ready for pandas/gnuplot. `--format=json` switches to a JSON array;
+/// the default is CSV. The human-readable benches print the same
 /// numbers formatted like the paper; this binary exists so downstream
 /// analysis never has to scrape those tables.
 #include <array>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "runner/metrics_export.hpp"
 
 using namespace annoc;
 using core::DesignPoint;
 
-namespace {
-
-void emit(const char* table, const bench::Row& row, DesignPoint d,
-          const core::Metrics& m) {
-  std::printf(
-      "%s,%s,%s,%.0f,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,%llu\n",
-      table, to_string(row.app), to_string(row.gen), row.mhz, to_string(d),
-      m.utilization, m.raw_utilization, m.avg_latency_all(),
-      m.avg_latency_demand(), m.avg_latency_priority(),
-      static_cast<unsigned long long>(m.completed_requests),
-      static_cast<unsigned long long>(m.device.activates),
-      static_cast<unsigned long long>(m.device.precharges),
-      static_cast<unsigned long long>(m.device.auto_precharges),
-      static_cast<unsigned long long>(m.device.wasted_beats()));
-}
-
-}  // namespace
-
-int main() {
-  std::printf(
-      "table,application,ddr,clock_mhz,design,utilization,raw_utilization,"
-      "latency_all,latency_demand,latency_priority,requests,activates,"
-      "precharges,auto_precharges,wasted_beats\n");
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format=json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--format=csv") == 0) json = false;
+    else if (std::strncmp(argv[i], "--format", 8) == 0) {
+      std::fprintf(stderr, "%s: --format expects 'csv' or 'json', got '%s'\n",
+                   argv[0], argv[i]);
+      return 2;
+    }
+  }
 
   const auto rows = bench::table_rows();
   constexpr std::array<DesignPoint, 4> kT1 = {
@@ -54,12 +47,33 @@ int main() {
       cfgs.push_back(bench::make_config(row, d, /*priority=*/true));
     }
   }
-  const auto metrics = bench::run_batch(cfgs);
+  const auto results = bench::make_runner(jobs).run(cfgs);
 
+  std::vector<runner::LabeledRun> out;
+  out.reserve(results.size());
   std::size_t idx = 0;
+  const auto label = [&](const char* table, const bench::Row& row,
+                         DesignPoint d) {
+    runner::LabeledRun r;
+    r.table = table;
+    r.application = to_string(row.app);
+    r.ddr = to_string(row.gen);
+    r.clock_mhz = row.mhz;
+    r.design = to_string(d);
+    r.metrics = results[idx].metrics;
+    r.wall_seconds = results[idx].wall_seconds;
+    ++idx;
+    out.push_back(std::move(r));
+  };
   for (const auto& row : rows) {
-    for (const DesignPoint d : kT1) emit("table1", row, d, metrics[idx++]);
-    for (const DesignPoint d : kT2) emit("table2", row, d, metrics[idx++]);
+    for (const DesignPoint d : kT1) label("table1", row, d);
+    for (const DesignPoint d : kT2) label("table2", row, d);
+  }
+
+  if (json) {
+    runner::write_json(stdout, out);
+  } else {
+    runner::write_csv(stdout, out);
   }
   return 0;
 }

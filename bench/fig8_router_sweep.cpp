@@ -17,7 +17,8 @@
 using namespace annoc;
 using core::DesignPoint;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   struct Series {
     traffic::AppId app;
     sdram::DdrGeneration gen;
@@ -44,7 +45,7 @@ int main() {
       cfg.num_gss_routers = n;
       cfgs.push_back(cfg);
     }
-    const auto metrics = bench::run_batch(cfgs);
+    const auto metrics = bench::run_batch(cfgs, jobs);
 
     std::printf("\n== %s, %s @ %.0f MHz ==\n", to_string(s.app),
                 to_string(s.gen), s.mhz);

@@ -38,7 +38,8 @@ constexpr double kPaperLatDemand[9][4] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const auto rows = bench::table_rows();
   std::vector<core::SystemConfig> cfgs;
   for (const auto& row : rows) {
@@ -49,7 +50,7 @@ int main() {
   std::printf("Table I — no priority memory request (%llu measured cycles"
               " per point; paper ran 1M)\n\n",
               static_cast<unsigned long long>(bench::sim_cycles()));
-  const auto metrics = bench::run_batch(cfgs);
+  const auto metrics = bench::run_batch(cfgs, jobs);
 
   const auto cell = [&](std::size_t row, std::size_t d) -> const core::Metrics& {
     return metrics[row * kDesigns.size() + d];

@@ -37,7 +37,8 @@ constexpr double kPaperLatPrio[9][4] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   const auto rows = bench::table_rows();
   std::vector<core::SystemConfig> cfgs;
   for (const auto& row : rows) {
@@ -51,7 +52,7 @@ int main() {
   std::printf("Table II — with priority memory requests (%llu measured "
               "cycles per point; ratios vs [4] of Table I)\n\n",
               static_cast<unsigned long long>(bench::sim_cycles()));
-  const auto metrics = bench::run_batch(cfgs);
+  const auto metrics = bench::run_batch(cfgs, jobs);
   const std::size_t stride = kDesigns.size() + 1;
 
   struct Column {

@@ -12,7 +12,8 @@
 using namespace annoc;
 using core::DesignPoint;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   struct Point {
     traffic::AppId app;
     double mhz;
@@ -37,7 +38,7 @@ int main() {
   std::printf("Table III — GSS+SAGM+STI vs GSS+SAGM on DDR III (%llu "
               "measured cycles per point)\n\n",
               static_cast<unsigned long long>(bench::sim_cycles()));
-  const auto metrics = bench::run_batch(cfgs);
+  const auto metrics = bench::run_batch(cfgs, jobs);
 
   std::printf("%-22s | %21s | %25s | %25s\n", "application / clock",
               "utilization (gain%)", "latency all (gain%)",

@@ -16,6 +16,7 @@ using namespace annoc;
 using core::DesignPoint;
 
 int main() {
+  // No simulation here (pure area model), so no --jobs knob.
   const analysis::AreaModel model;
   constexpr std::array<DesignPoint, 3> kDesigns = {
       DesignPoint::kConv, DesignPoint::kRef4, DesignPoint::kGssSagmSti};

@@ -14,7 +14,8 @@
 using namespace annoc;
 using core::DesignPoint;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = bench::parse_jobs(argc, argv);
   struct Point {
     traffic::AppId app;
     sdram::DdrGeneration gen;
@@ -44,7 +45,7 @@ int main() {
   std::printf("Table V — average power (activity-based model; %llu "
               "measured cycles per point)\n\n",
               static_cast<unsigned long long>(bench::sim_cycles()));
-  const auto metrics = bench::run_batch(cfgs);
+  const auto metrics = bench::run_batch(cfgs, jobs);
   const analysis::PowerModel model;
 
   std::printf("%-24s |", "application / clock");

@@ -8,8 +8,9 @@
 /// Demonstrates the public extension API: traffic::CoreSpec /
 /// traffic::Application + core::SystemConfig::custom_app.
 #include <cstdio>
+#include <vector>
 
-#include "core/simulator.hpp"
+#include "runner/experiment_runner.hpp"
 
 using namespace annoc;
 
@@ -104,7 +105,8 @@ traffic::Application build_surround_view() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = runner::parse_jobs(argc, argv);
   const traffic::Application app = build_surround_view();
   std::printf("Custom SoC '%s': %zu cores, offered %.2f B/cycle\n\n",
               app.name.c_str(), app.cores.size(),
@@ -112,9 +114,11 @@ int main() {
   std::printf("%-14s %12s %16s %18s %16s\n", "design", "utilization",
               "latency(all)", "latency(priority)", "wasted beats");
 
-  for (core::DesignPoint d :
-       {core::DesignPoint::kConvPfs, core::DesignPoint::kRef4Pfs,
-        core::DesignPoint::kGss, core::DesignPoint::kGssSagm}) {
+  const std::vector<core::DesignPoint> designs = {
+      core::DesignPoint::kConvPfs, core::DesignPoint::kRef4Pfs,
+      core::DesignPoint::kGss, core::DesignPoint::kGssSagm};
+  std::vector<core::SystemConfig> cfgs;
+  for (const core::DesignPoint d : designs) {
     core::SystemConfig cfg;
     cfg.design = d;
     cfg.custom_app = app;
@@ -123,9 +127,15 @@ int main() {
     cfg.priority_enabled = true;
     cfg.sim_cycles = 60000;
     cfg.warmup_cycles = 10000;
-    const core::Metrics m = core::run_simulation(cfg);
-    std::printf("%-14s %12.3f %13.1f cy %15.1f cy %15llu\n", to_string(d),
-                m.utilization, m.avg_latency_all(), m.avg_latency_priority(),
+    cfgs.push_back(std::move(cfg));
+  }
+  runner::ExperimentRunner runner(jobs);
+  const auto metrics = runner.run_metrics(cfgs);
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const core::Metrics& m = metrics[i];
+    std::printf("%-14s %12.3f %13.1f cy %15.1f cy %15llu\n",
+                to_string(designs[i]), m.utilization, m.avg_latency_all(),
+                m.avg_latency_priority(),
                 static_cast<unsigned long long>(m.device.wasted_beats()));
   }
   std::printf(

@@ -7,10 +7,15 @@
 /// This is the question the paper's QoS machinery exists to answer:
 /// GSS-class designs should sustain more background traffic at the same
 /// demand-latency budget than a priority-first retrofit.
+///
+/// The four designs bisect in lockstep: every iteration batches one
+/// probe per still-searching design through the ExperimentRunner, so
+/// `--jobs 4` runs the designs' probes in parallel while producing the
+/// exact numbers the one-design-at-a-time loop would.
 #include <cstdio>
 #include <vector>
 
-#include "core/simulator.hpp"
+#include "runner/experiment_runner.hpp"
 
 using namespace annoc;
 
@@ -28,7 +33,7 @@ traffic::Application scaled_app(double factor) {
   return app;
 }
 
-double priority_latency_at(core::DesignPoint design, double factor) {
+core::SystemConfig probe_config(core::DesignPoint design, double factor) {
   core::SystemConfig cfg;
   cfg.design = design;
   cfg.custom_app = scaled_app(factor);
@@ -37,29 +42,43 @@ double priority_latency_at(core::DesignPoint design, double factor) {
   cfg.priority_enabled = true;
   cfg.sim_cycles = 40000;
   cfg.warmup_cycles = 8000;
-  const core::Metrics m = core::run_simulation(cfg);
-  return m.avg_latency_priority();
+  return cfg;
 }
 
-/// Largest stream-scale factor whose priority latency fits the budget.
-double max_scale_within(core::DesignPoint design, double budget_cycles) {
+/// One design's bisection bracket. `done` designs keep their result;
+/// the rest still have probes to run.
+struct Search {
+  core::DesignPoint design;
   double lo = 0.2, hi = 2.0;
-  if (priority_latency_at(design, hi) <= budget_cycles) return hi;
-  if (priority_latency_at(design, lo) > budget_cycles) return 0.0;
-  for (int iter = 0; iter < 7; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (priority_latency_at(design, mid) <= budget_cycles) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
+  bool done = false;
+  double result = 0.0;
+};
+
+/// Probe `factor(s)` for every unfinished search in one parallel batch
+/// and hand each search its measured priority latency.
+template <typename FactorFn, typename ApplyFn>
+void probe_round(std::vector<Search>& searches,
+                 runner::ExperimentRunner& runner, FactorFn factor,
+                 ApplyFn apply) {
+  std::vector<core::SystemConfig> cfgs;
+  std::vector<std::size_t> who;
+  for (std::size_t i = 0; i < searches.size(); ++i) {
+    if (searches[i].done) continue;
+    cfgs.push_back(probe_config(searches[i].design, factor(searches[i])));
+    who.push_back(i);
   }
-  return lo;
+  const auto metrics = runner.run_metrics(cfgs);
+  for (std::size_t k = 0; k < who.size(); ++k) {
+    apply(searches[who[k]], metrics[k].avg_latency_priority());
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned jobs = runner::parse_jobs(argc, argv);
+  runner::ExperimentRunner runner(jobs);
+
   const double budget = 130.0;  // demand misses must average <= 130 cycles
   std::printf("Capacity planning: max stream load meeting a %.0f-cycle\n"
               "priority-latency budget (single DTV, DDR II @ 333 MHz;\n"
@@ -76,12 +95,50 @@ int main() {
     if (!c.spec.is_mpu) stream_base += c.spec.bytes_per_cycle;
   }
 
-  for (core::DesignPoint d :
-       {core::DesignPoint::kConvPfs, core::DesignPoint::kRef4Pfs,
-        core::DesignPoint::kGss, core::DesignPoint::kGssSagm}) {
-    const double scale = max_scale_within(d, budget);
-    std::printf("%-14s %22.2f %26.2f\n", to_string(d), scale,
-                scale * stream_base);
+  std::vector<Search> searches = {{core::DesignPoint::kConvPfs},
+                                  {core::DesignPoint::kRef4Pfs},
+                                  {core::DesignPoint::kGss},
+                                  {core::DesignPoint::kGssSagm}};
+
+  // Bracket: a design whose top-of-range load already fits is done;
+  // one whose bottom-of-range load misses the budget carries nothing.
+  probe_round(
+      searches, runner, [](const Search& s) { return s.hi; },
+      [&](Search& s, double lat) {
+        if (lat <= budget) {
+          s.done = true;
+          s.result = s.hi;
+        }
+      });
+  probe_round(
+      searches, runner, [](const Search& s) { return s.lo; },
+      [&](Search& s, double lat) {
+        if (lat > budget) {
+          s.done = true;
+          s.result = 0.0;
+        }
+      });
+
+  for (int iter = 0; iter < 7; ++iter) {
+    probe_round(
+        searches, runner,
+        [](const Search& s) { return 0.5 * (s.lo + s.hi); },
+        [&](Search& s, double lat) {
+          const double mid = 0.5 * (s.lo + s.hi);
+          if (lat <= budget) {
+            s.lo = mid;
+          } else {
+            s.hi = mid;
+          }
+        });
+  }
+  for (Search& s : searches) {
+    if (!s.done) s.result = s.lo;
+  }
+
+  for (const Search& s : searches) {
+    std::printf("%-14s %22.2f %26.2f\n", to_string(s.design), s.result,
+                s.result * stream_base);
   }
   std::printf(
       "\nReading the result: a design that schedules priority packets\n"

@@ -1,27 +1,34 @@
 /// \file quickstart.cpp
 /// Smallest end-to-end use of the library: simulate the single-DTV
 /// application on DDR II at 333 MHz for each of the four headline
-/// design points and print the paper's three metrics.
+/// design points and print the paper's three metrics. The four runs go
+/// through the ExperimentRunner, so `--jobs 4` simulates the design
+/// points in parallel with identical results.
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
-///   ./build/examples/quickstart
+///   ./build/examples/quickstart [--jobs N]
 #include <cstdio>
+#include <vector>
 
-#include "core/simulator.hpp"
+#include "runner/experiment_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace annoc;
   using core::DesignPoint;
+
+  const unsigned jobs = runner::parse_jobs(argc, argv);
+  const std::vector<DesignPoint> designs = {
+      DesignPoint::kConvPfs, DesignPoint::kRef4Pfs, DesignPoint::kGss,
+      DesignPoint::kGssSagm};
 
   std::printf("Application-aware NoC for efficient SDRAM access — quickstart\n");
   std::printf("Workload: single DTV, DDR II @ 333 MHz, priority enabled\n\n");
   std::printf("%-14s %12s %16s %18s\n", "design", "utilization",
               "latency(all)", "latency(priority)");
 
-  for (DesignPoint d :
-       {DesignPoint::kConvPfs, DesignPoint::kRef4Pfs, DesignPoint::kGss,
-        DesignPoint::kGssSagm}) {
+  std::vector<core::SystemConfig> cfgs;
+  for (const DesignPoint d : designs) {
     core::SystemConfig cfg;
     cfg.design = d;
     cfg.app = traffic::AppId::kSingleDtv;
@@ -29,9 +36,14 @@ int main() {
     cfg.clock_mhz = 333.0;
     cfg.priority_enabled = true;
     cfg.sim_cycles = 100000;
+    cfgs.push_back(cfg);
+  }
+  runner::ExperimentRunner runner(jobs);
+  const auto metrics = runner.run_metrics(cfgs);
 
-    const core::Metrics m = core::run_simulation(cfg);
-    std::printf("%-14s %12.3f %13.1f cy %15.1f cy\n", to_string(d),
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const core::Metrics& m = metrics[i];
+    std::printf("%-14s %12.3f %13.1f cy %15.1f cy\n", to_string(designs[i]),
                 m.utilization, m.avg_latency_all(), m.avg_latency_priority());
   }
   std::printf(

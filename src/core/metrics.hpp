@@ -43,7 +43,14 @@ struct Metrics {
 
   std::uint64_t completed_requests = 0;
   std::uint64_t completed_subpackets = 0;
+  /// Parent requests still in flight when the run (including its drain
+  /// phase) ended. Non-zero means the latency stats miss that many
+  /// in-window requests — raise drain_cycle_limit if it matters.
+  std::uint64_t outstanding_requests = 0;
   Cycle measured_cycles = 0;
+  /// Cycles spent in the post-window drain phase (tail completion only;
+  /// not part of measured_cycles, so utilization is unaffected).
+  Cycle drained_cycles = 0;
 
   sdram::DeviceStats device;       ///< over the measurement window
   memctrl::EngineStats engine;     ///< over the measurement window

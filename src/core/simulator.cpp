@@ -196,7 +196,6 @@ void Simulator::finish_subpacket(const noc::Packet& pkt, Cycle done) {
   ParentState& ps = it->second;
   ANNOC_ASSERT(ps.subpackets_outstanding > 0);
   --ps.subpackets_outstanding;
-  ps.first_injected = std::min(ps.first_injected, pkt.injected);
   ps.last_done = std::max(ps.last_done, done);
   if (ps.subpackets_outstanding == 0) {
     record_parent(ps);
@@ -205,8 +204,28 @@ void Simulator::finish_subpacket(const noc::Packet& pkt, Cycle done) {
   }
 }
 
+void Simulator::end_measurement() {
+  if (!measuring_ || measurement_ended_) return;
+  measurement_ended_ = true;
+  measure_end_ = now_;
+  device_end_ = subsystem_->device().stats();
+  engine_end_ = engine_stats();
+  noc_flits_end_ = 0;
+  noc_packets_end_ = 0;
+  for (std::size_t i = 0; i < network_->num_routers(); ++i) {
+    noc_flits_end_ +=
+        network_->router(static_cast<NodeId>(i)).stats().flits_forwarded;
+    noc_packets_end_ +=
+        network_->router(static_cast<NodeId>(i)).stats().packets_forwarded;
+  }
+}
+
 void Simulator::step() {
   if (!measuring_ && now_ >= cfg_.warmup_cycles) begin_measurement();
+  if (measuring_ && !measurement_ended_ &&
+      now_ >= cfg_.warmup_cycles + cfg_.sim_cycles) {
+    end_measurement();
+  }
 
   // 1. Memory subsystem: issue commands, retire requests.
   subsystem_->tick(now_);
@@ -228,16 +247,35 @@ void Simulator::step() {
   ++now_;
 }
 
+void Simulator::drain() {
+  end_measurement();
+  // Stop request generation; already-queued backlog still injects and
+  // in-flight packets still progress, so parents created inside the
+  // window complete and reach record_parent instead of being dropped.
+  for (auto& gen : generators_) gen->set_emitting(false);
+  const Cycle limit = cfg_.drain_cycle_limit;
+  const Cycle drain_end = now_ + limit;
+  while (!parents_.empty() && now_ < drain_end) {
+    step();
+    ++drained_cycles_;
+  }
+}
+
 Metrics Simulator::run() {
   const Cycle total = cfg_.warmup_cycles + cfg_.sim_cycles;
   while (now_ < total) step();
+  drain();
   if (trace_) trace_->flush();
   return metrics();
 }
 
 Metrics Simulator::metrics() const {
   Metrics m;
-  m.measured_cycles = now_ > measure_start_ ? now_ - measure_start_ : 0;
+  const Cycle window_end = measurement_ended_ ? measure_end_ : now_;
+  m.measured_cycles =
+      window_end > measure_start_ ? window_end - measure_start_ : 0;
+  m.drained_cycles = drained_cycles_;
+  m.outstanding_requests = parents_.size();
   m.all_packets = lat_all_;
   m.demand_packets = lat_demand_;
   m.priority_packets = lat_priority_;
@@ -251,7 +289,8 @@ Metrics Simulator::metrics() const {
   m.completed_requests = completed_requests_;
   m.completed_subpackets = completed_subpackets_;
 
-  const sdram::DeviceStats& ds = subsystem_->device().stats();
+  const sdram::DeviceStats& ds =
+      measurement_ended_ ? device_end_ : subsystem_->device().stats();
   auto sub = [](std::uint64_t a, std::uint64_t b) { return a - b; };
   m.device.activates = sub(ds.activates, device_baseline_.activates);
   m.device.precharges = sub(ds.precharges, device_baseline_.precharges);
@@ -279,7 +318,8 @@ Metrics Simulator::metrics() const {
                         (2.0 * static_cast<double>(m.measured_cycles));
   }
 
-  const memctrl::EngineStats& es = engine_stats();
+  const memctrl::EngineStats& es =
+      measurement_ended_ ? engine_end_ : engine_stats();
   m.engine.requests_completed =
       sub(es.requests_completed, engine_baseline_.requests_completed);
   m.engine.cas_issued = sub(es.cas_issued, engine_baseline_.cas_issued);
@@ -295,9 +335,16 @@ Metrics Simulator::metrics() const {
       sub(es.stall_cas_timing, engine_baseline_.stall_cas_timing);
 
   std::uint64_t flits = 0, pkts = 0;
-  for (std::size_t i = 0; i < network_->num_routers(); ++i) {
-    flits += network_->router(static_cast<NodeId>(i)).stats().flits_forwarded;
-    pkts += network_->router(static_cast<NodeId>(i)).stats().packets_forwarded;
+  if (measurement_ended_) {
+    flits = noc_flits_end_;
+    pkts = noc_packets_end_;
+  } else {
+    for (std::size_t i = 0; i < network_->num_routers(); ++i) {
+      flits +=
+          network_->router(static_cast<NodeId>(i)).stats().flits_forwarded;
+      pkts +=
+          network_->router(static_cast<NodeId>(i)).stats().packets_forwarded;
+    }
   }
   m.noc_flits_forwarded = flits - noc_flits_baseline_;
   m.noc_packets_forwarded = pkts - noc_packets_baseline_;

@@ -26,12 +26,19 @@ class Simulator {
  public:
   explicit Simulator(const SystemConfig& cfg);
 
-  /// Run to completion and return the metrics of the measurement window
-  /// (warmup excluded).
+  /// Run to completion — warmup, measurement window, then a bounded
+  /// drain (see SystemConfig::drain_cycle_limit) — and return the
+  /// metrics of the measurement window (warmup excluded).
   Metrics run();
 
   /// Step a single cycle (exposed for integration tests).
   void step();
+
+  /// Close the measurement window (if still open) and simulate up to
+  /// cfg.drain_cycle_limit further cycles with request generation
+  /// stopped, so requests created inside the window can complete and be
+  /// counted. Called by run(); exposed for step()-driven users.
+  void drain();
 
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
@@ -48,7 +55,6 @@ class Simulator {
   struct ParentState {
     std::uint32_t subpackets_outstanding = 0;
     Cycle created = 0;
-    Cycle first_injected = kNeverCycle;
     Cycle last_done = 0;
     RequestKind kind = RequestKind::kStream;
     ServiceClass svc = ServiceClass::kBestEffort;
@@ -62,6 +68,10 @@ class Simulator {
   void finish_subpacket(const noc::Packet& pkt, Cycle done);
   void record_parent(const ParentState& ps);
   void begin_measurement();
+  /// Freeze the measurement counters at the window edge: later cycles
+  /// (the drain phase) may still complete in-window requests but must
+  /// not inflate utilization or activity counters.
+  void end_measurement();
 
   SystemConfig cfg_;
   traffic::Application app_;
@@ -77,6 +87,9 @@ class Simulator {
   Cycle now_ = 0;
   bool measuring_ = false;
   Cycle measure_start_ = 0;
+  bool measurement_ended_ = false;
+  Cycle measure_end_ = 0;
+  Cycle drained_cycles_ = 0;
 
   // Parent-request completion tracking (SAGM splits one request into
   // several subpackets; latency is measured on the whole request).
@@ -96,6 +109,11 @@ class Simulator {
   memctrl::EngineStats engine_baseline_{};
   std::uint64_t noc_flits_baseline_ = 0;
   std::uint64_t noc_packets_baseline_ = 0;
+  // Snapshots at the window edge (valid once measurement_ended_).
+  sdram::DeviceStats device_end_{};
+  memctrl::EngineStats engine_end_{};
+  std::uint64_t noc_flits_end_ = 0;
+  std::uint64_t noc_packets_end_ = 0;
 
   [[nodiscard]] const memctrl::EngineStats& engine_stats() const;
 };

@@ -93,6 +93,15 @@ struct SystemConfig {
 
   Cycle sim_cycles = 200000;
   Cycle warmup_cycles = 20000;
+  /// After the measurement window closes, keep simulating (without
+  /// generating new requests) for at most this many cycles so requests
+  /// created inside the window still reach the latency statistics
+  /// instead of being silently dropped — short windows would otherwise
+  /// undercount tail latency. Measurement counters (utilization,
+  /// measured_cycles) are frozen at the window edge; 0 disables the
+  /// drain entirely (any still-outstanding requests are reported in
+  /// Metrics::outstanding_requests either way).
+  Cycle drain_cycle_limit = 20000;
   std::uint64_t seed = 42;
 
   /// GSS priority control token (2..5/6); paper Section IV-B.

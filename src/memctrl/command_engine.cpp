@@ -23,6 +23,8 @@ CommandEngine::CommandEngine(sdram::Device& device, std::uint32_t window_depth,
 
 void CommandEngine::enqueue(noc::Packet&& pkt) {
   ANNOC_ASSERT(can_accept());
+  ANNOC_ASSERT_MSG(pkt.loc.col < device_.config().geometry.cols_per_row,
+                   "request column outside the row");
   Entry e;
   e.beats_left = std::max(pkt.useful_beats, 1u);
   e.next_col = pkt.loc.col;
@@ -66,7 +68,13 @@ bool CommandEngine::try_cas(Entry& e, Cycle now) {
   const sdram::DataWindow w = device_.issue(c, now);
   ++stats_.cas_issued;
   e.finish = w.end;
-  e.next_col += burst;
+  // Advance within the row, wrapping at the column count: a request is
+  // normally boundary-split by the generator/mapper, but a request that
+  // starts near the row edge (direct API use) must not issue CAS
+  // addresses past the row — DDR column addressing wraps inside the
+  // row, it never spills into the neighbouring one.
+  const std::uint32_t cols = device_.config().geometry.cols_per_row;
+  e.next_col = (e.next_col + burst) % cols;
   e.beats_left -= c.useful_beats;
   if (last) {
     e.all_cas_issued = true;

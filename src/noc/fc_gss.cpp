@@ -200,9 +200,12 @@ void GssFlowController::on_scheduled(const Packet& pkt, Cycle now) {
   if (!sti_) return;
   // Per Section IV-B: after the last data beat, the bank needs
   // tWR + tRP (write) or tRP (read) before it can be re-activated.
-  // The last data beat is approximated as `now + flits` (winner-take-all
-  // transfer of all beats at one per cycle).
-  const Cycle data_end = now + pkt.flits;
+  // The last data beat is approximated from the packet's *useful data
+  // beats* at two beats per DDR bus cycle. Using `pkt.flits` here would
+  // overestimate: a packet always carries at least one (sideband) flit
+  // even when it moves zero or one data beat, so sub-beat packets would
+  // arm the counter one cycle too long.
+  const Cycle data_end = now + (pkt.useful_beats + 1) / 2;
   const std::size_t b = pkt.loc.bank % kMaxBanks;
   const Cycle ready =
       pkt.rw == RW::kWrite

@@ -1,0 +1,132 @@
+#include "runner/experiment_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hpp"
+
+namespace annoc::runner {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+[[nodiscard]] RunResult run_one(const core::SystemConfig& cfg,
+                                std::size_t index) {
+  const Clock::time_point start = Clock::now();
+  core::Simulator sim(cfg);
+  RunResult r;
+  r.index = index;
+  r.metrics = sim.run();
+  r.wall_seconds = seconds_since(start);
+  const auto simulated = static_cast<double>(sim.now());
+  r.cycles_per_second =
+      r.wall_seconds > 0.0 ? simulated / r.wall_seconds : 0.0;
+  return r;
+}
+
+}  // namespace
+
+unsigned resolve_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned parse_jobs(int argc, char** argv) {
+  const auto parse_value = [&](const char* text,
+                               const char* flag) -> unsigned {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0') {
+      std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n",
+                   argv[0], flag, text);
+      std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a value\n", argv[0], a);
+        std::exit(2);
+      }
+      return parse_value(argv[i + 1], a);
+    }
+    if (std::strncmp(a, "--jobs=", 7) == 0) return parse_value(a + 7, "--jobs");
+    if (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0') {
+      return parse_value(a + 2, "-j");
+    }
+  }
+  return static_cast<unsigned>(env_u64("ANNOC_JOBS", 0));
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions opts)
+    : opts_(std::move(opts)) {}
+
+std::vector<RunResult> ExperimentRunner::run(
+    const std::vector<core::SystemConfig>& configs) {
+  std::vector<RunResult> results(configs.size());
+  const unsigned jobs = resolve_jobs(opts_.jobs);
+
+  if (jobs == 1 || configs.size() <= 1) {
+    // Inline: no pool, no synchronization, exceptions propagate.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = run_one(configs[i], i);
+      if (opts_.on_progress) {
+        opts_.on_progress(
+            ProgressEvent{i + 1, configs.size(), i, results[i].wall_seconds});
+      }
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic index: each worker owns a whole run, so no
+  // simulator state is ever shared and determinism is structural.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mutex;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, configs.size()));
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      results[i] = run_one(configs[i], i);
+      const std::size_t done =
+          completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts_.on_progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        opts_.on_progress(
+            ProgressEvent{done, configs.size(), i, results[i].wall_seconds});
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<core::Metrics> ExperimentRunner::run_metrics(
+    const std::vector<core::SystemConfig>& configs) {
+  std::vector<RunResult> results = run(configs);
+  std::vector<core::Metrics> out;
+  out.reserve(results.size());
+  for (RunResult& r : results) out.push_back(std::move(r.metrics));
+  return out;
+}
+
+}  // namespace annoc::runner

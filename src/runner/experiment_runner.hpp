@@ -1,0 +1,84 @@
+/// \file experiment_runner.hpp
+/// Deterministic parallel experiment execution: a fixed-size thread
+/// pool runs a batch of SystemConfigs, one Simulator per run, and
+/// returns the Metrics in submission order. Every Simulator owns its
+/// full state and derives its RNG streams from cfg.seed, so a parallel
+/// batch is bit-identical to running the same configs serially — the
+/// jobs knob trades wall-clock only, never results.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace annoc::runner {
+
+/// Outcome of one run, tagged with its submission index and wall-clock
+/// observability (how long the run took and how fast it simulated).
+struct RunResult {
+  std::size_t index = 0;
+  core::Metrics metrics;
+  /// Wall-clock seconds this run spent inside Simulator::run().
+  double wall_seconds = 0.0;
+  /// Simulated cycles (warmup + window + drain) per wall second.
+  double cycles_per_second = 0.0;
+};
+
+/// Progress notification, fired once per completed run. Callbacks are
+/// serialized by the runner (never concurrent), but fire on worker
+/// threads and in completion order, not submission order.
+struct ProgressEvent {
+  std::size_t completed = 0;  ///< runs finished so far (including this)
+  std::size_t total = 0;      ///< batch size
+  std::size_t index = 0;      ///< submission index of the finished run
+  double wall_seconds = 0.0;  ///< wall-clock of the finished run
+};
+
+using ProgressCallback = std::function<void(const ProgressEvent&)>;
+
+struct RunnerOptions {
+  /// Worker threads. 0 = hardware concurrency; 1 = run inline on the
+  /// calling thread (no pool, exceptions propagate directly).
+  unsigned jobs = 0;
+  ProgressCallback on_progress;
+};
+
+/// Resolve a jobs request against the machine: 0 maps to the hardware
+/// concurrency (at least 1); anything else is returned unchanged.
+[[nodiscard]] unsigned resolve_jobs(unsigned requested);
+
+/// Parse the shared worker-count knob from a command line: `--jobs N`,
+/// `--jobs=N`, `-j N`, or `-jN`, falling back to the ANNOC_JOBS
+/// environment variable, falling back to 0 (= hardware concurrency).
+/// Unrelated arguments are ignored so binaries can layer their own
+/// flags on top. Prints a diagnostic and exits on a malformed value.
+[[nodiscard]] unsigned parse_jobs(int argc, char** argv);
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions opts = {});
+  /// Convenience: a runner with `jobs` workers and no progress callback.
+  explicit ExperimentRunner(unsigned jobs) { opts_.jobs = jobs; }
+
+  /// Run every config and return results in submission order. With
+  /// jobs == 1 the batch runs inline on the calling thread; otherwise a
+  /// pool of resolve_jobs(opts.jobs) workers pulls indices from a
+  /// shared atomic counter. Either way result[i] corresponds to
+  /// configs[i] and is identical between the two modes.
+  [[nodiscard]] std::vector<RunResult> run(
+      const std::vector<core::SystemConfig>& configs);
+
+  /// Convenience: run() with the metrics peeled out, in submission
+  /// order. Drop-in for code that doesn't need timing observability.
+  [[nodiscard]] std::vector<core::Metrics> run_metrics(
+      const std::vector<core::SystemConfig>& configs);
+
+  [[nodiscard]] const RunnerOptions& options() const { return opts_; }
+
+ private:
+  RunnerOptions opts_;
+};
+
+}  // namespace annoc::runner

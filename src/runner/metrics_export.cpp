@@ -1,0 +1,95 @@
+#include "runner/metrics_export.hpp"
+
+namespace annoc::runner {
+namespace {
+
+/// Column set shared by both formats: labels, the paper's headline
+/// numbers, then the accounting/diagnostic counters.
+constexpr const char* kCsvHeader =
+    "table,application,ddr,clock_mhz,design,utilization,raw_utilization,"
+    "latency_all,latency_demand,latency_priority,requests,"
+    "outstanding_requests,measured_cycles,drained_cycles,activates,"
+    "precharges,auto_precharges,wasted_beats,wall_seconds";
+
+[[nodiscard]] unsigned long long ull(std::uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+/// JSON string escaping for the label fields (quotes/backslashes and
+/// control characters; labels are ASCII identifiers in practice).
+void json_string(std::FILE* out, const std::string& s) {
+  std::fputc('"', out);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': std::fputs("\\\"", out); break;
+      case '\\': std::fputs("\\\\", out); break;
+      case '\n': std::fputs("\\n", out); break;
+      case '\t': std::fputs("\\t", out); break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::fprintf(out, "\\u%04x", static_cast<unsigned>(ch));
+        } else {
+          std::fputc(ch, out);
+        }
+    }
+  }
+  std::fputc('"', out);
+}
+
+}  // namespace
+
+void write_csv(std::FILE* out, const std::vector<LabeledRun>& runs) {
+  std::fprintf(out, "%s\n", kCsvHeader);
+  for (const LabeledRun& r : runs) {
+    const core::Metrics& m = r.metrics;
+    std::fprintf(
+        out,
+        "%s,%s,%s,%.0f,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%llu,%llu,%.3f\n",
+        r.table.c_str(), r.application.c_str(), r.ddr.c_str(), r.clock_mhz,
+        r.design.c_str(), m.utilization, m.raw_utilization,
+        m.avg_latency_all(), m.avg_latency_demand(), m.avg_latency_priority(),
+        ull(m.completed_requests), ull(m.outstanding_requests),
+        ull(m.measured_cycles), ull(m.drained_cycles),
+        ull(m.device.activates), ull(m.device.precharges),
+        ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
+        r.wall_seconds);
+  }
+}
+
+void write_json(std::FILE* out, const std::vector<LabeledRun>& runs) {
+  std::fputs("[\n", out);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const LabeledRun& r = runs[i];
+    const core::Metrics& m = r.metrics;
+    std::fputs("  {", out);
+    std::fputs("\"table\": ", out);
+    json_string(out, r.table);
+    std::fputs(", \"application\": ", out);
+    json_string(out, r.application);
+    std::fputs(", \"ddr\": ", out);
+    json_string(out, r.ddr);
+    std::fprintf(out, ", \"clock_mhz\": %.0f, \"design\": ", r.clock_mhz);
+    json_string(out, r.design);
+    std::fprintf(
+        out,
+        ", \"utilization\": %.4f, \"raw_utilization\": %.4f,"
+        " \"latency_all\": %.2f, \"latency_demand\": %.2f,"
+        " \"latency_priority\": %.2f, \"requests\": %llu,"
+        " \"outstanding_requests\": %llu, \"measured_cycles\": %llu,"
+        " \"drained_cycles\": %llu, \"activates\": %llu,"
+        " \"precharges\": %llu, \"auto_precharges\": %llu,"
+        " \"wasted_beats\": %llu, \"wall_seconds\": %.3f}",
+        m.utilization, m.raw_utilization, m.avg_latency_all(),
+        m.avg_latency_demand(), m.avg_latency_priority(),
+        ull(m.completed_requests), ull(m.outstanding_requests),
+        ull(m.measured_cycles), ull(m.drained_cycles),
+        ull(m.device.activates), ull(m.device.precharges),
+        ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
+        r.wall_seconds);
+    std::fputs(i + 1 < runs.size() ? ",\n" : "\n", out);
+  }
+  std::fputs("]\n", out);
+}
+
+}  // namespace annoc::runner

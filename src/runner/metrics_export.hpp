@@ -1,0 +1,36 @@
+/// \file metrics_export.hpp
+/// Machine-readable export of simulation results. One LabeledRun pairs
+/// a Metrics with the operating-point labels the paper's tables use;
+/// write_csv/write_json serialize a batch with a single shared column
+/// set, replacing the per-binary printf formats that used to live in
+/// the bench tools.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace annoc::runner {
+
+/// One result row: the experiment labels plus the measured metrics.
+/// Label fields the caller doesn't need may stay empty — they export
+/// as empty CSV cells / JSON strings.
+struct LabeledRun {
+  std::string table;        ///< e.g. "table1", "fig8", "ablation"
+  std::string application;  ///< e.g. "bluray"
+  std::string ddr;          ///< e.g. "DDR2"
+  double clock_mhz = 0.0;
+  std::string design;       ///< e.g. "gss+sagm"
+  core::Metrics metrics;
+  double wall_seconds = 0.0;
+};
+
+/// Emit the header plus one CSV row per run.
+void write_csv(std::FILE* out, const std::vector<LabeledRun>& runs);
+
+/// Emit a JSON array with one object per run (same fields as the CSV).
+void write_json(std::FILE* out, const std::vector<LabeledRun>& runs);
+
+}  // namespace annoc::runner

@@ -213,6 +213,8 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
     }
     case CommandType::kRead:
     case CommandType::kWrite: {
+      ANNOC_ASSERT_MSG(cmd.col < cfg_.geometry.cols_per_row,
+                       "CAS column address outside the row");
       const RW dir =
           cmd.type == CommandType::kRead ? RW::kRead : RW::kWrite;
       const DataWindow w = cas_window(cmd, now);

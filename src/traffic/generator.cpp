@@ -105,7 +105,8 @@ void CoreGenerator::tick(Cycle now, noc::Network& net) {
   // Open-loop cores accrue credit unconditionally (their rate is a
   // real-time requirement); closed-loop cores stop while their
   // outstanding window is full.
-  const bool may_emit = s.open_loop || outstanding_ < s.max_outstanding;
+  const bool may_emit =
+      emitting_ && (s.open_loop || outstanding_ < s.max_outstanding);
   if (may_emit) {
     credit_ += s.bytes_per_cycle;
     while (credit_ >= static_cast<double>(next_size_) &&

@@ -55,6 +55,10 @@ class CoreGenerator {
     --outstanding_;
   }
 
+  /// Gate request generation (drain phase: injection of the existing
+  /// backlog continues, but no new requests are created).
+  void set_emitting(bool emitting) { emitting_ = emitting; }
+
   [[nodiscard]] const GeneratorStats& stats() const { return stats_; }
   [[nodiscard]] CoreId core_id() const { return cfg_.core_id; }
   [[nodiscard]] const CoreSpec& spec() const { return cfg_.spec; }
@@ -72,6 +76,7 @@ class CoreGenerator {
   Rng rng_;
 
   double credit_ = 0.0;
+  bool emitting_ = true;
   std::uint32_t next_size_ = 0;
   bool next_is_demand_ = false;
   std::uint64_t cursor_ = 0;

@@ -278,6 +278,26 @@ TEST(CommandEngine, WindowBackpressure) {
   EXPECT_TRUE(eng.can_accept());
 }
 
+TEST(CommandEngine, CasColumnsStayInsideRow) {
+  // Regression: a request starting near the row edge used to advance
+  // next_col past the row's column count and issue an out-of-row CAS
+  // (the device now asserts on that). The column must wrap inside the
+  // row instead.
+  sdram::Device dev(dev_cfg(BurstMode::kBl8));
+  const std::uint32_t cols = dev.config().geometry.cols_per_row;
+  CommandEngine eng(dev, 8, 4);
+  // 24 beats = three BL8 CAS: cols-8, then wrap to 0, then 8.
+  eng.enqueue(req(1, 0, 0, 5, static_cast<ColId>(cols - 8), 24));
+  Cycle t = 0;
+  auto done = run_until(dev, eng, 1, t);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(dev.stats().reads, 3u);
+  EXPECT_EQ(dev.stats().useful_beats, 24u);
+  // All three CAS hit the same open row: one ACT, no PRE.
+  EXPECT_EQ(dev.stats().activates, 1u);
+  EXPECT_EQ(dev.stats().precharges, 0u);
+}
+
 TEST(CommandEngine, ServiceDoneMatchesDataWindowEnd) {
   sdram::Device dev(dev_cfg());
   CommandEngine eng(dev, 4, 2);

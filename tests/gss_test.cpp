@@ -23,7 +23,8 @@ Packet mk(BankId bank, RowId row, RW rw, Cycle arrived,
   p.rw = rw;
   p.head_arrival = arrived;
   p.svc = svc;
-  p.flits = 4;
+  p.useful_beats = 8;
+  p.flits = Packet::flits_for_beats(p.useful_beats);  // 4
   return p;
 }
 
@@ -113,11 +114,11 @@ TEST(GssFilter, LadderLevels4bIncludeSti) {
   GssFlowController fc(params(), /*sti=*/true);
   EXPECT_EQ(fc.max_token_level(), 6u);
   // Schedule a write to bank 2: the STI counter arms for
-  // flits + tWR + tRP cycles.
+  // data-beats/2 + tWR + tRP cycles.
   Packet w = mk(2, 7, RW::kWrite, 0);
   fc.on_scheduled(w, 100);
   const auto& t = params().timing;
-  const Cycle busy_until = 100 + w.flits + t.twr + t.trp;
+  const Cycle busy_until = 100 + (w.useful_beats + 1) / 2 + t.twr + t.trp;
 
   const Packet same_bank_new_row = mk(2, 9, RW::kRead, 1);
   EXPECT_TRUE(fc.sti_violation(same_bank_new_row, 101));
@@ -137,6 +138,34 @@ TEST(GssFilter, LadderLevels4bIncludeSti) {
   Packet probe = mk(2, 9, RW::kWrite, 1);
   EXPECT_FALSE(fc.passes_filter(probe, 1, 201));
   EXPECT_TRUE(fc.passes_filter(sti_clean_dir, 1, 201));
+}
+
+TEST(GssFilter, StiArmsOnDataBeatsNotFlits) {
+  // Regression: the bank-ready estimate must use the packet's data
+  // beats (2/cycle), not its flit count — a zero-beat packet still
+  // carries one sideband flit, and counting it as a data beat
+  // overestimates the turnaround window by a cycle.
+  GssFlowController fc(params(), /*sti=*/true);
+  const auto& t = params().timing;
+
+  Packet tiny = mk(1, 7, RW::kRead, 0);
+  tiny.useful_beats = 0;
+  tiny.flits = Packet::flits_for_beats(tiny.useful_beats);  // 1 (sideband)
+  fc.on_scheduled(tiny, 100);
+
+  const Packet probe = mk(1, 9, RW::kRead, 1);  // same bank, new row
+  // No data phase: the bank is ready exactly tRP after scheduling. The
+  // flit-based estimate kept it busy through 100 + 1 + tRP.
+  EXPECT_TRUE(fc.sti_violation(probe, 100 + t.trp - 1));
+  EXPECT_FALSE(fc.sti_violation(probe, 100 + t.trp));
+
+  // An 8-beat write occupies the bus for 4 cycles, then tWR + tRP.
+  Packet burst = mk(2, 7, RW::kWrite, 0);
+  fc.on_scheduled(burst, 200);
+  const Packet probe2 = mk(2, 9, RW::kRead, 1);
+  const Cycle ready = 200 + 4 + t.twr + t.trp;
+  EXPECT_TRUE(fc.sti_violation(probe2, ready - 1));
+  EXPECT_FALSE(fc.sti_violation(probe2, ready));
 }
 
 TEST(GssSelect, PriorityFirstThenRowHitThenBestEffort) {

@@ -1,0 +1,232 @@
+/// Tests for the parallel experiment runner: serial/parallel result
+/// identity, submission ordering, progress reporting, the metrics
+/// exporters, and the drain-phase accounting the runner surfaces.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runner/experiment_runner.hpp"
+#include "runner/metrics_export.hpp"
+
+namespace annoc::runner {
+namespace {
+
+core::SystemConfig quick(core::DesignPoint d, std::uint64_t seed = 42) {
+  core::SystemConfig cfg;
+  cfg.design = d;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.priority_enabled = true;
+  cfg.warmup_cycles = 2000;
+  cfg.sim_cycles = 10000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<core::SystemConfig> mixed_batch() {
+  using core::DesignPoint;
+  std::vector<core::SystemConfig> cfgs;
+  for (const core::DesignPoint d :
+       {DesignPoint::kConv, DesignPoint::kRef4, DesignPoint::kGss,
+        DesignPoint::kGssSagm, DesignPoint::kGssSagmSti}) {
+    cfgs.push_back(quick(d));
+  }
+  cfgs.push_back(quick(core::DesignPoint::kGss, /*seed=*/7));
+  return cfgs;
+}
+
+void expect_identical(const core::Metrics& a, const core::Metrics& b) {
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.raw_utilization, b.raw_utilization);
+  EXPECT_DOUBLE_EQ(a.avg_latency_all(), b.avg_latency_all());
+  EXPECT_DOUBLE_EQ(a.avg_latency_demand(), b.avg_latency_demand());
+  EXPECT_DOUBLE_EQ(a.avg_latency_priority(), b.avg_latency_priority());
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_EQ(a.completed_subpackets, b.completed_subpackets);
+  EXPECT_EQ(a.outstanding_requests, b.outstanding_requests);
+  EXPECT_EQ(a.measured_cycles, b.measured_cycles);
+  EXPECT_EQ(a.drained_cycles, b.drained_cycles);
+  EXPECT_EQ(a.device.activates, b.device.activates);
+  EXPECT_EQ(a.device.precharges, b.device.precharges);
+  EXPECT_EQ(a.device.useful_beats, b.device.useful_beats);
+  EXPECT_EQ(a.device.total_beats, b.device.total_beats);
+  EXPECT_EQ(a.noc_flits_forwarded, b.noc_flits_forwarded);
+  EXPECT_EQ(a.noc_packets_forwarded, b.noc_packets_forwarded);
+}
+
+TEST(ExperimentRunner, ParallelMatchesSerialBitForBit) {
+  const auto cfgs = mixed_batch();
+  ExperimentRunner serial(1);
+  ExperimentRunner parallel(4);
+  const auto s = serial.run_metrics(cfgs);
+  const auto p = parallel.run_metrics(cfgs);
+  ASSERT_EQ(s.size(), cfgs.size());
+  ASSERT_EQ(p.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(s[i], p[i]);
+  }
+}
+
+TEST(ExperimentRunner, ResultsInSubmissionOrder) {
+  const auto cfgs = mixed_batch();
+  ExperimentRunner runner(3);
+  const auto results = runner.run(cfgs);
+  ASSERT_EQ(results.size(), cfgs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_GT(results[i].wall_seconds, 0.0);
+    EXPECT_GT(results[i].cycles_per_second, 0.0);
+    EXPECT_GT(results[i].metrics.completed_requests, 0u);
+  }
+  // Distinct design points must produce distinct results — a runner
+  // that scrambled indices would pair these wrongly.
+  EXPECT_NE(results[0].metrics.utilization, results[3].metrics.utilization);
+}
+
+TEST(ExperimentRunner, ProgressCallbackFiresOncePerRun) {
+  const auto cfgs = mixed_batch();
+  for (const unsigned jobs : {1u, 4u}) {
+    SCOPED_TRACE(jobs);
+    std::vector<ProgressEvent> events;
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.on_progress = [&](const ProgressEvent& ev) {
+      events.push_back(ev);  // serialized by the runner
+    };
+    ExperimentRunner runner(opts);
+    (void)runner.run(cfgs);
+    ASSERT_EQ(events.size(), cfgs.size());
+    std::vector<bool> seen(cfgs.size(), false);
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      EXPECT_EQ(events[k].total, cfgs.size());
+      EXPECT_EQ(events[k].completed, k + 1);
+      ASSERT_LT(events[k].index, cfgs.size());
+      EXPECT_FALSE(seen[events[k].index]) << "run reported twice";
+      seen[events[k].index] = true;
+    }
+  }
+}
+
+TEST(ExperimentRunner, EmptyBatchAndZeroJobs) {
+  ExperimentRunner runner(0);  // 0 = hardware concurrency
+  EXPECT_TRUE(runner.run({}).empty());
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(3), 3u);
+}
+
+TEST(ExperimentRunner, MetricsCallIsIdempotent) {
+  // Regression for the avg_latency finalization: metrics() must apply
+  // the per-core averaging exactly once no matter how often it is
+  // called (a second call used to be a risk of double division).
+  core::Simulator sim(quick(core::DesignPoint::kGssSagm));
+  (void)sim.run();
+  const core::Metrics first = sim.metrics();
+  const core::Metrics second = sim.metrics();
+  expect_identical(first, second);
+  for (const auto& [name, cm] : first.per_core) {
+    const auto it = second.per_core.find(name);
+    ASSERT_NE(it, second.per_core.end());
+    EXPECT_DOUBLE_EQ(cm.avg_latency, it->second.avg_latency) << name;
+  }
+}
+
+TEST(ExperimentRunner, DrainAccountsEndOfRunRequests) {
+  core::SystemConfig cfg = quick(core::DesignPoint::kGssSagm);
+  const core::Metrics drained = core::run_simulation(cfg);
+  // The bounded drain lets in-flight requests finish: nothing (or at
+  // most a handful under pathological backpressure) is silently lost,
+  // and the drain is visible in the metrics.
+  EXPECT_EQ(drained.outstanding_requests, 0u);
+  EXPECT_GT(drained.drained_cycles, 0u);
+  EXPECT_LE(drained.drained_cycles, cfg.drain_cycle_limit);
+  EXPECT_EQ(drained.measured_cycles, cfg.sim_cycles);
+
+  // With the drain disabled, the same run ends at the window edge with
+  // requests still in flight — the bug this PR fixes made them vanish
+  // without a trace; now they are reported.
+  cfg.drain_cycle_limit = 0;
+  const core::Metrics cut = core::run_simulation(cfg);
+  EXPECT_GT(cut.outstanding_requests, 0u);
+  EXPECT_EQ(cut.drained_cycles, 0u);
+  EXPECT_LT(cut.completed_requests, drained.completed_requests);
+  // Frozen-at-window-edge counters: utilization must not change.
+  EXPECT_DOUBLE_EQ(cut.utilization, drained.utilization);
+  EXPECT_EQ(cut.measured_cycles, drained.measured_cycles);
+}
+
+TEST(MetricsExport, CsvHasHeaderAndOneRowPerRun) {
+  ExperimentRunner runner(2);
+  const auto results = runner.run(
+      {quick(core::DesignPoint::kGss), quick(core::DesignPoint::kGssSagm)});
+  std::vector<LabeledRun> labeled;
+  const char* designs[] = {"gss", "gss+sagm"};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    LabeledRun r;
+    r.table = "test";
+    r.application = "single-dtv";
+    r.ddr = "DDR2";
+    r.clock_mhz = 333.0;
+    r.design = designs[i];
+    r.metrics = results[i].metrics;
+    r.wall_seconds = results[i].wall_seconds;
+    labeled.push_back(std::move(r));
+  }
+
+  char buf[8192];
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  write_csv(f, labeled);
+  std::rewind(f);
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const std::string csv(buf);
+
+  EXPECT_NE(csv.find("table,application,ddr,clock_mhz,design,utilization"),
+            std::string::npos);
+  EXPECT_NE(csv.find("outstanding_requests"), std::string::npos);
+  EXPECT_NE(csv.find("wall_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("test,single-dtv,DDR2,333,gss,"), std::string::npos);
+  EXPECT_NE(csv.find("test,single-dtv,DDR2,333,gss+sagm,"),
+            std::string::npos);
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += ch == '\n';
+  EXPECT_EQ(lines, 1 + labeled.size());  // header + one row each
+}
+
+TEST(MetricsExport, JsonIsWellFormedPerRun) {
+  ExperimentRunner runner(1);
+  const auto results = runner.run({quick(core::DesignPoint::kGss)});
+  LabeledRun r;
+  r.table = "t\"1";  // exercises escaping
+  r.application = "single-dtv";
+  r.design = "gss";
+  r.metrics = results[0].metrics;
+
+  char buf[8192];
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  write_json(f, {r});
+  std::rewind(f);
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const std::string json(buf);
+
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"table\": \"t\\\"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"utilization\": "), std::string::npos);
+  EXPECT_NE(json.find("\"outstanding_requests\": "), std::string::npos);
+  std::size_t braces = 0;
+  for (const char ch : json) {
+    if (ch == '{') ++braces;
+  }
+  EXPECT_EQ(braces, 1u);
+}
+
+}  // namespace
+}  // namespace annoc::runner

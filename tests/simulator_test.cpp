@@ -157,10 +157,13 @@ TEST(Simulator, StepApiMatchesRun) {
   Simulator sim(cfg);
   const Cycle total = cfg.warmup_cycles + cfg.sim_cycles;
   while (sim.now() < total) sim.step();
+  sim.drain();  // run() ends with the same bounded drain
   const Metrics stepped = sim.metrics();
   const Metrics ran = run_simulation(cfg);
   EXPECT_EQ(stepped.completed_requests, ran.completed_requests);
   EXPECT_DOUBLE_EQ(stepped.utilization, ran.utilization);
+  EXPECT_EQ(stepped.outstanding_requests, ran.outstanding_requests);
+  EXPECT_EQ(stepped.drained_cycles, ran.drained_cycles);
 }
 
 TEST(Simulator, PerCoreMetricsCoverEveryCore) {
