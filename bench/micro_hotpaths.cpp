@@ -6,10 +6,39 @@
 /// cycle-level model (whole-table benches run ~100 simulations).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/simulator.hpp"
 #include "memctrl/streamlined.hpp"
 #include "noc/fc_gss.hpp"
+#include "noc/network.hpp"
 #include "sdram/device.hpp"
+
+/// Global allocation counter: BM_NetworkTickAllocs asserts the router
+/// arbitration hot path settles to zero heap traffic per cycle (the
+/// per-output candidate pools and arbitration scratch buffers are
+/// reused, not rebuilt).
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// GCC warns "mismatched allocation function" because it pattern-matches
+// malloc/free inside replaced operators; the pairing here is correct.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 using namespace annoc;
 
@@ -100,6 +129,67 @@ void BM_SimulatorStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(sim.now()));
 }
 BENCHMARK(BM_SimulatorStep);
+
+void BM_NetworkTickAllocs(benchmark::State& state) {
+  // A 3x3 GSS mesh kept saturated from two far corners; after warmup
+  // the arbitration path (candidate collection, filter ladder, grants,
+  // hop forwarding) must run without touching the heap — the
+  // allocs_per_tick counter is the regression guard.
+  noc::NocConfig nc;
+  nc.width = 3;
+  nc.height = 3;
+  nc.mem_node = 0;
+  noc::GssParams params;
+  params.pct = 4;
+  params.timing = sdram::make_timing(sdram::DdrGeneration::kDdr2, 400.0);
+  noc::Network net(nc, {noc::FlowControlKind::kGss}, params);
+
+  class AcceptAll final : public noc::PacketSink {
+   public:
+    bool can_accept(const noc::Packet&) const override { return true; }
+    void deliver(noc::Packet&&, Cycle) override {}
+  };
+  AcceptAll sink;
+  net.attach_sink(&sink);
+
+  PacketId next_id = 1;
+  Cycle now = 0;
+  const auto inject_from = [&](NodeId src) {
+    noc::Packet p;
+    p.id = next_id;
+    p.parent_id = next_id;
+    p.src_node = src;
+    p.dst_node = nc.mem_node;
+    p.flits = 4;
+    p.useful_beats = 8;
+    p.useful_bytes = 32;
+    p.loc.bank = static_cast<BankId>(next_id % 4);
+    p.loc.row = static_cast<RowId>(next_id / 4 % 64);
+    p.created = now;
+    if (net.try_inject(std::move(p), now)) ++next_id;
+  };
+  for (; now < 5000; ++now) {  // steady state: pools/scratch at capacity
+    inject_from(8);
+    inject_from(6);
+    net.tick(now);
+  }
+
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  std::uint64_t ticks = 0;
+  for (auto _ : state) {
+    inject_from(8);
+    inject_from(6);
+    net.tick(now);
+    ++now;
+    ++ticks;
+  }
+  const std::uint64_t allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_tick"] =
+      static_cast<double>(allocs) / static_cast<double>(ticks ? ticks : 1);
+}
+BENCHMARK(BM_NetworkTickAllocs);
 
 void BM_FullShortSimulation(benchmark::State& state) {
   for (auto _ : state) {

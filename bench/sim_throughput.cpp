@@ -1,0 +1,175 @@
+/// \file sim_throughput.cpp
+/// End-to-end simulator throughput (simulated cycles per wall second)
+/// per design point, with the idle-cycle fast-forward scheduler on and
+/// off. This is the guard bench for the fast-forward work: on
+/// idle-heavy traffic the skip path must win big, and on saturated
+/// traffic it must cost (almost) nothing, since every cycle has work
+/// and the horizon checks are pure overhead there.
+///
+/// Default mode is a google-benchmark driver (cycles/sec appears as
+/// items_per_second). `--json [path]` instead times each point once and
+/// writes a machine-readable summary (default BENCH_throughput.json) —
+/// the checked-in copy records the speedups on the reference machine.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+using namespace annoc;
+
+namespace {
+
+/// A near-idle SoC: one trickle core on a 2x2 mesh. Roughly one request
+/// every ~3200 cycles, so almost the entire timeline is skippable.
+traffic::Application idle_app() {
+  traffic::Application app;
+  app.name = "idle-trickle";
+  app.noc.width = 2;
+  app.noc.height = 2;
+  app.noc.mem_node = 0;
+  traffic::CoreSpec spec;
+  spec.name = "trickle";
+  spec.bytes_per_cycle = 0.01;
+  spec.sizes = {{32, 1.0}};
+  spec.region_bytes = 1 << 20;
+  app.cores.push_back({spec, static_cast<NodeId>(3)});
+  return app;
+}
+
+struct Point {
+  std::string name;
+  core::SystemConfig cfg;
+};
+
+std::vector<Point> points() {
+  std::vector<Point> pts;
+  const auto base = [] {
+    core::SystemConfig cfg;
+    cfg.app = traffic::AppId::kSingleDtv;
+    cfg.generation = sdram::DdrGeneration::kDdr2;
+    cfg.clock_mhz = 333.0;
+    cfg.sim_cycles = 60000;
+    cfg.warmup_cycles = 10000;
+    return cfg;
+  };
+
+  {
+    Point p{"idle_heavy/gss", base()};
+    p.cfg.custom_app = idle_app();
+    pts.push_back(std::move(p));
+  }
+  {
+    Point p{"saturated/conv", base()};
+    p.cfg.design = core::DesignPoint::kConv;
+    pts.push_back(std::move(p));
+  }
+  {
+    Point p{"saturated/gss", base()};
+    p.cfg.design = core::DesignPoint::kGss;
+    pts.push_back(std::move(p));
+  }
+  {
+    Point p{"saturated/gss_sagm", base()};
+    p.cfg.design = core::DesignPoint::kGssSagm;
+    p.cfg.priority_enabled = true;
+    pts.push_back(std::move(p));
+  }
+  return pts;
+}
+
+/// Simulated cycles of one run (what the wall time buys).
+std::uint64_t run_cycles(const core::SystemConfig& cfg) {
+  core::Simulator sim(cfg);
+  const core::Metrics m = sim.run();
+  benchmark::DoNotOptimize(m.completed_requests);
+  return cfg.warmup_cycles + cfg.sim_cycles + m.drained_cycles;
+}
+
+void BM_Throughput(benchmark::State& state, core::SystemConfig cfg,
+                   bool fast_forward) {
+  cfg.fast_forward = fast_forward;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    cycles += run_cycles(cfg);
+  }
+  // items/sec == simulated cycles per wall second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+
+double cycles_per_sec(const core::SystemConfig& cfg) {
+  using clock = std::chrono::steady_clock;
+  // One warmup run (page faults, allocator growth), then best of three
+  // timed runs — the minimum is the least noisy throughput estimator.
+  run_cycles(cfg);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = clock::now();
+    const std::uint64_t cycles = run_cycles(cfg);
+    const double secs =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    if (secs > 0.0) {
+      best = std::max(best, static_cast<double>(cycles) / secs);
+    }
+  }
+  return best;
+}
+
+int write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(f, "  \"unit\": \"simulated cycles per wall second\",\n");
+  std::fprintf(f, "  \"points\": [\n");
+  const std::vector<Point> pts = points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    core::SystemConfig cfg = pts[i].cfg;
+    cfg.fast_forward = false;
+    const double dense = cycles_per_sec(cfg);
+    cfg.fast_forward = true;
+    const double skip = cycles_per_sec(cfg);
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"dense\": %.0f, "
+                 "\"fast_forward\": %.0f, \"speedup\": %.3f}%s\n",
+                 pts[i].name.c_str(), dense, skip,
+                 dense > 0.0 ? skip / dense : 0.0,
+                 i + 1 < pts.size() ? "," : "");
+    std::fprintf(stderr, "%-20s dense %12.0f c/s   ff %12.0f c/s   %.2fx\n",
+                 pts[i].name.c_str(), dense, skip,
+                 dense > 0.0 ? skip / dense : 0.0);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return write_json(i + 1 < argc ? argv[i + 1]
+                                     : "BENCH_throughput.json");
+    }
+  }
+  for (const Point& p : points()) {
+    benchmark::RegisterBenchmark((p.name + "/dense").c_str(), BM_Throughput,
+                                 p.cfg, false)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark((p.name + "/fast_forward").c_str(),
+                                 BM_Throughput, p.cfg, true)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,124 @@
+/// \file flat_map.hpp
+/// Open-addressing hash map keyed by a non-zero integer id, used on the
+/// simulator's per-request hot path in place of std::map (which costs a
+/// red-black-tree node allocation per insert). Linear probing with
+/// backward-shift deletion keeps lookups allocation-free and
+/// cache-friendly; the table only allocates when it grows, so in steady
+/// state (bounded outstanding requests) insert/erase never touch the
+/// heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace annoc {
+
+/// Key 0 is reserved as the empty-slot sentinel; callers must only use
+/// non-zero keys (PacketIds start at 1).
+template <typename Key, typename Value>
+class FlatMap {
+  static_assert(std::is_integral_v<Key>);
+
+ public:
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    keys_.assign(keys_.size(), Key{0});
+    size_ = 0;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  [[nodiscard]] Value* find(Key key) {
+    ANNOC_ASSERT(key != Key{0});
+    if (keys_.empty()) return nullptr;
+    for (std::size_t i = slot_of(key);; i = next(i)) {
+      if (keys_[i] == key) return &values_[i];
+      if (keys_[i] == Key{0}) return nullptr;
+    }
+  }
+  [[nodiscard]] const Value* find(Key key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Value for `key`, default-constructing it if absent.
+  Value& operator[](Key key) {
+    ANNOC_ASSERT(key != Key{0});
+    if (keys_.empty() || (size_ + 1) * 4 > keys_.size() * 3) grow();
+    for (std::size_t i = slot_of(key);; i = next(i)) {
+      if (keys_[i] == key) return values_[i];
+      if (keys_[i] == Key{0}) {
+        keys_[i] = key;
+        values_[i] = Value{};
+        ++size_;
+        return values_[i];
+      }
+    }
+  }
+
+  /// Remove `key` if present; returns whether it was. Backward-shift
+  /// deletion: no tombstones, so probe chains never degrade.
+  bool erase(Key key) {
+    ANNOC_ASSERT(key != Key{0});
+    if (keys_.empty()) return false;
+    std::size_t i = slot_of(key);
+    while (keys_[i] != key) {
+      if (keys_[i] == Key{0}) return false;
+      i = next(i);
+    }
+    std::size_t hole = i;
+    for (std::size_t j = next(hole);; j = next(j)) {
+      if (keys_[j] == Key{0}) break;
+      // A key may fill the hole only if its home slot does not lie in
+      // the (cyclic) open interval (hole, j].
+      const std::size_t home = slot_of(keys_[j]);
+      const bool reachable =
+          hole <= j ? (home <= hole || home > j) : (home <= hole && home > j);
+      if (reachable) {
+        keys_[hole] = keys_[j];
+        values_[hole] = std::move(values_[j]);
+        hole = j;
+      }
+    }
+    keys_[hole] = Key{0};
+    --size_;
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(Key key) const {
+    // Fibonacci hashing spreads sequential ids across the table.
+    const auto h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h & (keys_.size() - 1));
+  }
+  [[nodiscard]] std::size_t next(std::size_t i) const {
+    return (i + 1) & (keys_.size() - 1);
+  }
+
+  void grow() {
+    const std::size_t cap = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    keys_.assign(cap, Key{0});
+    values_.assign(cap, Value{});
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != Key{0}) {
+        (*this)[old_keys[i]] = std::move(old_values[i]);
+      }
+    }
+  }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace annoc

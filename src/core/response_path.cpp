@@ -1,5 +1,7 @@
 #include "core/response_path.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace annoc::core {
@@ -47,6 +49,12 @@ void ResponsePath::tick(Cycle now) {
     }
   }
   net_.tick(now);
+}
+
+Cycle ResponsePath::next_event(Cycle now) const {
+  Cycle h = net_.next_event(now);
+  if (!backlog_.empty()) h = std::min(h, std::max(link_free_at_, now));
+  return h;
 }
 
 }  // namespace annoc::core

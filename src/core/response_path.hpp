@@ -42,6 +42,11 @@ class ResponsePath {
   /// port) and advance the response mesh by one cycle.
   void tick(Cycle now);
 
+  /// Earliest future cycle (>= now) the response path can act: inject
+  /// its backlog or move a packet inside the response mesh.
+  /// kNeverCycle when fully drained.
+  [[nodiscard]] Cycle next_event(Cycle now) const;
+
   [[nodiscard]] const noc::Network& network() const { return net_; }
   [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
 

@@ -106,25 +106,22 @@ Simulator::Simulator(const SystemConfig& cfg)
       ps.svc = parent.svc;
       ps.core = parent.src_core;
       ps.useful_bytes = parent.useful_bytes;
-      const bool inserted = parents_.emplace(parent.id, ps).second;
-      ANNOC_ASSERT_MSG(inserted, "duplicate parent id");
+      ANNOC_ASSERT_MSG(parents_.find(parent.id) == nullptr,
+                       "duplicate parent id");
+      parents_[parent.id] = ps;
     };
     generators_.push_back(std::make_unique<traffic::CoreGenerator>(
         gc, *mapper_, next_packet_id_));
-    core_names_[core_id] = cp.spec.name;
+    core_names_.push_back(cp.spec.name);
     ++core_id;
   }
+  core_requests_.assign(core_names_.size(), 0);
+  core_latency_sum_.assign(core_names_.size(), 0.0);
+  core_bytes_.assign(core_names_.size(), 0);
 }
 
 const memctrl::EngineStats& Simulator::engine_stats() const {
-  if (const auto* conv =
-          dynamic_cast<const memctrl::ConvSubsystem*>(subsystem_.get())) {
-    return conv->engine_stats();
-  }
-  const auto* str =
-      dynamic_cast<const memctrl::StreamlinedSubsystem*>(subsystem_.get());
-  ANNOC_ASSERT(str != nullptr);
-  return str->engine_stats();
+  return subsystem_->engine_stats();
 }
 
 void Simulator::begin_measurement() {
@@ -156,10 +153,8 @@ void Simulator::record_parent(const ParentState& ps) {
   if (ps.svc == ServiceClass::kPriority) lat_priority_.add(latency);
   ++completed_requests_;
   core_bytes_[ps.core] += ps.useful_bytes;
-  CoreMetrics& cm = per_core_[core_names_[ps.core]];
-  cm.name = core_names_[ps.core];
-  ++cm.requests;
-  cm.avg_latency += static_cast<double>(latency);  // finalized in metrics()
+  ++core_requests_[ps.core];
+  core_latency_sum_[ps.core] += static_cast<double>(latency);
 }
 
 void Simulator::on_subpacket_complete(const noc::Packet& pkt) {
@@ -191,16 +186,15 @@ void Simulator::on_subpacket_complete(const noc::Packet& pkt) {
 
 void Simulator::finish_subpacket(const noc::Packet& pkt, Cycle done) {
   if (trace_) trace_->record(pkt, done);
-  auto it = parents_.find(pkt.parent_id);
-  ANNOC_ASSERT_MSG(it != parents_.end(), "completion for unknown parent");
-  ParentState& ps = it->second;
-  ANNOC_ASSERT(ps.subpackets_outstanding > 0);
-  --ps.subpackets_outstanding;
-  ps.last_done = std::max(ps.last_done, done);
-  if (ps.subpackets_outstanding == 0) {
-    record_parent(ps);
-    generators_[ps.core]->on_parent_completed();
-    parents_.erase(it);
+  ParentState* ps = parents_.find(pkt.parent_id);
+  ANNOC_ASSERT_MSG(ps != nullptr, "completion for unknown parent");
+  ANNOC_ASSERT(ps->subpackets_outstanding > 0);
+  --ps->subpackets_outstanding;
+  ps->last_done = std::max(ps->last_done, done);
+  if (ps->subpackets_outstanding == 0) {
+    record_parent(*ps);
+    generators_[ps->core]->on_parent_completed();
+    parents_.erase(pkt.parent_id);
   }
 }
 
@@ -247,6 +241,31 @@ void Simulator::step() {
   ++now_;
 }
 
+void Simulator::fast_forward(Cycle limit) {
+  if (!cfg_.fast_forward) return;
+  // Horizons are lower bounds on the next state change; any component
+  // with work this cycle returns now_ and vetoes the jump.
+  Cycle h = subsystem_->next_event(now_);
+  if (h <= now_) return;
+  h = std::min(h, network_->next_event(now_));
+  if (h <= now_) return;
+  if (response_path_) {
+    h = std::min(h, response_path_->next_event(now_));
+    if (h <= now_) return;
+  }
+  for (const auto& gen : generators_) {
+    h = std::min(h, gen->next_event(now_));
+    if (h <= now_) return;
+  }
+  // Never jump over a phase boundary: begin/end_measurement must take
+  // their stat snapshots on the exact cycle dense stepping would.
+  Cycle cap = limit;
+  if (now_ < cfg_.warmup_cycles) cap = std::min(cap, cfg_.warmup_cycles);
+  const Cycle measure_end = cfg_.warmup_cycles + cfg_.sim_cycles;
+  if (now_ < measure_end) cap = std::min(cap, measure_end);
+  now_ = std::min(h, cap);  // h == kNeverCycle jumps straight to cap
+}
+
 void Simulator::drain() {
   end_measurement();
   // Stop request generation; already-queued backlog still injects and
@@ -258,12 +277,22 @@ void Simulator::drain() {
   while (!parents_.empty() && now_ < drain_end) {
     step();
     ++drained_cycles_;
+    // Only jump while requests remain outstanding: dense stepping stops
+    // the moment the last parent completes, and the final now_ (and the
+    // drained-cycle count) must match it exactly.
+    if (parents_.empty() || now_ >= drain_end) break;
+    const Cycle before = now_;
+    fast_forward(drain_end);
+    drained_cycles_ += now_ - before;
   }
 }
 
 Metrics Simulator::run() {
   const Cycle total = cfg_.warmup_cycles + cfg_.sim_cycles;
-  while (now_ < total) step();
+  while (now_ < total) {
+    step();
+    if (now_ < total) fast_forward(total);
+  }
   drain();
   if (trace_) trace_->flush();
   return metrics();
@@ -349,19 +378,28 @@ Metrics Simulator::metrics() const {
   m.noc_flits_forwarded = flits - noc_flits_baseline_;
   m.noc_packets_forwarded = pkts - noc_packets_baseline_;
 
-  m.per_core = per_core_;
+  // Resolve core names only here, off the hot path. Cores sharing a
+  // name merge (sum, then divide — the latency sums are exact integer
+  // sums, so the merge order does not perturb the result); the achieved
+  // rate is then assigned per core in CoreId order, as before.
+  for (CoreId c = 0; c < core_names_.size(); ++c) {
+    if (core_requests_[c] == 0) continue;
+    CoreMetrics& cm = m.per_core[core_names_[c]];
+    cm.name = core_names_[c];
+    cm.requests += core_requests_[c];
+    cm.avg_latency += core_latency_sum_[c];
+  }
   for (auto& [name, cm] : m.per_core) {
     if (cm.requests > 0) {
       cm.avg_latency /= static_cast<double>(cm.requests);
     }
   }
-  for (const auto& [core, bytes] : core_bytes_) {
-    auto it = core_names_.find(core);
-    if (it == core_names_.end()) continue;
-    auto pit = m.per_core.find(it->second);
+  for (CoreId c = 0; c < core_names_.size(); ++c) {
+    if (core_requests_[c] == 0) continue;
+    auto pit = m.per_core.find(core_names_[c]);
     if (pit != m.per_core.end() && m.measured_cycles > 0) {
       pit->second.achieved_bytes_per_cycle =
-          static_cast<double>(bytes) /
+          static_cast<double>(core_bytes_[c]) /
           static_cast<double>(m.measured_cycles);
     }
   }

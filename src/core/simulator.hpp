@@ -6,10 +6,11 @@
 /// paper's metrics.
 #pragma once
 
-#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "core/metrics.hpp"
 #include "core/response_path.hpp"
 #include "core/system_config.hpp"
@@ -33,6 +34,14 @@ class Simulator {
 
   /// Step a single cycle (exposed for integration tests).
   void step();
+
+  /// Fast-forward: if every component reports its next event strictly
+  /// after `now()`, jump the clock to the earliest such cycle, clamped
+  /// to `limit` and to the warmup/measurement boundaries (those cycles
+  /// must execute densely so the stat snapshots land exactly where
+  /// dense stepping puts them). No-op when `cfg.fast_forward` is off or
+  /// any component still has work this cycle.
+  void fast_forward(Cycle limit);
 
   /// Close the measurement window (if still open) and simulate up to
   /// cfg.drain_cycle_limit further cycles with request generation
@@ -92,8 +101,9 @@ class Simulator {
   Cycle drained_cycles_ = 0;
 
   // Parent-request completion tracking (SAGM splits one request into
-  // several subpackets; latency is measured on the whole request).
-  std::map<PacketId, ParentState> parents_;
+  // several subpackets; latency is measured on the whole request). A
+  // FlatMap: every request used to cost a std::map node allocation.
+  FlatMap<PacketId, ParentState> parents_;
 
   // Measurement accumulators.
   LatencyStat lat_all_, lat_demand_, lat_priority_;
@@ -102,9 +112,13 @@ class Simulator {
   LatencyStat lat_resp_;
   std::uint64_t completed_requests_ = 0;
   std::uint64_t completed_subpackets_ = 0;
-  std::map<std::string, CoreMetrics> per_core_;
-  std::map<CoreId, std::string> core_names_;
-  std::map<CoreId, std::uint64_t> core_bytes_;
+  // Per-core accumulators, indexed by CoreId (the completion hot path
+  // used to hash strings into maps); names are resolved — and same-name
+  // cores merged — only when metrics() exports.
+  std::vector<std::string> core_names_;
+  std::vector<std::uint64_t> core_requests_;
+  std::vector<double> core_latency_sum_;
+  std::vector<std::uint64_t> core_bytes_;
   sdram::DeviceStats device_baseline_{};
   memctrl::EngineStats engine_baseline_{};
   std::uint64_t noc_flits_baseline_ = 0;

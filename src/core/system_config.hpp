@@ -104,6 +104,15 @@ struct SystemConfig {
   Cycle drain_cycle_limit = 20000;
   std::uint64_t seed = 42;
 
+  /// Idle-cycle fast-forward: when every component reports its next
+  /// possible state change is in the future, jump the clock straight to
+  /// the earliest such cycle instead of executing no-op ticks. The
+  /// skipped cycles are replayed exactly by the components that carry
+  /// per-cycle state (traffic credit, starvation counters), so results
+  /// are bit-identical to dense stepping — see DESIGN.md, "The
+  /// next_event contract". Off = always step cycle by cycle.
+  bool fast_forward = true;
+
   /// GSS priority control token (2..5/6); paper Section IV-B.
   std::uint32_t pct = 4;
 

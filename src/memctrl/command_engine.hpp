@@ -61,6 +61,14 @@ class CommandEngine {
   /// at most one command.
   void tick(Cycle now, std::vector<noc::Packet>& completions);
 
+  /// Earliest future cycle (>= now) this engine's state can change. A
+  /// non-empty window returns `now`: the engine issues/retires/counts
+  /// stalls every cycle. Empty, it only forwards the device's internal
+  /// events (auto-precharge, refresh).
+  [[nodiscard]] Cycle next_event(Cycle now) const {
+    return entries_.empty() ? device_.next_event(now) : now;
+  }
+
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
   /// The request whose data the engine is currently producing (for

@@ -79,6 +79,18 @@ std::size_t ConvSubsystem::pending_requests() const {
   return n;
 }
 
+Cycle ConvSubsystem::next_event(Cycle now) const {
+  if (!engine_.idle()) return now;
+  Cycle h = engine_.next_event(now);  // device-internal events
+  for (const Thread& t : threads_) {
+    if (t.queue.empty()) continue;
+    // A thread head becomes admissible once its tail has arrived.
+    h = std::min(h, std::max(t.queue.front().mem_arrival, now));
+    if (h <= now) return now;
+  }
+  return h;
+}
+
 void ConvSubsystem::tick(Cycle now) {
   // MemMax arbitration: admit at most one request per cycle into the
   // Databahn command window.

@@ -45,9 +45,10 @@ class ConvSubsystem final : public MemorySubsystem {
   void tick(Cycle now) override;
 
   [[nodiscard]] std::size_t pending_requests() const override;
-  [[nodiscard]] const EngineStats& engine_stats() const {
+  [[nodiscard]] const EngineStats& engine_stats() const override {
     return engine_.stats();
   }
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
   [[nodiscard]] std::uint32_t thread_of(const noc::Packet& pkt) const {
     return pkt.src_core % cfg_.num_threads;
   }

@@ -28,6 +28,15 @@ void StreamlinedSubsystem::deliver(noc::Packet&& pkt, Cycle now) {
 }
 
 void StreamlinedSubsystem::tick(Cycle now) {
+  // Cycles skipped by the fast-forward scheduler: during a gap nothing
+  // is delivered or admitted, so "engine idle and input empty" held for
+  // every skipped cycle exactly when it holds right now, before this
+  // tick's admissions. Dense stepping has a zero gap and is unaffected.
+  if (last_tick_ != kNeverCycle && now > last_tick_ + 1 && engine_.idle() &&
+      input_.empty()) {
+    starved_ += now - last_tick_ - 1;
+  }
+  last_tick_ = now;
   // Admit requests whose tail has fully arrived, in order.
   while (!input_.empty() && engine_.can_accept() &&
          now >= input_.front().mem_arrival) {
@@ -37,6 +46,15 @@ void StreamlinedSubsystem::tick(Cycle now) {
   }
   if (engine_.idle() && input_.empty()) ++starved_;
   engine_.tick(now, completions_);
+}
+
+Cycle StreamlinedSubsystem::next_event(Cycle now) const {
+  if (!engine_.idle()) return now;
+  Cycle h = engine_.next_event(now);  // device-internal events
+  if (!input_.empty()) {
+    h = std::min(h, std::max(input_.front().mem_arrival, now));
+  }
+  return h;
 }
 
 }  // namespace annoc::memctrl

@@ -40,16 +40,21 @@ class StreamlinedSubsystem final : public MemorySubsystem {
   [[nodiscard]] std::size_t pending_requests() const override {
     return input_.size() + engine_.pending();
   }
-  [[nodiscard]] const EngineStats& engine_stats() const {
+  [[nodiscard]] const EngineStats& engine_stats() const override {
     return engine_.stats();
   }
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
   /// Cycles the engine sat empty with nothing buffered (network-starved).
+  /// Gap-aware: cycles the fast-forward scheduler skips while idle and
+  /// empty are credited on the next tick, so the counter matches dense
+  /// stepping exactly.
   [[nodiscard]] std::uint64_t starved_cycles() const { return starved_; }
 
  private:
   StreamlinedConfig cfg_;
   CommandEngine engine_;
   std::uint64_t starved_ = 0;
+  Cycle last_tick_ = kNeverCycle;
   BoundedQueue<noc::Packet> input_;
   std::uint32_t input_used_flits_ = 0;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "memctrl/command_engine.hpp"
 #include "noc/network.hpp"
 #include "noc/packet.hpp"
 #include "sdram/device.hpp"
@@ -35,6 +36,17 @@ class MemorySubsystem : public noc::PacketSink {
 
   /// Requests admitted but not yet completed.
   [[nodiscard]] virtual std::size_t pending_requests() const = 0;
+
+  /// Stats of the subsystem's command engine (every subsystem fronts
+  /// one; exposed virtually so callers need no downcast).
+  [[nodiscard]] virtual const EngineStats& engine_stats() const = 0;
+
+  /// Earliest future cycle (>= now) this subsystem's state can change:
+  /// `now` while any work is admitted or admissible, otherwise the
+  /// earliest buffered tail arrival or device-internal event;
+  /// kNeverCycle when fully drained. See DESIGN.md "The next_event
+  /// contract".
+  [[nodiscard]] virtual Cycle next_event(Cycle now) const = 0;
 
  protected:
   sdram::Device device_;

@@ -98,8 +98,8 @@ std::optional<std::size_t> GssFlowController::select(
   ANNOC_ASSERT(!candidates.empty());
 
   // Candidates surviving the priority-bank exclusion.
-  std::vector<std::size_t> eligible;
-  eligible.reserve(candidates.size());
+  std::vector<std::size_t>& eligible = eligible_scratch_;
+  eligible.clear();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (!excluded_by_priority(*candidates[i].pkt, candidates)) {
       eligible.push_back(i);

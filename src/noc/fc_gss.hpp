@@ -83,6 +83,9 @@ class GssFlowController final : public FlowController {
   bool sti_;
   Packet last_{};
   bool has_last_ = false;
+  /// Scratch for select(): indices surviving the priority-bank
+  /// exclusion, reused so steady-state arbitration never allocates.
+  std::vector<std::size_t> eligible_scratch_;
   /// STI: cycle until which each bank is considered "turning around".
   std::array<Cycle, kMaxBanks> bank_ready_at_{};
 };

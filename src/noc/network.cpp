@@ -24,20 +24,24 @@ Network::Network(const NocConfig& cfg, std::vector<FlowControlKind> fc_kinds,
         id, x_of(id), y_of(id), cfg.buffer_flits, cfg.pipeline_latency, kind,
         gss, std::max(1u, cfg.num_vcs)));
   }
+  links_.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const std::uint32_t x = x_of(id), y = y_of(id);
+    if (y > 0) links_[id][kPortNorth] = Link{node_at(x, y - 1), kPortSouth};
+    if (y + 1 < cfg_.height) {
+      links_[id][kPortSouth] = Link{node_at(x, y + 1), kPortNorth};
+    }
+    if (x + 1 < cfg_.width) {
+      links_[id][kPortEast] = Link{node_at(x + 1, y), kPortWest};
+    }
+    if (x > 0) links_[id][kPortWest] = Link{node_at(x - 1, y), kPortEast};
+  }
 }
 
 std::uint32_t Network::downstream_free(NodeId at, Port out) const {
-  const std::uint32_t x = x_of(at), y = y_of(at);
-  NodeId nb = kInvalidNode;
-  Port nb_in = kPortLocal;
-  switch (out) {
-    case kPortNorth: nb = node_at(x, y - 1); nb_in = kPortSouth; break;
-    case kPortSouth: nb = node_at(x, y + 1); nb_in = kPortNorth; break;
-    case kPortEast: nb = node_at(x + 1, y); nb_in = kPortWest; break;
-    case kPortWest: nb = node_at(x - 1, y); nb_in = kPortEast; break;
-    default: return 0;
-  }
-  return routers_[nb]->free_flits(nb_in);
+  const Link& l = links_[at][out];
+  if (l.nb == kInvalidNode) return 0;
+  return routers_[l.nb]->free_flits(l.nb_in);
 }
 
 Port Network::route(NodeId at, NodeId dst, bool to_memory) const {
@@ -86,6 +90,15 @@ std::size_t Network::in_flight_packets() const {
   std::size_t total = 0;
   for (const auto& r : routers_) total += r->buffered_packets();
   return total;
+}
+
+Cycle Network::next_event(Cycle now) const {
+  Cycle h = kNeverCycle;
+  for (const auto& r : routers_) {
+    h = std::min(h, r->next_event(now));
+    if (h <= now) return now;
+  }
+  return h;
 }
 
 bool Network::try_inject(Packet&& pkt, Cycle now) {
@@ -161,43 +174,20 @@ void Network::tick(Cycle now) {
         continue;
       }
 
-      // Mesh link: find the neighbour and its facing input port.
-      NodeId nb = kInvalidNode;
-      Port nb_in = kPortLocal;
-      const std::uint32_t x = r->x(), y = r->y();
-      switch (out) {
-        case kPortNorth:
-          ANNOC_ASSERT(y > 0);
-          nb = node_at(x, y - 1);
-          nb_in = kPortSouth;
-          break;
-        case kPortSouth:
-          ANNOC_ASSERT(y + 1 < cfg_.height);
-          nb = node_at(x, y + 1);
-          nb_in = kPortNorth;
-          break;
-        case kPortEast:
-          ANNOC_ASSERT(x + 1 < cfg_.width);
-          nb = node_at(x + 1, y);
-          nb_in = kPortWest;
-          break;
-        case kPortWest:
-          ANNOC_ASSERT(x > 0);
-          nb = node_at(x - 1, y);
-          nb_in = kPortEast;
-          break;
-        default:
-          ANNOC_ASSERT_MSG(false, "local output is never routed");
-      }
+      // Mesh link: the neighbour and its facing input port come from
+      // the table precomputed in the constructor.
+      const Link& l = links_[r->id()][out];
+      ANNOC_ASSERT_MSG(l.nb != kInvalidNode,
+                       "granted output leaves the mesh");
 
-      Router& down = *routers_[nb];
-      const auto vc = down.find_vc(nb_in, r->head(*win));
+      Router& down = *routers_[l.nb];
+      const auto vc = down.find_vc(l.nb_in, r->head(*win));
       if (!vc) {
         r->note_blocked();
         continue;
       }
       Packet pkt = r->grant(*win, out, now);
-      deliver(std::move(pkt), nb, nb_in, *vc, now);
+      deliver(std::move(pkt), l.nb, l.nb_in, *vc, now);
     }
   }
 }

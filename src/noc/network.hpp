@@ -9,6 +9,7 @@
 /// focus: all scheduling effects are on the request path.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -84,6 +85,11 @@ class Network {
   /// grant on every free output.
   void tick(Cycle now);
 
+  /// Earliest future cycle (>= now) any router's state can change (min
+  /// over all routers' horizons); kNeverCycle when the mesh is empty
+  /// and all channels are free. See DESIGN.md "The next_event contract".
+  [[nodiscard]] Cycle next_event(Cycle now) const;
+
   [[nodiscard]] Router& router(NodeId id) {
     ANNOC_ASSERT(id < routers_.size());
     return *routers_[id];
@@ -128,8 +134,19 @@ class Network {
   void deliver(Packet&& pkt, NodeId to, Port in_port, std::uint32_t vc,
                Cycle now);
 
+  /// One mesh link as seen from a router output: the neighbour node and
+  /// the input port facing back. `nb == kInvalidNode` for ports that
+  /// leave the mesh (local, mem, or off-grid edges).
+  struct Link {
+    NodeId nb = kInvalidNode;
+    Port nb_in = kPortLocal;
+  };
+
   NocConfig cfg_;
   std::vector<std::unique_ptr<Router>> routers_;
+  /// links_[node][out], precomputed in the constructor so neither
+  /// downstream_free() nor tick() redoes the x/y switch per call.
+  std::vector<std::array<Link, kNumPorts>> links_;
   PacketSink* sink_ = nullptr;
   LocalSink local_sink_;
   NetworkStats stats_;

@@ -56,33 +56,51 @@ std::size_t Router::buffered_packets() const {
   return n;
 }
 
-std::vector<Packet*> Router::pool_for(Port out) {
-  std::vector<Packet*> pool;
+Cycle Router::next_event(Cycle now) const {
+  Cycle h = kNeverCycle;
+  for (int p = 0; p < kNumPorts; ++p) {
+    const Transfer& tr = outputs_[p];
+    if (tr.active) h = std::min(h, tr.end);
+  }
   for (int in = 0; in < kNumPorts; ++in) {
     for (std::uint32_t v = 0; v < num_vcs_; ++v) {
-      InputBuffer& buf = inputs_[in][v];
-      for (std::size_t i = 0; i < buf.size(); ++i) {
-        if (routed_[in][v][i] == out) pool.push_back(&buf.at(i));
-      }
+      const InputBuffer& buf = inputs_[in][v];
+      if (buf.empty()) continue;
+      const Port out = routed_[in][v].front();
+      // A head behind a busy output can only move once the transfer
+      // frees — already covered by tr.end above (a lower bound is
+      // legal; the channel may stay contested longer).
+      if (outputs_[out].active) continue;
+      const Packet& hd = buf.front();
+      const Cycle lands = hd.head_arrival + pipeline_;
+      const Cycle eligible = lands > 0 ? lands - 1 : 0;
+      // Eligible head on a free output: arbitration (token aging,
+      // downstream/sink probing, per-cycle stall counters) must run
+      // every cycle.
+      h = std::min(h, std::max(eligible, now));
+      if (h <= now) return now;
     }
   }
-  return pool;
+  return h;
 }
 
 void Router::on_arrival(Packet&& pkt, Port in, std::uint32_t vc, Port out,
                         Cycle now) {
   ANNOC_ASSERT(vc < num_vcs_);
-  std::vector<Packet*> pool = pool_for(out);
-  fc_[out]->on_packet_arrival(pkt, pool, now);
+  // The arrival hook sees every packet already pooled here, excluding
+  // the newcomer — append to the pool only afterwards.
+  fc_[out]->on_packet_arrival(pkt, pools_[out], now);
   routed_[in][vc].push_back(out);
-  inputs_[in][vc].push(std::move(pkt));
-  ANNOC_ASSERT(routed_[in][vc].size() == inputs_[in][vc].size());
+  InputBuffer& buf = inputs_[in][vc];
+  buf.push(std::move(pkt));
+  pools_[out].push_back(&buf.back());
+  ANNOC_ASSERT(routed_[in][vc].size() == buf.size());
 }
 
 std::optional<VcId> Router::arbitrate(Port out, Cycle now) {
   ANNOC_ASSERT(!outputs_[out].active);
-  std::vector<Candidate> candidates;
-  std::vector<VcId> sources;
+  cand_scratch_.clear();
+  source_scratch_.clear();
   for (int in = 0; in < kNumPorts; ++in) {
     for (std::uint32_t v = 0; v < num_vcs_; ++v) {
       InputBuffer& buf = inputs_[in][v];
@@ -92,22 +110,21 @@ std::optional<VcId> Router::arbitrate(Port out, Cycle now) {
       // A head flit is grantable the cycle it lands (pipeline_latency 1
       // = one cycle per hop); extra pipeline stages delay eligibility.
       if (now + 1 < hd.head_arrival + pipeline_) continue;
-      candidates.push_back(Candidate{
+      cand_scratch_.push_back(Candidate{
           &hd, static_cast<std::uint32_t>(in) * num_vcs_ + v});
-      sources.push_back(VcId{static_cast<Port>(in), v});
+      source_scratch_.push_back(VcId{static_cast<Port>(in), v});
     }
   }
-  if (candidates.empty()) return std::nullopt;
+  if (cand_scratch_.empty()) return std::nullopt;
 
   ++stats_.arbitration_rounds;
-  std::vector<Packet*> pool = pool_for(out);
   const std::optional<std::size_t> sel =
-      fc_[out]->select(candidates, pool, now);
+      fc_[out]->select(cand_scratch_, pools_[out], now);
   if (!sel) {
     ++stats_.idle_grants;
     return std::nullopt;
   }
-  return sources[*sel];
+  return source_scratch_[*sel];
 }
 
 Packet Router::grant(const VcId& in, Port out, Cycle now) {
@@ -115,6 +132,12 @@ Packet Router::grant(const VcId& in, Port out, Cycle now) {
   auto& routed = routed_[in.port][in.vc];
   ANNOC_ASSERT(!buf.empty());
   ANNOC_ASSERT(routed.front() == out);
+  // Drop the departing head from `out`'s pool before pop() recycles its
+  // slot.
+  auto& pool = pools_[out];
+  const auto pit = std::find(pool.begin(), pool.end(), &buf.front());
+  ANNOC_ASSERT(pit != pool.end());
+  pool.erase(pit);
   Packet pkt = buf.pop();
   routed.erase(routed.begin());
 

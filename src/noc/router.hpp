@@ -69,10 +69,15 @@ enum Port : std::uint8_t {
 /// splitting relieves. Without this relaxation, a long packet would
 /// need a *completely empty* buffer and large-burst cores starve
 /// outright under continuous small-packet traffic.
+/// Storage is a fixed ring of `capacity_flits` slots: every admitted
+/// packet charges at least one flit, so the packet count can never
+/// exceed the flit capacity. The ring never reallocates, which keeps
+/// pointers to buffered packets stable for the lifetime of the packet —
+/// the routers' incremental per-output pools rely on this.
 class InputBuffer {
  public:
   explicit InputBuffer(std::uint32_t capacity_flits)
-      : capacity_(capacity_flits) {
+      : capacity_(capacity_flits), slots_(capacity_flits) {
     ANNOC_ASSERT(capacity_flits > 0);
   }
 
@@ -84,23 +89,33 @@ class InputBuffer {
 
   void push(Packet&& p) {
     ANNOC_ASSERT(can_accept(p.flits));
+    ANNOC_ASSERT(size_ < slots_.size());
     used_ += std::min(p.flits, capacity_);
-    packets_.push_back(std::move(p));
+    slots_[(head_ + size_) % slots_.size()] = std::move(p);
+    ++size_;
   }
 
-  [[nodiscard]] bool empty() const { return packets_.empty(); }
-  [[nodiscard]] std::size_t size() const { return packets_.size(); }
-  [[nodiscard]] Packet& front() { return packets_.front(); }
-  [[nodiscard]] const Packet& front() const { return packets_.front(); }
-  [[nodiscard]] Packet& at(std::size_t i) { return packets_[i]; }
-  [[nodiscard]] const Packet& at(std::size_t i) const { return packets_[i]; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] Packet& front() { return at(0); }
+  [[nodiscard]] const Packet& front() const { return at(0); }
+  [[nodiscard]] Packet& at(std::size_t i) {
+    ANNOC_ASSERT(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+  [[nodiscard]] const Packet& at(std::size_t i) const {
+    ANNOC_ASSERT(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+  [[nodiscard]] Packet& back() { return at(size_ - 1); }
   [[nodiscard]] std::uint32_t used_flits() const { return used_; }
   [[nodiscard]] std::uint32_t capacity_flits() const { return capacity_; }
 
   Packet pop() {
-    ANNOC_ASSERT(!packets_.empty());
-    Packet p = std::move(packets_.front());
-    packets_.erase(packets_.begin());
+    ANNOC_ASSERT(size_ > 0);
+    Packet p = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
     used_ -= std::min(p.flits, capacity_);
     return p;
   }
@@ -108,7 +123,9 @@ class InputBuffer {
  private:
   std::uint32_t capacity_;
   std::uint32_t used_ = 0;
-  std::vector<Packet> packets_;
+  std::vector<Packet> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// Output-channel occupancy (winner-take-all hold).
@@ -202,10 +219,15 @@ class Router {
   /// Total packets currently buffered in this router.
   [[nodiscard]] std::size_t buffered_packets() const;
 
- private:
-  /// Every waiting packet in this router routed to output `out`.
-  [[nodiscard]] std::vector<Packet*> pool_for(Port out);
+  /// Earliest future cycle (>= now) at which this router's state can
+  /// change on its own: an active transfer completing, or a buffered
+  /// head becoming pipeline-eligible toward a free output. Returns
+  /// `now` itself when an eligible head already waits on a free output
+  /// (arbitration must run densely), kNeverCycle when fully drained.
+  /// See DESIGN.md "The next_event contract".
+  [[nodiscard]] Cycle next_event(Cycle now) const;
 
+ private:
   NodeId id_;
   std::uint32_t x_, y_;
   std::uint32_t pipeline_;
@@ -217,6 +239,15 @@ class Router {
   std::vector<std::unique_ptr<FlowController>> fc_;
   /// routed_[port][vc][i] is the output port of inputs_[port][vc].at(i).
   std::vector<std::vector<std::vector<Port>>> routed_;
+  /// pools_[out]: every waiting packet in this router routed to output
+  /// `out`, maintained incrementally on arrival/grant (pointers are
+  /// stable: InputBuffer storage never reallocates). Replaces the
+  /// per-arrival vector rebuild the old pool_for() did.
+  std::array<std::vector<Packet*>, kNumPorts> pools_;
+  /// Scratch buffers reused across arbitrate() calls (no steady-state
+  /// allocation on the hot path).
+  std::vector<Candidate> cand_scratch_;
+  std::vector<VcId> source_scratch_;
   RouterStats stats_;
 };
 

@@ -98,6 +98,19 @@ void Device::tick(Cycle now) {
   }
 }
 
+Cycle Device::next_event(Cycle now) const {
+  Cycle h = kNeverCycle;
+  for (BankId b = 0; b < banks_.size(); ++b) {
+    if (ap_[b].pending) h = std::min(h, std::max(ap_[b].start, now));
+  }
+  if (cfg_.refresh_enabled) {
+    if (refresh_waiting_) return now;
+    const Cycle arm = std::max(next_refresh_, refresh_done_);
+    h = std::min(h, std::max(arm, now));
+  }
+  return h;
+}
+
 bool Device::can_issue(const Command& cmd, Cycle now) const {
   // One command per cycle on the command bus.
   if (last_cmd_cycle_ != kNeverCycle && now <= last_cmd_cycle_) return false;

@@ -63,6 +63,16 @@ class Device {
   /// issuing.
   void tick(Cycle now);
 
+  /// Earliest future cycle (>= now) at which an internal event fires
+  /// with no controller activity: a pending auto-precharge reaching its
+  /// self-timed start (its stats/bank transition must land on the dense
+  /// cycle), or the refresh engine arming. Returns `now` while a
+  /// refresh drain is in progress (the forced-precharge/grant sequence
+  /// is tick-timing dependent); kNeverCycle when nothing is scheduled.
+  /// Bank settling is excluded deliberately — settle() is idempotent
+  /// and tick() re-runs it before any state is read.
+  [[nodiscard]] Cycle next_event(Cycle now) const;
+
   [[nodiscard]] const Bank& bank(BankId b) const;
   [[nodiscard]] std::uint32_t num_banks() const {
     return cfg_.geometry.num_banks;

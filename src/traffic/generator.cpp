@@ -18,6 +18,8 @@ CoreGenerator::CoreGenerator(const GeneratorConfig& cfg,
   ANNOC_ASSERT(!cfg_.spec.sizes.empty());
   ANNOC_ASSERT(cfg_.spec.region_bytes > 0);
   cursor_ = cfg_.spec.region_base;
+  size_weights_.reserve(cfg_.spec.sizes.size());
+  for (const SizeMix& m : cfg_.spec.sizes) size_weights_.push_back(m.weight);
   next_size_ = pick_size();
 }
 
@@ -25,10 +27,9 @@ std::uint32_t CoreGenerator::pick_size() {
   const CoreSpec& s = cfg_.spec;
   next_is_demand_ = s.demand_fraction > 0.0 && rng_.chance(s.demand_fraction);
   if (next_is_demand_) return s.demand_bytes;
-  std::vector<double> w;
-  w.reserve(s.sizes.size());
-  for (const SizeMix& m : s.sizes) w.push_back(m.weight);
-  return s.sizes[rng_.pick_weighted(w.data(), w.size())].bytes;
+  return s.sizes[rng_.pick_weighted(size_weights_.data(),
+                                    size_weights_.size())]
+      .bytes;
 }
 
 std::uint64_t CoreGenerator::pick_address(std::uint32_t bytes) {
@@ -102,6 +103,19 @@ void CoreGenerator::emit_request(Cycle now) {
 
 void CoreGenerator::tick(Cycle now, noc::Network& net) {
   const CoreSpec& s = cfg_.spec;
+  // Replay the cycles the fast-forward scheduler skipped since the last
+  // executed tick. During a gap the emission state cannot change (no
+  // completions, no emissions — the next_event horizon never jumps past
+  // the credit-crossing cycle), so each skipped cycle accrued credit
+  // exactly as a dense tick would: one addition per cycle, preserving
+  // the floating-point result bit for bit. The closed-loop cap is a
+  // provable no-op mid-accrual (credit < next_size <= 2*next_size).
+  if (accruing_ && last_tick_ != kNeverCycle) {
+    for (Cycle c = last_tick_ + 1; c < now; ++c) {
+      credit_ += s.bytes_per_cycle;
+    }
+  }
+  last_tick_ = now;
   // Open-loop cores accrue credit unconditionally (their rate is a
   // real-time requirement); closed-loop cores stop while their
   // outstanding window is full.
@@ -120,6 +134,7 @@ void CoreGenerator::tick(Cycle now, noc::Network& net) {
       credit_ = std::min(credit_, 2.0 * static_cast<double>(next_size_));
     }
   }
+  accruing_ = emitting_ && (s.open_loop || outstanding_ < s.max_outstanding);
 
   // Injection: one packet at a time over the core link. try_inject
   // consumes the packet only on success.
@@ -132,6 +147,27 @@ void CoreGenerator::tick(Cycle now, noc::Network& net) {
   } else {
     ++stats_.inject_stalls;
   }
+}
+
+Cycle CoreGenerator::next_event(Cycle now) const {
+  Cycle h = kNeverCycle;
+  if (!backlog_.empty()) h = std::min(h, std::max(link_free_at_, now));
+  const CoreSpec& s = cfg_.spec;
+  if (accruing_ && emitting_ && s.bytes_per_cycle > 0.0) {
+    // Lower bound on the cycle the accrued credit reaches next_size_.
+    // The margin absorbs the rounding drift of the per-cycle additions
+    // the replay will perform; under-estimating only costs a few dense
+    // steps near the crossing, over-estimating would skip an emission.
+    const double steps =
+        (static_cast<double>(next_size_) - credit_) / s.bytes_per_cycle;
+    Cycle k = 1;
+    if (steps > 2.0) {
+      k = static_cast<Cycle>(steps * (1.0 - 1e-6)) - 1;
+    }
+    const Cycle from = last_tick_ == kNeverCycle ? now : last_tick_;
+    h = std::min(h, std::max(from + k, now));
+  }
+  return h;
 }
 
 }  // namespace annoc::traffic

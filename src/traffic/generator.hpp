@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -47,7 +48,17 @@ class CoreGenerator {
                 const sdram::AddressMapper& mapper, PacketId& id_source);
 
   /// Generate (credit permitting) and inject (link/buffer permitting).
+  /// Cycles skipped by the fast-forward scheduler are replayed as
+  /// individual credit additions, so the floating-point accumulation is
+  /// bit-identical to dense stepping (a += k*b is not k times a += b).
   void tick(Cycle now, noc::Network& net);
+
+  /// Earliest future cycle (>= now) this generator can act: inject its
+  /// backlog, or accrue enough credit to emit. The emission horizon is
+  /// a deliberately safe under-estimate of the credit-crossing cycle
+  /// (landing early costs a few dense steps; landing late would change
+  /// results). kNeverCycle when drained and rate-less.
+  [[nodiscard]] Cycle next_event(Cycle now) const;
 
   /// A parent request completed (all subpackets serviced).
   void on_parent_completed() {
@@ -82,6 +93,13 @@ class CoreGenerator {
   std::uint64_t cursor_ = 0;
   std::uint32_t outstanding_ = 0;
   Cycle link_free_at_ = 0;
+  /// Cycle of the last executed tick (kNeverCycle before the first) and
+  /// whether credit was accruing at it — the state that governs the
+  /// replay of fast-forwarded cycles.
+  Cycle last_tick_ = kNeverCycle;
+  bool accruing_ = false;
+  /// Size-mix weights, precomputed so pick_size() never allocates.
+  std::vector<double> size_weights_;
   std::deque<noc::Packet> backlog_;
   GeneratorStats stats_;
 };

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bounded_queue.hpp"
+#include "common/flat_map.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -231,6 +232,62 @@ TEST(Env, ParsesValues) {
   ::setenv("ANNOC_TEST_KNOB", "0", 1);
   EXPECT_FALSE(env_flag("ANNOC_TEST_KNOB", true));
   ::unsetenv("ANNOC_TEST_KNOB");
+}
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  m[42] = 7;
+  m[43] = 8;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 7);
+  EXPECT_EQ(m.find(99), nullptr);
+  EXPECT_TRUE(m.erase(42));
+  EXPECT_FALSE(m.erase(42));
+  EXPECT_EQ(m.find(42), nullptr);
+  ASSERT_NE(m.find(43), nullptr);
+  EXPECT_EQ(*m.find(43), 8);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketUpdatesInPlace) {
+  FlatMap<std::uint64_t, int> m;
+  m[5] = 1;
+  m[5] = 2;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(5), 2);
+}
+
+TEST(FlatMap, SurvivesGrowthAndChurn) {
+  // Mirror the simulator's usage: a sliding window of live ids drawn
+  // from a monotonically increasing sequence, forcing several growths
+  // and long probe chains with backward-shift deletion.
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::uint64_t next = 1;
+  std::vector<std::uint64_t> live;
+  Rng rng(123);
+  for (int iter = 0; iter < 20000; ++iter) {
+    if (live.size() < 64 || rng.chance(0.5)) {
+      m[next] = next * 3;
+      live.push_back(next);
+      ++next;
+    } else {
+      const std::size_t i =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      EXPECT_TRUE(m.erase(live[i]));
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(m.size(), live.size());
+  for (const std::uint64_t id : live) {
+    ASSERT_NE(m.find(id), nullptr) << id;
+    EXPECT_EQ(*m.find(id), id * 3);
+  }
+  for (const std::uint64_t id : live) EXPECT_TRUE(m.erase(id));
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(next - 1), nullptr);
 }
 
 }  // namespace

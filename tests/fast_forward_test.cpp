@@ -1,0 +1,262 @@
+/// Bit-identity of the idle-cycle fast-forward scheduler: for every
+/// design point and feature combination, a run with fast_forward on
+/// must produce exactly the same Metrics — down to the last bit of
+/// every floating-point accumulator — as dense cycle-by-cycle stepping.
+/// The next_event horizons are lower bounds; an over-estimate anywhere
+/// shows up here as a diverging latency count or utilization.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/simulator.hpp"
+
+namespace annoc::core {
+namespace {
+
+void expect_stat_identical(const LatencyStat& a, const LatencyStat& b,
+                           const std::string& what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+  EXPECT_EQ(a.p50(), b.p50()) << what;
+  EXPECT_EQ(a.p95(), b.p95()) << what;
+  EXPECT_EQ(a.p99(), b.p99()) << what;
+}
+
+/// Every field of Metrics, compared exactly (EXPECT_EQ on the doubles:
+/// the contract is bit-identity, not tolerance).
+void expect_metrics_identical(const Metrics& dense, const Metrics& skip,
+                              const std::string& tag) {
+  EXPECT_EQ(dense.utilization, skip.utilization) << tag;
+  EXPECT_EQ(dense.raw_utilization, skip.raw_utilization) << tag;
+  expect_stat_identical(dense.all_packets, skip.all_packets, tag + "/all");
+  expect_stat_identical(dense.demand_packets, skip.demand_packets,
+                        tag + "/demand");
+  expect_stat_identical(dense.priority_packets, skip.priority_packets,
+                        tag + "/priority");
+  expect_stat_identical(dense.source_queue, skip.source_queue, tag + "/src");
+  expect_stat_identical(dense.network, skip.network, tag + "/net");
+  expect_stat_identical(dense.memory, skip.memory, tag + "/mem");
+  expect_stat_identical(dense.source_queue_prio, skip.source_queue_prio,
+                        tag + "/src_prio");
+  expect_stat_identical(dense.network_prio, skip.network_prio,
+                        tag + "/net_prio");
+  expect_stat_identical(dense.memory_prio, skip.memory_prio,
+                        tag + "/mem_prio");
+  expect_stat_identical(dense.response_path, skip.response_path,
+                        tag + "/resp");
+  EXPECT_EQ(dense.completed_requests, skip.completed_requests) << tag;
+  EXPECT_EQ(dense.completed_subpackets, skip.completed_subpackets) << tag;
+  EXPECT_EQ(dense.outstanding_requests, skip.outstanding_requests) << tag;
+  EXPECT_EQ(dense.measured_cycles, skip.measured_cycles) << tag;
+  EXPECT_EQ(dense.drained_cycles, skip.drained_cycles) << tag;
+
+  EXPECT_EQ(dense.device.activates, skip.device.activates) << tag;
+  EXPECT_EQ(dense.device.precharges, skip.device.precharges) << tag;
+  EXPECT_EQ(dense.device.auto_precharges, skip.device.auto_precharges) << tag;
+  EXPECT_EQ(dense.device.reads, skip.device.reads) << tag;
+  EXPECT_EQ(dense.device.writes, skip.device.writes) << tag;
+  EXPECT_EQ(dense.device.refreshes, skip.device.refreshes) << tag;
+  EXPECT_EQ(dense.device.cas_row_hits, skip.device.cas_row_hits) << tag;
+  EXPECT_EQ(dense.device.total_beats, skip.device.total_beats) << tag;
+  EXPECT_EQ(dense.device.useful_beats, skip.device.useful_beats) << tag;
+  EXPECT_EQ(dense.device.bus_direction_turnarounds,
+            skip.device.bus_direction_turnarounds)
+      << tag;
+  for (std::size_t b = 0; b < dense.device.cas_per_bank.size(); ++b) {
+    EXPECT_EQ(dense.device.cas_per_bank[b], skip.device.cas_per_bank[b])
+        << tag << " bank " << b;
+  }
+
+  EXPECT_EQ(dense.engine.requests_completed, skip.engine.requests_completed)
+      << tag;
+  EXPECT_EQ(dense.engine.cas_issued, skip.engine.cas_issued) << tag;
+  EXPECT_EQ(dense.engine.act_issued, skip.engine.act_issued) << tag;
+  EXPECT_EQ(dense.engine.pre_issued, skip.engine.pre_issued) << tag;
+  EXPECT_EQ(dense.engine.prep_acts, skip.engine.prep_acts) << tag;
+  EXPECT_EQ(dense.engine.stall_cycles, skip.engine.stall_cycles) << tag;
+  EXPECT_EQ(dense.engine.stall_need_act, skip.engine.stall_need_act) << tag;
+  EXPECT_EQ(dense.engine.stall_need_pre, skip.engine.stall_need_pre) << tag;
+  EXPECT_EQ(dense.engine.stall_cas_timing, skip.engine.stall_cas_timing)
+      << tag;
+
+  EXPECT_EQ(dense.noc_flits_forwarded, skip.noc_flits_forwarded) << tag;
+  EXPECT_EQ(dense.noc_packets_forwarded, skip.noc_packets_forwarded) << tag;
+
+  ASSERT_EQ(dense.per_core.size(), skip.per_core.size()) << tag;
+  for (const auto& [name, cm] : dense.per_core) {
+    const auto it = skip.per_core.find(name);
+    ASSERT_NE(it, skip.per_core.end()) << tag << " core " << name;
+    EXPECT_EQ(cm.requests, it->second.requests) << tag << " core " << name;
+    EXPECT_EQ(cm.avg_latency, it->second.avg_latency)
+        << tag << " core " << name;
+    EXPECT_EQ(cm.achieved_bytes_per_cycle,
+              it->second.achieved_bytes_per_cycle)
+        << tag << " core " << name;
+  }
+}
+
+void expect_fast_forward_identical(SystemConfig cfg, const std::string& tag) {
+  cfg.fast_forward = false;
+  const Metrics dense = run_simulation(cfg);
+  cfg.fast_forward = true;
+  const Metrics skip = run_simulation(cfg);
+  expect_metrics_identical(dense, skip, tag);
+}
+
+SystemConfig base_config() {
+  SystemConfig cfg;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.sim_cycles = 6000;
+  cfg.warmup_cycles = 1200;
+  return cfg;
+}
+
+TEST(FastForward, BitIdenticalAcrossDesignPoints) {
+  for (const DesignPoint d :
+       {DesignPoint::kConv, DesignPoint::kConvPfs, DesignPoint::kRef4,
+        DesignPoint::kRef4Pfs, DesignPoint::kGss, DesignPoint::kGssSagm,
+        DesignPoint::kGssSagmSti}) {
+    SystemConfig cfg = base_config();
+    cfg.design = d;
+    cfg.priority_enabled = true;
+    expect_fast_forward_identical(cfg, to_string(d));
+  }
+}
+
+TEST(FastForward, BitIdenticalAcrossGenerations) {
+  for (const auto gen :
+       {sdram::DdrGeneration::kDdr1, sdram::DdrGeneration::kDdr2,
+        sdram::DdrGeneration::kDdr3}) {
+    SystemConfig cfg = base_config();
+    cfg.design = DesignPoint::kGssSagm;
+    cfg.generation = gen;
+    expect_fast_forward_identical(
+        cfg, std::string("gen") +
+                 std::to_string(static_cast<int>(gen)));
+  }
+}
+
+TEST(FastForward, BitIdenticalAcrossSeedsAndApps) {
+  for (const std::uint64_t seed : {7ull, 1234ull}) {
+    for (const auto app :
+         {traffic::AppId::kSingleDtv, traffic::AppId::kDualDtv}) {
+      SystemConfig cfg = base_config();
+      cfg.design = DesignPoint::kGss;
+      cfg.app = app;
+      cfg.seed = seed;
+      expect_fast_forward_identical(
+          cfg, "seed" + std::to_string(seed) + "/app" +
+                   std::to_string(static_cast<int>(app)));
+    }
+  }
+}
+
+TEST(FastForward, BitIdenticalWithVirtualChannels) {
+  SystemConfig cfg = base_config();
+  cfg.design = DesignPoint::kGss;
+  cfg.num_vcs = 2;
+  expect_fast_forward_identical(cfg, "vc2");
+}
+
+TEST(FastForward, BitIdenticalWithAdaptiveRouting) {
+  SystemConfig cfg = base_config();
+  cfg.design = DesignPoint::kGss;
+  cfg.adaptive_routing = true;
+  expect_fast_forward_identical(cfg, "adaptive");
+}
+
+TEST(FastForward, BitIdenticalWithResponsePath) {
+  SystemConfig cfg = base_config();
+  cfg.design = DesignPoint::kGssSagm;
+  cfg.model_response_path = true;
+  expect_fast_forward_identical(cfg, "response_path");
+}
+
+TEST(FastForward, BitIdenticalWithMixedGssRouters) {
+  // Fig. 8 configuration: GSS only on the routers nearest the memory.
+  SystemConfig cfg = base_config();
+  cfg.design = DesignPoint::kGss;
+  cfg.priority_enabled = true;
+  cfg.num_gss_routers = 2;
+  expect_fast_forward_identical(cfg, "mixed_fig8");
+}
+
+TEST(FastForward, BitIdenticalWithTightDrainLimit) {
+  // The drain phase must count cycles and stop at the limit exactly as
+  // dense stepping does, including when requests are still outstanding.
+  SystemConfig cfg = base_config();
+  cfg.design = DesignPoint::kConv;
+  cfg.drain_cycle_limit = 40;
+  expect_fast_forward_identical(cfg, "tight_drain");
+}
+
+TEST(FastForward, BitIdenticalOnIdleHeavyTraffic) {
+  // A single near-idle core: almost every cycle is skippable, and the
+  // warmup/measurement boundaries fall inside idle gaps — the clamp
+  // must land the snapshots on the exact dense cycles.
+  traffic::Application app;
+  app.name = "idle";
+  app.noc.width = 2;
+  app.noc.height = 2;
+  app.noc.mem_node = 0;
+  traffic::CoreSpec spec;
+  spec.name = "trickle";
+  spec.bytes_per_cycle = 0.01;  // one 32 B request every ~3200 cycles
+  spec.sizes = {{32, 1.0}};
+  spec.region_base = 0;
+  spec.region_bytes = 1 << 20;
+  app.cores.push_back({spec, static_cast<NodeId>(3)});
+
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kGss;
+  cfg.custom_app = app;
+  cfg.sim_cycles = 30000;
+  cfg.warmup_cycles = 5000;
+  expect_fast_forward_identical(cfg, "idle_heavy");
+}
+
+TEST(FastForward, ActuallySkipsIdleCycles) {
+  // White-box: on idle-heavy traffic the scheduler must jump, not crawl
+  // — step once, then fast_forward should move the clock by more than
+  // one cycle.
+  traffic::Application app;
+  app.name = "idle";
+  app.noc.width = 2;
+  app.noc.height = 2;
+  app.noc.mem_node = 0;
+  traffic::CoreSpec spec;
+  spec.name = "trickle";
+  spec.bytes_per_cycle = 0.01;
+  spec.sizes = {{32, 1.0}};
+  spec.region_base = 0;
+  spec.region_bytes = 1 << 20;
+  app.cores.push_back({spec, static_cast<NodeId>(3)});
+
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kGss;
+  cfg.custom_app = app;
+  cfg.sim_cycles = 30000;
+  cfg.warmup_cycles = 5000;
+
+  Simulator sim(cfg);
+  sim.step();
+  const Cycle before = sim.now();
+  sim.fast_forward(cfg.warmup_cycles + cfg.sim_cycles);
+  EXPECT_GT(sim.now(), before + 100)
+      << "an idle gap of ~3200 cycles should be skipped in one jump";
+
+  // And with the flag off, fast_forward must be a no-op.
+  cfg.fast_forward = false;
+  Simulator dense(cfg);
+  dense.step();
+  const Cycle dense_before = dense.now();
+  dense.fast_forward(cfg.warmup_cycles + cfg.sim_cycles);
+  EXPECT_EQ(dense.now(), dense_before);
+}
+
+}  // namespace
+}  // namespace annoc::core
