@@ -79,6 +79,16 @@ std::vector<Point> points() {
     p.cfg.priority_enabled = true;
     pts.push_back(std::move(p));
   }
+  {
+    // Same point with the observability counters attached: the delta
+    // against saturated/gss_sagm is the cost of event emission (the
+    // observe-off points above carry only the null-check branch).
+    Point p{"saturated/gss_sagm_observe", base()};
+    p.cfg.design = core::DesignPoint::kGssSagm;
+    p.cfg.priority_enabled = true;
+    p.cfg.observe = core::ObserveLevel::kCounters;
+    pts.push_back(std::move(p));
+  }
   return pts;
 }
 

@@ -4,16 +4,25 @@
 /// engine behaviour and per-core achieved bandwidth. Useful both as API
 /// documentation and for diagnosing a workload.
 ///
-/// Usage: inspect_run [design] [app] [ddr] [mhz]
+/// Usage: inspect_run [design] [app] [ddr] [mhz] [flags]
 ///   design: conv | conv+pfs | ref4 | ref4+pfs | gss | gss+sagm | gss+sagm+sti
 ///   app:    bluray | sdtv | ddtv
 ///   ddr:    1 | 2 | 3
+/// Flags:
+///   --observe[=counters|full]   enable the observability layer and print
+///                               its digest (stall histograms, per-bank
+///                               tallies, GSS ladder occupancy)
+///   --trace=PATH                write the per-subpacket CSV trace
+///   --trace-perfetto[=PATH]     write a Perfetto/chrome://tracing JSON
+///                               timeline (default trace.perfetto.json);
+///                               open it at https://ui.perfetto.dev
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "core/simulator.hpp"
 #include "memctrl/streamlined.hpp"
+#include "noc/router.hpp"
 
 namespace {
 
@@ -44,15 +53,40 @@ annoc::traffic::AppId parse_app(const char* s) {
 int main(int argc, char** argv) {
   using namespace annoc;
   core::SystemConfig cfg;
-  cfg.design = argc > 1 ? parse_design(argv[1]) : core::DesignPoint::kGss;
-  cfg.app = argc > 2 ? parse_app(argv[2]) : traffic::AppId::kSingleDtv;
-  const int ddr = argc > 3 ? std::atoi(argv[3]) : 2;
+  // Positional args first, then --flags in any position after them.
+  int npos = 0;
+  const char* pos[4] = {nullptr, nullptr, nullptr, nullptr};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) continue;
+    if (npos < 4) pos[npos++] = argv[i];
+  }
+  cfg.design = pos[0] ? parse_design(pos[0]) : core::DesignPoint::kGss;
+  cfg.app = pos[1] ? parse_app(pos[1]) : traffic::AppId::kSingleDtv;
+  const int ddr = pos[2] ? std::atoi(pos[2]) : 2;
   cfg.generation = ddr == 1   ? sdram::DdrGeneration::kDdr1
                    : ddr == 3 ? sdram::DdrGeneration::kDdr3
                               : sdram::DdrGeneration::kDdr2;
-  cfg.clock_mhz = argc > 4 ? std::atof(argv[4]) : 333.0;
+  cfg.clock_mhz = pos[3] ? std::atof(pos[3]) : 333.0;
   cfg.priority_enabled = std::getenv("ANNOC_NO_PRIORITY") == nullptr;
   cfg.sim_cycles = 100000;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--observe") || !std::strcmp(a, "--observe=counters")) {
+      cfg.observe = core::ObserveLevel::kCounters;
+    } else if (!std::strcmp(a, "--observe=full")) {
+      cfg.observe = core::ObserveLevel::kFull;
+    } else if (!std::strncmp(a, "--trace=", 8)) {
+      cfg.trace_path = a + 8;
+    } else if (!std::strcmp(a, "--trace-perfetto")) {
+      cfg.perfetto_path = "trace.perfetto.json";
+    } else if (!std::strncmp(a, "--trace-perfetto=", 17)) {
+      cfg.perfetto_path = a + 17;
+    } else if (!std::strncmp(a, "--", 2)) {
+      std::fprintf(stderr, "unknown flag '%s'\n", a);
+      return 2;
+    }
+  }
 
   core::Simulator sim(cfg);
   sim.run();
@@ -133,6 +167,65 @@ int main(int argc, char** argv) {
     std::printf("%-14s %10llu %9.1f cy %10.3f\n", name.c_str(),
                 static_cast<unsigned long long>(cm.requests), cm.avg_latency,
                 cm.achieved_bytes_per_cycle);
+  }
+
+  if (m.obs_valid) {
+    const auto u = [](std::uint64_t v) {
+      return static_cast<unsigned long long>(v);
+    };
+    std::printf("\n-- observability digest (whole run) --\n");
+    std::printf("row-hit CAS %llu | conflict PRE %llu | AP-elided PRE %llu | "
+                "refreshes %llu\n",
+                u(m.obs.row_hits_total()), u(m.obs.conflict_pre_total()),
+                u(m.obs.ap_elided_total()), u(m.obs.refreshes));
+    std::printf("worst wait: any %llu cy, priority %llu cy\n",
+                u(m.obs.worst_wait), u(m.obs.worst_priority_wait));
+
+    std::printf("\nper-router stall causes (grants | gss-excl / "
+                "downstream-full / sink-busy):\n");
+    for (std::size_t r = 0; r < m.obs.routers.size(); ++r) {
+      const auto& rt = m.obs.routers[r];
+      if (rt.grants == 0 && rt.total_stalls() == 0) continue;
+      std::printf("  router %zu: %llu | %llu / %llu / %llu\n", r, u(rt.grants),
+                  u(rt.stalls[static_cast<std::size_t>(
+                      obs::StallCause::kGssExclusion)]),
+                  u(rt.stalls[static_cast<std::size_t>(
+                      obs::StallCause::kDownstreamFull)]),
+                  u(rt.stalls[static_cast<std::size_t>(
+                      obs::StallCause::kSinkBusy)]));
+    }
+
+    std::printf("\nper-bank (ACT | row-hit CAS | conflict-PRE | AP-elided | "
+                "open cycles):\n");
+    for (std::size_t b = 0; b < m.obs.banks.size(); ++b) {
+      const auto& bk = m.obs.banks[b];
+      if (bk.activates == 0) continue;
+      std::printf("  bank %zu: %llu | %llu | %llu | %llu | %llu\n", b,
+                  u(bk.activates), u(bk.row_hit_cas), u(bk.conflict_pre),
+                  u(bk.ap_elided_pre), u(bk.open_cycles));
+    }
+
+    if (m.obs.gss.total_admits() > 0) {
+      std::printf("\nGSS filter-ladder occupancy (admits per level):\n ");
+      for (std::size_t l = 0; l < m.obs.gss.admits_by_level.size(); ++l) {
+        if (m.obs.gss.admits_by_level[l] == 0) continue;
+        std::printf(" L%zu=%llu", l, u(m.obs.gss.admits_by_level[l]));
+      }
+      std::printf("\n  row-hit admits %llu | priority admits %llu | "
+                  "retry rounds %llu | STI hits %llu\n",
+                  u(m.obs.gss.rowhit_admits), u(m.obs.gss.priority_admits),
+                  u(m.obs.gss.retry_rounds), u(m.obs.gss.sti_hits));
+    }
+  }
+  if (!cfg.perfetto_path.empty()) {
+    std::printf("\nPerfetto timeline written to %s — open it at "
+                "https://ui.perfetto.dev\n",
+                cfg.perfetto_path.c_str());
+  }
+  if (m.trace_dropped_rows > 0) {
+    std::fprintf(stderr, "warning: %llu trace rows dropped (unwritable %s)\n",
+                 static_cast<unsigned long long>(m.trace_dropped_rows),
+                 cfg.trace_path.c_str());
   }
   return 0;
 }

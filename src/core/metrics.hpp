@@ -9,6 +9,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/counters.hpp"
 #include "traffic/application.hpp"
 #include "memctrl/command_engine.hpp"
 #include "sdram/device.hpp"
@@ -58,6 +59,18 @@ struct Metrics {
   std::uint64_t noc_packets_forwarded = 0;
 
   std::map<std::string, CoreMetrics> per_core;
+
+  /// Observability digest (SystemConfig::observe != kOff): per-router
+  /// stall-cause histograms, per-bank open-cycle/row-hit/PRE-elision
+  /// tallies, GSS ladder-level occupancy. Accumulated over the whole run
+  /// (warmup + window + drain) — a forensic event-log digest, not a
+  /// window metric. Every other field above is bit-identical whether or
+  /// not this one is populated.
+  bool obs_valid = false;
+  obs::ObsCounters obs;
+  /// Subpacket trace rows that could not be written (trace file failed
+  /// to open or the disk filled); 0 when tracing is off or healthy.
+  std::uint64_t trace_dropped_rows = 0;
 
   /// Jain fairness index over per-core achieved/offered bandwidth
   /// ratios: 1.0 = perfectly proportional service, 1/n = one core owns

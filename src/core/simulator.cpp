@@ -106,9 +106,18 @@ Simulator::Simulator(const SystemConfig& cfg)
       ps.svc = parent.svc;
       ps.core = parent.src_core;
       ps.useful_bytes = parent.useful_bytes;
+      ps.forked = num_subpackets > 1;
       ANNOC_ASSERT_MSG(parents_.find(parent.id) == nullptr,
                        "duplicate parent id");
       parents_[parent.id] = ps;
+      if (ps.forked) {
+        ANNOC_OBS_EMIT(obs_, on_fork(obs::ForkEvent{
+                                 .at = parent.created,
+                                 .parent_id = parent.id,
+                                 .core = parent.src_core,
+                                 .subpackets = num_subpackets,
+                                 .bytes = parent.useful_bytes}));
+      }
     };
     generators_.push_back(std::make_unique<traffic::CoreGenerator>(
         gc, *mapper_, next_packet_id_));
@@ -118,6 +127,29 @@ Simulator::Simulator(const SystemConfig& cfg)
   core_requests_.assign(core_names_.size(), 0);
   core_latency_sum_.assign(core_names_.size(), 0.0);
   core_bytes_.assign(core_names_.size(), 0);
+
+  // --- observability sinks (after every component exists) ---
+  const bool counters_on =
+      cfg.observe != ObserveLevel::kOff || !cfg.perfetto_path.empty();
+  if (counters_on) {
+    counter_sink_ = std::make_unique<obs::CounterSink>(
+        network_->num_routers());
+    hub_.attach(counter_sink_.get());
+  }
+  if (!cfg.perfetto_path.empty()) {
+    perfetto_sink_ = std::make_unique<obs::PerfettoSink>(
+        cfg.perfetto_path, core_names_, cfg.observe == ObserveLevel::kFull);
+    hub_.attach(perfetto_sink_.get());
+  }
+  if (trace_) hub_.attach(trace_.get());
+  if (hub_.num_sinks() > 0) obs_ = &hub_;
+  if (counters_on) {
+    // Device and router emission sites only matter to the counter and
+    // Perfetto sinks; with just the CSV trace attached, leave them
+    // unobserved (the trace consumes only completion records).
+    subsystem_->device().set_observer(&hub_);
+    network_->set_observer(&hub_);
+  }
 }
 
 const memctrl::EngineStats& Simulator::engine_stats() const {
@@ -185,13 +217,22 @@ void Simulator::on_subpacket_complete(const noc::Packet& pkt) {
 }
 
 void Simulator::finish_subpacket(const noc::Packet& pkt, Cycle done) {
-  if (trace_) trace_->record(pkt, done);
+  ANNOC_OBS_EMIT(obs_, on_subpacket(to_record(pkt, done)));
   ParentState* ps = parents_.find(pkt.parent_id);
   ANNOC_ASSERT_MSG(ps != nullptr, "completion for unknown parent");
   ANNOC_ASSERT(ps->subpackets_outstanding > 0);
   --ps->subpackets_outstanding;
   ps->last_done = std::max(ps->last_done, done);
   if (ps->subpackets_outstanding == 0) {
+    if (ps->forked) {
+      ANNOC_OBS_EMIT(obs_,
+                     on_join(obs::JoinEvent{
+                         .at = ps->last_done,
+                         .parent_id = pkt.parent_id,
+                         .core = ps->core,
+                         .created = ps->created,
+                         .priority = ps->svc == ServiceClass::kPriority}));
+    }
     record_parent(*ps);
     generators_[ps->core]->on_parent_completed();
     parents_.erase(pkt.parent_id);
@@ -294,7 +335,10 @@ Metrics Simulator::run() {
     if (now_ < total) fast_forward(total);
   }
   drain();
-  if (trace_) trace_->flush();
+  // One finish() for every sink: the counter sink closes open bank
+  // intervals, the Perfetto exporter closes its JSON, the CSV trace
+  // flushes.
+  if (obs_ != nullptr) obs_->finish(now_);
   return metrics();
 }
 
@@ -377,6 +421,12 @@ Metrics Simulator::metrics() const {
   }
   m.noc_flits_forwarded = flits - noc_flits_baseline_;
   m.noc_packets_forwarded = pkts - noc_packets_baseline_;
+
+  if (counter_sink_) {
+    m.obs_valid = true;
+    m.obs = counter_sink_->counters();
+  }
+  if (trace_) m.trace_dropped_rows = trace_->dropped_rows();
 
   // Resolve core names only here, off the hot path. Cores sharing a
   // name merge (sum, then divide — the latency sums are exact integer

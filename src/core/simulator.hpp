@@ -17,6 +17,9 @@
 #include "core/trace.hpp"
 #include "memctrl/subsystem.hpp"
 #include "noc/network.hpp"
+#include "obs/counters.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/sink.hpp"
 #include "sdram/address.hpp"
 #include "traffic/application.hpp"
 #include "traffic/generator.hpp"
@@ -69,6 +72,11 @@ class Simulator {
     ServiceClass svc = ServiceClass::kBestEffort;
     CoreId core = kInvalidCore;
     std::uint32_t useful_bytes = 0;
+    /// True when the request actually forked (>1 subpackets): pairs the
+    /// observability JoinEvent with its ForkEvent. Packet::is_split is
+    /// broader — the splitter tags every request it touches, including
+    /// ones that fit in a single subpacket.
+    bool forked = false;
   };
 
   void on_subpacket_complete(const noc::Packet& pkt);
@@ -90,6 +98,14 @@ class Simulator {
   std::unique_ptr<noc::Network> network_;
   std::unique_ptr<ResponsePath> response_path_;
   std::unique_ptr<TraceWriter> trace_;
+  // Observability: the hub fans events out to whichever sinks the config
+  // enables (CSV trace, counters, Perfetto). obs_ is &hub_ when at least
+  // one sink is attached, nullptr otherwise — the simulator's own
+  // emission sites (fork/join/subpacket) go through it.
+  obs::EventHub hub_;
+  std::unique_ptr<obs::CounterSink> counter_sink_;
+  std::unique_ptr<obs::PerfettoSink> perfetto_sink_;
+  obs::EventSink* obs_ = nullptr;
   std::vector<std::unique_ptr<traffic::CoreGenerator>> generators_;
   PacketId next_packet_id_ = 1;
 

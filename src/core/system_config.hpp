@@ -72,13 +72,40 @@ enum class DesignPoint : std::uint8_t {
                                             : sdram::BurstMode::kBl4;
 }
 
+/// How much the observability layer records (see src/obs/ and the
+/// DESIGN.md "Observability" chapter). Off is the measurement
+/// configuration: no sink is attached and every emission site reduces to
+/// one never-taken branch (or to nothing under
+/// -DANNOC_DISABLE_OBSERVABILITY).
+enum class ObserveLevel : std::uint8_t {
+  kOff,       ///< no observers; zero-overhead measurement mode
+  kCounters,  ///< fold events into Metrics::obs (per-router stall
+              ///< histograms, per-bank tallies, GSS ladder occupancy)
+  kFull,      ///< counters + high-volume per-router events in exports
+};
+
+[[nodiscard]] inline const char* to_string(ObserveLevel lv) {
+  switch (lv) {
+    case ObserveLevel::kOff: return "off";
+    case ObserveLevel::kCounters: return "counters";
+    case ObserveLevel::kFull: return "full";
+  }
+  return "?";
+}
+
 struct SystemConfig {
+  /// Which of the paper's seven design points to build (routers x
+  /// memory subsystem x device burst mode); see README's table.
   DesignPoint design = DesignPoint::kGss;
+  /// Workload: one of the paper's three multimedia SoC models.
   traffic::AppId app = traffic::AppId::kSingleDtv;
   /// When set, overrides `app`: simulate a user-defined SoC instead of
   /// one of the paper's three models (see examples/custom_soc.cpp).
   std::optional<traffic::Application> custom_app;
+  /// SDRAM generation; selects the JEDEC-style timing parameter set.
   sdram::DdrGeneration generation = sdram::DdrGeneration::kDdr2;
+  /// Memory clock in MHz (the single clock domain; ns timings are
+  /// re-derived into cycles at this clock).
   double clock_mhz = 333.0;
 
   /// Table II mode: MPU demand requests become priority packets.
@@ -91,7 +118,10 @@ struct SystemConfig {
   /// Metrics::response_path records the return-stage latency.
   bool model_response_path = false;
 
+  /// Length of the measurement window, in memory-clock cycles.
   Cycle sim_cycles = 200000;
+  /// Cycles simulated before the window opens (queues fill, rows open);
+  /// all rate counters are baseline-subtracted at the window start.
   Cycle warmup_cycles = 20000;
   /// After the measurement window closes, keep simulating (without
   /// generating new requests) for at most this many cycles so requests
@@ -102,6 +132,8 @@ struct SystemConfig {
   /// drain entirely (any still-outstanding requests are reported in
   /// Metrics::outstanding_requests either way).
   Cycle drain_cycle_limit = 20000;
+  /// RNG seed for the traffic generators; runs are fully deterministic
+  /// for a fixed (config, seed) pair.
   std::uint64_t seed = 42;
 
   /// Idle-cycle fast-forward: when every component reports its next
@@ -146,6 +178,18 @@ struct SystemConfig {
   /// When non-empty, write one CSV row per completed subpacket to this
   /// path (see core/trace.hpp).
   std::string trace_path;
+
+  /// Observability level (see ObserveLevel). Instrumentation is purely
+  /// observational: Metrics are bit-identical at every level
+  /// (tests/observability_test.cpp enforces this).
+  ObserveLevel observe = ObserveLevel::kOff;
+
+  /// When non-empty, write a Chrome trace_event / Perfetto JSON timeline
+  /// to this path (packet lifecycles, per-bank state, command-bus
+  /// occupancy; open at ui.perfetto.dev). Implies at least kCounters
+  /// observation; combine with observe=kFull for per-router
+  /// grant/stall/admit instants in the timeline.
+  std::string perfetto_path;
 
   /// SAGM split granularity in beats; 0 = per-generation default.
   /// DDR I/II: 4 beats (one BL4 CAS, 2 bus cycles — the paper's "packet

@@ -1,8 +1,34 @@
 #include "core/trace.hpp"
 
+#include "common/assert.hpp"
 #include "common/log.hpp"
 
 namespace annoc::core {
+
+obs::SubpacketRecord to_record(const noc::Packet& pkt, Cycle done) {
+  obs::SubpacketRecord r;
+  r.id = pkt.id;
+  r.parent_id = pkt.parent_id;
+  r.core = pkt.src_core;
+  r.src_node = pkt.src_node;
+  r.rw = pkt.rw;
+  r.svc = pkt.svc;
+  r.kind = pkt.kind;
+  r.bytes = pkt.useful_bytes;
+  r.beats = pkt.useful_beats;
+  r.flits = pkt.flits;
+  r.bank = pkt.loc.bank;
+  r.row = pkt.loc.row;
+  r.col = pkt.loc.col;
+  r.ap_tag = pkt.ap_tag;
+  r.split = pkt.is_split;
+  r.created = pkt.created;
+  r.injected = pkt.injected;
+  r.mem_arrival = pkt.mem_arrival;
+  r.service_done = pkt.service_done;
+  r.done = done;
+  return r;
+}
 
 const char* TraceWriter::header() {
   return "id,parent_id,core,src_node,rw,class,kind,bytes,beats,flits,"
@@ -13,7 +39,8 @@ const char* TraceWriter::header() {
 TraceWriter::TraceWriter(const std::string& path) {
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
-    ANNOC_WARN("trace: cannot open '%s'; tracing disabled", path.c_str());
+    ANNOC_WARN("trace: cannot open '%s'; rows will be counted as dropped",
+               path.c_str());
     return;
   }
   std::fprintf(file_, "%s\n", header());
@@ -23,22 +50,31 @@ TraceWriter::~TraceWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-void TraceWriter::record(const noc::Packet& pkt, Cycle done) {
-  if (file_ == nullptr) return;
+void TraceWriter::record(const obs::SubpacketRecord& r) {
+  // A completion earlier than the injection (or the creation) would mean
+  // a negative stage latency upstream — catch the corruption at the
+  // source rather than shipping nonsense rows.
+  ANNOC_ASSERT_MSG(r.done >= r.injected,
+                   "trace row completed before it was injected");
+  ANNOC_ASSERT_MSG(r.injected >= r.created,
+                   "trace row injected before it was created");
+  if (file_ == nullptr) {
+    ++dropped_;
+    return;
+  }
   std::fprintf(
       file_,
       "%llu,%llu,%u,%u,%s,%s,%s,%u,%u,%u,%u,%u,%u,%d,%d,%llu,%llu,%llu,"
       "%llu,%llu\n",
-      static_cast<unsigned long long>(pkt.id),
-      static_cast<unsigned long long>(pkt.parent_id), pkt.src_core,
-      pkt.src_node, to_string(pkt.rw), to_string(pkt.svc),
-      to_string(pkt.kind), pkt.useful_bytes, pkt.useful_beats, pkt.flits,
-      pkt.loc.bank, pkt.loc.row, pkt.loc.col, pkt.ap_tag ? 1 : 0,
-      pkt.is_split ? 1 : 0, static_cast<unsigned long long>(pkt.created),
-      static_cast<unsigned long long>(pkt.injected),
-      static_cast<unsigned long long>(pkt.mem_arrival),
-      static_cast<unsigned long long>(pkt.service_done),
-      static_cast<unsigned long long>(done));
+      static_cast<unsigned long long>(r.id),
+      static_cast<unsigned long long>(r.parent_id), r.core, r.src_node,
+      to_string(r.rw), to_string(r.svc), to_string(r.kind), r.bytes, r.beats,
+      r.flits, r.bank, r.row, r.col, r.ap_tag ? 1 : 0, r.split ? 1 : 0,
+      static_cast<unsigned long long>(r.created),
+      static_cast<unsigned long long>(r.injected),
+      static_cast<unsigned long long>(r.mem_arrival),
+      static_cast<unsigned long long>(r.service_done),
+      static_cast<unsigned long long>(r.done));
   ++rows_;
 }
 

@@ -39,13 +39,21 @@ GssFlowController::GssFlowController(const GssParams& params, bool sti)
 void GssFlowController::on_packet_arrival(Packet& pkt,
                                           const std::vector<Packet*>& waiting,
                                           Cycle now) {
-  (void)now;
   // Algorithm 1 lines 2-3: aging — every packet already waiting gains a
   // token (capped at the ladder top; extra tokens add nothing).
+  std::uint32_t aged = 0;
   for (Packet* w : waiting) {
     if (w != nullptr && w->gss_tokens < max_token_level()) {
       ++w->gss_tokens;
+      ++aged;
     }
+  }
+  if (ANNOC_OBS_ENABLED && obs_ != nullptr && aged > 0) {
+    obs_->on_gss_aging(obs::GssAgingEvent{.at = now,
+                                          .router = obs_router_,
+                                          .out_port = obs_port_,
+                                          .packets_aged = aged,
+                                          .retry_round = false});
   }
   // Lines 8-12: initial tokens by service class.
   pkt.gss_tokens = pkt.is_priority() ? params_.pct : 1u;
@@ -162,6 +170,18 @@ std::optional<std::size_t> GssFlowController::select(
       const bool passes = passes_filter(p, p.gss_tokens, now);
       // T(0) path: every packet also feeds the row-hit filter.
       const bool rowhit = has_last_ && SdramRelation::row_hit(last_, p);
+      // STI counter hits are reported once per arbitration (round 0
+      // only — later rounds re-examine the same candidates).
+      if (ANNOC_OBS_ENABLED && obs_ != nullptr && round == 0 &&
+          sti_violation(p, now)) {
+        obs_->on_gss_sti_hit(obs::GssStiHitEvent{
+            .at = now,
+            .router = obs_router_,
+            .out_port = obs_port_,
+            .packet_id = p.id,
+            .bank = p.loc.bank,
+            .ready_at = bank_ready_at_[p.loc.bank % kMaxBanks]});
+      }
       if (passes && p.is_priority()) {
         if (!best_priority || better_priority(i, *best_priority)) {
           best_priority = i;
@@ -176,17 +196,30 @@ std::optional<std::size_t> GssFlowController::select(
     }
 
     // SP = A ? B ? C (priority ? row-hit ? best-effort).
+    pending_via_rowhit_ = false;
     if (best_priority) return best_priority;
-    if (best_rowhit) return best_rowhit;
+    if (best_rowhit) {
+      pending_via_rowhit_ = true;
+      return best_rowhit;
+    }
     if (best_effort) return best_effort;
 
     // Nobody passed: grant one more token to every waiting packet and
     // refilter (lines 19-24). `waiting` is the full pool and already
     // contains the candidate head packets.
+    std::uint32_t aged = 0;
     for (Packet* w : waiting) {
       if (w != nullptr && w->gss_tokens < max_token_level()) {
         ++w->gss_tokens;
+        ++aged;
       }
+    }
+    if (ANNOC_OBS_ENABLED && obs_ != nullptr) {
+      obs_->on_gss_aging(obs::GssAgingEvent{.at = now,
+                                            .router = obs_router_,
+                                            .out_port = obs_port_,
+                                            .packets_aged = aged,
+                                            .retry_round = true});
     }
   }
   // Unreachable: the top filter level admits everything.
@@ -195,6 +228,19 @@ std::optional<std::size_t> GssFlowController::select(
 }
 
 void GssFlowController::on_scheduled(const Packet& pkt, Cycle now) {
+  // Admits are reported here, not in select(): a select() winner can
+  // still be vetoed by a full downstream buffer, and the ladder-level
+  // occupancy should count what was actually scheduled.
+  ANNOC_OBS_EMIT(
+      obs_, on_gss_admit(obs::GssAdmitEvent{
+                .at = now,
+                .router = obs_router_,
+                .out_port = obs_port_,
+                .packet_id = pkt.id,
+                .level = static_cast<std::uint8_t>(
+                    std::min(pkt.gss_tokens, max_token_level())),
+                .priority = pkt.is_priority(),
+                .via_rowhit = pending_via_rowhit_}));
   last_ = pkt;
   has_last_ = true;
   if (!sti_) return;

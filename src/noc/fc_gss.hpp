@@ -83,6 +83,9 @@ class GssFlowController final : public FlowController {
   bool sti_;
   Packet last_{};
   bool has_last_ = false;
+  /// Whether the most recent select() winner came via the T(0) row-hit
+  /// output (consumed by the admit event in on_scheduled()).
+  bool pending_via_rowhit_ = false;
   /// Scratch for select(): indices surviving the priority-bank
   /// exclusion, reused so steady-state arbitration never allocates.
   std::vector<std::size_t> eligible_scratch_;

@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "noc/packet.hpp"
+#include "obs/sink.hpp"
 #include "sdram/config.hpp"
 
 namespace annoc::noc {
@@ -83,6 +84,21 @@ class FlowController {
   }
 
   [[nodiscard]] virtual FlowControlKind kind() const = 0;
+
+  /// Attach the observability sink; `router`/`port` identify this
+  /// controller's output channel in the emitted events. nullptr (the
+  /// default) keeps the zero-overhead off state.
+  void attach_observer(obs::EventSink* sink, std::uint32_t router,
+                       std::uint8_t port) {
+    obs_ = sink;
+    obs_router_ = router;
+    obs_port_ = port;
+  }
+
+ protected:
+  obs::EventSink* obs_ = nullptr;
+  std::uint32_t obs_router_ = 0;
+  std::uint8_t obs_port_ = 0;
 };
 
 /// Factory. `gss` is consulted only for the GSS kinds.

@@ -150,7 +150,7 @@ void Network::tick(Cycle now) {
                          "memory port used away from the memory node");
         ANNOC_ASSERT(sink_ != nullptr);
         if (!sink_->can_accept(r->head(*win))) {
-          r->note_blocked();
+          r->note_blocked(out, obs::StallCause::kSinkBusy, now);
           continue;
         }
         Packet pkt = r->grant(*win, out, now);
@@ -183,7 +183,7 @@ void Network::tick(Cycle now) {
       Router& down = *routers_[l.nb];
       const auto vc = down.find_vc(l.nb_in, r->head(*win));
       if (!vc) {
-        r->note_blocked();
+        r->note_blocked(out, obs::StallCause::kDownstreamFull, now);
         continue;
       }
       Packet pkt = r->grant(*win, out, now);

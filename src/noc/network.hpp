@@ -71,6 +71,12 @@ class Network {
 
   void attach_sink(PacketSink* sink) { sink_ = sink; }
 
+  /// Attach an observer to every router (arbitration, stall and GSS
+  /// ladder events). nullptr detaches.
+  void set_observer(obs::EventSink* sink) {
+    for (auto& r : routers_) r->set_observer(sink);
+  }
+
   /// Receiver for packets ejected at a node's local port (core-bound
   /// responses). Local ejection is never backpressured: cores always
   /// sink their read data.

@@ -31,6 +31,13 @@ Router::Router(NodeId id, std::uint32_t x, std::uint32_t y,
   }
 }
 
+void Router::set_observer(obs::EventSink* sink) {
+  obs_ = sink;
+  for (int p = 0; p < kNumPorts; ++p) {
+    fc_[p]->attach_observer(sink, id_, static_cast<std::uint8_t>(p));
+  }
+}
+
 std::optional<std::uint32_t> Router::find_vc(Port p,
                                              const Packet& pkt) const {
   const std::uint32_t v = pkt.src_core % num_vcs_;
@@ -122,6 +129,11 @@ std::optional<VcId> Router::arbitrate(Port out, Cycle now) {
       fc_[out]->select(cand_scratch_, pools_[out], now);
   if (!sel) {
     ++stats_.idle_grants;
+    ANNOC_OBS_EMIT(obs_, on_stall(obs::StallEvent{
+                             .at = now,
+                             .router = id_,
+                             .out_port = out,
+                             .cause = obs::StallCause::kGssExclusion}));
     return std::nullopt;
   }
   return source_scratch_[*sel];
@@ -154,6 +166,15 @@ Packet Router::grant(const VcId& in, Port out, Cycle now) {
   ++stats_.packets_forwarded;
   stats_.flits_forwarded += pkt.flits;
   stats_.output_busy[out] += tr.end - tr.start;
+  ANNOC_OBS_EMIT(obs_, on_arbitration(obs::ArbitrationEvent{
+                           .at = now,
+                           .router = id_,
+                           .out_port = out,
+                           .packet_id = pkt.id,
+                           .core = pkt.src_core,
+                           .priority = pkt.is_priority(),
+                           .tokens = pkt.gss_tokens,
+                           .flits = pkt.flits}));
 
   // Stamp downstream arrival: the head lands one cycle after the grant,
   // the tail when the channel frees.

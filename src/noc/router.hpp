@@ -30,6 +30,7 @@
 #include "common/types.hpp"
 #include "noc/flow_controller.hpp"
 #include "noc/packet.hpp"
+#include "obs/sink.hpp"
 
 namespace annoc::noc {
 
@@ -209,8 +210,20 @@ class Router {
   /// head/tail arrival cycles).
   [[nodiscard]] Packet grant(const VcId& in, Port out, Cycle now);
 
-  /// Mark downstream-full stall for stats.
-  void note_blocked() { ++stats_.blocked_on_downstream; }
+  /// Mark a stall on output `out`: a winner was selected but could not
+  /// move (`cause` distinguishes full downstream buffers from a busy
+  /// memory sink).
+  void note_blocked(Port out, obs::StallCause cause, Cycle now) {
+    ++stats_.blocked_on_downstream;
+    ANNOC_OBS_EMIT(obs_, on_stall(obs::StallEvent{.at = now,
+                                                  .router = id_,
+                                                  .out_port = out,
+                                                  .cause = cause}));
+  }
+
+  /// Attach an observer receiving per-channel arbitration/stall events
+  /// (and, through the flow controllers, the GSS ladder events).
+  void set_observer(obs::EventSink* sink);
 
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t pipeline_latency() const { return pipeline_; }
@@ -249,6 +262,7 @@ class Router {
   std::vector<Candidate> cand_scratch_;
   std::vector<VcId> source_scratch_;
   RouterStats stats_;
+  obs::EventSink* obs_ = nullptr;
 };
 
 }  // namespace annoc::noc

@@ -1,0 +1,109 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+
+namespace annoc::obs {
+
+CounterSink::CounterSink(std::size_t num_routers) {
+  counters_.routers.resize(num_routers);
+  open_since_.fill(0);
+  open_.fill(false);
+}
+
+void CounterSink::on_command(const SdramCommandEvent& e) {
+  const std::size_t b = e.bank % kMaxObsBanks;
+  BankCounters& bank = counters_.banks[b];
+  switch (e.kind) {
+    case CommandKind::kActivate:
+      ++counters_.sdram_commands;
+      ++bank.activates;
+      open_[b] = true;
+      open_since_[b] = e.at;
+      break;
+    case CommandKind::kPrecharge:
+      ++counters_.sdram_commands;
+      // A refresh-forced PRE is housekeeping, not a row conflict.
+      if (!e.refresh_forced) ++bank.conflict_pre;
+      if (open_[b]) {
+        bank.open_cycles += e.at - open_since_[b];
+        open_[b] = false;
+      }
+      break;
+    case CommandKind::kRead:
+    case CommandKind::kWrite:
+      ++counters_.sdram_commands;
+      if (e.row_hit) {
+        ++bank.row_hit_cas;
+      } else {
+        ++bank.first_cas;
+      }
+      if (e.auto_precharge) ++bank.ap_elided_pre;
+      break;
+    case CommandKind::kRefresh:
+      ++counters_.refreshes;
+      break;
+    case CommandKind::kAutoPrecharge:
+      // Self-timed close: no command-bus slot, but the open interval
+      // ends here.
+      if (open_[b]) {
+        bank.open_cycles += e.at - open_since_[b];
+        open_[b] = false;
+      }
+      break;
+  }
+}
+
+void CounterSink::on_arbitration(const ArbitrationEvent& e) {
+  if (e.router < counters_.routers.size()) {
+    ++counters_.routers[e.router].grants;
+  }
+}
+
+void CounterSink::on_stall(const StallEvent& e) {
+  if (e.router < counters_.routers.size()) {
+    ++counters_.routers[e.router]
+          .stalls[static_cast<std::size_t>(e.cause) % kNumStallCauses];
+  }
+}
+
+void CounterSink::on_gss_admit(const GssAdmitEvent& e) {
+  GssCounters& g = counters_.gss;
+  ++g.admits_by_level[e.level % kMaxLadderLevels];
+  if (e.via_rowhit) ++g.rowhit_admits;
+  if (e.priority) ++g.priority_admits;
+}
+
+void CounterSink::on_gss_aging(const GssAgingEvent& e) {
+  counters_.gss.tokens_granted += e.packets_aged;
+  if (e.retry_round) ++counters_.gss.retry_rounds;
+}
+
+void CounterSink::on_gss_sti_hit(const GssStiHitEvent&) {
+  ++counters_.gss.sti_hits;
+}
+
+void CounterSink::on_fork(const ForkEvent&) { ++counters_.forks; }
+
+void CounterSink::on_join(const JoinEvent&) { ++counters_.joins; }
+
+void CounterSink::on_subpacket(const SubpacketRecord& e) {
+  const Cycle wait = e.done >= e.created ? e.done - e.created : 0;
+  counters_.worst_wait = std::max(counters_.worst_wait, wait);
+  if (e.svc == ServiceClass::kPriority) {
+    counters_.worst_priority_wait =
+        std::max(counters_.worst_priority_wait, wait);
+  }
+}
+
+void CounterSink::finish(Cycle end) {
+  // Close still-open bank intervals at the final cycle so open-cycle
+  // tallies cover the whole run.
+  for (std::size_t b = 0; b < kMaxObsBanks; ++b) {
+    if (open_[b]) {
+      counters_.banks[b].open_cycles += end - open_since_[b];
+      open_[b] = false;
+    }
+  }
+}
+
+}  // namespace annoc::obs

@@ -1,0 +1,130 @@
+/// \file counters.hpp
+/// Derived per-component counters: the CounterSink folds the event
+/// stream into ObsCounters, which Metrics carries and metrics_export
+/// serializes. These are the quantities the paper's Figs. 5–9 argue
+/// about — bank conflicts avoided, PRE commands elided, priority
+/// waiting bounded — as per-run numbers instead of anecdotes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace annoc::obs {
+
+/// Ladder height bound: Fig. 4(b) has 6 levels; index 0 is unused by
+/// admits (a waiting packet holds >= 1 token) but kept for direct
+/// indexing.
+inline constexpr std::size_t kMaxLadderLevels = 8;
+inline constexpr std::size_t kMaxObsBanks = 16;
+
+/// Per-router-output stall/grant tallies, indexed by StallCause.
+struct RouterCounters {
+  std::uint64_t grants = 0;
+  std::array<std::uint64_t, kNumStallCauses> stalls{};
+
+  [[nodiscard]] std::uint64_t total_stalls() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t s : stalls) t += s;
+    return t;
+  }
+};
+
+/// Per-bank SDRAM behaviour over the run.
+struct BankCounters {
+  std::uint64_t activates = 0;
+  std::uint64_t row_hit_cas = 0;    ///< CAS beyond the first of an activation
+  std::uint64_t first_cas = 0;      ///< first CAS of an activation
+  std::uint64_t conflict_pre = 0;   ///< explicit PRE (row conflict close)
+  std::uint64_t ap_elided_pre = 0;  ///< CAS-with-AP (no PRE bus slot needed)
+  std::uint64_t open_cycles = 0;    ///< cycles the bank held a row open
+};
+
+/// GSS arbiter behaviour aggregated over every GSS output channel.
+struct GssCounters {
+  /// Admissions per filter-ladder level (which constraint relaxation
+  /// finally let a packet through — level <= 2 means SDRAM-friendly,
+  /// the top level means the anti-starvation override fired).
+  std::array<std::uint64_t, kMaxLadderLevels> admits_by_level{};
+  std::uint64_t rowhit_admits = 0;    ///< via the T(0) row-hit output
+  std::uint64_t priority_admits = 0;
+  std::uint64_t tokens_granted = 0;   ///< total token increments
+  std::uint64_t retry_rounds = 0;     ///< Algorithm-1 refilter rounds
+  std::uint64_t sti_hits = 0;         ///< short-turnaround filter blocks
+
+  [[nodiscard]] std::uint64_t total_admits() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t a : admits_by_level) t += a;
+    return t;
+  }
+};
+
+/// Everything the CounterSink derives. Accumulated over the whole run
+/// (warmup + measurement + drain) — it is a forensic event log digest,
+/// not a measurement-window metric; window-scoped quantities stay in
+/// Metrics proper.
+struct ObsCounters {
+  std::vector<RouterCounters> routers;  ///< indexed by router node id
+  std::array<BankCounters, kMaxObsBanks> banks{};
+  GssCounters gss;
+  std::uint64_t forks = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t sdram_commands = 0;  ///< command-bus slots consumed
+  std::uint64_t refreshes = 0;
+  /// Worst observed completion latency of a priority subpacket
+  /// (created -> done), the paper's bounded-waiting claim in one number.
+  Cycle worst_priority_wait = 0;
+  /// Worst observed completion latency of any subpacket.
+  Cycle worst_wait = 0;
+
+  [[nodiscard]] std::uint64_t row_hits_total() const {
+    std::uint64_t t = 0;
+    for (const BankCounters& b : banks) t += b.row_hit_cas;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t conflict_pre_total() const {
+    std::uint64_t t = 0;
+    for (const BankCounters& b : banks) t += b.conflict_pre;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t ap_elided_total() const {
+    std::uint64_t t = 0;
+    for (const BankCounters& b : banks) t += b.ap_elided_pre;
+    return t;
+  }
+  [[nodiscard]] std::uint64_t router_stalls_total() const {
+    std::uint64_t t = 0;
+    for (const RouterCounters& r : routers) t += r.total_stalls();
+    return t;
+  }
+};
+
+/// Folds the event stream into ObsCounters. Preallocates per-router
+/// slots so steady-state accumulation never allocates.
+class CounterSink final : public EventSink {
+ public:
+  explicit CounterSink(std::size_t num_routers);
+
+  void on_command(const SdramCommandEvent& e) override;
+  void on_arbitration(const ArbitrationEvent& e) override;
+  void on_stall(const StallEvent& e) override;
+  void on_gss_admit(const GssAdmitEvent& e) override;
+  void on_gss_aging(const GssAgingEvent& e) override;
+  void on_gss_sti_hit(const GssStiHitEvent& e) override;
+  void on_fork(const ForkEvent& e) override;
+  void on_join(const JoinEvent& e) override;
+  void on_subpacket(const SubpacketRecord& e) override;
+  void finish(Cycle end) override;
+
+  [[nodiscard]] const ObsCounters& counters() const { return counters_; }
+
+ private:
+  ObsCounters counters_;
+  /// Bank-open interval tracking (ACT opens, PRE/AP/refresh closes).
+  std::array<Cycle, kMaxObsBanks> open_since_{};
+  std::array<bool, kMaxObsBanks> open_{};
+};
+
+}  // namespace annoc::obs

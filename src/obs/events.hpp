@@ -1,0 +1,194 @@
+/// \file events.hpp
+/// Structured observability events — the taxonomy every instrumented
+/// component emits into an obs::EventSink (see sink.hpp).
+///
+/// Events are plain-data structs built from `common` types only, so the
+/// lowest layers (sdram, noc) can emit them without inverting the
+/// dependency order. Identifiers are raw integers (router node, port
+/// index, bank) rather than the emitting layer's enums; the sinks that
+/// need pretty names (Perfetto, the counter report) own the name tables.
+///
+/// The taxonomy (DESIGN.md, "Observability"):
+///  * SdramCommandEvent — every command placed on the SDRAM command bus
+///    (plus the self-timed auto-precharge transitions, which consume no
+///    bus slot but close a bank), classified row-hit / first-CAS /
+///    AP-elided-PRE at issue time.
+///  * ArbitrationEvent / StallEvent — per router output channel: who won
+///    the channel, and why a channel with waiting candidates moved
+///    nothing this cycle.
+///  * GssAdmitEvent / GssAgingEvent / GssStiHitEvent — the GSS ladder in
+///    motion: which filter level admitted the scheduled packet, token
+///    grants (arrival aging and Algorithm-1 retry rounds), and
+///    short-turnaround counter hits.
+///  * ForkEvent / JoinEvent — SAGM subpacket fork at the splitter and
+///    join when the last subpacket of a parent completes.
+///  * SubpacketRecord — one completed subpacket with every lifecycle
+///    timestamp (the CSV trace row, and the Perfetto lifecycle slice).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace annoc::obs {
+
+/// Why a router output channel with waiting candidates moved nothing.
+enum class StallCause : std::uint8_t {
+  kGssExclusion,    ///< select() declined (filter ladder / priority-bank)
+  kDownstreamFull,  ///< winner found, downstream input buffer full
+  kSinkBusy,        ///< memory port: subsystem cannot accept
+};
+inline constexpr std::size_t kNumStallCauses = 3;
+
+[[nodiscard]] inline const char* to_string(StallCause c) {
+  switch (c) {
+    case StallCause::kGssExclusion: return "gss-exclusion";
+    case StallCause::kDownstreamFull: return "downstream-full";
+    case StallCause::kSinkBusy: return "sink-busy";
+  }
+  return "?";
+}
+
+/// SDRAM command-bus traffic plus the command-bus-free auto-precharge
+/// bank transition (kAutoPrecharge fires when the self-timed precharge
+/// point passes, the partially-open-page close SAGM relies on).
+enum class CommandKind : std::uint8_t {
+  kActivate,
+  kPrecharge,
+  kRead,
+  kWrite,
+  kRefresh,
+  kAutoPrecharge,
+};
+
+[[nodiscard]] inline const char* to_string(CommandKind k) {
+  switch (k) {
+    case CommandKind::kActivate: return "ACT";
+    case CommandKind::kPrecharge: return "PRE";
+    case CommandKind::kRead: return "RD";
+    case CommandKind::kWrite: return "WR";
+    case CommandKind::kRefresh: return "REF";
+    case CommandKind::kAutoPrecharge: return "AP";
+  }
+  return "?";
+}
+
+struct SdramCommandEvent {
+  Cycle at = 0;
+  CommandKind kind = CommandKind::kActivate;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  std::uint32_t burst_beats = 0;   ///< CAS only
+  bool auto_precharge = false;     ///< CAS carried the AP tag (elides a PRE)
+  bool row_hit = false;            ///< CAS beyond the first of an activation
+  bool refresh_forced = false;     ///< PRE forced by the refresh drain
+  Cycle data_start = 0, data_end = 0;  ///< CAS data-bus window
+};
+
+/// A packet won a router output channel (emitted at grant time — the
+/// transfer actually starts, unlike a select() that a full downstream
+/// then vetoes).
+struct ArbitrationEvent {
+  Cycle at = 0;
+  std::uint32_t router = 0;
+  std::uint8_t out_port = 0;
+  PacketId packet_id = 0;
+  CoreId core = 0;
+  bool priority = false;
+  std::uint32_t tokens = 0;  ///< GSS token count at grant (0 for non-GSS)
+  std::uint32_t flits = 0;
+};
+
+/// A router output channel with at least one waiting candidate moved
+/// nothing this cycle.
+struct StallEvent {
+  Cycle at = 0;
+  std::uint32_t router = 0;
+  std::uint8_t out_port = 0;
+  StallCause cause = StallCause::kGssExclusion;
+};
+
+/// The GSS filter ladder admitted the packet that is now being
+/// scheduled: `level` is the token-indexed filter it passed, `via_rowhit`
+/// marks the T(0) row-hit output (the path that keeps SAGM subpacket
+/// trains together).
+struct GssAdmitEvent {
+  Cycle at = 0;
+  std::uint32_t router = 0;
+  std::uint8_t out_port = 0;
+  PacketId packet_id = 0;
+  std::uint8_t level = 0;
+  bool priority = false;
+  bool via_rowhit = false;
+};
+
+/// Token grants, aggregated per cause (one event per arrival / retry
+/// round, not one per packet — the increments themselves are the hottest
+/// loop in the arbiter).
+struct GssAgingEvent {
+  Cycle at = 0;
+  std::uint32_t router = 0;
+  std::uint8_t out_port = 0;
+  std::uint32_t packets_aged = 0;
+  bool retry_round = false;  ///< false: arrival aging; true: Alg.1 retry
+};
+
+/// A candidate was blocked (at its current filter level) by the STI
+/// per-bank turnaround counter — the Fig. 4(b) mechanism firing.
+struct GssStiHitEvent {
+  Cycle at = 0;
+  std::uint32_t router = 0;
+  std::uint8_t out_port = 0;
+  PacketId packet_id = 0;
+  std::uint32_t bank = 0;
+  Cycle ready_at = 0;  ///< when the bank's turnaround counter expires
+};
+
+/// SAGM split: one parent request forked into `subpackets` subpackets.
+struct ForkEvent {
+  Cycle at = 0;
+  PacketId parent_id = 0;
+  CoreId core = 0;
+  std::uint32_t subpackets = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// The last subpacket of a parent completed (the join point where the
+/// paper's request latency is measured).
+struct JoinEvent {
+  Cycle at = 0;
+  PacketId parent_id = 0;
+  CoreId core = 0;
+  Cycle created = 0;
+  bool priority = false;
+};
+
+/// One completed subpacket with its full lifecycle — the CSV trace row
+/// and the Perfetto lifecycle track. `done` is the final completion
+/// cycle: SDRAM service, or response delivery when the response path is
+/// modelled (hence done >= service_done >= mem_arrival >= injected).
+struct SubpacketRecord {
+  PacketId id = 0;
+  PacketId parent_id = 0;
+  CoreId core = 0;
+  NodeId src_node = 0;
+  RW rw = RW::kRead;
+  ServiceClass svc = ServiceClass::kBestEffort;
+  RequestKind kind = RequestKind::kStream;
+  std::uint32_t bytes = 0;
+  std::uint32_t beats = 0;
+  std::uint32_t flits = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  bool ap_tag = false;
+  bool split = false;
+  Cycle created = 0;
+  Cycle injected = 0;
+  Cycle mem_arrival = 0;
+  Cycle service_done = 0;
+  Cycle done = 0;
+};
+
+}  // namespace annoc::obs

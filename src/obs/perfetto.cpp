@@ -1,0 +1,246 @@
+#include "obs/perfetto.hpp"
+
+#include <cinttypes>
+
+#include "obs/counters.hpp"
+
+namespace annoc::obs {
+
+namespace {
+
+/// Trace-event metadata ("M") record naming a process or thread.
+void meta(std::FILE* f, const char* what, int pid, int tid, const char* name) {
+  std::fprintf(f,
+               ",\n{\"ph\":\"M\",\"name\":\"%s\",\"pid\":%d,\"tid\":%d,"
+               "\"args\":{\"name\":\"%s\"}}",
+               what, pid, tid, name);
+}
+
+void meta_sort(std::FILE* f, int pid, int index) {
+  std::fprintf(f,
+               ",\n{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":%d,"
+               "\"tid\":0,\"args\":{\"sort_index\":%d}}",
+               pid, index);
+}
+
+}  // namespace
+
+PerfettoSink::PerfettoSink(const std::string& path,
+                           std::vector<std::string> core_names, bool full)
+    : core_names_(std::move(core_names)), full_(full) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ != nullptr) preamble();
+  bank_slice_open_.assign(kMaxObsBanks, false);
+}
+
+PerfettoSink::~PerfettoSink() {
+  if (file_ != nullptr) {
+    if (!finished_) finish(0);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void PerfettoSink::preamble() {
+  // displayTimeUnit applies to chrome://tracing; Perfetto always shows
+  // raw ts. Either way 1 ts unit == 1 memory-clock cycle.
+  std::fprintf(file_,
+               "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+               "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"tid\":0,"
+               "\"args\":{\"name\":\"packets\"}}",
+               kPidPackets);
+  for (std::size_t c = 0; c < core_names_.size(); ++c) {
+    meta(file_, "thread_name", kPidPackets, static_cast<int>(c),
+         core_names_[c].c_str());
+  }
+  meta(file_, "process_name", kPidSdram, 0, "SDRAM");
+  for (std::size_t b = 0; b < kMaxObsBanks; ++b) {
+    char name[16];
+    std::snprintf(name, sizeof name, "bank %zu", b);
+    meta(file_, "thread_name", kPidSdram, static_cast<int>(b), name);
+  }
+  meta(file_, "thread_name", kPidSdram, kTidCommandBus, "command bus");
+  if (full_) meta(file_, "process_name", kPidRouters, 0, "routers");
+  meta_sort(file_, kPidPackets, 0);
+  meta_sort(file_, kPidSdram, 1);
+  if (full_) meta_sort(file_, kPidRouters, 2);
+}
+
+void PerfettoSink::event_prefix() {
+  std::fputs(",\n", file_);
+  ++events_;
+}
+
+void PerfettoSink::on_command(const SdramCommandEvent& e) {
+  if (file_ == nullptr) return;
+  const int bank = static_cast<int>(e.bank % kMaxObsBanks);
+  switch (e.kind) {
+    case CommandKind::kActivate:
+      // Open-row interval on the bank's own track.
+      event_prefix();
+      std::fprintf(file_,
+                   "{\"ph\":\"B\",\"ts\":%" PRIu64
+                   ",\"pid\":%d,\"tid\":%d,\"name\":\"row %u\","
+                   "\"cat\":\"bank\"}",
+                   e.at, kPidSdram, bank, e.row);
+      bank_slice_open_[static_cast<std::size_t>(bank)] = true;
+      break;
+    case CommandKind::kPrecharge:
+    case CommandKind::kAutoPrecharge:
+      if (bank_slice_open_[static_cast<std::size_t>(bank)]) {
+        event_prefix();
+        std::fprintf(file_,
+                     "{\"ph\":\"E\",\"ts\":%" PRIu64
+                     ",\"pid\":%d,\"tid\":%d,"
+                     "\"args\":{\"close\":\"%s\"}}",
+                     e.at, kPidSdram, bank,
+                     e.kind == CommandKind::kAutoPrecharge ? "auto-precharge"
+                     : e.refresh_forced                    ? "refresh"
+                                                           : "conflict");
+        bank_slice_open_[static_cast<std::size_t>(bank)] = false;
+      }
+      break;
+    default:
+      break;
+  }
+  // Command-bus occupancy: one 1-cycle slice per bus slot (AP consumes
+  // no slot — that is the point of the tag).
+  if (e.kind == CommandKind::kAutoPrecharge) return;
+  event_prefix();
+  if (e.kind == CommandKind::kRead || e.kind == CommandKind::kWrite) {
+    std::fprintf(file_,
+                 "{\"ph\":\"X\",\"ts\":%" PRIu64
+                 ",\"dur\":1,\"pid\":%d,\"tid\":%d,\"name\":\"%s%s\","
+                 "\"cat\":\"cmd\",\"args\":{\"bank\":%u,\"row\":%u,"
+                 "\"col\":%u,\"beats\":%u,\"row_hit\":%s,"
+                 "\"data\":[%" PRIu64 ",%" PRIu64 "]}}",
+                 e.at, kPidSdram, kTidCommandBus, to_string(e.kind),
+                 e.auto_precharge ? "+AP" : "", e.bank, e.row, e.col,
+                 e.burst_beats, e.row_hit ? "true" : "false", e.data_start,
+                 e.data_end);
+  } else {
+    std::fprintf(file_,
+                 "{\"ph\":\"X\",\"ts\":%" PRIu64
+                 ",\"dur\":1,\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+                 "\"cat\":\"cmd\",\"args\":{\"bank\":%u,\"row\":%u}}",
+                 e.at, kPidSdram, kTidCommandBus, to_string(e.kind), e.bank,
+                 e.row);
+  }
+}
+
+void PerfettoSink::on_arbitration(const ArbitrationEvent& e) {
+  if (file_ == nullptr || !full_) return;
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"i\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"s\":\"t\",\"name\":\"grant\","
+               "\"cat\":\"arb\",\"args\":{\"port\":%u,\"pkt\":%" PRIu64
+               ",\"core\":%u,\"tokens\":%u}}",
+               e.at, kPidRouters, e.router, static_cast<unsigned>(e.out_port),
+               e.packet_id, e.core, e.tokens);
+}
+
+void PerfettoSink::on_stall(const StallEvent& e) {
+  if (file_ == nullptr || !full_) return;
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"i\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"s\":\"t\",\"name\":\"stall:%s\","
+               "\"cat\":\"stall\",\"args\":{\"port\":%u}}",
+               e.at, kPidRouters, e.router, to_string(e.cause),
+               static_cast<unsigned>(e.out_port));
+}
+
+void PerfettoSink::on_gss_admit(const GssAdmitEvent& e) {
+  if (file_ == nullptr || !full_) return;
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"i\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"s\":\"t\",\"name\":\"admit L%u%s\","
+               "\"cat\":\"gss\",\"args\":{\"port\":%u,\"pkt\":%" PRIu64 "}}",
+               e.at, kPidRouters, e.router, static_cast<unsigned>(e.level),
+               e.via_rowhit ? " rowhit" : "", static_cast<unsigned>(e.out_port),
+               e.packet_id);
+}
+
+void PerfettoSink::on_fork(const ForkEvent& e) {
+  if (file_ == nullptr) return;
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"i\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"s\":\"t\",\"name\":\"fork x%u\","
+               "\"cat\":\"split\",\"args\":{\"parent\":%" PRIu64
+               ",\"bytes\":%u}}",
+               e.at, kPidPackets, e.core, e.subpackets, e.parent_id, e.bytes);
+}
+
+void PerfettoSink::on_join(const JoinEvent& e) {
+  if (file_ == nullptr) return;
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"i\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"s\":\"t\",\"name\":\"join\","
+               "\"cat\":\"split\",\"args\":{\"parent\":%" PRIu64
+               ",\"latency\":%" PRIu64 "}}",
+               e.at, kPidPackets, e.core, e.parent_id, e.at - e.created);
+}
+
+void PerfettoSink::async_phase(const SubpacketRecord& r, const char* name,
+                               Cycle start, Cycle end) {
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"b\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"cat\":\"pkt\",\"id\":%" PRIu64
+               ",\"name\":\"%s\"}",
+               start, kPidPackets, r.core, r.id, name);
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"e\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"cat\":\"pkt\",\"id\":%" PRIu64
+               ",\"name\":\"%s\"}",
+               end, kPidPackets, r.core, r.id, name);
+}
+
+void PerfettoSink::on_subpacket(const SubpacketRecord& r) {
+  if (file_ == nullptr) return;
+  // Lifecycle as consecutive async slices on one per-subpacket track:
+  // source wait, network traversal, memory service, response delivery.
+  async_phase(r, "source", r.created, r.injected);
+  async_phase(r, "network", r.injected, r.mem_arrival);
+  async_phase(r, "memory", r.mem_arrival, r.service_done);
+  if (r.done > r.service_done) async_phase(r, "response", r.service_done, r.done);
+  // One instant carrying the row's full args, so clicking a track in the
+  // UI surfaces the same fields as the CSV trace.
+  event_prefix();
+  std::fprintf(file_,
+               "{\"ph\":\"n\",\"ts\":%" PRIu64
+               ",\"pid\":%d,\"tid\":%u,\"cat\":\"pkt\",\"id\":%" PRIu64
+               ",\"name\":\"done\",\"args\":{\"parent\":%" PRIu64
+               ",\"rw\":\"%s\",\"class\":\"%s\",\"kind\":\"%s\",\"bytes\":%u,"
+               "\"flits\":%u,\"bank\":%u,\"row\":%u,\"col\":%u,\"ap\":%s,"
+               "\"split\":%s}}",
+               r.done, kPidPackets, r.core, r.id, r.parent_id, to_string(r.rw),
+               to_string(r.svc), to_string(r.kind), r.bytes, r.flits, r.bank,
+               r.row, r.col, r.ap_tag ? "true" : "false",
+               r.split ? "true" : "false");
+}
+
+void PerfettoSink::finish(Cycle end) {
+  if (file_ == nullptr || finished_) return;
+  for (std::size_t b = 0; b < bank_slice_open_.size(); ++b) {
+    if (bank_slice_open_[b]) {
+      event_prefix();
+      std::fprintf(file_,
+                   "{\"ph\":\"E\",\"ts\":%" PRIu64
+                   ",\"pid\":%d,\"tid\":%zu,"
+                   "\"args\":{\"close\":\"end-of-run\"}}",
+                   end, kPidSdram, b);
+      bank_slice_open_[b] = false;
+    }
+  }
+  std::fputs("\n]}\n", file_);
+  std::fflush(file_);
+  finished_ = true;
+}
+
+}  // namespace annoc::obs

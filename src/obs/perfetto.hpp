@@ -1,0 +1,79 @@
+/// \file perfetto.hpp
+/// Chrome trace_event / Perfetto JSON exporter.
+///
+/// Renders three process groups on one shared timeline (1 trace "µs" ==
+/// 1 memory-clock cycle):
+///  * pid 1 "packets" — one async track per subpacket (cat "pkt", id =
+///    subpacket id, grouped by source core) with sequential source /
+///    network / memory (/ response) phase slices, plus fork/join
+///    instants;
+///  * pid 2 "SDRAM" — one thread per bank showing open-row intervals
+///    ("row N" slices from ACT to PRE/AP), and a "command bus" thread
+///    with one slice per command (ACT/PRE/RD/WR/REF);
+///  * pid 3 "routers" (full mode only) — per-router grant and stall
+///    instants.
+///
+/// Open the file at ui.perfetto.dev or chrome://tracing. The exporter
+/// streams with fprintf — no per-event heap allocation — and closes the
+/// JSON in finish(); a run aborted before finish() still loads in
+/// Perfetto (the JSON-array reader tolerates a missing close bracket).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace annoc::obs {
+
+class PerfettoSink final : public EventSink {
+ public:
+  /// Opens `path`; `core_names[i]` labels core i's packet track.
+  /// `full` additionally emits per-router grant/stall instants (higher
+  /// volume; the forensic setting). Check ok() — like the CSV tracer, a
+  /// simulation must not die because the trace file could not open.
+  PerfettoSink(const std::string& path,
+               std::vector<std::string> core_names, bool full);
+  ~PerfettoSink() override;
+
+  PerfettoSink(const PerfettoSink&) = delete;
+  PerfettoSink& operator=(const PerfettoSink&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] std::uint64_t events_written() const { return events_; }
+
+  void on_command(const SdramCommandEvent& e) override;
+  void on_arbitration(const ArbitrationEvent& e) override;
+  void on_stall(const StallEvent& e) override;
+  void on_gss_admit(const GssAdmitEvent& e) override;
+  void on_fork(const ForkEvent& e) override;
+  void on_join(const JoinEvent& e) override;
+  void on_subpacket(const SubpacketRecord& e) override;
+  void finish(Cycle end) override;
+
+ private:
+  static constexpr int kPidPackets = 1;
+  static constexpr int kPidSdram = 2;
+  static constexpr int kPidRouters = 3;
+  /// tid of the command-bus thread inside the SDRAM process (banks use
+  /// tids 0..15).
+  static constexpr int kTidCommandBus = 100;
+
+  void preamble();
+  /// One async phase slice (b at `start`, e at `end`) on the packet's
+  /// track.
+  void async_phase(const SubpacketRecord& r, const char* name, Cycle start,
+                   Cycle end);
+  void event_prefix();
+
+  std::FILE* file_ = nullptr;
+  std::vector<std::string> core_names_;
+  bool full_ = false;
+  bool finished_ = false;
+  std::uint64_t events_ = 0;
+  /// Banks with an open "row" slice (to close them in finish()).
+  std::vector<bool> bank_slice_open_;
+};
+
+}  // namespace annoc::obs

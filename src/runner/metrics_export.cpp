@@ -9,7 +9,10 @@ constexpr const char* kCsvHeader =
     "table,application,ddr,clock_mhz,design,utilization,raw_utilization,"
     "latency_all,latency_demand,latency_priority,requests,"
     "outstanding_requests,measured_cycles,drained_cycles,activates,"
-    "precharges,auto_precharges,wasted_beats,wall_seconds";
+    "precharges,auto_precharges,wasted_beats,wall_seconds,"
+    "obs_row_hits,obs_conflict_pre,obs_ap_elided,obs_router_stalls,"
+    "obs_gss_admits,obs_sti_hits,obs_worst_priority_wait,"
+    "trace_dropped_rows";
 
 [[nodiscard]] unsigned long long ull(std::uint64_t v) {
   return static_cast<unsigned long long>(v);
@@ -45,7 +48,7 @@ void write_csv(std::FILE* out, const std::vector<LabeledRun>& runs) {
     std::fprintf(
         out,
         "%s,%s,%s,%.0f,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%llu,%.3f\n",
+        "%llu,%llu,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
         r.table.c_str(), r.application.c_str(), r.ddr.c_str(), r.clock_mhz,
         r.design.c_str(), m.utilization, m.raw_utilization,
         m.avg_latency_all(), m.avg_latency_demand(), m.avg_latency_priority(),
@@ -53,7 +56,11 @@ void write_csv(std::FILE* out, const std::vector<LabeledRun>& runs) {
         ull(m.measured_cycles), ull(m.drained_cycles),
         ull(m.device.activates), ull(m.device.precharges),
         ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
-        r.wall_seconds);
+        r.wall_seconds, ull(m.obs.row_hits_total()),
+        ull(m.obs.conflict_pre_total()), ull(m.obs.ap_elided_total()),
+        ull(m.obs.router_stalls_total()), ull(m.obs.gss.total_admits()),
+        ull(m.obs.gss.sti_hits), ull(m.obs.worst_priority_wait),
+        ull(m.trace_dropped_rows));
   }
 }
 
@@ -79,14 +86,67 @@ void write_json(std::FILE* out, const std::vector<LabeledRun>& runs) {
         " \"outstanding_requests\": %llu, \"measured_cycles\": %llu,"
         " \"drained_cycles\": %llu, \"activates\": %llu,"
         " \"precharges\": %llu, \"auto_precharges\": %llu,"
-        " \"wasted_beats\": %llu, \"wall_seconds\": %.3f}",
+        " \"wasted_beats\": %llu, \"wall_seconds\": %.3f,"
+        " \"trace_dropped_rows\": %llu",
         m.utilization, m.raw_utilization, m.avg_latency_all(),
         m.avg_latency_demand(), m.avg_latency_priority(),
         ull(m.completed_requests), ull(m.outstanding_requests),
         ull(m.measured_cycles), ull(m.drained_cycles),
         ull(m.device.activates), ull(m.device.precharges),
         ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
-        r.wall_seconds);
+        r.wall_seconds, ull(m.trace_dropped_rows));
+    if (m.obs_valid) {
+      // Observability digest: whole-run event tallies (see
+      // obs/counters.hpp). Per-bank and ladder arrays are exported in
+      // full; CSV carries only the totals.
+      std::fprintf(out,
+                   ", \"obs\": {\"row_hits\": %llu, \"conflict_pre\": %llu,"
+                   " \"ap_elided\": %llu, \"sdram_commands\": %llu,"
+                   " \"refreshes\": %llu, \"forks\": %llu, \"joins\": %llu,"
+                   " \"worst_wait\": %llu, \"worst_priority_wait\": %llu",
+                   ull(m.obs.row_hits_total()), ull(m.obs.conflict_pre_total()),
+                   ull(m.obs.ap_elided_total()), ull(m.obs.sdram_commands),
+                   ull(m.obs.refreshes), ull(m.obs.forks), ull(m.obs.joins),
+                   ull(m.obs.worst_wait), ull(m.obs.worst_priority_wait));
+      std::fputs(", \"gss_admits_by_level\": [", out);
+      for (std::size_t l = 0; l < m.obs.gss.admits_by_level.size(); ++l) {
+        std::fprintf(out, "%s%llu", l == 0 ? "" : ", ",
+                     ull(m.obs.gss.admits_by_level[l]));
+      }
+      std::fprintf(out,
+                   "], \"gss_rowhit_admits\": %llu,"
+                   " \"gss_priority_admits\": %llu, \"gss_sti_hits\": %llu,"
+                   " \"gss_retry_rounds\": %llu",
+                   ull(m.obs.gss.rowhit_admits), ull(m.obs.gss.priority_admits),
+                   ull(m.obs.gss.sti_hits), ull(m.obs.gss.retry_rounds));
+      std::fputs(", \"banks\": [", out);
+      for (std::size_t b = 0; b < m.obs.banks.size(); ++b) {
+        const auto& bk = m.obs.banks[b];
+        std::fprintf(out,
+                     "%s{\"activates\": %llu, \"row_hit_cas\": %llu,"
+                     " \"conflict_pre\": %llu, \"ap_elided_pre\": %llu,"
+                     " \"open_cycles\": %llu}",
+                     b == 0 ? "" : ", ", ull(bk.activates), ull(bk.row_hit_cas),
+                     ull(bk.conflict_pre), ull(bk.ap_elided_pre),
+                     ull(bk.open_cycles));
+      }
+      std::fputs("], \"router_stalls\": [", out);
+      for (std::size_t n = 0; n < m.obs.routers.size(); ++n) {
+        const auto& rt = m.obs.routers[n];
+        std::fprintf(out,
+                     "%s{\"grants\": %llu, \"gss_exclusion\": %llu,"
+                     " \"downstream_full\": %llu, \"sink_busy\": %llu}",
+                     n == 0 ? "" : ", ", ull(rt.grants),
+                     ull(rt.stalls[static_cast<std::size_t>(
+                         obs::StallCause::kGssExclusion)]),
+                     ull(rt.stalls[static_cast<std::size_t>(
+                         obs::StallCause::kDownstreamFull)]),
+                     ull(rt.stalls[static_cast<std::size_t>(
+                         obs::StallCause::kSinkBusy)]));
+      }
+      std::fputs("]}", out);
+    }
+    std::fputs("}", out);
     std::fputs(i + 1 < runs.size() ? ",\n" : "\n", out);
   }
   std::fputs("]\n", out);

@@ -55,6 +55,11 @@ void Device::tick(Cycle now) {
   // the bank transitions to precharging without a command-bus slot.
   for (BankId b = 0; b < banks_.size(); ++b) {
     if (ap_[b].pending && now >= ap_[b].start) {
+      ANNOC_OBS_EMIT(obs_, on_command(obs::SdramCommandEvent{
+                               .at = ap_[b].start,
+                               .kind = obs::CommandKind::kAutoPrecharge,
+                               .bank = b,
+                               .row = banks_[b].open_row}));
       banks_[b].on_precharge(ap_[b].start, timing_);
       ap_[b].pending = false;
       ++stats_.auto_precharges;
@@ -80,6 +85,12 @@ void Device::tick(Cycle now) {
       }
       if (bk.state == BankState::kActive) {
         if (now >= bk.earliest_precharge(timing_)) {
+          ANNOC_OBS_EMIT(obs_, on_command(obs::SdramCommandEvent{
+                                   .at = now,
+                                   .kind = obs::CommandKind::kPrecharge,
+                                   .bank = b,
+                                   .row = bk.open_row,
+                                   .refresh_forced = true}));
           bk.on_precharge(now, timing_);
           ++stats_.precharges;
         }
@@ -93,6 +104,9 @@ void Device::tick(Cycle now) {
       next_refresh_ += timing_.trefi;
       refresh_waiting_ = false;
       ++stats_.refreshes;
+      ANNOC_OBS_EMIT(obs_, on_command(obs::SdramCommandEvent{
+                               .at = now,
+                               .kind = obs::CommandKind::kRefresh}));
       for (Bank& bk : banks_) bk.ready_at = refresh_done_;
     }
   }
@@ -217,9 +231,21 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
       act_history_[act_history_pos_] = now;
       act_history_pos_ = (act_history_pos_ + 1) % act_history_.size();
       ++stats_.activates;
+      ANNOC_OBS_EMIT(obs_, on_command(obs::SdramCommandEvent{
+                               .at = now,
+                               .kind = obs::CommandKind::kActivate,
+                               .bank = cmd.bank,
+                               .row = cmd.row}));
       return {};
     }
     case CommandType::kPrecharge: {
+      // Emit before the state change so the event carries the row being
+      // closed.
+      ANNOC_OBS_EMIT(obs_, on_command(obs::SdramCommandEvent{
+                               .at = now,
+                               .kind = obs::CommandKind::kPrecharge,
+                               .bank = cmd.bank,
+                               .row = bk.open_row}));
       bk.on_precharge(now, timing_);
       ++stats_.precharges;
       return {};
@@ -256,6 +282,19 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
       stats_.total_beats += cmd.burst_beats;
       stats_.useful_beats += std::min(cmd.useful_beats, cmd.burst_beats);
       ++stats_.cas_per_bank[cmd.bank % stats_.cas_per_bank.size()];
+      ANNOC_OBS_EMIT(obs_,
+                     on_command(obs::SdramCommandEvent{
+                         .at = now,
+                         .kind = dir == RW::kRead ? obs::CommandKind::kRead
+                                                  : obs::CommandKind::kWrite,
+                         .bank = cmd.bank,
+                         .row = cmd.row,
+                         .col = cmd.col,
+                         .burst_beats = cmd.burst_beats,
+                         .auto_precharge = cmd.auto_precharge,
+                         .row_hit = !first_cas_this_activation,
+                         .data_start = w.start,
+                         .data_end = w.end}));
 
       if (cmd.auto_precharge) {
         // Self-timed precharge at the latest of tRAS / tRTP / tWR.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/sink.hpp"
 #include "sdram/bank.hpp"
 #include "sdram/command.hpp"
 #include "sdram/config.hpp"
@@ -98,6 +99,11 @@ class Device {
   /// True while a refresh (or forced pre-refresh drain) blocks commands.
   [[nodiscard]] bool refresh_blocked(Cycle now) const;
 
+  /// Attach an observer receiving one SdramCommandEvent per command-bus
+  /// slot (plus self-timed AP transitions). Purely observational —
+  /// nullptr (the default) is the zero-overhead off state.
+  void set_observer(obs::EventSink* sink) { obs_ = sink; }
+
  private:
   struct ApEvent {
     bool pending = false;
@@ -131,6 +137,7 @@ class Device {
   bool refresh_waiting_ = false;
 
   DeviceStats stats_;
+  obs::EventSink* obs_ = nullptr;
 };
 
 }  // namespace annoc::sdram

@@ -1,0 +1,132 @@
+/// The observability layer's core guarantee: it OBSERVES, it never
+/// steers. Every reported metric must be bit-identical whether the
+/// event sinks are attached or not — across design points, and whether
+/// the level is counters-only or full Perfetto export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/simulator.hpp"
+
+namespace annoc::core {
+namespace {
+
+Metrics run_with(DesignPoint design, ObserveLevel level,
+                 const std::string& perfetto_path) {
+  SystemConfig cfg;
+  cfg.design = design;
+  cfg.app = traffic::AppId::kBluray;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 266.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 6000;
+  cfg.warmup_cycles = 1000;
+  cfg.observe = level;
+  cfg.perfetto_path = perfetto_path;
+  Simulator sim(cfg);
+  return sim.run();
+}
+
+void expect_stat_eq(const LatencyStat& a, const LatencyStat& b,
+                    const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;  // bit-identical, not approximate
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+void expect_metrics_identical(const Metrics& off, const Metrics& on) {
+  EXPECT_EQ(off.utilization, on.utilization);
+  EXPECT_EQ(off.raw_utilization, on.raw_utilization);
+  expect_stat_eq(off.all_packets, on.all_packets, "all_packets");
+  expect_stat_eq(off.demand_packets, on.demand_packets, "demand_packets");
+  expect_stat_eq(off.priority_packets, on.priority_packets,
+                 "priority_packets");
+  expect_stat_eq(off.source_queue, on.source_queue, "source_queue");
+  expect_stat_eq(off.network, on.network, "network");
+  expect_stat_eq(off.memory, on.memory, "memory");
+  EXPECT_EQ(off.completed_requests, on.completed_requests);
+  EXPECT_EQ(off.completed_subpackets, on.completed_subpackets);
+  EXPECT_EQ(off.outstanding_requests, on.outstanding_requests);
+  EXPECT_EQ(off.measured_cycles, on.measured_cycles);
+  EXPECT_EQ(off.drained_cycles, on.drained_cycles);
+  EXPECT_EQ(off.device.activates, on.device.activates);
+  EXPECT_EQ(off.device.precharges, on.device.precharges);
+  EXPECT_EQ(off.device.auto_precharges, on.device.auto_precharges);
+  EXPECT_EQ(off.device.reads, on.device.reads);
+  EXPECT_EQ(off.device.writes, on.device.writes);
+  EXPECT_EQ(off.device.cas_row_hits, on.device.cas_row_hits);
+  EXPECT_EQ(off.device.total_beats, on.device.total_beats);
+  EXPECT_EQ(off.device.useful_beats, on.device.useful_beats);
+  EXPECT_EQ(off.engine.cas_issued, on.engine.cas_issued);
+  EXPECT_EQ(off.engine.act_issued, on.engine.act_issued);
+  EXPECT_EQ(off.engine.pre_issued, on.engine.pre_issued);
+  EXPECT_EQ(off.engine.stall_cycles, on.engine.stall_cycles);
+  EXPECT_EQ(off.noc_flits_forwarded, on.noc_flits_forwarded);
+  EXPECT_EQ(off.noc_packets_forwarded, on.noc_packets_forwarded);
+  ASSERT_EQ(off.per_core.size(), on.per_core.size());
+  for (const auto& [name, cm] : off.per_core) {
+    const auto it = on.per_core.find(name);
+    ASSERT_NE(it, on.per_core.end()) << name;
+    EXPECT_EQ(cm.requests, it->second.requests) << name;
+    EXPECT_EQ(cm.avg_latency, it->second.avg_latency) << name;
+    EXPECT_EQ(cm.achieved_bytes_per_cycle,
+              it->second.achieved_bytes_per_cycle)
+        << name;
+  }
+}
+
+class ObserveBitIdentity : public ::testing::TestWithParam<DesignPoint> {};
+
+TEST_P(ObserveBitIdentity, CountersLevelDoesNotPerturbMetrics) {
+  const Metrics off = run_with(GetParam(), ObserveLevel::kOff, "");
+  const Metrics on = run_with(GetParam(), ObserveLevel::kCounters, "");
+  EXPECT_FALSE(off.obs_valid);
+  EXPECT_TRUE(on.obs_valid);
+  expect_metrics_identical(off, on);
+}
+
+TEST_P(ObserveBitIdentity, FullPerfettoExportDoesNotPerturbMetrics) {
+  const std::string path = ::testing::TempDir() + "/annoc_obs_identity.json";
+  const Metrics off = run_with(GetParam(), ObserveLevel::kOff, "");
+  const Metrics on = run_with(GetParam(), ObserveLevel::kFull, path);
+  EXPECT_TRUE(on.obs_valid);
+  expect_metrics_identical(off, on);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ObserveBitIdentity,
+                         ::testing::Values(DesignPoint::kConv,
+                                           DesignPoint::kGss,
+                                           DesignPoint::kGssSagm,
+                                           DesignPoint::kGssSagmSti),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case DesignPoint::kConv: return "Conv";
+                             case DesignPoint::kGss: return "Gss";
+                             case DesignPoint::kGssSagm: return "GssSagm";
+                             default: return "GssSagmSti";
+                           }
+                         });
+
+TEST(ObserveCounters, WholeRunTalliesCoverTheMeasurementWindow) {
+  const Metrics m = run_with(DesignPoint::kGssSagm, ObserveLevel::kCounters,
+                             "");
+  ASSERT_TRUE(m.obs_valid);
+  // Counters span warmup + window + drain, so each whole-run tally must
+  // be at least the corresponding window-only device stat.
+  EXPECT_GE(m.obs.row_hits_total(), m.device.cas_row_hits);
+  EXPECT_GE(m.obs.ap_elided_total(), m.device.auto_precharges);
+  EXPECT_GE(m.obs.sdram_commands,
+            m.device.activates + m.device.precharges + m.device.reads +
+                m.device.writes);
+  // SAGM splits requests, so forks/joins happen and pair up.
+  EXPECT_GT(m.obs.forks, 0u);
+  EXPECT_EQ(m.obs.forks, m.obs.joins);
+  // Subpacket waits bound the parent latency stats seen in the window.
+  EXPECT_GE(static_cast<double>(m.obs.worst_wait), m.all_packets.max());
+}
+
+}  // namespace
+}  // namespace annoc::core

@@ -1,0 +1,197 @@
+/// Tests for the Perfetto/Chrome trace_event JSON exporter.
+///
+/// The golden file at tests/data/perfetto_golden.json pins the exact
+/// byte stream produced by a tiny deterministic two-core run. If you
+/// change the exporter format INTENTIONALLY, regenerate it with
+///   ANNOC_REGEN_GOLDEN=1 ./build/tests/perfetto_test
+/// and eyeball the diff (and re-check the file still loads at
+/// https://ui.perfetto.dev) before committing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace annoc::core {
+namespace {
+
+#ifndef ANNOC_TEST_DATA_DIR
+#define ANNOC_TEST_DATA_DIR "tests/data"
+#endif
+
+/// Tiny deterministic SoC: one MPU-style core and one streaming DMA on
+/// a 2x2 mesh. Small enough that the golden trace stays reviewable.
+traffic::Application tiny_app() {
+  traffic::Application app;
+  app.name = "tiny2";
+  app.noc.width = 2;
+  app.noc.height = 2;
+  app.noc.mem_node = 0;
+
+  traffic::CoreSpec cpu;
+  cpu.name = "cpu";
+  cpu.is_mpu = true;
+  cpu.demand_fraction = 0.5;
+  cpu.demand_bytes = 32;
+  cpu.sizes = {{64, 1.0}};
+  cpu.read_fraction = 0.7;
+  cpu.bytes_per_cycle = 0.3;
+  cpu.max_outstanding = 2;
+  cpu.region_base = 0;
+  app.cores.push_back({cpu, 1});
+
+  traffic::CoreSpec dma;
+  dma.name = "dma";
+  dma.sizes = {{256, 1.0}};
+  dma.read_fraction = 0.5;
+  dma.bytes_per_cycle = 0.5;
+  dma.sequential_fraction = 0.9;
+  dma.max_outstanding = 4;
+  dma.region_base = 4u << 20;
+  app.cores.push_back({dma, 2});
+  return app;
+}
+
+SystemConfig golden_config(const std::string& perfetto_path) {
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kGssSagm;  // exercises fork/join + AP elision
+  cfg.custom_app = tiny_app();
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 266.0;
+  cfg.priority_enabled = true;
+  cfg.sim_cycles = 400;
+  cfg.warmup_cycles = 0;
+  cfg.drain_cycle_limit = 2000;
+  cfg.observe = ObserveLevel::kFull;
+  cfg.perfetto_path = perfetto_path;
+  return cfg;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t count_of(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(PerfettoExport, MatchesGoldenFile) {
+  const std::string out = ::testing::TempDir() + "/annoc_perfetto_golden.json";
+  Simulator sim(golden_config(out));
+  sim.run();
+
+  const std::string produced = slurp(out);
+  ASSERT_FALSE(produced.empty());
+
+  const std::string golden_path =
+      std::string(ANNOC_TEST_DATA_DIR) + "/perfetto_golden.json";
+  if (std::getenv("ANNOC_REGEN_GOLDEN") != nullptr) {
+    std::ofstream regen(golden_path, std::ios::binary);
+    ASSERT_TRUE(regen.good()) << "cannot write " << golden_path;
+    regen << produced;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  const std::string golden = slurp(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << golden_path
+                               << " (run with ANNOC_REGEN_GOLDEN=1)";
+  // Byte-identical: the exporter is deterministic (fixed seed, integer
+  // timestamps, no floats in the output).
+  const auto got = lines_of(produced);
+  const auto want = lines_of(golden);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "first difference at line " << i + 1;
+  }
+  std::remove(out.c_str());
+}
+
+TEST(PerfettoExport, WellFormedTraceEventJson) {
+  const std::string out = ::testing::TempDir() + "/annoc_perfetto_schema.json";
+  Simulator sim(golden_config(out));
+  sim.run();
+  const std::string text = slurp(out);
+  ASSERT_FALSE(text.empty());
+
+  // Envelope: a single JSON object with a traceEvents array.
+  EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  ASSERT_GE(text.size(), 4u);
+  EXPECT_EQ(text.substr(text.size() - 4), "\n]}\n");
+
+  // Every event line is one object with a phase tag from the
+  // trace_event vocabulary we emit.
+  const auto lines = lines_of(text);
+  ASSERT_GT(lines.size(), 3u);
+  const std::string kPhases = "MBEXibexn";
+  std::size_t events = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    const std::string& l = lines[i];
+    ASSERT_GE(l.size(), 9u) << "line " << i + 1;
+    EXPECT_EQ(l.rfind("{\"ph\":\"", 0), 0u) << "line " << i + 1;
+    EXPECT_NE(kPhases.find(l[7]), std::string::npos) << "line " << i + 1;
+    // All but the last event line carry the separating comma.
+    if (i + 2 < lines.size()) {
+      EXPECT_EQ(l.back(), ',') << "line " << i + 1;
+    } else {
+      EXPECT_EQ(l.back(), '}') << "line " << i + 1;
+    }
+    ++events;
+  }
+
+  // Async lifecycle slices come in balanced begin/end pairs.
+  EXPECT_EQ(count_of(text, "{\"ph\":\"b\""), count_of(text, "{\"ph\":\"e\""));
+  // Bank open-row slices are balanced too (finish() closes stragglers).
+  EXPECT_EQ(count_of(text, "{\"ph\":\"B\""), count_of(text, "{\"ph\":\"E\""));
+  // Metadata names the fixed tracks.
+  EXPECT_NE(text.find("\"args\":{\"name\":\"SDRAM\"}"), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"command bus\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"cpu\"}"), std::string::npos);
+  EXPECT_NE(text.find("\"args\":{\"name\":\"dma\"}"), std::string::npos);
+  // Something actually happened.
+  EXPECT_GT(count_of(text, "\"cat\":\"pkt\""), 0u);
+  EXPECT_GT(count_of(text, "\"cat\":\"cmd\""), 0u);
+  EXPECT_GT(events, 50u);
+  std::remove(out.c_str());
+}
+
+TEST(PerfettoExport, CounterLevelOmitsRouterInstants) {
+  const std::string out = ::testing::TempDir() + "/annoc_perfetto_ctr.json";
+  SystemConfig cfg = golden_config(out);
+  cfg.observe = ObserveLevel::kCounters;
+  Simulator sim(cfg);
+  sim.run();
+  const std::string text = slurp(out);
+  ASSERT_FALSE(text.empty());
+  // Counter level keeps the shared timeline (packets + SDRAM) but drops
+  // the high-volume per-router instants.
+  EXPECT_EQ(text.find("\"cat\":\"arb\""), std::string::npos);
+  EXPECT_EQ(text.find("\"cat\":\"stall\""), std::string::npos);
+  EXPECT_EQ(text.find("\"cat\":\"gss\""), std::string::npos);
+  EXPECT_GT(count_of(text, "\"cat\":\"pkt\""), 0u);
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace annoc::core

@@ -48,8 +48,9 @@ TEST(TraceWriter, WritesHeaderAndRows) {
     p.injected = 105;
     p.mem_arrival = 130;
     p.service_done = 150;
-    tw.record(p, 150);
+    tw.record(to_record(p, 150));
     EXPECT_EQ(tw.rows_written(), 1u);
+    EXPECT_EQ(tw.dropped_rows(), 0u);
     tw.flush();
   }
   const auto lines = read_lines(path);
@@ -67,12 +68,30 @@ TEST(TraceWriter, WritesHeaderAndRows) {
   std::remove(path.c_str());
 }
 
-TEST(TraceWriter, BadPathDisablesQuietly) {
+TEST(TraceWriter, BadPathCountsDroppedRows) {
   TraceWriter tw("/nonexistent-dir-xyz/trace.csv");
   EXPECT_FALSE(tw.ok());
   noc::Packet p;
-  tw.record(p, 0);  // must not crash
+  tw.record(to_record(p, 0));  // must not crash
+  tw.record(to_record(p, 0));
   EXPECT_EQ(tw.rows_written(), 0u);
+  // Unwritable rows are surfaced, not silently lost (they reach
+  // Metrics::trace_dropped_rows through the simulator).
+  EXPECT_EQ(tw.dropped_rows(), 2u);
+}
+
+TEST(TraceWriter, SimulatorSurfacesDroppedRows) {
+  SystemConfig cfg;
+  cfg.design = DesignPoint::kGss;
+  cfg.app = traffic::AppId::kBluray;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 266.0;
+  cfg.sim_cycles = 4000;
+  cfg.warmup_cycles = 1000;
+  cfg.trace_path = "/nonexistent-dir-xyz/trace.csv";
+  Simulator sim(cfg);
+  const Metrics m = sim.run();
+  EXPECT_GT(m.trace_dropped_rows, 0u);
 }
 
 TEST(TraceWriter, FullSimulationTraceMatchesCompletions) {

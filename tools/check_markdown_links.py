@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check that every relative link in the repository's markdown files
+resolves to an existing file (and, for in-repo anchors, an existing
+heading). External http(s)/mailto links are not fetched. Stdlib only.
+
+    python3 tools/check_markdown_links.py          # check tracked *.md
+"""
+
+import pathlib
+import re
+import sys
+import urllib.parse
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", "build", "node_modules"}
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor slug for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_files():
+    for path in sorted(ROOT.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: pathlib.Path, errors: list) -> None:
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        target = urllib.parse.unquote(target)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        rel = path.relative_to(ROOT)
+        if base:
+            if not dest.exists():
+                errors.append(f"{rel}: broken link -> {target}")
+                continue
+        if fragment and dest.suffix == ".md" and dest.exists():
+            anchors = {anchor_of(h) for h in HEADING_RE.findall(
+                dest.read_text(encoding="utf-8"))}
+            if fragment.lower() not in anchors:
+                errors.append(f"{rel}: missing anchor -> {target}")
+
+
+def main() -> int:
+    errors: list = []
+    count = 0
+    for path in markdown_files():
+        count += 1
+        check_file(path, errors)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
