@@ -55,6 +55,9 @@ std::vector<Point> points() {
     cfg.clock_mhz = 333.0;
     cfg.sim_cycles = 60000;
     cfg.warmup_cycles = 10000;
+    // Measurement configuration: the self-checkers are for tests, not
+    // for timing runs (the *_check point below carries them).
+    cfg.check = false;
     return cfg;
   };
 
@@ -87,6 +90,17 @@ std::vector<Point> points() {
     p.cfg.design = core::DesignPoint::kGssSagm;
     p.cfg.priority_enabled = true;
     p.cfg.observe = core::ObserveLevel::kCounters;
+    pts.push_back(std::move(p));
+  }
+  {
+    // Same point with the self-checking layer (timing oracle +
+    // conservation) attached: the delta against saturated/gss_sagm is
+    // the price every test run pays for checks-on-by-default. Budget:
+    // <= 10% on saturated traffic.
+    Point p{"saturated/gss_sagm_check", base()};
+    p.cfg.design = core::DesignPoint::kGssSagm;
+    p.cfg.priority_enabled = true;
+    p.cfg.check = true;
     pts.push_back(std::move(p));
   }
   return pts;

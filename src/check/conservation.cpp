@@ -1,0 +1,190 @@
+#include "check/conservation.hpp"
+
+#include <string>
+
+namespace annoc::check {
+namespace {
+
+/// Token counters are unsigned; "never negative" surfaces as a wrap to
+/// a huge value. Real token counts stay far below this.
+constexpr std::uint32_t kTokenWrapLimit = 1u << 30;
+
+}  // namespace
+
+ConservationChecker::ConservationChecker() {
+  outstanding_forks_.reserve(256);
+  subpacket_ids_.reserve(4096);
+}
+
+void ConservationChecker::on_fork(const obs::ForkEvent& e) {
+  ++forks_;
+  if (e.subpackets < 2) {
+    log_.flag(e.at, "fork-degenerate", kNoBank,
+              "parent " + std::to_string(e.parent_id) + " forked into " +
+                  std::to_string(e.subpackets) + " subpackets");
+  }
+  const auto [it, inserted] =
+      outstanding_forks_.emplace(e.parent_id, ForkState{e.subpackets, 0});
+  if (!inserted) {
+    log_.flag(e.at, "duplicate-fork", kNoBank,
+              "parent " + std::to_string(e.parent_id) + " forked twice");
+  }
+}
+
+void ConservationChecker::on_join(const obs::JoinEvent& e) {
+  ++joins_;
+  const auto it = outstanding_forks_.find(e.parent_id);
+  if (it == outstanding_forks_.end()) {
+    log_.flag(e.at, "join-without-fork", kNoBank,
+              "parent " + std::to_string(e.parent_id) +
+                  " joined but never forked (or joined twice)");
+    return;
+  }
+  // The last subpacket's record is emitted before the join, so a correct
+  // join sees exactly `expected` completions.
+  if (it->second.seen != it->second.expected) {
+    log_.flag(e.at, "join-incomplete", kNoBank,
+              "parent " + std::to_string(e.parent_id) + " joined after " +
+                  std::to_string(it->second.seen) + "/" +
+                  std::to_string(it->second.expected) + " subpackets");
+  }
+  outstanding_forks_.erase(it);
+}
+
+void ConservationChecker::on_subpacket(const obs::SubpacketRecord& r) {
+  ++subs_;
+  if (!subpacket_ids_.insert(r.id).second) {
+    log_.flag(r.done, "duplicate-subpacket", kNoBank,
+              "subpacket " + std::to_string(r.id) + " completed twice");
+  }
+  // Lifecycle stamps must be monotone: created -> injected -> memory
+  // arrival -> SDRAM service -> final completion.
+  if (r.injected < r.created || r.mem_arrival < r.injected ||
+      r.service_done < r.mem_arrival || r.done < r.service_done) {
+    log_.flag(r.done, "lifecycle-order", r.bank,
+              "subpacket " + std::to_string(r.id) + ": created " +
+                  std::to_string(r.created) + ", injected " +
+                  std::to_string(r.injected) + ", mem_arrival " +
+                  std::to_string(r.mem_arrival) + ", service_done " +
+                  std::to_string(r.service_done) + ", done " +
+                  std::to_string(r.done));
+  }
+  if (r.flits == 0) {
+    log_.flag(r.done, "zero-flit-subpacket", r.bank,
+              "subpacket " + std::to_string(r.id) + " carries no flits");
+  }
+  const auto it = outstanding_forks_.find(r.parent_id);
+  if (it != outstanding_forks_.end()) {
+    ++it->second.seen;
+    if (it->second.seen > it->second.expected) {
+      log_.flag(r.done, "subpacket-overcount", kNoBank,
+                "parent " + std::to_string(r.parent_id) + " completed " +
+                    std::to_string(it->second.seen) + " of " +
+                    std::to_string(it->second.expected) + " subpackets");
+    }
+  }
+}
+
+void ConservationChecker::on_arbitration(const obs::ArbitrationEvent& e) {
+  if (e.flits == 0) {
+    log_.flag(e.at, "zero-flit-grant", kNoBank,
+              "router " + std::to_string(e.router) + " granted packet " +
+                  std::to_string(e.packet_id) + " with 0 flits");
+  }
+  if (e.tokens >= kTokenWrapLimit) {
+    log_.flag(e.at, "token-wrap", kNoBank,
+              "router " + std::to_string(e.router) + " packet " +
+                  std::to_string(e.packet_id) + " carries token count " +
+                  std::to_string(e.tokens) + " (unsigned wrap)");
+  }
+}
+
+ConservationChecker::Audit ConservationChecker::audit_network(
+    const noc::Network& net, Cycle now) {
+  Audit a;
+  for (std::size_t n = 0; n < net.num_routers(); ++n) {
+    const noc::Router& r = net.router(static_cast<NodeId>(n));
+    for (std::uint8_t p = 0; p < noc::kNumPorts; ++p) {
+      for (std::uint32_t vc = 0; vc < r.num_vcs(); ++vc) {
+        const noc::InputBuffer& buf =
+            r.input(static_cast<noc::Port>(p), vc);
+        std::uint32_t charged = 0;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          const noc::Packet& pkt = buf.at(i);
+          charged += std::min(pkt.flits, buf.capacity_flits());
+          a.flits += pkt.flits;
+        }
+        a.packets += buf.size();
+        // Occupancy uses bounded-overcommit charging: each packet holds
+        // min(flits, capacity) slots; used may legally exceed capacity.
+        if (charged != buf.used_flits()) {
+          log_.flag(now, "buffer-accounting", kNoBank,
+                    "router " + std::to_string(n) + " port " +
+                        std::to_string(p) + " vc " + std::to_string(vc) +
+                        ": used_flits " + std::to_string(buf.used_flits()) +
+                        " but buffered packets charge " +
+                        std::to_string(charged));
+        }
+      }
+    }
+  }
+  return a;
+}
+
+void ConservationChecker::on_run_end(const EndState& s) {
+  const noc::NetworkStats& ns = s.request_net;
+  if (ns.ejected_packets > ns.injected_packets) {
+    log_.flag(s.at, "packet-creation", kNoBank,
+              "ejected " + std::to_string(ns.ejected_packets) +
+                  " packets but only " + std::to_string(ns.injected_packets) +
+                  " were injected");
+  }
+  if (ns.injected_packets != ns.ejected_packets + s.request_in_flight.packets) {
+    log_.flag(s.at, "packet-loss", kNoBank,
+              "injected " + std::to_string(ns.injected_packets) +
+                  " != ejected " + std::to_string(ns.ejected_packets) +
+                  " + in-flight " +
+                  std::to_string(s.request_in_flight.packets));
+  }
+  if (ns.injected_flits != ns.ejected_flits + s.request_in_flight.flits) {
+    log_.flag(s.at, "flit-loss", kNoBank,
+              "injected " + std::to_string(ns.injected_flits) +
+                  " flits != ejected " + std::to_string(ns.ejected_flits) +
+                  " + in-flight " + std::to_string(s.request_in_flight.flits));
+  }
+  if (s.fully_drained) {
+    if (s.outstanding_parents != 0) {
+      log_.flag(s.at, "drain-parents", kNoBank,
+                std::to_string(s.outstanding_parents) +
+                    " parents outstanding after a full drain");
+    }
+    if (s.request_in_flight.packets != 0 || s.request_in_flight.flits != 0) {
+      log_.flag(s.at, "drain-in-flight", kNoBank,
+                std::to_string(s.request_in_flight.packets) +
+                    " packets still buffered in the request mesh");
+    }
+    if (s.subsystem_pending != 0) {
+      log_.flag(s.at, "drain-subsystem", kNoBank,
+                std::to_string(s.subsystem_pending) +
+                    " requests still pending in the memory subsystem");
+    }
+    if (s.generator_backlog != 0) {
+      log_.flag(s.at, "drain-backlog", kNoBank,
+                std::to_string(s.generator_backlog) +
+                    " packets still queued at the generators");
+    }
+    if (s.response_backlog != 0 || s.response_in_flight != 0) {
+      log_.flag(s.at, "drain-response", kNoBank,
+                std::to_string(s.response_backlog) + " queued + " +
+                    std::to_string(s.response_in_flight) +
+                    " in-flight responses after a full drain");
+    }
+    if (!outstanding_forks_.empty()) {
+      log_.flag(s.at, "drain-forks", kNoBank,
+                std::to_string(outstanding_forks_.size()) +
+                    " forked parents never joined");
+    }
+  }
+}
+
+}  // namespace annoc::check

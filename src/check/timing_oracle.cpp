@@ -1,0 +1,350 @@
+#include "check/timing_oracle.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace annoc::check {
+namespace {
+
+[[nodiscard]] std::string pair_detail(const char* prev, Cycle prev_at,
+                                      const char* cur, Cycle cur_at,
+                                      Cycle earliest) {
+  std::string s = prev;
+  s += "@" + std::to_string(prev_at) + " -> ";
+  s += cur;
+  s += "@" + std::to_string(cur_at) +
+       " (earliest legal " + std::to_string(earliest) + ")";
+  return s;
+}
+
+}  // namespace
+
+TimingOracle::TimingOracle(const sdram::DeviceConfig& cfg)
+    : TimingOracle(cfg, sdram::make_timing(cfg.generation, cfg.clock_mhz)) {}
+
+TimingOracle::TimingOracle(const sdram::DeviceConfig& cfg,
+                           const sdram::Timing& timing)
+    : cfg_(cfg), t_(timing), banks_(cfg.geometry.num_banks) {}
+
+void TimingOracle::on_command(const obs::SdramCommandEvent& e) {
+  ++commands_;
+  if (commands_ > 1 && e.at < last_event_at_) {
+    log_.flag(e.at, "event-order", e.bank,
+              "event at " + std::to_string(e.at) + " after event at " +
+                  std::to_string(last_event_at_));
+  }
+  last_event_at_ = std::max(last_event_at_, e.at);
+
+  // One command per cycle on the command bus. Self-timed AP transitions,
+  // the internal REF, and refresh-drain forced precharges consume no
+  // command-bus slot.
+  const bool uses_bus = e.kind != obs::CommandKind::kAutoPrecharge &&
+                        e.kind != obs::CommandKind::kRefresh &&
+                        !e.refresh_forced;
+  if (uses_bus) {
+    if (last_bus_at_ != kNeverCycle && e.at <= last_bus_at_) {
+      log_.flag(e.at, "command-bus", e.bank,
+                pair_detail(last_bus_what_, last_bus_at_, to_string(e.kind),
+                            e.at, last_bus_at_ + 1));
+    }
+    last_bus_at_ = e.at;
+    last_bus_what_ = to_string(e.kind);
+  }
+
+  if (e.kind != obs::CommandKind::kRefresh &&
+      e.bank >= banks_.size()) {
+    log_.flag(e.at, "bank-range", e.bank,
+              "bank " + std::to_string(e.bank) + " >= num_banks " +
+                  std::to_string(banks_.size()));
+    return;  // cannot index per-bank state
+  }
+
+  switch (e.kind) {
+    case obs::CommandKind::kActivate:
+      check_activate(e);
+      break;
+    case obs::CommandKind::kRead:
+    case obs::CommandKind::kWrite:
+      check_cas(e);
+      break;
+    case obs::CommandKind::kPrecharge:
+      check_precharge(e);
+      break;
+    case obs::CommandKind::kAutoPrecharge:
+      check_auto_precharge(e);
+      break;
+    case obs::CommandKind::kRefresh:
+      check_refresh(e);
+      break;
+  }
+}
+
+void TimingOracle::check_activate(const obs::SdramCommandEvent& e) {
+  BankView& bk = banks_[e.bank];
+  if (bk.open) {
+    log_.flag(e.at, "ACT-to-open-bank", e.bank,
+              "ACT row " + std::to_string(e.row) + " while row " +
+                  std::to_string(bk.row) + " is open");
+  }
+  if (bk.ap_armed) {
+    log_.flag(e.at, "ACT-while-AP-pending", e.bank,
+              "ACT before the pending auto-precharge at " +
+                  std::to_string(bk.ap_expected));
+  }
+  if (e.at < bk.ready_for_act) {
+    log_.flag(e.at, bk.ready_rule, e.bank,
+              pair_detail("close", bk.ready_for_act, "ACT", e.at,
+                          bk.ready_for_act));
+  }
+  // tRC is not a stored parameter; same-bank ACT->ACT must still cover
+  // tRAS + tRP (the row cycle: open, hold, close).
+  if (bk.seen_act && e.at < bk.act_at + t_.tras + t_.trp) {
+    log_.flag(e.at, "tRC", e.bank,
+              pair_detail("ACT", bk.act_at, "ACT", e.at,
+                          bk.act_at + t_.tras + t_.trp));
+  }
+  if (last_act_ != kNeverCycle && e.at < last_act_ + t_.trrd) {
+    log_.flag(e.at, "tRRD", e.bank,
+              pair_detail("ACT", last_act_, "ACT", e.at,
+                          last_act_ + t_.trrd));
+  }
+  if (t_.tfaw > 0) {
+    const Cycle fourth_back = act_ring_[act_ring_pos_];
+    if (fourth_back != kNeverCycle && e.at < fourth_back + t_.tfaw) {
+      log_.flag(e.at, "tFAW", e.bank,
+                pair_detail("ACT", fourth_back, "ACT", e.at,
+                            fourth_back + t_.tfaw));
+    }
+  }
+
+  bk.open = true;
+  bk.seen_act = true;
+  bk.row = e.row;
+  bk.act_at = e.at;
+  bk.has_read = false;
+  bk.has_write = false;
+  last_act_ = e.at;
+  act_ring_[act_ring_pos_] = e.at;
+  act_ring_pos_ = (act_ring_pos_ + 1) % 4;
+}
+
+void TimingOracle::check_cas(const obs::SdramCommandEvent& e) {
+  BankView& bk = banks_[e.bank];
+  const bool is_read = e.kind == obs::CommandKind::kRead;
+  const char* what = is_read ? "RD" : "WR";
+
+  if (!bk.open || bk.row != e.row) {
+    log_.flag(e.at, "CAS-to-open-row", e.bank,
+              std::string(what) + " row " + std::to_string(e.row) +
+                  (bk.open ? " but row " + std::to_string(bk.row) + " is open"
+                           : " to a closed bank"));
+  }
+  if (bk.ap_armed) {
+    log_.flag(e.at, "CAS-while-AP-pending", e.bank,
+              std::string(what) + " while the row is closing (AP at " +
+                  std::to_string(bk.ap_expected) + ")");
+  }
+  if (bk.open && e.at < bk.act_at + t_.trcd) {
+    log_.flag(e.at, "tRCD", e.bank,
+              pair_detail("ACT", bk.act_at, what, e.at,
+                          bk.act_at + t_.trcd));
+  }
+  if (last_cas_ != kNeverCycle && e.at < last_cas_ + t_.tccd) {
+    log_.flag(e.at, "tCCD", e.bank,
+              pair_detail("CAS", last_cas_, what, e.at,
+                          last_cas_ + t_.tccd));
+  }
+  const bool burst_legal =
+      cfg_.burst_mode == sdram::BurstMode::kBl4   ? e.burst_beats == 4
+      : cfg_.burst_mode == sdram::BurstMode::kBl8 ? e.burst_beats == 8
+                                                  : e.burst_beats == 4 ||
+                                                        e.burst_beats == 8;
+  if (!burst_legal) {
+    log_.flag(e.at, "burst-length", e.bank,
+              std::to_string(e.burst_beats) +
+                  " beats illegal for the programmed burst mode");
+  }
+  if (e.col >= cfg_.geometry.cols_per_row) {
+    log_.flag(e.at, "col-range", e.bank,
+              "col " + std::to_string(e.col) + " >= cols_per_row " +
+                  std::to_string(cfg_.geometry.cols_per_row));
+  }
+  if (is_read && last_write_data_end_ > 0 &&
+      e.at < last_write_data_end_ + t_.twtr) {
+    log_.flag(e.at, "tWTR", e.bank,
+              pair_detail("WR-data-end", last_write_data_end_, "RD", e.at,
+                          last_write_data_end_ + t_.twtr));
+  }
+
+  // The event carries the data-bus window the device computed; recompute
+  // it from CL/CWL and the burst length, then check bus occupancy.
+  const Cycle want_start = e.at + (is_read ? t_.cl : t_.cwl);
+  const Cycle want_end = want_start + (e.burst_beats + 1) / 2;
+  if (e.data_start != want_start || e.data_end != want_end) {
+    log_.flag(e.at, "CAS-window", e.bank,
+              std::string(what) + " data window [" +
+                  std::to_string(e.data_start) + "," +
+                  std::to_string(e.data_end) + ") expected [" +
+                  std::to_string(want_start) + "," +
+                  std::to_string(want_end) + ")");
+  }
+  Cycle bus_free = data_busy_until_;
+  const char* bus_rule = "data-bus-collision";
+  if (have_data_dir_ && data_dir_is_read_ != is_read) {
+    bus_free += t_.bus_turnaround;
+    bus_rule = "bus-turnaround";
+  }
+  if (e.data_start < bus_free) {
+    log_.flag(e.at, bus_rule, e.bank,
+              std::string(what) + " data starts at " +
+                  std::to_string(e.data_start) + " but the bus is busy until " +
+                  std::to_string(bus_free));
+  }
+  const bool expect_hit = bk.open && (bk.has_read || bk.has_write);
+  if (e.row_hit != expect_hit) {
+    log_.flag(e.at, "row-hit-flag", e.bank,
+              std::string(what) + " flagged row_hit=" +
+                  (e.row_hit ? "true" : "false") + ", oracle expected " +
+                  (expect_hit ? "true" : "false"));
+  }
+
+  data_busy_until_ = e.data_end;
+  data_dir_is_read_ = is_read;
+  have_data_dir_ = true;
+  last_cas_ = e.at;
+  if (is_read) {
+    bk.has_read = true;
+    bk.last_read_cas = e.at;
+  } else {
+    bk.has_write = true;
+    bk.write_data_end = e.data_end;
+    last_write_data_end_ = std::max(last_write_data_end_, e.data_end);
+  }
+  if (e.auto_precharge) {
+    bk.ap_armed = true;
+    bk.ap_expected =
+        is_read ? std::max(bk.act_at + t_.tras, e.at + t_.trtp)
+                : std::max(bk.act_at + t_.tras, e.data_end + t_.twr);
+  }
+}
+
+void TimingOracle::check_precharge(const obs::SdramCommandEvent& e) {
+  BankView& bk = banks_[e.bank];
+  if (!bk.open) {
+    log_.flag(e.at, "PRE-to-closed-bank", e.bank,
+              std::string(e.refresh_forced ? "forced " : "") +
+                  "PRE but no row is open");
+  }
+  if (bk.ap_armed) {
+    log_.flag(e.at, "PRE-while-AP-pending", e.bank,
+              "explicit PRE duplicates the pending auto-precharge at " +
+                  std::to_string(bk.ap_expected));
+  }
+  if (bk.open) {  // timing state is stale when no row is open
+    if (e.at < bk.act_at + t_.tras) {
+      log_.flag(e.at, "tRAS", e.bank,
+                pair_detail("ACT", bk.act_at, "PRE", e.at,
+                            bk.act_at + t_.tras));
+    }
+    if (bk.has_read && e.at < bk.last_read_cas + t_.trtp) {
+      log_.flag(e.at, "tRTP", e.bank,
+                pair_detail("RD", bk.last_read_cas, "PRE", e.at,
+                            bk.last_read_cas + t_.trtp));
+    }
+    if (bk.has_write && e.at < bk.write_data_end + t_.twr) {
+      log_.flag(e.at, "tWR", e.bank,
+                pair_detail("WR-data-end", bk.write_data_end, "PRE", e.at,
+                            bk.write_data_end + t_.twr));
+    }
+  }
+  close_bank(bk, e.at);
+}
+
+void TimingOracle::check_auto_precharge(const obs::SdramCommandEvent& e) {
+  BankView& bk = banks_[e.bank];
+  if (!bk.ap_armed) {
+    log_.flag(e.at, "AP-unarmed", e.bank,
+              "auto-precharge fired with no AP-tagged CAS outstanding");
+    close_bank(bk, e.at);
+    return;
+  }
+  // The self-timed precharge point is fully determined by the arming CAS
+  // (latest of tRAS / tRTP / tWR): firing early breaks those constraints,
+  // firing late breaks the SAGM partially-open-page model.
+  if (e.at != bk.ap_expected) {
+    log_.flag(e.at, "AP-schedule", e.bank,
+              "auto-precharge at " + std::to_string(e.at) +
+                  ", self-timed point is " + std::to_string(bk.ap_expected));
+  }
+  close_bank(bk, e.at);
+}
+
+void TimingOracle::close_bank(BankView& bk, Cycle at) {
+  bk.open = false;
+  bk.ap_armed = false;
+  bk.ready_for_act = at + t_.trp;
+  bk.ready_rule = "tRP";
+}
+
+Cycle TimingOracle::refresh_drain_slack() const {
+  // Arm -> REF: a CAS issued just before the arm finishes its data
+  // (CL/CWL + burst), its bank waits out tRAS/tWR/tRTP before the forced
+  // PRE, then tRP; plus scheduling margin for tick granularity.
+  return t_.tras + t_.trp + t_.twr + t_.trtp + t_.cl + t_.cwl + t_.tccd +
+         t_.trrd + t_.bus_turnaround + 32;
+}
+
+void TimingOracle::check_refresh(const obs::SdramCommandEvent& e) {
+  for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+    const BankView& bk = banks_[b];
+    if (bk.open || bk.ap_armed) {
+      log_.flag(e.at, "REF-bank-open", b,
+                "REF while bank still has an open/closing row");
+    } else if (e.at < bk.ready_for_act) {
+      log_.flag(e.at, "REF-bank-precharging", b,
+                pair_detail("close", bk.ready_for_act, "REF", e.at,
+                            bk.ready_for_act));
+    }
+  }
+  if (e.at < data_busy_until_) {
+    log_.flag(e.at, "REF-data-busy", kNoBank,
+              "REF at " + std::to_string(e.at) + " with data on the bus until " +
+                  std::to_string(data_busy_until_));
+  }
+  if (refreshes_ > 0 && e.at < last_ref_at_ + t_.trfc) {
+    log_.flag(e.at, "tRFC", kNoBank,
+              pair_detail("REF", last_ref_at_, "REF", e.at,
+                          last_ref_at_ + t_.trfc));
+  }
+  if (t_.trefi > 0) {
+    // The engine arms the k-th REF (0-based) at (k+1)*tREFI and must
+    // complete it within the drain slack of the arm point; both bounds
+    // catch a tREFI that drifted off by even one cycle.
+    const Cycle arm = (refreshes_ + 1) * t_.trefi;
+    if (e.at < arm) {
+      log_.flag(e.at, "REF-early", kNoBank,
+                "REF #" + std::to_string(refreshes_) + " at " +
+                    std::to_string(e.at) + " before its arm point " +
+                    std::to_string(arm));
+    }
+    const Cycle deadline =
+        std::max(arm, refreshes_ > 0 ? last_ref_at_ + t_.trfc : 0) +
+        refresh_drain_slack();
+    if (e.at > deadline) {
+      log_.flag(e.at, "tREFI", kNoBank,
+                "REF #" + std::to_string(refreshes_) + " at " +
+                    std::to_string(e.at) + " missed its window (deadline " +
+                    std::to_string(deadline) + ")");
+    }
+  }
+  ++refreshes_;
+  last_ref_at_ = e.at;
+  for (BankView& bk : banks_) {
+    bk.open = false;
+    bk.ap_armed = false;
+    bk.ready_for_act = e.at + t_.trfc;
+    bk.ready_rule = "tRFC";
+  }
+}
+
+}  // namespace annoc::check

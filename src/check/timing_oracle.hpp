@@ -1,0 +1,94 @@
+/// \file timing_oracle.hpp
+/// Independent JEDEC timing checker for the SDRAM command stream.
+///
+/// The oracle is an obs::EventSink that re-derives per-bank and
+/// device-global state from nothing but the SdramCommandEvent stream and
+/// asserts every constraint the DDR I/II/III configs declare: tRCD, tRP,
+/// tRAS, tRC, tRRD, tFAW (rolling 4-ACT window), tWTR, tWR, tCCD,
+/// tRFC/tREFI, read/write data-bus collision and turnaround,
+/// CAS-to-open-row, and the AP-implied self-timed precharge point.
+/// It shares no state with sdram::Device — only the `Timing` numbers —
+/// so it validates the model against the spec, not against itself.
+///
+/// A second constructor takes an explicit Timing, the test hook that
+/// lets tests/check_test.cpp seed a deliberate off-by-one into any
+/// single parameter and prove the oracle flags it.
+#pragma once
+
+#include <vector>
+
+#include "check/violation.hpp"
+#include "obs/sink.hpp"
+#include "sdram/config.hpp"
+
+namespace annoc::check {
+
+class TimingOracle final : public obs::EventSink {
+ public:
+  /// Oracle for a device configuration; derives Timing the same way the
+  /// device does (sdram::make_timing).
+  explicit TimingOracle(const sdram::DeviceConfig& cfg);
+  /// Test hook: validate the stream against an explicit (possibly
+  /// perturbed) Timing instead of the config-derived one.
+  TimingOracle(const sdram::DeviceConfig& cfg, const sdram::Timing& timing);
+
+  void on_command(const obs::SdramCommandEvent& e) override;
+
+  [[nodiscard]] bool ok() const { return log_.ok(); }
+  [[nodiscard]] const ViolationLog& log() const { return log_; }
+  [[nodiscard]] std::uint64_t commands_seen() const { return commands_; }
+  [[nodiscard]] std::uint64_t refreshes_seen() const { return refreshes_; }
+  [[nodiscard]] const sdram::Timing& timing() const { return t_; }
+
+ private:
+  /// Everything the oracle knows about one bank, rebuilt from events.
+  struct BankView {
+    bool open = false;
+    bool seen_act = false;   ///< any ACT observed (guards tRC on the first)
+    std::uint32_t row = 0;
+    Cycle act_at = 0;        ///< cycle of the activation that opened `row`
+    Cycle ready_for_act = 0; ///< earliest legal next ACT (tRP / tRFC)
+    const char* ready_rule = "tRP";  ///< which rule `ready_for_act` enforces
+    Cycle last_read_cas = 0;
+    Cycle write_data_end = 0;
+    bool has_read = false;
+    bool has_write = false;
+    bool ap_armed = false;
+    Cycle ap_expected = 0;   ///< oracle-recomputed self-timed PRE start
+  };
+
+  void check_activate(const obs::SdramCommandEvent& e);
+  void check_cas(const obs::SdramCommandEvent& e);
+  void check_precharge(const obs::SdramCommandEvent& e);
+  void check_auto_precharge(const obs::SdramCommandEvent& e);
+  void check_refresh(const obs::SdramCommandEvent& e);
+  void close_bank(BankView& bk, Cycle at);
+  /// Worst-case cycles the refresh drain may legally take past its arm
+  /// point (forced precharges waiting on tRAS/tWR/tRTP, then tRP, then
+  /// the data bus going idle).
+  [[nodiscard]] Cycle refresh_drain_slack() const;
+
+  sdram::DeviceConfig cfg_;
+  sdram::Timing t_;
+  std::vector<BankView> banks_;
+
+  Cycle last_event_at_ = 0;             ///< event-stream monotonicity
+  Cycle last_bus_at_ = kNeverCycle;     ///< one command per cycle
+  const char* last_bus_what_ = "";
+  Cycle last_cas_ = kNeverCycle;        ///< tCCD
+  Cycle last_act_ = kNeverCycle;        ///< tRRD
+  Cycle act_ring_[4] = {kNeverCycle, kNeverCycle, kNeverCycle, kNeverCycle};
+  std::size_t act_ring_pos_ = 0;        ///< tFAW rolling window
+  Cycle data_busy_until_ = 0;
+  bool have_data_dir_ = false;
+  bool data_dir_is_read_ = true;
+  Cycle last_write_data_end_ = 0;       ///< tWTR (global, like the device)
+
+  std::uint64_t refreshes_ = 0;
+  Cycle last_ref_at_ = 0;
+  std::uint64_t commands_ = 0;
+
+  ViolationLog log_;
+};
+
+}  // namespace annoc::check

@@ -1,0 +1,87 @@
+/// \file violation.hpp
+/// Violation records shared by the self-checking layer (the TimingOracle
+/// and the ConservationChecker, see DESIGN.md "Validation").
+///
+/// A checker never throws or aborts on its own: it appends a Violation
+/// per broken rule and keeps consuming the event stream, so one report
+/// carries every symptom of a bug instead of only the first. Enforcement
+/// (print + abort) is the caller's decision — Simulator::run() does it
+/// at end of run when SystemConfig::check is set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace annoc::check {
+
+/// Compile-time switch for the checking layer. Checks ride on the
+/// observability event stream, so compiling out observability compiles
+/// out the checkers with it.
+#if defined(ANNOC_DISABLE_CHECKS) || defined(ANNOC_DISABLE_OBSERVABILITY)
+#define ANNOC_CHECK_ENABLED 0
+#else
+#define ANNOC_CHECK_ENABLED 1
+#endif
+
+/// Bank value for violations that are not bank-specific.
+inline constexpr std::uint32_t kNoBank = 0xffffffffu;
+
+/// One broken invariant: which rule, when, where, and the offending
+/// command pair / quantities in human-readable form.
+struct Violation {
+  Cycle at = 0;
+  const char* rule = "";  ///< constraint name, e.g. "tRCD"
+  std::uint32_t bank = kNoBank;
+  std::string detail;  ///< offending command pair and the cycles involved
+};
+
+/// Bounded violation accumulator. Storage is capped so a systematically
+/// broken run cannot exhaust memory; the total count keeps climbing.
+class ViolationLog {
+ public:
+  static constexpr std::size_t kMaxStored = 256;
+
+  void flag(Cycle at, const char* rule, std::uint32_t bank,
+            std::string detail) {
+    ++total_;
+    if (violations_.size() < kMaxStored) {
+      violations_.push_back(
+          Violation{at, rule, bank, std::move(detail)});
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return total_ == 0; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
+  /// Render up to `max_lines` violations, one per line, in the triage
+  /// format documented in DESIGN.md: `cycle <at> [bank <b>] <rule>:
+  /// <detail>`.
+  [[nodiscard]] std::string report(std::size_t max_lines = 16) const {
+    std::string out;
+    std::size_t shown = 0;
+    for (const Violation& v : violations_) {
+      if (shown++ == max_lines) break;
+      out += "  cycle " + std::to_string(v.at);
+      if (v.bank != kNoBank) out += " bank " + std::to_string(v.bank);
+      out += " ";
+      out += v.rule;
+      out += ": " + v.detail + "\n";
+    }
+    if (total_ > shown) {
+      out += "  ... and " + std::to_string(total_ - shown) + " more\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Violation> violations_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace annoc::check

@@ -17,6 +17,7 @@ Simulator::Simulator(const SystemConfig& cfg)
   dev_cfg_.clock_mhz = cfg.clock_mhz;
   dev_cfg_.burst_mode = burst_mode(cfg.design, cfg.generation);
   dev_cfg_.geometry = sdram::default_geometry(cfg.generation);
+  dev_cfg_.refresh_enabled = cfg.refresh;
   mapper_ = std::make_unique<sdram::AddressMapper>(
       dev_cfg_.geometry, sdram::MapPolicy::kChunkedBankInterleave,
       cfg.map_chunk_bytes != 0 ? cfg.map_chunk_bytes : 256u);
@@ -142,14 +143,31 @@ Simulator::Simulator(const SystemConfig& cfg)
     hub_.attach(perfetto_sink_.get());
   }
   if (trace_) hub_.attach(trace_.get());
+#if ANNOC_CHECK_ENABLED
+  if (cfg.check) {
+    // Self-checkers attach after the user-facing sinks so a violating
+    // event still reaches the trace/Perfetto export before the abort.
+    oracle_ = std::make_unique<check::TimingOracle>(dev_cfg_);
+    conservation_ = std::make_unique<check::ConservationChecker>();
+    hub_.attach(oracle_.get());
+    hub_.attach(conservation_.get());
+  }
+#endif
   if (hub_.num_sinks() > 0) obs_ = &hub_;
-  if (counters_on) {
+  if (counters_on || oracle_) {
     // Device and router emission sites only matter to the counter and
-    // Perfetto sinks; with just the CSV trace attached, leave them
-    // unobserved (the trace consumes only completion records).
+    // Perfetto sinks and the checkers; with just the CSV trace attached,
+    // leave them unobserved (the trace consumes only completion records).
     subsystem_->device().set_observer(&hub_);
     network_->set_observer(&hub_);
   }
+}
+
+void Simulator::attach_sink(obs::EventSink* sink) {
+  hub_.attach(sink);
+  obs_ = &hub_;
+  subsystem_->device().set_observer(&hub_);
+  network_->set_observer(&hub_);
 }
 
 const memctrl::EngineStats& Simulator::engine_stats() const {
@@ -339,7 +357,44 @@ Metrics Simulator::run() {
   // intervals, the Perfetto exporter closes its JSON, the CSV trace
   // flushes.
   if (obs_ != nullptr) obs_->finish(now_);
+  enforce_checks();
   return metrics();
+}
+
+void Simulator::enforce_checks() {
+#if ANNOC_CHECK_ENABLED
+  if (conservation_) {
+    check::ConservationChecker::EndState s;
+    s.at = now_;
+    s.fully_drained = parents_.empty();
+    s.outstanding_parents = parents_.size();
+    s.request_net = network_->stats();
+    s.request_in_flight = conservation_->audit_network(*network_, now_);
+    s.subsystem_pending = subsystem_->pending_requests();
+    for (const auto& gen : generators_) s.generator_backlog += gen->backlog();
+    if (response_path_) {
+      s.response_backlog = response_path_->backlog();
+      s.response_in_flight = response_path_->network().in_flight_packets();
+    }
+    conservation_->on_run_end(s);
+  }
+  const bool oracle_bad = oracle_ && !oracle_->ok();
+  const bool conservation_bad = conservation_ && !conservation_->ok();
+  if (oracle_bad) {
+    std::fprintf(stderr, "TimingOracle: %llu violation(s)\n%s",
+                 static_cast<unsigned long long>(oracle_->log().total()),
+                 oracle_->log().report().c_str());
+  }
+  if (conservation_bad) {
+    std::fprintf(
+        stderr, "ConservationChecker: %llu violation(s)\n%s",
+        static_cast<unsigned long long>(conservation_->log().total()),
+        conservation_->log().report().c_str());
+  }
+  ANNOC_ASSERT_MSG(!oracle_bad && !conservation_bad,
+                   "self-check violation (report above); see DESIGN.md "
+                   "\"Validation\" for triage");
+#endif
 }
 
 Metrics Simulator::metrics() const {

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "check/conservation.hpp"
+#include "check/timing_oracle.hpp"
 #include "common/flat_map.hpp"
 #include "core/metrics.hpp"
 #include "core/response_path.hpp"
@@ -63,6 +65,20 @@ class Simulator {
   /// Snapshot metrics accumulated so far (measurement window only).
   [[nodiscard]] Metrics metrics() const;
 
+  /// Attach an additional observer to the run (tests use this to record
+  /// or re-check the event stream). Must be called before run()/step();
+  /// forces the device and router emission sites on.
+  void attach_sink(obs::EventSink* sink);
+
+  /// The self-checkers, when SystemConfig::check is set and the layer is
+  /// compiled in; nullptr otherwise.
+  [[nodiscard]] const check::TimingOracle* timing_oracle() const {
+    return oracle_.get();
+  }
+  [[nodiscard]] const check::ConservationChecker* conservation() const {
+    return conservation_.get();
+  }
+
  private:
   struct ParentState {
     std::uint32_t subpackets_outstanding = 0;
@@ -84,6 +100,9 @@ class Simulator {
   /// SDRAM service, or — with the response path — data delivery).
   void finish_subpacket(const noc::Packet& pkt, Cycle done);
   void record_parent(const ParentState& ps);
+  /// Feed the end-of-run snapshot to the ConservationChecker and abort
+  /// with a full report if either checker saw a violation.
+  void enforce_checks();
   void begin_measurement();
   /// Freeze the measurement counters at the window edge: later cycles
   /// (the drain phase) may still complete in-window requests but must
@@ -105,6 +124,11 @@ class Simulator {
   obs::EventHub hub_;
   std::unique_ptr<obs::CounterSink> counter_sink_;
   std::unique_ptr<obs::PerfettoSink> perfetto_sink_;
+  // Self-checking layer (SystemConfig::check): pure observers on the
+  // same hub; enforce_checks() turns their findings into an abort at end
+  // of run. Null when disabled (or compiled out).
+  std::unique_ptr<check::TimingOracle> oracle_;
+  std::unique_ptr<check::ConservationChecker> conservation_;
   obs::EventSink* obs_ = nullptr;
   std::vector<std::unique_ptr<traffic::CoreGenerator>> generators_;
   PacketId next_packet_id_ = 1;

@@ -191,6 +191,20 @@ struct SystemConfig {
   /// grant/stall/admit instants in the timeline.
   std::string perfetto_path;
 
+  /// Self-checking layer (src/check/): attach the JEDEC TimingOracle and
+  /// the ConservationChecker to the run and abort with a violation report
+  /// if the simulation breaks a DDR timing constraint or loses/creates a
+  /// packet. On by default — the checkers are pure event-stream observers
+  /// and never perturb results; set false for measurement runs where the
+  /// event-emission overhead matters, or build with -DANNOC_DISABLE_CHECKS
+  /// to compile the layer out entirely.
+  bool check = true;
+
+  /// Enable the SDRAM refresh engine (periodic REF every tREFI with a
+  /// forced-precharge drain; see sdram/device.cpp). Default off, matching
+  /// the paper's evaluation; the refresh-under-load tests turn it on.
+  bool refresh = false;
+
   /// SAGM split granularity in beats; 0 = per-generation default.
   /// DDR I/II: 4 beats (one BL4 CAS, 2 bus cycles — the paper's "packet
   /// BL 2"). DDR III: 8 beats — tCCD = 4 cycles means a BL4 CAS cannot

@@ -106,7 +106,12 @@ bool Network::try_inject(Packet&& pkt, Cycle now) {
   Router& r = *routers_[pkt.src_node];
   const auto vc = r.find_vc(kPortLocal, pkt);
   if (!vc) return false;
-  pkt.injected = now;
+  // `injected` documents when the packet left its source queue on the
+  // REQUEST path (packet.hpp lifecycle contract: injected <= mem_arrival
+  // <= service_done). A response re-entering a mesh keeps that stamp —
+  // its own transit is tracked by head/tail_arrival and the delivery
+  // cycle.
+  if (pkt.to_memory) pkt.injected = now;
   pkt.head_arrival = now + 1;
   pkt.tail_arrival = now + pkt.flits;
   stats_.injected_packets += 1;

@@ -1,0 +1,286 @@
+#include "runner/fuzz.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "runner/experiment_runner.hpp"
+#include "traffic/application.hpp"
+
+namespace annoc::runner {
+namespace {
+
+/// Field-by-field Metrics comparator. Doubles are compared bitwise —
+/// the determinism contracts (fast-forward, parallel runner) promise
+/// identical arithmetic, not merely close results.
+class MetricsDiff {
+ public:
+  explicit MetricsDiff(const char* what) : what_(what) {}
+
+  void u64(const char* field, std::uint64_t a, std::uint64_t b) {
+    if (!diff_.empty() || a == b) return;
+    char buf[192];
+    std::snprintf(buf, sizeof buf, "%s: %s %llu != %llu", what_, field,
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    diff_ = buf;
+  }
+
+  void f64(const char* field, double a, double b) {
+    if (!diff_.empty()) return;
+    if (std::memcmp(&a, &b, sizeof a) == 0) return;
+    char buf[192];
+    std::snprintf(buf, sizeof buf, "%s: %s %.17g != %.17g (bitwise)", what_,
+                  field, a, b);
+    diff_ = buf;
+  }
+
+  void lat(const char* field, const LatencyStat& a, const LatencyStat& b) {
+    char name[96];
+    std::snprintf(name, sizeof name, "%s.count", field);
+    u64(name, a.count(), b.count());
+    std::snprintf(name, sizeof name, "%s.mean", field);
+    f64(name, a.mean(), b.mean());
+    std::snprintf(name, sizeof name, "%s.min", field);
+    f64(name, a.min(), b.min());
+    std::snprintf(name, sizeof name, "%s.max", field);
+    f64(name, a.max(), b.max());
+    std::snprintf(name, sizeof name, "%s.p99", field);
+    u64(name, a.p99(), b.p99());
+  }
+
+  [[nodiscard]] const std::string& diff() const { return diff_; }
+
+ private:
+  const char* what_;
+  std::string diff_;
+};
+
+std::string compare_metrics(const char* what, const core::Metrics& a,
+                            const core::Metrics& b) {
+  MetricsDiff d(what);
+  d.f64("utilization", a.utilization, b.utilization);
+  d.f64("raw_utilization", a.raw_utilization, b.raw_utilization);
+  d.lat("all_packets", a.all_packets, b.all_packets);
+  d.lat("demand_packets", a.demand_packets, b.demand_packets);
+  d.lat("priority_packets", a.priority_packets, b.priority_packets);
+  d.lat("source_queue", a.source_queue, b.source_queue);
+  d.lat("network", a.network, b.network);
+  d.lat("memory", a.memory, b.memory);
+  d.lat("source_queue_prio", a.source_queue_prio, b.source_queue_prio);
+  d.lat("network_prio", a.network_prio, b.network_prio);
+  d.lat("memory_prio", a.memory_prio, b.memory_prio);
+  d.lat("response_path", a.response_path, b.response_path);
+  d.u64("completed_requests", a.completed_requests, b.completed_requests);
+  d.u64("completed_subpackets", a.completed_subpackets,
+        b.completed_subpackets);
+  d.u64("outstanding_requests", a.outstanding_requests,
+        b.outstanding_requests);
+  d.u64("measured_cycles", a.measured_cycles, b.measured_cycles);
+  d.u64("drained_cycles", a.drained_cycles, b.drained_cycles);
+  d.u64("device.activates", a.device.activates, b.device.activates);
+  d.u64("device.precharges", a.device.precharges, b.device.precharges);
+  d.u64("device.auto_precharges", a.device.auto_precharges,
+        b.device.auto_precharges);
+  d.u64("device.reads", a.device.reads, b.device.reads);
+  d.u64("device.writes", a.device.writes, b.device.writes);
+  d.u64("device.refreshes", a.device.refreshes, b.device.refreshes);
+  d.u64("device.cas_row_hits", a.device.cas_row_hits, b.device.cas_row_hits);
+  d.u64("device.total_beats", a.device.total_beats, b.device.total_beats);
+  d.u64("device.useful_beats", a.device.useful_beats, b.device.useful_beats);
+  d.u64("device.bus_direction_turnarounds",
+        a.device.bus_direction_turnarounds,
+        b.device.bus_direction_turnarounds);
+  for (std::size_t i = 0; i < a.device.cas_per_bank.size(); ++i) {
+    d.u64("device.cas_per_bank[]", a.device.cas_per_bank[i],
+          b.device.cas_per_bank[i]);
+  }
+  d.u64("engine.requests_completed", a.engine.requests_completed,
+        b.engine.requests_completed);
+  d.u64("engine.cas_issued", a.engine.cas_issued, b.engine.cas_issued);
+  d.u64("engine.act_issued", a.engine.act_issued, b.engine.act_issued);
+  d.u64("engine.pre_issued", a.engine.pre_issued, b.engine.pre_issued);
+  d.u64("engine.prep_acts", a.engine.prep_acts, b.engine.prep_acts);
+  d.u64("engine.stall_cycles", a.engine.stall_cycles, b.engine.stall_cycles);
+  d.u64("noc_flits_forwarded", a.noc_flits_forwarded, b.noc_flits_forwarded);
+  d.u64("noc_packets_forwarded", a.noc_packets_forwarded,
+        b.noc_packets_forwarded);
+  d.u64("per_core.size", a.per_core.size(), b.per_core.size());
+  if (d.diff().empty()) {
+    for (const auto& [name, ca] : a.per_core) {
+      const auto it = b.per_core.find(name);
+      if (it == b.per_core.end()) {
+        return std::string(what) + ": per_core missing core " + name;
+      }
+      d.u64("per_core.requests", ca.requests, it->second.requests);
+      d.f64("per_core.avg_latency", ca.avg_latency, it->second.avg_latency);
+      d.f64("per_core.achieved_bytes_per_cycle", ca.achieved_bytes_per_cycle,
+            it->second.achieved_bytes_per_cycle);
+    }
+  }
+  return d.diff();
+}
+
+std::string sanity_check(const core::SystemConfig& cfg,
+                         const core::Metrics& m) {
+  const auto fail = [](const char* what, double a, double b) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "sanity: %s (%.17g vs %.17g)", what, a, b);
+    return std::string(buf);
+  };
+  constexpr double kEps = 1e-9;
+  if (m.utilization < 0.0 || m.utilization > 1.0 + kEps) {
+    return fail("utilization outside [0,1]", m.utilization, 1.0);
+  }
+  if (m.raw_utilization < 0.0 || m.raw_utilization > 1.0 + kEps) {
+    return fail("raw_utilization outside [0,1]", m.raw_utilization, 1.0);
+  }
+  if (m.utilization > m.raw_utilization + kEps) {
+    return fail("useful utilization exceeds raw bus occupancy",
+                m.utilization, m.raw_utilization);
+  }
+  if (m.completed_subpackets < m.completed_requests) {
+    return fail("fewer subpackets than completed requests",
+                static_cast<double>(m.completed_subpackets),
+                static_cast<double>(m.completed_requests));
+  }
+  if (m.measured_cycles != cfg.sim_cycles) {
+    return fail("measurement window length != sim_cycles",
+                static_cast<double>(m.measured_cycles),
+                static_cast<double>(cfg.sim_cycles));
+  }
+  if (m.all_packets.count() != m.completed_requests) {
+    return fail("latency sample count != completed requests",
+                static_cast<double>(m.all_packets.count()),
+                static_cast<double>(m.completed_requests));
+  }
+  if (m.outstanding_requests > 0 &&
+      m.drained_cycles != cfg.drain_cycle_limit) {
+    return fail("run left requests outstanding without exhausting drain",
+                static_cast<double>(m.outstanding_requests),
+                static_cast<double>(m.drained_cycles));
+  }
+  const double fairness =
+      m.fairness_index(traffic::build_application(cfg.app));
+  if (fairness < 0.0 || fairness > 1.0 + 1e-4) {
+    return fail("Jain fairness index outside [0,1]", fairness, 1.0);
+  }
+  return "";
+}
+
+}  // namespace
+
+core::SystemConfig random_config(std::uint64_t seed) {
+  // Decorrelate from the traffic RNG streams (which splitmix the
+  // per-run seed directly).
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+  core::SystemConfig cfg;
+
+  const traffic::AppId apps[] = {traffic::AppId::kBluray,
+                                 traffic::AppId::kSingleDtv,
+                                 traffic::AppId::kDualDtv};
+  cfg.app = apps[rng.next_below(3)];
+
+  switch (rng.next_below(3)) {
+    case 0: {
+      cfg.generation = sdram::DdrGeneration::kDdr1;
+      const double clocks[] = {100.0, 133.0, 200.0};
+      cfg.clock_mhz = clocks[rng.next_below(3)];
+      break;
+    }
+    case 1: {
+      cfg.generation = sdram::DdrGeneration::kDdr2;
+      const double clocks[] = {266.0, 333.0, 400.0};
+      cfg.clock_mhz = clocks[rng.next_below(3)];
+      break;
+    }
+    default: {
+      cfg.generation = sdram::DdrGeneration::kDdr3;
+      const double clocks[] = {533.0, 667.0, 800.0};
+      cfg.clock_mhz = clocks[rng.next_below(3)];
+      break;
+    }
+  }
+
+  // Short windows: the differential runs every config six times.
+  cfg.sim_cycles = 3000 + rng.next_below(5001);
+  cfg.warmup_cycles = 500 + rng.next_below(1001);
+  cfg.drain_cycle_limit = 3000 + rng.next_below(3001);
+  cfg.seed = rng.next_u64();
+
+  cfg.priority_enabled = rng.chance(0.5);
+  cfg.model_response_path = rng.chance(0.25);
+  cfg.refresh = rng.chance(1.0 / 3.0);
+  cfg.adaptive_routing = rng.chance(0.25);
+  if (rng.chance(0.25)) cfg.num_vcs = 2;
+  cfg.pct = 2 + static_cast<std::uint32_t>(rng.next_below(4));
+
+  const std::uint32_t chunks[] = {0, 0, 128, 256};
+  cfg.map_chunk_bytes = chunks[rng.next_below(4)];
+  const std::uint32_t splits[] = {0, 0, 4, 8};
+  cfg.split_beats = splits[rng.next_below(4)];
+
+  if (rng.chance(0.25)) {
+    cfg.engine_lookahead = static_cast<std::uint32_t>(rng.next_below(5));
+  }
+  if (rng.chance(0.25)) {
+    cfg.engine_reorder_depth =
+        1 + static_cast<std::uint32_t>(rng.next_below(4));
+  }
+  if (rng.chance(0.25)) {
+    cfg.num_gss_routers = static_cast<std::size_t>(rng.next_below(10));
+  }
+
+  cfg.check = true;  // the whole point
+  return cfg;
+}
+
+std::array<core::DesignPoint, 4> fuzz_design_points(std::uint64_t seed) {
+  return {core::DesignPoint::kConv, core::DesignPoint::kRef4,
+          core::DesignPoint::kGss,
+          (seed & 1) != 0 ? core::DesignPoint::kGssSagmSti
+                          : core::DesignPoint::kGssSagm};
+}
+
+std::string run_differential(const core::SystemConfig& cfg) {
+  core::SystemConfig dense = cfg;
+  dense.fast_forward = false;
+  core::SystemConfig fast = cfg;
+  fast.fast_forward = true;
+
+  const core::Metrics serial_dense = core::run_simulation(dense);
+  const core::Metrics serial_fast = core::run_simulation(fast);
+
+  std::string err = compare_metrics("fast-forward vs dense", serial_fast,
+                                    serial_dense);
+  if (!err.empty()) return err;
+
+  ExperimentRunner pool(2u);
+  const auto parallel = pool.run_metrics({dense, fast});
+  err = compare_metrics("runner[dense] vs serial", parallel[0], serial_dense);
+  if (!err.empty()) return err;
+  err = compare_metrics("runner[fast] vs serial", parallel[1], serial_fast);
+  if (!err.empty()) return err;
+
+  return sanity_check(cfg, serial_dense);
+}
+
+std::string fuzz_seed(std::uint64_t seed) {
+  const core::SystemConfig base = random_config(seed);
+  for (const core::DesignPoint d : fuzz_design_points(seed)) {
+    core::SystemConfig cfg = base;
+    cfg.design = d;
+    const std::string err = run_differential(cfg);
+    if (!err.empty()) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "seed %llu, design %s: ",
+                    static_cast<unsigned long long>(seed),
+                    core::to_string(d));
+      return buf + err;
+    }
+  }
+  return "";
+}
+
+}  // namespace annoc::runner

@@ -1,0 +1,55 @@
+/// \file fuzz.hpp
+/// Randomized differential testing: generate random-but-valid
+/// SystemConfigs and run each one three ways — dense serial stepping,
+/// idle-cycle fast-forward, and through a 2-worker ExperimentRunner —
+/// with the self-checking layer (src/check/) attached. Every execution
+/// mode must produce bit-identical Metrics and pass the checkers; any
+/// divergence is a determinism bug, any checker abort a protocol bug.
+/// Consumed by tests/fuzz_sim_test.cpp (fixed default seed in CI) and
+/// bench/fuzz_sweep.cpp (--seed/--runs sweep driver).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/simulator.hpp"
+
+namespace annoc::runner {
+
+/// Derive a random valid SystemConfig from a fuzz seed. Every knob the
+/// paper sweeps is sampled from its legal range: application, DDR
+/// generation + a matching clock, priority mode, response-path
+/// modelling, refresh, adaptive routing, virtual channels, PCT,
+/// address-map chunking, SAGM granularity, engine ablation knobs and
+/// the Fig. 8 GSS-router count. The design point is left at its
+/// default — callers pair the config with each entry of
+/// fuzz_design_points(). Runs are kept short (a few thousand cycles)
+/// so a 25-seed sweep stays in CI budget. check is always on.
+[[nodiscard]] core::SystemConfig random_config(std::uint64_t seed);
+
+/// The four design points a fuzz seed exercises: the conventional
+/// baseline, the [4] reference, GSS, and (alternating by seed parity)
+/// GSS+SAGM or GSS+SAGM+STI.
+[[nodiscard]] std::array<core::DesignPoint, 4> fuzz_design_points(
+    std::uint64_t seed);
+
+/// Run `cfg` through all three execution modes and cross-check:
+///   1. run_simulation(cfg) and run_simulation(cfg with fast_forward
+///      toggled) must agree on every Metrics field, bitwise;
+///   2. a 2-worker ExperimentRunner over both variants must reproduce
+///      the serial results exactly;
+///   3. every result must satisfy the metrics sanity bounds
+///      (utilization in [0,1] and <= raw, subpackets >= requests,
+///      measured window == sim_cycles, accounting identities).
+/// The self-checkers abort the process on a protocol violation, so a
+/// clean return also certifies JEDEC-timing and conservation cleanness.
+/// Returns "" on success, else a description of the first mismatch.
+[[nodiscard]] std::string run_differential(const core::SystemConfig& cfg);
+
+/// Convenience: run_differential() across the seed's four design
+/// points. Returns "" on success, else the failure tagged with the
+/// offending design point.
+[[nodiscard]] std::string fuzz_seed(std::uint64_t seed);
+
+}  // namespace annoc::runner

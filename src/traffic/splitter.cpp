@@ -36,12 +36,13 @@ std::vector<noc::Packet> split_packet(const noc::Packet& base,
     addr += sub.useful_bytes;
     out.push_back(sub);
   }
-  if (out.size() > 1) {
-    // The AP tag marks the last subpacket of a *split* packet
+  if (!out.empty()) {
+    // The AP tag marks the last subpacket of every request
     // (Section IV-C): the train is done with the row, so the bank
-    // closes via auto-precharge. An unsplit request carries no tag —
-    // the bank stays open (partially open page), which matters for
-    // small scattered requests whose neighbourhood may still be hot.
+    // closes via auto-precharge. A request that fits in a single
+    // subpacket is its own last subpacket and is tagged too — leaving
+    // it untagged would strand the row open until a conflicting request
+    // pays the full PRE+ACT, exactly the cost SAGM exists to hide.
     out.back().ap_tag = true;
   }
   if (out.empty()) {

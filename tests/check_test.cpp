@@ -1,0 +1,403 @@
+/// Tests for the self-checking layer (src/check/): the JEDEC timing
+/// oracle and the conservation checker.
+///
+/// The headline test records the command stream of an unmodified
+/// sdram::Device driven issue-ASAP (so every command lands on the
+/// earliest cycle the device's own timing allows), replays it through
+/// an oracle whose Timing has a deliberate +1 off-by-one in exactly one
+/// parameter, and requires the oracle to flag the stream — for every
+/// parameter the configs declare. An oracle that misses a tightened
+/// constraint would also miss a loosened device.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/conservation.hpp"
+#include "check/timing_oracle.hpp"
+#include "core/simulator.hpp"
+#include "obs/sink.hpp"
+#include "sdram/device.hpp"
+
+namespace annoc::check {
+namespace {
+
+#if ANNOC_CHECK_ENABLED
+
+/// Captures the SDRAM command stream for later replay.
+class Recorder final : public obs::EventSink {
+ public:
+  void on_command(const obs::SdramCommandEvent& e) override {
+    events.push_back(e);
+  }
+  std::vector<obs::SdramCommandEvent> events;
+};
+
+/// Issue `c` on the earliest cycle the device permits, advancing `now`.
+void issue_asap(sdram::Device& dev, Cycle& now, const sdram::Command& c) {
+  dev.tick(now);
+  while (!dev.can_issue(c, now)) {
+    ++now;
+    dev.tick(now);
+  }
+  dev.issue(c, now);
+}
+
+sdram::Command act(BankId b, RowId r) {
+  sdram::Command c;
+  c.type = sdram::CommandType::kActivate;
+  c.bank = b;
+  c.row = r;
+  return c;
+}
+
+sdram::Command cas(sdram::CommandType t, BankId b, RowId row, ColId col,
+                   bool ap = false) {
+  sdram::Command c;
+  c.type = t;
+  c.bank = b;
+  c.row = row;
+  c.col = col;
+  c.burst_beats = 4;
+  c.useful_beats = 4;
+  c.auto_precharge = ap;
+  return c;
+}
+
+sdram::Command pre(BankId b) {
+  sdram::Command c;
+  c.type = sdram::CommandType::kPrecharge;
+  c.bank = b;
+  return c;
+}
+
+sdram::DeviceConfig busy_config() {
+  sdram::DeviceConfig cfg;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.burst_mode = sdram::BurstMode::kBl4;  // tCCD (2) binds under BL4
+  cfg.geometry = sdram::default_geometry(cfg.generation);
+  return cfg;
+}
+
+/// A stream designed so that *every* non-refresh timing parameter is
+/// the binding constraint for at least one command: back-to-back ACTs
+/// (tRRD, tFAW), a BL4 CAS pair (tCCD + CL window), a read->write
+/// reversal (tCWL window, bus_turnaround), a write->read (tWTR), PREs
+/// landing exactly on tWR and tRTP, a PRE->ACT (tRP), a fresh
+/// ACT->CAS (tRCD) and two auto-precharge CASes whose self-timed PRE
+/// lands exactly on the tRAS bound.
+std::vector<obs::SdramCommandEvent> record_busy_stream() {
+  sdram::Device dev(busy_config());
+  Recorder rec;
+  dev.set_observer(&rec);
+  Cycle now = 0;
+  issue_asap(dev, now, act(0, 0));
+  issue_asap(dev, now, act(1, 0));  // tRRD binds
+  issue_asap(dev, now, act(2, 0));
+  issue_asap(dev, now, act(3, 0));
+  issue_asap(dev, now, act(4, 0));  // 5th ACT: tFAW binds
+  issue_asap(dev, now, cas(sdram::CommandType::kRead, 0, 0, 0));
+  issue_asap(dev, now, cas(sdram::CommandType::kRead, 0, 0, 4));  // tCCD
+  issue_asap(dev, now,
+             cas(sdram::CommandType::kWrite, 1, 0, 0));  // turnaround
+  issue_asap(dev, now, cas(sdram::CommandType::kRead, 2, 0, 0));  // tWTR
+  issue_asap(dev, now, cas(sdram::CommandType::kWrite, 3, 0, 0));
+  issue_asap(dev, now, cas(sdram::CommandType::kRead, 4, 0, 0));
+  issue_asap(dev, now, pre(3));  // tWR binds (write data end + tWR)
+  issue_asap(dev, now, pre(4));  // tRTP binds (read CAS + tRTP)
+  issue_asap(dev, now, pre(0));
+  issue_asap(dev, now, act(0, 1));  // tRP binds
+  issue_asap(dev, now, act(3, 1));
+  issue_asap(dev, now,
+             cas(sdram::CommandType::kRead, 0, 1, 0, true));  // tRCD
+  issue_asap(dev, now, cas(sdram::CommandType::kWrite, 3, 1, 0, true));
+  // Let the self-timed precharges fire (tRAS binds their start).
+  for (Cycle t = now + 1; t < now + 200; ++t) dev.tick(t);
+  return rec.events;
+}
+
+std::vector<obs::SdramCommandEvent> record_refresh_stream() {
+  sdram::DeviceConfig cfg = busy_config();
+  cfg.refresh_enabled = true;
+  sdram::Device dev(cfg);
+  Recorder rec;
+  dev.set_observer(&rec);
+  Cycle now = 0;
+  while (dev.stats().refreshes < 2) dev.tick(now++);
+  // ACT on the earliest post-REF cycle: tRFC binds.
+  issue_asap(dev, now, act(0, 0));
+  return rec.events;
+}
+
+void replay(TimingOracle& oracle,
+            const std::vector<obs::SdramCommandEvent>& events) {
+  for (const auto& e : events) oracle.on_command(e);
+}
+
+TEST(TimingOracle, CleanDeviceStreamValidates) {
+  const auto events = record_busy_stream();
+  ASSERT_GE(events.size(), 20u);  // 18 commands + 2 auto-precharges
+  TimingOracle oracle(busy_config());
+  replay(oracle, events);
+  EXPECT_TRUE(oracle.ok()) << oracle.log().report();
+  EXPECT_EQ(oracle.commands_seen(), events.size());
+}
+
+TEST(TimingOracle, OffByOneInAnyParameterIsFlagged) {
+  const auto events = record_busy_stream();
+  {
+    TimingOracle clean(busy_config());
+    replay(clean, events);
+    ASSERT_TRUE(clean.ok()) << clean.log().report();
+  }
+  struct Knob {
+    const char* name;
+    std::uint32_t sdram::Timing::*field;
+  };
+  const Knob knobs[] = {
+      {"cl", &sdram::Timing::cl},
+      {"cwl", &sdram::Timing::cwl},
+      {"trcd", &sdram::Timing::trcd},
+      {"trp", &sdram::Timing::trp},
+      {"tras", &sdram::Timing::tras},
+      {"twr", &sdram::Timing::twr},
+      {"twtr", &sdram::Timing::twtr},
+      {"trtp", &sdram::Timing::trtp},
+      {"trrd", &sdram::Timing::trrd},
+      {"tfaw", &sdram::Timing::tfaw},
+      {"tccd", &sdram::Timing::tccd},
+      {"bus_turnaround", &sdram::Timing::bus_turnaround},
+  };
+  const sdram::DeviceConfig cfg = busy_config();
+  const sdram::Timing base =
+      sdram::make_timing(cfg.generation, cfg.clock_mhz);
+  for (const Knob& k : knobs) {
+    sdram::Timing t = base;
+    t.*(k.field) += 1;
+    TimingOracle oracle(cfg, t);
+    replay(oracle, events);
+    EXPECT_FALSE(oracle.ok())
+        << "a device violating " << k.name
+        << " by one cycle would go unnoticed";
+  }
+}
+
+TEST(TimingOracle, RefreshOffByOneIsFlagged) {
+  const auto events = record_refresh_stream();
+  const sdram::DeviceConfig cfg = [] {
+    auto c = busy_config();
+    c.refresh_enabled = true;
+    return c;
+  }();
+  {
+    TimingOracle clean(cfg);
+    replay(clean, events);
+    ASSERT_TRUE(clean.ok()) << clean.log().report();
+    EXPECT_EQ(clean.refreshes_seen(), 2u);
+  }
+  const sdram::Timing base =
+      sdram::make_timing(cfg.generation, cfg.clock_mhz);
+  {
+    sdram::Timing t = base;
+    t.trfc += 1;  // the post-REF ACT now lands one cycle early
+    TimingOracle oracle(cfg, t);
+    replay(oracle, events);
+    EXPECT_FALSE(oracle.ok()) << "tRFC off-by-one went unnoticed";
+  }
+  {
+    sdram::Timing t = base;
+    t.trefi += 1;  // the device's REF cadence is now "too eager"
+    TimingOracle oracle(cfg, t);
+    replay(oracle, events);
+    EXPECT_FALSE(oracle.ok()) << "tREFI off-by-one went unnoticed";
+  }
+}
+
+TEST(TimingOracle, FullSimulationStreamsAreClean) {
+  // Whole-stack runs across generations and design points: the oracle
+  // rides along (SystemConfig::check defaults on) and must stay silent;
+  // a violation would already have aborted inside run(), but assert the
+  // checkers were genuinely attached and saw traffic.
+  struct Point {
+    core::DesignPoint design;
+    sdram::DdrGeneration gen;
+    double mhz;
+  };
+  const Point points[] = {
+      {core::DesignPoint::kConv, sdram::DdrGeneration::kDdr2, 333.0},
+      {core::DesignPoint::kGss, sdram::DdrGeneration::kDdr1, 133.0},
+      {core::DesignPoint::kGssSagm, sdram::DdrGeneration::kDdr2, 333.0},
+      {core::DesignPoint::kGssSagmSti, sdram::DdrGeneration::kDdr3, 667.0},
+  };
+  for (const Point& p : points) {
+    core::SystemConfig cfg;
+    cfg.design = p.design;
+    cfg.generation = p.gen;
+    cfg.clock_mhz = p.mhz;
+    cfg.sim_cycles = 6000;
+    cfg.warmup_cycles = 1000;
+    core::Simulator sim(cfg);
+    (void)sim.run();
+    ASSERT_NE(sim.timing_oracle(), nullptr);
+    EXPECT_TRUE(sim.timing_oracle()->ok())
+        << sim.timing_oracle()->log().report();
+    EXPECT_GT(sim.timing_oracle()->commands_seen(), 0u);
+    ASSERT_NE(sim.conservation(), nullptr);
+    EXPECT_TRUE(sim.conservation()->ok())
+        << sim.conservation()->log().report();
+    EXPECT_GT(sim.conservation()->subpackets_seen(), 0u);
+  }
+}
+
+TEST(TimingOracle, RefreshUnderLoad) {
+  // Saturated GSS run with the refresh engine on: the oracle's tREFI
+  // upper-bound rule proves a REF lands in every refresh window (a
+  // missed window would have aborted the run), and the oracle's REF
+  // count must agree with the device's own tally.
+  core::SystemConfig cfg;
+  cfg.design = core::DesignPoint::kGss;
+  cfg.app = traffic::AppId::kSingleDtv;
+  cfg.generation = sdram::DdrGeneration::kDdr2;
+  cfg.clock_mhz = 333.0;
+  cfg.sim_cycles = 30000;
+  cfg.warmup_cycles = 3000;
+  cfg.refresh = true;
+  core::Simulator sim(cfg);
+  const core::Metrics m = sim.run();
+  ASSERT_NE(sim.timing_oracle(), nullptr);
+  EXPECT_TRUE(sim.timing_oracle()->ok())
+      << sim.timing_oracle()->log().report();
+  const std::uint64_t device_total =
+      sim.subsystem().device().stats().refreshes;
+  EXPECT_EQ(sim.timing_oracle()->refreshes_seen(), device_total);
+  EXPECT_GT(device_total, 0u);
+  // The window metric counts a subset of the run's refreshes.
+  EXPECT_GT(m.device.refreshes, 0u);
+  EXPECT_LE(m.device.refreshes, device_total);
+}
+
+TEST(Conservation, CleanForkJoinPasses) {
+  ConservationChecker c;
+  obs::ForkEvent f;
+  f.at = 10;
+  f.parent_id = 1;
+  f.subpackets = 2;
+  c.on_fork(f);
+  obs::SubpacketRecord r;
+  r.parent_id = 1;
+  r.flits = 1;
+  r.beats = 1;
+  r.created = 10;
+  r.injected = 12;
+  r.mem_arrival = 15;
+  r.service_done = 20;
+  r.done = 20;
+  r.id = 100;
+  c.on_subpacket(r);
+  r.id = 101;
+  r.done = 25;
+  r.service_done = 25;
+  c.on_subpacket(r);
+  obs::JoinEvent j;
+  j.at = 25;
+  j.parent_id = 1;
+  c.on_join(j);
+  EXPECT_TRUE(c.ok()) << c.log().report();
+  EXPECT_EQ(c.forks_seen(), 1u);
+  EXPECT_EQ(c.joins_seen(), 1u);
+  EXPECT_EQ(c.subpackets_seen(), 2u);
+}
+
+TEST(Conservation, JoinWithoutForkIsFlagged) {
+  ConservationChecker c;
+  obs::JoinEvent j;
+  j.at = 5;
+  j.parent_id = 7;
+  c.on_join(j);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Conservation, IncompleteJoinIsFlagged) {
+  ConservationChecker c;
+  obs::ForkEvent f;
+  f.parent_id = 1;
+  f.subpackets = 2;
+  c.on_fork(f);
+  obs::SubpacketRecord r;
+  r.id = 100;
+  r.parent_id = 1;
+  r.flits = 1;
+  c.on_subpacket(r);
+  obs::JoinEvent j;
+  j.parent_id = 1;
+  c.on_join(j);  // only 1 of 2 subpackets completed
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Conservation, DuplicateSubpacketIdIsFlagged) {
+  ConservationChecker c;
+  obs::SubpacketRecord r;
+  r.id = 42;
+  r.flits = 1;
+  c.on_subpacket(r);
+  c.on_subpacket(r);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Conservation, LifecycleRegressionIsFlagged) {
+  ConservationChecker c;
+  obs::SubpacketRecord r;
+  r.id = 1;
+  r.flits = 1;
+  r.created = 10;
+  r.injected = 8;  // injected before created
+  r.mem_arrival = 12;
+  r.service_done = 15;
+  r.done = 15;
+  c.on_subpacket(r);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Conservation, EndStateImbalanceIsFlagged) {
+  ConservationChecker c;
+  ConservationChecker::EndState s;
+  s.fully_drained = true;
+  s.request_net.injected_packets = 10;
+  s.request_net.injected_flits = 20;
+  s.request_net.ejected_packets = 11;  // one packet invented
+  s.request_net.ejected_flits = 22;
+  c.on_run_end(s);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Conservation, DrainedEndStateWithResidueIsFlagged) {
+  ConservationChecker c;
+  ConservationChecker::EndState s;
+  s.fully_drained = true;
+  s.subsystem_pending = 3;  // claims drained, still holds requests
+  c.on_run_end(s);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(Conservation, CleanEndStatePasses) {
+  ConservationChecker c;
+  ConservationChecker::EndState s;
+  s.fully_drained = true;
+  s.request_net.injected_packets = 10;
+  s.request_net.injected_flits = 20;
+  s.request_net.ejected_packets = 10;
+  s.request_net.ejected_flits = 20;
+  c.on_run_end(s);
+  EXPECT_TRUE(c.ok()) << c.log().report();
+}
+
+#else  // !ANNOC_CHECK_ENABLED
+
+TEST(CheckLayer, CompiledOut) {
+  GTEST_SKIP() << "self-checking layer disabled at compile time";
+}
+
+#endif
+
+}  // namespace
+}  // namespace annoc::check

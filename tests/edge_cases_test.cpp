@@ -100,7 +100,8 @@ TEST(EdgeCases, SplitterSingleByteRequest) {
   ASSERT_EQ(subs.size(), 1u);
   EXPECT_EQ(subs[0].useful_bytes, 1u);
   EXPECT_EQ(subs[0].useful_beats, 1u);
-  EXPECT_FALSE(subs[0].ap_tag);
+  EXPECT_TRUE(subs[0].ap_tag)
+      << "the only subpacket is the last subpacket: it must carry the AP tag";
 }
 
 TEST(EdgeCases, RefreshEnabledFullStack) {

@@ -1,0 +1,48 @@
+/// Randomized differential fuzz (see src/runner/fuzz.hpp): each seed
+/// derives a random-valid SystemConfig, runs it at four design points
+/// in all three execution modes with the self-checkers attached, and
+/// demands bit-identical Metrics plus sanity bounds. CI runs a fixed
+/// default seed for reproducibility; widen the sweep with
+///   ANNOC_FUZZ_SEED=<base> ANNOC_FUZZ_RUNS=<n> ./fuzz_sim_test
+/// or use bench/fuzz_sweep for command-line driving.
+#include <gtest/gtest.h>
+
+#include "common/env.hpp"
+#include "runner/fuzz.hpp"
+
+namespace annoc::runner {
+namespace {
+
+TEST(FuzzSim, DifferentialAcrossSeeds) {
+  const std::uint64_t base = env_u64("ANNOC_FUZZ_SEED", 20260806);
+  const std::uint64_t runs = env_u64("ANNOC_FUZZ_RUNS", 2);
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = base + i;
+    const std::string verdict = fuzz_seed(seed);
+    EXPECT_EQ(verdict, "") << "fuzz seed " << seed << " diverged";
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(FuzzSim, ConfigsAreValidAndDeterministic) {
+  // random_config itself must be a pure function of the seed.
+  for (std::uint64_t s : {1ull, 77ull, 20260806ull}) {
+    const auto a = random_config(s);
+    const auto b = random_config(s);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.sim_cycles, b.sim_cycles);
+    EXPECT_EQ(a.clock_mhz, b.clock_mhz);
+    EXPECT_EQ(static_cast<int>(a.app), static_cast<int>(b.app));
+    EXPECT_GE(a.sim_cycles, 3000u);
+    EXPECT_LE(a.sim_cycles, 8000u);
+    EXPECT_GE(a.pct, 2u);
+    EXPECT_LE(a.pct, 5u);
+    EXPECT_TRUE(a.check);
+  }
+  // Both SAGM flavours appear across seed parities.
+  EXPECT_EQ(fuzz_design_points(2)[3], core::DesignPoint::kGssSagm);
+  EXPECT_EQ(fuzz_design_points(3)[3], core::DesignPoint::kGssSagmSti);
+}
+
+}  // namespace
+}  // namespace annoc::runner

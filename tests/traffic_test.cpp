@@ -61,13 +61,42 @@ TEST(Splitter, OnlyLastOfSplitCarriesApTag) {
   EXPECT_TRUE(subs[2].ap_tag);
 }
 
-TEST(Splitter, UnsplitRequestIsUntagged) {
+TEST(Splitter, UnsplitRequestStillCarriesApTag) {
   sdram::AddressMapper m(geom());
   PacketId next = 1;
   const auto subs = split_packet(base_request(16, 0, m), 4, 4, m, next);
   ASSERT_EQ(subs.size(), 1u);
-  EXPECT_FALSE(subs[0].ap_tag)
-      << "an unsplit packet keeps the bank open (partially open page)";
+  EXPECT_TRUE(subs[0].ap_tag)
+      << "a request that fits one subpacket is its own last subpacket";
+}
+
+TEST(Splitter, ExactMultipleHasNoEmptyTrailingSubpacket) {
+  sdram::AddressMapper m(geom());
+  PacketId next = 1;
+  // 32 B = 8 beats = exactly 2 x 4-beat subpackets; a buggy splitter
+  // would emit a third zero-byte subpacket (or tag the wrong one).
+  const auto subs = split_packet(base_request(32, 0, m), 4, 4, m, next);
+  ASSERT_EQ(subs.size(), 2u);
+  for (const auto& s : subs) {
+    EXPECT_EQ(s.useful_beats, 4u);
+    EXPECT_GT(s.useful_bytes, 0u);
+  }
+  EXPECT_FALSE(subs[0].ap_tag);
+  EXPECT_TRUE(subs[1].ap_tag);
+}
+
+TEST(Splitter, GranularityLargerThanRequest) {
+  sdram::AddressMapper m(geom());
+  PacketId next = 1;
+  // 8 B = 2 beats, granularity 8 beats: one subpacket carrying the whole
+  // request, AP-tagged, with flits sized from its actual beats.
+  const auto subs = split_packet(base_request(8, 0, m), 8, 4, m, next);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].useful_bytes, 8u);
+  EXPECT_EQ(subs[0].useful_beats, 2u);
+  EXPECT_EQ(subs[0].flits, 1u);
+  EXPECT_TRUE(subs[0].is_split);
+  EXPECT_TRUE(subs[0].ap_tag);
 }
 
 TEST(Splitter, AddressesAdvanceContiguously) {
