@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/simulator.hpp"
+#include "scenario/scenario.hpp"
 
 using namespace annoc;
 
@@ -44,6 +45,11 @@ traffic::Application idle_app() {
 struct Point {
   std::string name;
   core::SystemConfig cfg;
+  /// When set, the config is re-loaded from this scenario file for
+  /// every timed run, so the point's throughput includes the scenario
+  /// loader — the annoc_run smoke point uses it to keep loader
+  /// regressions visible in BENCH_throughput.json.
+  std::string scenario{};
 };
 
 std::vector<Point> points() {
@@ -93,6 +99,14 @@ std::vector<Point> points() {
     pts.push_back(std::move(p));
   }
   {
+    // annoc_run smoke: the checked-in Table II scenario, loaded fresh
+    // inside the timing loop. Compare against saturated/gss_sagm for
+    // the loader + longer-window cost.
+    Point p{"scenario/table2_gss_sagm", base()};
+    p.scenario = std::string(ANNOC_SCENARIO_DIR) + "/table2_gss_sagm.json";
+    pts.push_back(std::move(p));
+  }
+  {
     // Same point with the self-checking layer (timing oracle +
     // conservation) attached: the delta against saturated/gss_sagm is
     // the price every test run pays for checks-on-by-default. Budget:
@@ -114,26 +128,38 @@ std::uint64_t run_cycles(const core::SystemConfig& cfg) {
   return cfg.warmup_cycles + cfg.sim_cycles + m.drained_cycles;
 }
 
-void BM_Throughput(benchmark::State& state, core::SystemConfig cfg,
-                   bool fast_forward) {
+/// Resolve a point to its config for one run: scenario points re-load
+/// the file each time (loader overhead is part of what this bench
+/// tracks); checks stay off, matching the other measurement points.
+std::uint64_t run_point(const Point& p, bool fast_forward) {
+  core::SystemConfig cfg = p.cfg;
+  if (!p.scenario.empty()) {
+    cfg = scenario::load_scenario(p.scenario).config;
+    cfg.check = false;
+  }
   cfg.fast_forward = fast_forward;
+  return run_cycles(cfg);
+}
+
+void BM_Throughput(benchmark::State& state, Point point,
+                   bool fast_forward) {
   std::uint64_t cycles = 0;
   for (auto _ : state) {
-    cycles += run_cycles(cfg);
+    cycles += run_point(point, fast_forward);
   }
   // items/sec == simulated cycles per wall second.
   state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
 }
 
-double cycles_per_sec(const core::SystemConfig& cfg) {
+double cycles_per_sec(const Point& p, bool fast_forward) {
   using clock = std::chrono::steady_clock;
   // One warmup run (page faults, allocator growth), then best of three
   // timed runs — the minimum is the least noisy throughput estimator.
-  run_cycles(cfg);
+  run_point(p, fast_forward);
   double best = 0.0;
   for (int rep = 0; rep < 3; ++rep) {
     const auto t0 = clock::now();
-    const std::uint64_t cycles = run_cycles(cfg);
+    const std::uint64_t cycles = run_point(p, fast_forward);
     const double secs =
         std::chrono::duration<double>(clock::now() - t0).count();
     if (secs > 0.0) {
@@ -154,11 +180,8 @@ int write_json(const std::string& path) {
   std::fprintf(f, "  \"points\": [\n");
   const std::vector<Point> pts = points();
   for (std::size_t i = 0; i < pts.size(); ++i) {
-    core::SystemConfig cfg = pts[i].cfg;
-    cfg.fast_forward = false;
-    const double dense = cycles_per_sec(cfg);
-    cfg.fast_forward = true;
-    const double skip = cycles_per_sec(cfg);
+    const double dense = cycles_per_sec(pts[i], false);
+    const double skip = cycles_per_sec(pts[i], true);
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"dense\": %.0f, "
                  "\"fast_forward\": %.0f, \"speedup\": %.3f}%s\n",
@@ -185,10 +208,10 @@ int main(int argc, char** argv) {
   }
   for (const Point& p : points()) {
     benchmark::RegisterBenchmark((p.name + "/dense").c_str(), BM_Throughput,
-                                 p.cfg, false)
+                                 p, false)
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark((p.name + "/fast_forward").c_str(),
-                                 BM_Throughput, p.cfg, true)
+                                 BM_Throughput, p, true)
         ->Unit(benchmark::kMillisecond);
   }
   benchmark::Initialize(&argc, argv);

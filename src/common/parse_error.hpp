@@ -1,0 +1,69 @@
+/// \file parse_error.hpp
+/// Structured error for data-file parsing (scenario JSON, traffic
+/// traces). Every parse failure in those layers must surface the file,
+/// the position (1-based line, plus column or record offset where it
+/// makes sense) and the offending key or field — never a bare abort()
+/// or a silently-substituted default. Loaders throw this; CLI entry
+/// points catch it and print `to_string()`, which formats like a
+/// compiler diagnostic so editors can jump to the spot.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace annoc {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string file, std::uint64_t line, std::uint64_t column,
+             std::string key, const std::string& message)
+      : std::runtime_error(format(file, line, column, key, message)),
+        file_(std::move(file)),
+        line_(line),
+        column_(column),
+        key_(std::move(key)),
+        message_(message) {}
+
+  /// Originating file (path as the loader saw it; may be a pseudo-name
+  /// like "<string>" for in-memory parses).
+  [[nodiscard]] const std::string& file() const { return file_; }
+  /// 1-based line of the offending token (0 when unknown — e.g. a
+  /// binary trace, where column() carries the record index instead).
+  [[nodiscard]] std::uint64_t line() const { return line_; }
+  /// 1-based column, or the record index for binary formats.
+  [[nodiscard]] std::uint64_t column() const { return column_; }
+  /// The offending key / field name ("" when the error is positional,
+  /// e.g. a JSON syntax error).
+  [[nodiscard]] const std::string& key() const { return key_; }
+  /// The bare message, without the location prefix.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "file:line:col: key 'x': message" — what() returns the same text.
+  [[nodiscard]] const char* to_string() const { return what(); }
+
+ private:
+  static std::string format(const std::string& file, std::uint64_t line,
+                            std::uint64_t column, const std::string& key,
+                            const std::string& message) {
+    std::string out = file.empty() ? std::string("<input>") : file;
+    if (line > 0) {
+      out += ':' + std::to_string(line);
+      if (column > 0) out += ':' + std::to_string(column);
+    } else if (column > 0) {
+      out += ": record " + std::to_string(column);
+    }
+    out += ": ";
+    if (!key.empty()) out += "key '" + key + "': ";
+    out += message;
+    return out;
+  }
+
+  std::string file_;
+  std::uint64_t line_ = 0;
+  std::uint64_t column_ = 0;
+  std::string key_;
+  std::string message_;
+};
+
+}  // namespace annoc

@@ -81,47 +81,81 @@ Simulator::Simulator(const SystemConfig& cfg)
     });
   }
 
-  // --- traffic generators ---
+  // --- traffic sources ---
   const std::uint32_t split =
       uses_sagm(cfg.design)
           ? (cfg.split_beats != 0 ? cfg.split_beats
                                   : default_split_beats(cfg.generation))
           : 0u;
+  // Shared by generators and replayers: register the parent request for
+  // join tracking and announce it to the observers (the trace recorder
+  // turns RequestEvents into replayable trace rows).
+  const auto on_request = [this](const noc::Packet& parent,
+                                 std::uint32_t num_subpackets) {
+    ParentState ps;
+    ps.subpackets_outstanding = num_subpackets;
+    ps.created = parent.created;
+    ps.kind = parent.kind;
+    ps.svc = parent.svc;
+    ps.core = parent.src_core;
+    ps.useful_bytes = parent.useful_bytes;
+    ps.forked = num_subpackets > 1;
+    ANNOC_ASSERT_MSG(parents_.find(parent.id) == nullptr,
+                     "duplicate parent id");
+    parents_[parent.id] = ps;
+    ANNOC_OBS_EMIT(obs_, on_request(obs::RequestEvent{
+                             .at = parent.created,
+                             .core = parent.src_core,
+                             .addr = parent.byte_addr,
+                             .rw = parent.rw,
+                             .bytes = parent.useful_bytes,
+                             .priority = parent.is_priority()}));
+    if (ps.forked) {
+      ANNOC_OBS_EMIT(obs_, on_fork(obs::ForkEvent{
+                               .at = parent.created,
+                               .parent_id = parent.id,
+                               .core = parent.src_core,
+                               .subpackets = num_subpackets,
+                               .bytes = parent.useful_bytes}));
+    }
+  };
+  // Replay mode: per-core slices of the trace, validated against the
+  // application's core count (load/parse errors throw ParseError with
+  // file and line — callers surface them, never abort()).
+  std::vector<std::vector<traffic::TraceRecord>> slices;
+  if (!cfg.replay_trace_path.empty()) {
+    slices = traffic::slice_trace_by_core(
+        traffic::load_trace(cfg.replay_trace_path), app_.cores.size(),
+        cfg.replay_trace_path);
+  }
   CoreId core_id = 0;
   for (const traffic::CorePlacement& cp : app_.cores) {
-    traffic::GeneratorConfig gc;
-    gc.spec = cp.spec;
-    gc.core_id = core_id;
-    gc.node = cp.node;
-    gc.mem_node = app_.noc.mem_node;
-    gc.bus_bytes = dev_cfg_.geometry.bus_bytes;
-    gc.priority_demand = cfg.priority_enabled && cp.spec.is_mpu;
-    gc.split_beats = split;
-    gc.seed = cfg.seed;
-    gc.on_request = [this](const noc::Packet& parent,
-                           std::uint32_t num_subpackets) {
-      ParentState ps;
-      ps.subpackets_outstanding = num_subpackets;
-      ps.created = parent.created;
-      ps.kind = parent.kind;
-      ps.svc = parent.svc;
-      ps.core = parent.src_core;
-      ps.useful_bytes = parent.useful_bytes;
-      ps.forked = num_subpackets > 1;
-      ANNOC_ASSERT_MSG(parents_.find(parent.id) == nullptr,
-                       "duplicate parent id");
-      parents_[parent.id] = ps;
-      if (ps.forked) {
-        ANNOC_OBS_EMIT(obs_, on_fork(obs::ForkEvent{
-                                 .at = parent.created,
-                                 .parent_id = parent.id,
-                                 .core = parent.src_core,
-                                 .subpackets = num_subpackets,
-                                 .bytes = parent.useful_bytes}));
-      }
-    };
-    generators_.push_back(std::make_unique<traffic::CoreGenerator>(
-        gc, *mapper_, next_packet_id_));
+    if (!cfg.replay_trace_path.empty()) {
+      traffic::ReplayConfig rc;
+      rc.spec = cp.spec;
+      rc.core_id = core_id;
+      rc.node = cp.node;
+      rc.mem_node = app_.noc.mem_node;
+      rc.bus_bytes = dev_cfg_.geometry.bus_bytes;
+      rc.split_beats = split;
+      rc.on_request = on_request;
+      generators_.push_back(std::make_unique<traffic::TraceReplayer>(
+          rc, std::move(slices[core_id]), *mapper_, next_packet_id_,
+          cfg.replay_trace_path));
+    } else {
+      traffic::GeneratorConfig gc;
+      gc.spec = cp.spec;
+      gc.core_id = core_id;
+      gc.node = cp.node;
+      gc.mem_node = app_.noc.mem_node;
+      gc.bus_bytes = dev_cfg_.geometry.bus_bytes;
+      gc.priority_demand = cfg.priority_enabled && cp.spec.is_mpu;
+      gc.split_beats = split;
+      gc.seed = cfg.seed;
+      gc.on_request = on_request;
+      generators_.push_back(std::make_unique<traffic::CoreGenerator>(
+          gc, *mapper_, next_packet_id_));
+    }
     core_names_.push_back(cp.spec.name);
     ++core_id;
   }
@@ -143,6 +177,13 @@ Simulator::Simulator(const SystemConfig& cfg)
     hub_.attach(perfetto_sink_.get());
   }
   if (trace_) hub_.attach(trace_.get());
+  if (!cfg.record_trace_path.empty()) {
+    // Trace recording consumes only the RequestEvents the generator
+    // hook emits; the file is written by finish() at end of run.
+    trace_recorder_ =
+        std::make_unique<traffic::TraceRecorder>(cfg.record_trace_path);
+    hub_.attach(trace_recorder_.get());
+  }
 #if ANNOC_CHECK_ENABLED
   if (cfg.check) {
     // Self-checkers attach after the user-facing sinks so a violating

@@ -25,6 +25,8 @@
 #include "sdram/address.hpp"
 #include "traffic/application.hpp"
 #include "traffic/generator.hpp"
+#include "traffic/source.hpp"
+#include "traffic/trace_replay.hpp"
 
 namespace annoc::core {
 
@@ -130,7 +132,12 @@ class Simulator {
   std::unique_ptr<check::TimingOracle> oracle_;
   std::unique_ptr<check::ConservationChecker> conservation_;
   obs::EventSink* obs_ = nullptr;
-  std::vector<std::unique_ptr<traffic::CoreGenerator>> generators_;
+  // Trace recording (SystemConfig::record_trace_path): one more sink on
+  // the hub, fed by the RequestEvent the generator hook emits.
+  std::unique_ptr<traffic::TraceRecorder> trace_recorder_;
+  // One traffic source per core: CoreGenerators normally, TraceReplayers
+  // when SystemConfig::replay_trace_path is set.
+  std::vector<std::unique_ptr<traffic::TrafficSource>> generators_;
   PacketId next_packet_id_ = 1;
 
   Cycle now_ = 0;

@@ -179,6 +179,20 @@ struct SystemConfig {
   /// path (see core/trace.hpp).
   std::string trace_path;
 
+  /// When non-empty, record every generated parent request (cycle,
+  /// core, address, direction, size, priority) to this path as a
+  /// replayable trace — CSV unless the extension is .bin/.atrace (see
+  /// traffic/trace_replay.hpp and docs/WORKLOADS.md). Works in any run,
+  /// including one that is itself a replay.
+  std::string record_trace_path;
+
+  /// When non-empty, replace the random traffic generators with a
+  /// trace replay: each core re-emits its slice of this trace file at
+  /// the recorded cycles (open-loop, deterministic, fast-forward
+  /// aware). The application still supplies the mesh and core
+  /// placement; records naming a nonexistent core are a load error.
+  std::string replay_trace_path;
+
   /// Observability level (see ObserveLevel). Instrumentation is purely
   /// observational: Metrics are bit-identical at every level
   /// (tests/observability_test.cpp enforces this).

@@ -145,6 +145,20 @@ struct GssStiHitEvent {
   Cycle ready_at = 0;  ///< when the bank's turnaround counter expires
 };
 
+/// One parent request raised by a core, before SAGM splitting — the
+/// event the trace-recording sink (traffic::TraceRecorder) turns into a
+/// replayable trace row. Emitted by the simulator's generator hook for
+/// every request, whatever traffic source produced it, so a replayed or
+/// synthetic run can itself be re-recorded.
+struct RequestEvent {
+  Cycle at = 0;             ///< creation cycle (the replay arrival time)
+  CoreId core = 0;
+  std::uint64_t addr = 0;   ///< byte address of the request
+  RW rw = RW::kRead;
+  std::uint32_t bytes = 0;  ///< useful payload size
+  bool priority = false;    ///< ServiceClass::kPriority
+};
+
 /// SAGM split: one parent request forked into `subpackets` subpackets.
 struct ForkEvent {
   Cycle at = 0;

@@ -32,6 +32,7 @@ class EventSink {
   virtual void on_gss_admit(const GssAdmitEvent&) {}
   virtual void on_gss_aging(const GssAgingEvent&) {}
   virtual void on_gss_sti_hit(const GssStiHitEvent&) {}
+  virtual void on_request(const RequestEvent&) {}
   virtual void on_fork(const ForkEvent&) {}
   virtual void on_join(const JoinEvent&) {}
   virtual void on_subpacket(const SubpacketRecord&) {}
@@ -68,6 +69,9 @@ class EventHub final : public EventSink {
   }
   void on_gss_sti_hit(const GssStiHitEvent& e) override {
     for (EventSink* s : sinks_) s->on_gss_sti_hit(e);
+  }
+  void on_request(const RequestEvent& e) override {
+    for (EventSink* s : sinks_) s->on_request(e);
   }
   void on_fork(const ForkEvent& e) override {
     for (EventSink* s : sinks_) s->on_fork(e);

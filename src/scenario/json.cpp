@@ -1,0 +1,295 @@
+#include "scenario/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace annoc::scenario {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& origin)
+      : text_(text), origin_(origin) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the top-level value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& msg,
+                         const std::string& key = {}) const {
+    throw ParseError(origin_, line_, column_, key, msg);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char take() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        take();
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c, const char* what) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected ") + what);
+    }
+    take();
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting depth exceeds 64");
+    if (eof()) fail("unexpected end of input, expected a value");
+    JsonValue v;
+    v.line = line_;
+    v.column = column_;
+    const char c = peek();
+    switch (c) {
+      case '{': parse_object(v, depth); return v;
+      case '[': parse_array(v, depth); return v;
+      case '"':
+        v.kind = JsonKind::kString;
+        v.string = parse_string();
+        return v;
+      case 't':
+      case 'f':
+        v.kind = JsonKind::kBool;
+        v.boolean = c == 't';
+        parse_keyword(c == 't' ? "true" : "false");
+        return v;
+      case 'n':
+        v.kind = JsonKind::kNull;
+        parse_keyword("null");
+        return v;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          v.kind = JsonKind::kNumber;
+          v.number = parse_number();
+          return v;
+        }
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void parse_keyword(const char* kw) {
+    for (const char* p = kw; *p != '\0'; ++p) {
+      if (eof() || peek() != *p) {
+        fail(std::string("misspelled keyword, expected '") + kw + "'");
+      }
+      take();
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') take();
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) take();
+    if (!eof() && peek() == '.') {
+      take();
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        take();
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      take();
+      if (!eof() && (peek() == '+' || peek() == '-')) take();
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        take();
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0' || !std::isfinite(v)) {
+      fail("malformed number '" + token + "'");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\n') fail("raw newline inside a string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (eof()) fail("truncated \\u escape");
+            const char h = take();
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<std::uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            } else {
+              fail("non-hex digit in \\u escape");
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  void parse_array(JsonValue& v, std::size_t depth) {
+    v.kind = JsonKind::kArray;
+    expect('[', "'['");
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return;
+    }
+    while (true) {
+      skip_ws();
+      v.array.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array, expected ',' or ']'");
+      const char c = take();
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void parse_object(JsonValue& v, std::size_t depth) {
+    v.kind = JsonKind::kObject;
+    expect('{', "'{'");
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected a quoted member name");
+      JsonMember m;
+      m.line = line_;
+      m.column = column_;
+      m.name = parse_string();
+      if (v.find(m.name) != nullptr) {
+        throw ParseError(origin_, m.line, m.column, m.name,
+                         "duplicate object key");
+      }
+      skip_ws();
+      expect(':', "':' after member name");
+      skip_ws();
+      m.value_storage.push_back(parse_value(depth + 1));
+      v.object.push_back(std::move(m));
+      skip_ws();
+      if (eof()) fail("unterminated object, expected ',' or '}'");
+      const char c = take();
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  const std::string& origin_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text, const std::string& origin) {
+  return Parser(text, origin).parse_document();
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e18) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace annoc::scenario

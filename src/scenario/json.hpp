@@ -1,0 +1,90 @@
+/// \file json.hpp
+/// Minimal dependency-free JSON reader for the scenario loader. Parses
+/// the full JSON grammar (RFC 8259) into an ordered value tree and
+/// remembers the source line/column of every value and object member,
+/// so scenario validation can point at the offending key instead of
+/// the whole file. Errors throw annoc::ParseError — never abort().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/parse_error.hpp"
+
+namespace annoc::scenario {
+
+enum class JsonKind : std::uint8_t {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+[[nodiscard]] inline const char* to_string(JsonKind k) {
+  switch (k) {
+    case JsonKind::kNull: return "null";
+    case JsonKind::kBool: return "bool";
+    case JsonKind::kNumber: return "number";
+    case JsonKind::kString: return "string";
+    case JsonKind::kArray: return "array";
+    case JsonKind::kObject: return "object";
+  }
+  return "?";
+}
+
+struct JsonValue;
+
+/// One `"name": value` entry. Members stay in file order (the scenario
+/// dumper relies on schema order instead, but error messages and
+/// duplicate-key detection want the original sequence).
+struct JsonMember {
+  std::string name;
+  std::size_t line = 0;    ///< 1-based line of the member name
+  std::size_t column = 0;  ///< 1-based column of the member name
+  // Defined out of line: JsonValue is incomplete here.
+  std::vector<JsonValue> value_storage;  ///< exactly one element
+
+  [[nodiscard]] const JsonValue& value() const { return value_storage[0]; }
+  [[nodiscard]] JsonValue& value() { return value_storage[0]; }
+};
+
+struct JsonValue {
+  JsonKind kind = JsonKind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<JsonMember> object;
+  std::size_t line = 0;    ///< 1-based line where the value starts
+  std::size_t column = 0;  ///< 1-based column where the value starts
+
+  [[nodiscard]] bool is(JsonKind k) const { return kind == k; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonMember* find(std::string_view name) const {
+    for (const JsonMember& m : object) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  }
+};
+
+/// Parse a complete JSON document. `origin` labels errors (a file path
+/// or a pseudo-name like "<string>"). Trailing garbage after the top
+/// value, duplicate object keys, and every grammar violation throw
+/// annoc::ParseError with the 1-based line/column of the problem.
+[[nodiscard]] JsonValue parse_json(std::string_view text,
+                                   const std::string& origin);
+
+/// Serialize a string with JSON escaping (including the quotes).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Canonical number formatting: integers without a decimal point,
+/// everything else via %.17g (round-trips any double exactly).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace annoc::scenario

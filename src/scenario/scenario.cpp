@@ -1,0 +1,683 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "scenario/json.hpp"
+#include "scenario/schema.hpp"
+
+namespace annoc::scenario {
+namespace {
+
+/// Largest integer a JSON double carries exactly.
+constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+
+/// Typed, schema-checked view of one JSON object. Construction rejects
+/// unknown keys (pointing at the key's own line); getters reject wrong
+/// types and out-of-range values the same way.
+class ObjectReader {
+ public:
+  ObjectReader(const JsonValue& obj, const KeyInfo* schema,
+               std::size_t schema_len, const std::string& origin,
+               const char* what)
+      : obj_(obj), origin_(origin) {
+    for (const JsonMember& m : obj.object) {
+      bool known = false;
+      for (std::size_t i = 0; i < schema_len; ++i) {
+        if (m.name == schema[i].key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        throw ParseError(origin_, m.line, m.column, m.name,
+                         std::string("unknown ") + what +
+                             " key (see docs/WORKLOADS.md for the schema)");
+      }
+    }
+  }
+
+  [[nodiscard]] const JsonMember* find(std::string_view key) const {
+    return obj_.find(key);
+  }
+
+  [[noreturn]] void fail(const JsonMember& m, const std::string& msg) const {
+    throw ParseError(origin_, m.line, m.column, m.name, msg);
+  }
+
+  /// Error anchored at the object itself (for missing required keys).
+  [[noreturn]] void fail_missing(const std::string& key) const {
+    throw ParseError(origin_, obj_.line, obj_.column, key,
+                     "required key is missing");
+  }
+
+  [[nodiscard]] bool get_bool(std::string_view key, bool def) const {
+    const JsonMember* m = find(key);
+    if (m == nullptr) return def;
+    if (!m->value().is(JsonKind::kBool)) {
+      fail(*m, type_msg(*m, "true or false"));
+    }
+    return m->value().boolean;
+  }
+
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string def) const {
+    const JsonMember* m = find(key);
+    if (m == nullptr) return def;
+    if (!m->value().is(JsonKind::kString)) {
+      fail(*m, type_msg(*m, "a string"));
+    }
+    return m->value().string;
+  }
+
+  [[nodiscard]] double get_double(std::string_view key, double def,
+                                  double min, double max) const {
+    const JsonMember* m = find(key);
+    if (m == nullptr) return def;
+    return double_of(*m, min, max);
+  }
+
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key,
+                                      std::uint64_t def,
+                                      std::uint64_t min = 0,
+                                      std::uint64_t max = 1ull << 53) const {
+    const JsonMember* m = find(key);
+    if (m == nullptr) return def;
+    return u64_of(*m, min, max);
+  }
+
+  [[nodiscard]] std::uint64_t require_u64(std::string_view key,
+                                          std::uint64_t min,
+                                          std::uint64_t max) const {
+    const JsonMember* m = find(key);
+    if (m == nullptr) fail_missing(std::string(key));
+    return u64_of(*m, min, max);
+  }
+
+  /// "number|null" knobs (nullopt = design default).
+  [[nodiscard]] std::optional<std::uint32_t> get_opt_u32(
+      std::string_view key, std::uint64_t min, std::uint64_t max) const {
+    const JsonMember* m = find(key);
+    if (m == nullptr || m->value().is(JsonKind::kNull)) return std::nullopt;
+    return static_cast<std::uint32_t>(u64_of(*m, min, max));
+  }
+
+  [[nodiscard]] double double_of(const JsonMember& m, double min,
+                                 double max) const {
+    if (!m.value().is(JsonKind::kNumber)) {
+      fail(m, type_msg(m, "a number"));
+    }
+    const double v = m.value().number;
+    if (v < min || v > max) {
+      fail(m, "value " + json_number(v) + " out of range [" +
+                  json_number(min) + ", " + json_number(max) + "]");
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64_of(const JsonMember& m, std::uint64_t min,
+                                     std::uint64_t max) const {
+    if (!m.value().is(JsonKind::kNumber)) {
+      fail(m, type_msg(m, "an integer"));
+    }
+    const double v = m.value().number;
+    if (v < 0.0 || v != std::floor(v) || v > kMaxExactInt) {
+      fail(m, "expected a non-negative integer, got " + json_number(v));
+    }
+    const auto u = static_cast<std::uint64_t>(v);
+    if (u < min || u > max) {
+      fail(m, "value " + std::to_string(u) + " out of range [" +
+                  std::to_string(min) + ", " + std::to_string(max) + "]");
+    }
+    return u;
+  }
+
+ private:
+  [[nodiscard]] static std::string type_msg(const JsonMember& m,
+                                            const char* want) {
+    return std::string("expected ") + want + ", got " +
+           to_string(m.value().kind);
+  }
+
+  const JsonValue& obj_;
+  const std::string& origin_;
+};
+
+core::DesignPoint parse_design(const ObjectReader& r) {
+  const JsonMember* m = r.find("design");
+  if (m == nullptr) return core::DesignPoint::kGss;
+  if (!m->value().is(JsonKind::kString)) {
+    r.fail(*m, "expected a string");
+  }
+  const std::string& s = m->value().string;
+  if (s == "conv") return core::DesignPoint::kConv;
+  if (s == "conv+pfs") return core::DesignPoint::kConvPfs;
+  if (s == "ref4") return core::DesignPoint::kRef4;
+  if (s == "ref4+pfs") return core::DesignPoint::kRef4Pfs;
+  if (s == "gss") return core::DesignPoint::kGss;
+  if (s == "gss+sagm") return core::DesignPoint::kGssSagm;
+  if (s == "gss+sagm+sti") return core::DesignPoint::kGssSagmSti;
+  r.fail(*m, "unknown design '" + s +
+                 "'; expected conv, conv+pfs, ref4, ref4+pfs, gss, "
+                 "gss+sagm or gss+sagm+sti");
+}
+
+traffic::AppId parse_app(const ObjectReader& r, const JsonMember& m) {
+  if (!m.value().is(JsonKind::kString)) {
+    r.fail(m, "expected a string");
+  }
+  const std::string& s = m.value().string;
+  if (s == "bluray") return traffic::AppId::kBluray;
+  if (s == "sdtv") return traffic::AppId::kSingleDtv;
+  if (s == "ddtv") return traffic::AppId::kDualDtv;
+  r.fail(m, "unknown application '" + s +
+                "'; expected bluray, sdtv or ddtv");
+}
+
+sdram::DdrGeneration parse_ddr(const ObjectReader& r) {
+  switch (r.get_u64("ddr", 2, 1, 3)) {
+    case 1: return sdram::DdrGeneration::kDdr1;
+    case 3: return sdram::DdrGeneration::kDdr3;
+    default: return sdram::DdrGeneration::kDdr2;
+  }
+}
+
+core::ObserveLevel parse_observe(const ObjectReader& r) {
+  const JsonMember* m = r.find("observe");
+  if (m == nullptr) return core::ObserveLevel::kOff;
+  if (!m->value().is(JsonKind::kString)) {
+    r.fail(*m, "expected a string");
+  }
+  const std::string& s = m->value().string;
+  if (s == "off") return core::ObserveLevel::kOff;
+  if (s == "counters") return core::ObserveLevel::kCounters;
+  if (s == "full") return core::ObserveLevel::kFull;
+  r.fail(*m, "unknown observe level '" + s +
+                 "'; expected off, counters or full");
+}
+
+traffic::TrafficPattern parse_pattern(const ObjectReader& r) {
+  const JsonMember* m = r.find("pattern");
+  if (m == nullptr) return traffic::TrafficPattern::kRandom;
+  if (!m->value().is(JsonKind::kString)) {
+    r.fail(*m, "expected a string");
+  }
+  const std::string& s = m->value().string;
+  if (s == "random") return traffic::TrafficPattern::kRandom;
+  if (s == "hotspot") return traffic::TrafficPattern::kHotspot;
+  if (s == "bursty") return traffic::TrafficPattern::kBursty;
+  if (s == "frame") return traffic::TrafficPattern::kFramePeriodic;
+  r.fail(*m, "unknown pattern '" + s +
+                 "'; expected random, hotspot, bursty or frame");
+}
+
+std::vector<traffic::SizeMix> parse_sizes(const ObjectReader& core_r,
+                                          const std::string& origin) {
+  const JsonMember* m = core_r.find("sizes");
+  if (m == nullptr) return {{32, 1.0}};
+  if (!m->value().is(JsonKind::kArray) || m->value().array.empty()) {
+    core_r.fail(*m, "expected a non-empty array of {bytes, weight} objects");
+  }
+  std::vector<traffic::SizeMix> mix;
+  for (const JsonValue& e : m->value().array) {
+    if (!e.is(JsonKind::kObject)) {
+      throw ParseError(origin, e.line, e.column, "sizes",
+                       "each size entry must be a {bytes, weight} object");
+    }
+    static constexpr KeyInfo kSizeKeys[] = {
+        {"bytes", "number", "-", ""},
+        {"weight", "number", "-", ""},
+    };
+    ObjectReader er(e, kSizeKeys, 2, origin, "size entry");
+    traffic::SizeMix sm;
+    sm.bytes = static_cast<std::uint32_t>(
+        er.require_u64("bytes", 1, 1u << 20));
+    const JsonMember* w = er.find("weight");
+    if (w == nullptr) er.fail_missing("weight");
+    sm.weight = er.double_of(*w, 0.0, 1.0e12);
+    if (sm.weight <= 0.0) {
+      er.fail(*w, "weight must be > 0");
+    }
+    mix.push_back(sm);
+  }
+  return mix;
+}
+
+/// One entry of the `cores` array -> CoreSpec (+ optional node/region).
+struct ParsedCore {
+  traffic::CoreSpec spec;
+  std::optional<NodeId> node;
+  bool explicit_region = false;
+  const JsonValue* value = nullptr;
+};
+
+ParsedCore parse_core(const JsonValue& v, const std::string& origin,
+                      std::uint64_t mesh_nodes) {
+  if (!v.is(JsonKind::kObject)) {
+    throw ParseError(origin, v.line, v.column, "cores",
+                     "each core must be an object");
+  }
+  ObjectReader r(v, kCoreKeys, kNumCoreKeys, origin, "core");
+  ParsedCore pc;
+  pc.value = &v;
+  traffic::CoreSpec& s = pc.spec;
+  {
+    const JsonMember* m = r.find("name");
+    if (m == nullptr) r.fail_missing("name");
+    if (!m->value().is(JsonKind::kString) || m->value().string.empty()) {
+      r.fail(*m, "expected a non-empty string");
+    }
+    s.name = m->value().string;
+  }
+  if (const JsonMember* m = r.find("node")) {
+    pc.node = static_cast<NodeId>(r.u64_of(*m, 0, mesh_nodes - 1));
+  }
+  s.bytes_per_cycle = r.get_double("bytes_per_cycle", 1.0, 0.0, 1.0e6);
+  s.read_fraction = r.get_double("read_fraction", 0.7, 0.0, 1.0);
+  s.sequential_fraction = r.get_double("sequential_fraction", 0.9, 0.0, 1.0);
+  s.sizes = parse_sizes(r, origin);
+  s.max_outstanding =
+      static_cast<std::uint32_t>(r.get_u64("max_outstanding", 8, 1, 4096));
+  s.open_loop = r.get_bool("open_loop", false);
+  s.is_mpu = r.get_bool("is_mpu", false);
+  s.demand_fraction = r.get_double("demand_fraction", 0.0, 0.0, 1.0);
+  s.demand_bytes =
+      static_cast<std::uint32_t>(r.get_u64("demand_bytes", 32, 1, 1u << 20));
+  if (const JsonMember* m = r.find("region_base")) {
+    pc.explicit_region = true;
+    s.region_base = r.u64_of(*m, 0, 1ull << 48);
+  }
+  s.region_bytes = r.get_u64("region_bytes", 4u << 20, 4096, 1ull << 40);
+  s.placement_weight = r.get_double("placement_weight", 0.0, 0.0, 1.0e6);
+  s.pattern = parse_pattern(r);
+  s.hotspot_fraction = r.get_double("hotspot_fraction", 0.8, 0.0, 1.0);
+  s.hotspot_bytes = r.get_u64("hotspot_bytes", 64u << 10, 1, 1ull << 40);
+  s.burst_on_cycles = r.get_u64("burst_on_cycles", 2000, 0, 1ull << 40);
+  s.burst_off_cycles = r.get_u64("burst_off_cycles", 2000, 0, 1ull << 40);
+  s.frame_period = r.get_u64("frame_period", 16000, 0, 1ull << 40);
+  s.frame_active_fraction =
+      r.get_double("frame_active_fraction", 0.5, 0.0, 1.0);
+  // The largest request must fit in the region (the generator wraps the
+  // cursor, but a request bigger than the region cannot be addressed).
+  std::uint64_t largest = s.demand_bytes;
+  for (const traffic::SizeMix& sm : s.sizes) {
+    largest = std::max<std::uint64_t>(largest, sm.bytes);
+  }
+  if (largest > s.region_bytes) {
+    throw ParseError(origin, v.line, v.column, "region_bytes",
+                     "region (" + std::to_string(s.region_bytes) +
+                         " bytes) is smaller than the largest request (" +
+                         std::to_string(largest) + " bytes)");
+  }
+  return pc;
+}
+
+traffic::Application build_custom_app(const ObjectReader& top,
+                                      const JsonMember& mesh_m,
+                                      const JsonMember& cores_m,
+                                      const std::string& name,
+                                      const std::string& origin) {
+  if (!mesh_m.value().is(JsonKind::kObject)) {
+    top.fail(mesh_m, "expected an object");
+  }
+  ObjectReader mr(mesh_m.value(), kMeshKeys, kNumMeshKeys, origin, "mesh");
+  noc::NocConfig noc;
+  noc.width = static_cast<std::uint32_t>(mr.require_u64("width", 1, 64));
+  noc.height = static_cast<std::uint32_t>(mr.require_u64("height", 1, 64));
+  const std::uint64_t nodes =
+      static_cast<std::uint64_t>(noc.width) * noc.height;
+  noc.mem_node = static_cast<NodeId>(mr.get_u64("mem_node", 0, 0, nodes - 1));
+  noc.buffer_flits =
+      static_cast<std::uint32_t>(mr.get_u64("buffer_flits", 16, 1, 4096));
+  noc.pipeline_latency =
+      static_cast<std::uint32_t>(mr.get_u64("pipeline_latency", 1, 1, 64));
+
+  if (!cores_m.value().is(JsonKind::kArray) ||
+      cores_m.value().array.empty()) {
+    top.fail(cores_m, "expected a non-empty array of core objects");
+  }
+  std::vector<ParsedCore> cores;
+  for (const JsonValue& v : cores_m.value().array) {
+    cores.push_back(parse_core(v, origin, nodes));
+  }
+
+  // node and region_base are each all-or-none across the array: mixing
+  // placed and auto-placed cores (or laid-out and auto-laid regions)
+  // has no sensible meaning, so it is an error, not a guess.
+  const std::size_t with_node = static_cast<std::size_t>(
+      std::count_if(cores.begin(), cores.end(),
+                    [](const ParsedCore& c) { return c.node.has_value(); }));
+  const std::size_t with_region = static_cast<std::size_t>(std::count_if(
+      cores.begin(), cores.end(),
+      [](const ParsedCore& c) { return c.explicit_region; }));
+  if (with_node != 0 && with_node != cores.size()) {
+    const auto& c = *std::find_if(
+        cores.begin(), cores.end(),
+        [](const ParsedCore& pc) { return !pc.node.has_value(); });
+    throw ParseError(origin, c.value->line, c.value->column, "node",
+                     "either every core names a node or none does "
+                     "(auto-placement)");
+  }
+  if (with_region != 0 && with_region != cores.size()) {
+    const auto& c = *std::find_if(
+        cores.begin(), cores.end(),
+        [](const ParsedCore& pc) { return !pc.explicit_region; });
+    throw ParseError(origin, c.value->line, c.value->column, "region_base",
+                     "either every core names a region_base or none does "
+                     "(back-to-back layout)");
+  }
+
+  if (with_region == 0) {
+    std::uint64_t cursor = 0;
+    for (ParsedCore& c : cores) {
+      c.spec.region_base = cursor;
+      cursor += c.spec.region_bytes;
+    }
+  }
+
+  if (with_node == cores.size()) {
+    // Explicit placement: nodes must be distinct; partial meshes are
+    // fine (routers without a core simply forward traffic).
+    std::vector<bool> used(nodes, false);
+    traffic::Application app;
+    app.name = name;
+    app.noc = noc;
+    for (ParsedCore& c : cores) {
+      const NodeId n = *c.node;
+      if (used[n]) {
+        throw ParseError(origin, c.value->line, c.value->column, "node",
+                         "node " + std::to_string(n) +
+                             " is assigned to two cores");
+      }
+      used[n] = true;
+      app.cores.push_back({std::move(c.spec), n});
+    }
+    return app;
+  }
+
+  // Auto-placement (the A3MAP substitute) fills the whole mesh.
+  if (cores.size() != nodes) {
+    top.fail(cores_m,
+             "auto-placement needs exactly width*height (" +
+                 std::to_string(nodes) + ") cores, got " +
+                 std::to_string(cores.size()) +
+                 "; give every core an explicit node for a partial mesh");
+  }
+  std::vector<traffic::CoreSpec> specs;
+  specs.reserve(cores.size());
+  for (ParsedCore& c : cores) specs.push_back(std::move(c.spec));
+  return traffic::place_application(name, noc, std::move(specs));
+}
+
+// --- dump ---
+
+const char* design_token(core::DesignPoint d) {
+  switch (d) {
+    case core::DesignPoint::kConv: return "conv";
+    case core::DesignPoint::kConvPfs: return "conv+pfs";
+    case core::DesignPoint::kRef4: return "ref4";
+    case core::DesignPoint::kRef4Pfs: return "ref4+pfs";
+    case core::DesignPoint::kGss: return "gss";
+    case core::DesignPoint::kGssSagm: return "gss+sagm";
+    case core::DesignPoint::kGssSagmSti: return "gss+sagm+sti";
+  }
+  return "gss";
+}
+
+const char* app_token(traffic::AppId a) {
+  switch (a) {
+    case traffic::AppId::kBluray: return "bluray";
+    case traffic::AppId::kSingleDtv: return "sdtv";
+    case traffic::AppId::kDualDtv: return "ddtv";
+  }
+  return "sdtv";
+}
+
+int ddr_token(sdram::DdrGeneration g) {
+  switch (g) {
+    case sdram::DdrGeneration::kDdr1: return 1;
+    case sdram::DdrGeneration::kDdr2: return 2;
+    case sdram::DdrGeneration::kDdr3: return 3;
+  }
+  return 2;
+}
+
+class Dumper {
+ public:
+  explicit Dumper(std::string indent) : indent_(std::move(indent)) {}
+
+  void field(const char* key, std::string value) {
+    entries_.push_back(indent_ + json_quote(key) + ": " + std::move(value));
+  }
+  void str(const char* key, std::string_view v) { field(key, json_quote(v)); }
+  void num(const char* key, double v) { field(key, json_number(v)); }
+  void num(const char* key, std::uint64_t v) {
+    field(key, std::to_string(v));
+  }
+  void boolean(const char* key, bool v) { field(key, v ? "true" : "false"); }
+  void opt(const char* key, const std::optional<std::uint32_t>& v) {
+    field(key, v ? std::to_string(*v) : "null");
+  }
+
+  [[nodiscard]] std::string close(const std::string& outer) const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += entries_[i];
+      if (i + 1 < entries_.size()) out += ',';
+      out += '\n';
+    }
+    out += outer + "}";
+    return out;
+  }
+
+ private:
+  std::string indent_;
+  std::vector<std::string> entries_;
+};
+
+std::string dump_core(const traffic::CorePlacement& cp) {
+  const traffic::CoreSpec& s = cp.spec;
+  Dumper d("      ");
+  d.str("name", s.name);
+  d.num("node", static_cast<std::uint64_t>(cp.node));
+  d.num("bytes_per_cycle", s.bytes_per_cycle);
+  d.num("read_fraction", s.read_fraction);
+  d.num("sequential_fraction", s.sequential_fraction);
+  {
+    std::string sizes = "[";
+    for (std::size_t i = 0; i < s.sizes.size(); ++i) {
+      if (i != 0) sizes += ", ";
+      sizes += "{\"bytes\": " + std::to_string(s.sizes[i].bytes) +
+               ", \"weight\": " + json_number(s.sizes[i].weight) + "}";
+    }
+    sizes += "]";
+    d.field("sizes", std::move(sizes));
+  }
+  d.num("max_outstanding", static_cast<std::uint64_t>(s.max_outstanding));
+  d.boolean("open_loop", s.open_loop);
+  d.boolean("is_mpu", s.is_mpu);
+  d.num("demand_fraction", s.demand_fraction);
+  d.num("demand_bytes", static_cast<std::uint64_t>(s.demand_bytes));
+  d.num("region_base", s.region_base);
+  d.num("region_bytes", s.region_bytes);
+  d.num("placement_weight", s.placement_weight);
+  d.str("pattern", to_string(s.pattern));
+  d.num("hotspot_fraction", s.hotspot_fraction);
+  d.num("hotspot_bytes", s.hotspot_bytes);
+  d.num("burst_on_cycles", s.burst_on_cycles);
+  d.num("burst_off_cycles", s.burst_off_cycles);
+  d.num("frame_period", s.frame_period);
+  d.num("frame_active_fraction", s.frame_active_fraction);
+  return d.close("    ");
+}
+
+}  // namespace
+
+Scenario parse_scenario(std::string_view text, const std::string& origin) {
+  const JsonValue root = parse_json(text, origin);
+  if (!root.is(JsonKind::kObject)) {
+    throw ParseError(origin, root.line, root.column, "",
+                     "a scenario file must be a JSON object");
+  }
+  ObjectReader r(root, kScenarioKeys, kNumScenarioKeys, origin, "scenario");
+
+  Scenario s;
+  s.name = r.get_string("name", "");
+  core::SystemConfig& cfg = s.config;
+  cfg.design = parse_design(r);
+  cfg.generation = parse_ddr(r);
+  cfg.clock_mhz = r.get_double("clock_mhz", 333.0, 1.0, 100000.0);
+  cfg.priority_enabled = r.get_bool("priority", false);
+  cfg.model_response_path = r.get_bool("model_response_path", false);
+  cfg.sim_cycles = r.get_u64("measure_cycles", 200000, 1, 1ull << 40);
+  cfg.warmup_cycles = r.get_u64("warmup_cycles", 20000, 0, 1ull << 40);
+  cfg.drain_cycle_limit =
+      r.get_u64("drain_cycle_limit", 20000, 0, 1ull << 40);
+  // Seeds use the full 64-bit range; a JSON number only carries 53 bits
+  // exactly, so large seeds are written (and accepted) as a decimal
+  // string instead of silently losing low bits.
+  if (const JsonMember* m = r.find("seed")) {
+    if (m->value().is(JsonKind::kString)) {
+      const std::string& sv = m->value().string;
+      char* end = nullptr;
+      errno = 0;
+      const std::uint64_t v = std::strtoull(sv.c_str(), &end, 0);
+      if (sv.empty() || end != sv.c_str() + sv.size() || errno == ERANGE) {
+        r.fail(*m, "malformed seed string '" + sv +
+                       "' (decimal or 0x-hex integer)");
+      }
+      cfg.seed = v;
+    } else {
+      cfg.seed = r.u64_of(*m, 0, 1ull << 53);
+    }
+  }
+  cfg.fast_forward = r.get_bool("fast_forward", true);
+  cfg.pct = static_cast<std::uint32_t>(r.get_u64("pct", 4, 2, 6));
+  cfg.num_gss_routers = r.get_opt_u32("num_gss_routers", 0, 1u << 12);
+  cfg.engine_lookahead = r.get_opt_u32("engine_lookahead", 1, 64);
+  cfg.engine_reorder_depth = r.get_opt_u32("engine_reorder_depth", 1, 1024);
+  cfg.engine_window = r.get_opt_u32("engine_window", 1, 1024);
+  cfg.map_chunk_bytes =
+      static_cast<std::uint32_t>(r.get_u64("map_chunk_bytes", 0, 0, 1u << 20));
+  cfg.num_vcs = static_cast<std::uint32_t>(r.get_u64("num_vcs", 1, 1, 16));
+  cfg.adaptive_routing = r.get_bool("adaptive_routing", false);
+  cfg.observe = parse_observe(r);
+  cfg.perfetto_path = r.get_string("perfetto_path", "");
+  cfg.trace_path = r.get_string("trace_path", "");
+  cfg.record_trace_path = r.get_string("record_trace", "");
+  cfg.replay_trace_path = r.get_string("replay_trace", "");
+  cfg.check = r.get_bool("check", true);
+  cfg.refresh = r.get_bool("refresh", false);
+  cfg.split_beats =
+      static_cast<std::uint32_t>(r.get_u64("split_beats", 0, 0, 64));
+
+  const JsonMember* app_m = r.find("app");
+  const JsonMember* mesh_m = r.find("mesh");
+  const JsonMember* cores_m = r.find("cores");
+  if (cores_m != nullptr) {
+    if (app_m != nullptr) {
+      r.fail(*app_m, "app and cores are mutually exclusive "
+                     "(a scenario is a paper app or a custom core set)");
+    }
+    if (mesh_m == nullptr) r.fail_missing("mesh");
+    cfg.custom_app = build_custom_app(r, *mesh_m, *cores_m, s.name, origin);
+  } else {
+    if (mesh_m != nullptr) {
+      r.fail(*mesh_m, "mesh is only meaningful together with cores");
+    }
+    cfg.app = app_m != nullptr ? parse_app(r, *app_m)
+                               : traffic::AppId::kSingleDtv;
+  }
+  return s;
+}
+
+Scenario load_scenario(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ParseError(path, 0, 0, "", "cannot open scenario file");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Scenario s = parse_scenario(buf.str(), path);
+  // Ship scenarios next to their traces: a relative replay path is
+  // resolved against the scenario file's directory.
+  std::string& replay = s.config.replay_trace_path;
+  if (!replay.empty() && replay.front() != '/') {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) {
+      replay = path.substr(0, slash + 1) + replay;
+    }
+  }
+  return s;
+}
+
+std::string dump_scenario(const Scenario& s) {
+  const core::SystemConfig& c = s.config;
+  Dumper d("  ");
+  d.str("name", s.name);
+  d.str("design", design_token(c.design));
+  if (!c.custom_app) d.str("app", app_token(c.app));
+  d.num("ddr", static_cast<std::uint64_t>(ddr_token(c.generation)));
+  d.num("clock_mhz", c.clock_mhz);
+  d.boolean("priority", c.priority_enabled);
+  d.boolean("model_response_path", c.model_response_path);
+  d.num("measure_cycles", static_cast<std::uint64_t>(c.sim_cycles));
+  d.num("warmup_cycles", static_cast<std::uint64_t>(c.warmup_cycles));
+  d.num("drain_cycle_limit",
+        static_cast<std::uint64_t>(c.drain_cycle_limit));
+  if (c.seed <= (1ull << 53)) {
+    d.num("seed", c.seed);
+  } else {
+    d.str("seed", std::to_string(c.seed));
+  }
+  d.boolean("fast_forward", c.fast_forward);
+  d.num("pct", static_cast<std::uint64_t>(c.pct));
+  d.opt("num_gss_routers",
+        c.num_gss_routers
+            ? std::optional<std::uint32_t>(
+                  static_cast<std::uint32_t>(*c.num_gss_routers))
+            : std::nullopt);
+  d.opt("engine_lookahead", c.engine_lookahead);
+  d.opt("engine_reorder_depth", c.engine_reorder_depth);
+  d.opt("engine_window", c.engine_window);
+  d.num("map_chunk_bytes", static_cast<std::uint64_t>(c.map_chunk_bytes));
+  d.num("num_vcs", static_cast<std::uint64_t>(c.num_vcs));
+  d.boolean("adaptive_routing", c.adaptive_routing);
+  d.str("observe", to_string(c.observe));
+  d.str("perfetto_path", c.perfetto_path);
+  d.str("trace_path", c.trace_path);
+  d.str("record_trace", c.record_trace_path);
+  d.str("replay_trace", c.replay_trace_path);
+  d.boolean("check", c.check);
+  d.boolean("refresh", c.refresh);
+  d.num("split_beats", static_cast<std::uint64_t>(c.split_beats));
+  if (c.custom_app) {
+    const traffic::Application& app = *c.custom_app;
+    {
+      Dumper m("    ");
+      m.num("width", static_cast<std::uint64_t>(app.noc.width));
+      m.num("height", static_cast<std::uint64_t>(app.noc.height));
+      m.num("mem_node", static_cast<std::uint64_t>(app.noc.mem_node));
+      m.num("buffer_flits", static_cast<std::uint64_t>(app.noc.buffer_flits));
+      m.num("pipeline_latency",
+            static_cast<std::uint64_t>(app.noc.pipeline_latency));
+      d.field("mesh", m.close("  "));
+    }
+    std::string cores = "[\n";
+    for (std::size_t i = 0; i < app.cores.size(); ++i) {
+      cores += "    " + dump_core(app.cores[i]);
+      if (i + 1 < app.cores.size()) cores += ',';
+      cores += '\n';
+    }
+    cores += "  ]";
+    d.field("cores", std::move(cores));
+  }
+  return d.close("") + "\n";
+}
+
+}  // namespace annoc::scenario

@@ -1,0 +1,45 @@
+/// \file scenario.hpp
+/// Declarative workloads: load a complete experiment point — design
+/// point, SDRAM generation and clock, windows, and either one of the
+/// paper's applications or a fully custom core set — from a JSON file,
+/// no code required. The schema lives in schema.hpp (rendered into
+/// docs/CONFIG_REFERENCE.md) and is documented in docs/WORKLOADS.md;
+/// checked-in examples are under scenarios/. All validation errors
+/// throw annoc::ParseError carrying file, line and the offending key.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/system_config.hpp"
+
+namespace annoc::scenario {
+
+/// A loaded scenario: the display name plus the fully-resolved config
+/// (config.custom_app is populated for custom core sets, empty for the
+/// paper's three applications).
+struct Scenario {
+  std::string name;
+  core::SystemConfig config;
+};
+
+/// Parse a scenario document. `origin` labels errors (file path or a
+/// pseudo-name like "<string>"). No path resolution happens here —
+/// replay_trace is taken verbatim.
+[[nodiscard]] Scenario parse_scenario(std::string_view text,
+                                      const std::string& origin);
+
+/// Read and parse a scenario file. A relative replay_trace is resolved
+/// against the scenario file's directory, so scenarios ship alongside
+/// their traces. Throws annoc::ParseError (also for an unreadable
+/// file).
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+
+/// Serialize a scenario to canonical JSON: every key explicit, schema
+/// order, integers undecorated and doubles via %.17g, custom cores with
+/// resolved nodes and regions. parse_scenario(dump_scenario(s)) yields
+/// an identical scenario AND an identical dump — the loader round-trip
+/// contract tests/scenario_test.cpp enforces.
+[[nodiscard]] std::string dump_scenario(const Scenario& s);
+
+}  // namespace annoc::scenario

@@ -1,0 +1,149 @@
+/// \file schema.hpp
+/// The scenario-file schema as data: one KeyInfo row per accepted JSON
+/// key, with its type, default and one-line doc. scenario.cpp validates
+/// against these tables (unknown keys are reported with their source
+/// line), and tools/gen_config_reference.py parses this file to emit
+/// the "Scenario file schema" tables in docs/CONFIG_REFERENCE.md — keep
+/// each entry in the `{"key", "type", "default", "doc"},` shape the
+/// generator greps for. docs/WORKLOADS.md is the narrative companion.
+#pragma once
+
+#include <cstddef>
+
+namespace annoc::scenario {
+
+struct KeyInfo {
+  const char* key;
+  const char* type;  ///< string | number | bool | number|null | array | object
+  const char* def;   ///< default, as scenario-file text ("-" = required)
+  const char* doc;
+};
+
+/// Top-level scenario keys. `app` and `cores`/`mesh` are mutually
+/// exclusive ways to pick the workload; everything else maps onto one
+/// core::SystemConfig field (defaults match that struct exactly).
+inline constexpr KeyInfo kScenarioKeys[] = {
+    {"name", "string", "\"\"",
+     "Display name for reports; also the application name of a custom core set."},
+    {"design", "string", "gss",
+     "Design point: conv, conv+pfs, ref4, ref4+pfs, gss, gss+sagm or gss+sagm+sti."},
+    {"app", "string", "sdtv",
+     "Paper application model: bluray, sdtv or ddtv. Mutually exclusive with cores/mesh."},
+    {"ddr", "number", "2",
+     "SDRAM generation: 1, 2 or 3 (selects the JEDEC-style timing set)."},
+    {"clock_mhz", "number", "333",
+     "Memory clock in MHz; ns timings are re-derived into cycles at this clock."},
+    {"priority", "bool", "false",
+     "Table II mode: MPU demand requests become priority packets."},
+    {"model_response_path", "bool", "false",
+     "Model the read-data return mesh; reads complete when data lands at the core."},
+    {"measure_cycles", "number", "200000",
+     "Length of the measurement window in memory-clock cycles."},
+    {"warmup_cycles", "number", "20000",
+     "Cycles simulated before the window opens (queues fill, rows open)."},
+    {"drain_cycle_limit", "number", "20000",
+     "Post-window cycles allowed for in-window requests to complete; 0 disables."},
+    {"seed", "number|string", "42",
+     "Traffic RNG seed; write seeds above 2^53 as a decimal string."},
+    {"fast_forward", "bool", "true",
+     "Idle-cycle fast-forward; bit-identical to dense stepping, just faster."},
+    {"pct", "number", "4",
+     "GSS priority control token threshold (2..6), paper Section IV-B."},
+    {"num_gss_routers", "number|null", "null",
+     "Fig. 8 sweep: routers (closest to memory first) running GSS; null = all."},
+    {"engine_lookahead", "number|null", "null",
+     "Controller ablation: banks prepared ahead of the oldest request."},
+    {"engine_reorder_depth", "number|null", "null",
+     "Controller ablation: cross-master CAS slip window (1 = strictly in-order)."},
+    {"engine_window", "number|null", "null",
+     "Controller ablation: scheduler candidate window."},
+    {"map_chunk_bytes", "number", "0",
+     "Address-map chunk size for bank interleave; 0 = default 256."},
+    {"num_vcs", "number", "1",
+     "Virtual channels per router input port (1 = wormhole, the paper setup)."},
+    {"adaptive_routing", "bool", "false",
+     "Minimal adaptive routing instead of the paper's deterministic XY."},
+    {"observe", "string", "off",
+     "Observability level: off, counters or full (never perturbs Metrics)."},
+    {"perfetto_path", "string", "\"\"",
+     "Write a Perfetto/Chrome trace-event timeline to this path."},
+    {"trace_path", "string", "\"\"",
+     "Write one CSV row per completed subpacket to this path."},
+    {"record_trace", "string", "\"\"",
+     "Record every generated request to this path as a replayable trace."},
+    {"replay_trace", "string", "\"\"",
+     "Replay this trace file instead of random traffic; resolved relative to the scenario file."},
+    {"check", "bool", "true",
+     "Attach the JEDEC timing oracle and conservation checker to the run."},
+    {"refresh", "bool", "false",
+     "Enable the SDRAM refresh engine (default off, matching the paper)."},
+    {"split_beats", "number", "0",
+     "SAGM split granularity in beats; 0 = per-generation default (4, 4, 8)."},
+    {"mesh", "object", "-",
+     "Mesh geometry for a custom core set; required with cores, rejected with app."},
+    {"cores", "array", "-",
+     "Custom core set (array of core objects); mutually exclusive with app."},
+};
+
+/// Keys of the `mesh` object.
+inline constexpr KeyInfo kMeshKeys[] = {
+    {"width", "number", "-", "Mesh width in routers."},
+    {"height", "number", "-", "Mesh height in routers."},
+    {"mem_node", "number", "0",
+     "Node whose memory port hosts the SDRAM subsystem (row-major id)."},
+    {"buffer_flits", "number", "16", "Input buffer depth per port, in flits."},
+    {"pipeline_latency", "number", "1", "Router pipeline latency in cycles."},
+};
+
+/// Keys of one entry of the `cores` array. `node` is all-or-none across
+/// the array: explicit nodes place cores directly (partial meshes are
+/// fine); omitting them auto-places with the A3MAP substitute, which
+/// needs exactly width*height cores.
+inline constexpr KeyInfo kCoreKeys[] = {
+    {"name", "string", "-", "Core name (metrics are reported per name)."},
+    {"node", "number", "auto",
+     "Mesh node (row-major); omit on every core to auto-place by weight."},
+    {"bytes_per_cycle", "number", "1.0",
+     "Offered useful payload rate, bytes per memory-clock cycle."},
+    {"read_fraction", "number", "0.7", "Fraction of requests that are reads."},
+    {"sequential_fraction", "number", "0.9",
+     "Probability the next request continues the sequential stream."},
+    {"sizes", "array", "[{\"bytes\": 32, \"weight\": 1.0}]",
+     "Request-size mix: array of {bytes, weight} objects, weights > 0."},
+    {"max_outstanding", "number", "8",
+     "In-flight request cap; a closed-loop core stops accruing credit at the cap."},
+    {"open_loop", "bool", "false",
+     "Real-time source: credit accrues regardless of outstanding requests."},
+    {"is_mpu", "bool", "false",
+     "MPU-class core; its demand share turns priority under priority=true."},
+    {"demand_fraction", "number", "0.0",
+     "Fraction of requests that are demand-class (vs stream/prefetch)."},
+    {"demand_bytes", "number", "32", "Demand request size (a cache line)."},
+    {"region_base", "number", "auto",
+     "Address-region base; omit to lay regions out back to back."},
+    {"region_bytes", "number", "4194304", "Address-region size in bytes."},
+    {"placement_weight", "number", "0.0",
+     "Auto-placement priority; 0 = use bytes_per_cycle."},
+    {"pattern", "string", "random",
+     "Traffic pattern: random, hotspot, bursty or frame."},
+    {"hotspot_fraction", "number", "0.8",
+     "hotspot: probability a jump lands in the hot sub-region."},
+    {"hotspot_bytes", "number", "65536",
+     "hotspot: hot sub-region size in bytes (clamped to the region)."},
+    {"burst_on_cycles", "number", "2000", "bursty: cycles of each on phase."},
+    {"burst_off_cycles", "number", "2000",
+     "bursty: cycles of each off phase (core is silent)."},
+    {"frame_period", "number", "16000",
+     "frame: frame period in cycles (clock_mhz * 1e6 / fps)."},
+    {"frame_active_fraction", "number", "0.5",
+     "frame: leading fraction of each period the core is active."},
+};
+
+inline constexpr std::size_t kNumScenarioKeys =
+    sizeof(kScenarioKeys) / sizeof(kScenarioKeys[0]);
+inline constexpr std::size_t kNumMeshKeys =
+    sizeof(kMeshKeys) / sizeof(kMeshKeys[0]);
+inline constexpr std::size_t kNumCoreKeys =
+    sizeof(kCoreKeys) / sizeof(kCoreKeys[0]);
+
+}  // namespace annoc::scenario

@@ -50,17 +50,23 @@ CoreSpec stream(const std::string& name, std::vector<SizeMix> sizes,
   return s;
 }
 
-/// Assign disjoint 4 MiB regions and place cores: highest offered
+/// Assign disjoint 4 MiB regions, then place cores: highest offered
 /// bandwidth closest to the memory corner (the A3MAP substitution).
 Application finalize(std::string name, noc::NocConfig noc,
                      std::vector<CoreSpec> specs) {
-  const std::size_t n = specs.size();
-  ANNOC_ASSERT(n == static_cast<std::size_t>(noc.width) * noc.height);
-
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
     specs[i].region_base = static_cast<std::uint64_t>(i) * (4u << 20);
     specs[i].region_bytes = 4u << 20;
   }
+  return place_application(std::move(name), noc, std::move(specs));
+}
+
+}  // namespace
+
+Application place_application(std::string name, const noc::NocConfig& noc,
+                              std::vector<CoreSpec> specs) {
+  const std::size_t n = specs.size();
+  ANNOC_ASSERT(n == static_cast<std::size_t>(noc.width) * noc.height);
 
   // Node ids ordered by Manhattan distance to the memory corner.
   std::vector<NodeId> nodes(n);
@@ -95,8 +101,6 @@ Application finalize(std::string name, noc::NocConfig noc,
   }
   return app;
 }
-
-}  // namespace
 
 Application build_application(AppId id) {
   noc::NocConfig noc;

@@ -53,4 +53,14 @@ struct Application {
 /// placement puts high-bandwidth cores nearest the memory corner.
 [[nodiscard]] Application build_application(AppId id);
 
+/// Place `specs` on the mesh with the greedy bandwidth-ordered
+/// substitution for A3MAP (heaviest placement weight closest to the
+/// memory corner; see DESIGN.md). Core address regions are used as
+/// given — callers lay them out. Requires specs.size() == width *
+/// height. Exposed for the scenario loader, which auto-places custom
+/// SoCs whose cores carry no explicit node.
+[[nodiscard]] Application place_application(std::string name,
+                                            const noc::NocConfig& noc,
+                                            std::vector<CoreSpec> specs);
+
 }  // namespace annoc::traffic

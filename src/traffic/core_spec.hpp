@@ -16,6 +16,29 @@ struct SizeMix {
   double weight = 1.0;
 };
 
+/// Synthetic traffic pattern shaping a core's request stream on top of
+/// the base rate/size/locality model (docs/WORKLOADS.md, "Synthetic
+/// patterns"). kRandom is the paper's model and the default; the other
+/// patterns are deterministic overlays so fast-forward stays
+/// bit-identical (gating is a pure function of the cycle number, never
+/// of extra RNG draws).
+enum class TrafficPattern : std::uint8_t {
+  kRandom,         ///< the paper's random mix (sequential/jump cursor)
+  kHotspot,        ///< random jumps concentrate on a hot sub-region
+  kBursty,         ///< on/off square wave: rate applies only while on
+  kFramePeriodic,  ///< MPEG-like frame cadence: active window per period
+};
+
+[[nodiscard]] inline const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kRandom: return "random";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kBursty: return "bursty";
+    case TrafficPattern::kFramePeriodic: return "frame";
+  }
+  return "?";
+}
+
 /// Traffic model parameters for one core. Rates are in bytes of useful
 /// payload per memory-clock cycle; the generator is closed-loop — it
 /// stops accruing credit while `max_outstanding` requests are in flight,
@@ -53,6 +76,72 @@ struct CoreSpec {
   /// bytes_per_cycle). The MPU gets a large weight: its demand misses
   /// are latency-critical, so A3MAP places it next to the memory.
   double placement_weight = 0.0;
+
+  /// Synthetic pattern overlay (kRandom reproduces the paper's model
+  /// exactly; see TrafficPattern).
+  TrafficPattern pattern = TrafficPattern::kRandom;
+  /// kHotspot: probability a non-sequential jump lands in the hot
+  /// sub-region at the start of the core's address region.
+  double hotspot_fraction = 0.8;
+  /// kHotspot: size of the hot sub-region in bytes (clamped to the
+  /// region).
+  std::uint64_t hotspot_bytes = 64u << 10;
+  /// kBursty: cycles of each on phase (credit accrues / requests emit).
+  Cycle burst_on_cycles = 2000;
+  /// kBursty: cycles of each off phase (core is silent).
+  Cycle burst_off_cycles = 2000;
+  /// kFramePeriodic: frame period in cycles (e.g. clock_mhz * 1e6 / fps).
+  Cycle frame_period = 16000;
+  /// kFramePeriodic: leading fraction of each period the core is active
+  /// (the frame's fetch/decode window; the rest of the period idles).
+  double frame_active_fraction = 0.5;
 };
+
+/// Is the per-cycle emission gate open at `now`? Pure function of the
+/// cycle number (and the spec), so fast-forward replay of skipped
+/// cycles reproduces dense stepping bit for bit. Always true for
+/// kRandom and kHotspot.
+[[nodiscard]] inline bool pattern_gate_open(const CoreSpec& s, Cycle now) {
+  switch (s.pattern) {
+    case TrafficPattern::kRandom:
+    case TrafficPattern::kHotspot:
+      return true;
+    case TrafficPattern::kBursty: {
+      const Cycle period = s.burst_on_cycles + s.burst_off_cycles;
+      return period == 0 || (now % period) < s.burst_on_cycles;
+    }
+    case TrafficPattern::kFramePeriodic: {
+      if (s.frame_period == 0) return true;
+      const auto active = static_cast<Cycle>(
+          s.frame_active_fraction * static_cast<double>(s.frame_period));
+      return (now % s.frame_period) < active;
+    }
+  }
+  return true;
+}
+
+/// First cycle >= `now` with the gate open (kNeverCycle when the gate
+/// never opens, e.g. a zero-length on phase).
+[[nodiscard]] inline Cycle pattern_next_open(const CoreSpec& s, Cycle now) {
+  if (pattern_gate_open(s, now)) return now;
+  Cycle period = 0;
+  switch (s.pattern) {
+    case TrafficPattern::kBursty:
+      period = s.burst_on_cycles + s.burst_off_cycles;
+      if (s.burst_on_cycles == 0) return kNeverCycle;
+      break;
+    case TrafficPattern::kFramePeriodic:
+      period = s.frame_period;
+      if (static_cast<Cycle>(s.frame_active_fraction *
+                             static_cast<double>(period)) == 0) {
+        return kNeverCycle;
+      }
+      break;
+    default:
+      return now;
+  }
+  // The gate reopens at the start of the next period.
+  return now + (period - now % period);
+}
 
 }  // namespace annoc::traffic

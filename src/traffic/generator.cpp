@@ -37,8 +37,16 @@ std::uint64_t CoreGenerator::pick_address(std::uint32_t bytes) {
   const std::uint64_t align = std::max<std::uint64_t>(cfg_.bus_bytes, 4);
 
   if (!rng_.chance(s.sequential_fraction)) {
-    // Jump somewhere else in the region (aligned).
-    const std::uint64_t span = s.region_bytes / align;
+    // Jump somewhere else in the region (aligned). The hotspot pattern
+    // concentrates a configurable fraction of jumps on the hot
+    // sub-region at the start of the region (row-buffer-friendly
+    // contention, the classic NoC hotspot workload).
+    std::uint64_t span_bytes = s.region_bytes;
+    if (s.pattern == TrafficPattern::kHotspot &&
+        rng_.chance(s.hotspot_fraction)) {
+      span_bytes = std::min<std::uint64_t>(s.hotspot_bytes, s.region_bytes);
+    }
+    const std::uint64_t span = std::max<std::uint64_t>(span_bytes / align, 1);
     cursor_ = s.region_base + rng_.next_below(span) * align;
   }
   // Keep the request inside one mapping unit (chunk/row): SDRAM bursts
@@ -112,15 +120,20 @@ void CoreGenerator::tick(Cycle now, noc::Network& net) {
   // provable no-op mid-accrual (credit < next_size <= 2*next_size).
   if (accruing_ && last_tick_ != kNeverCycle) {
     for (Cycle c = last_tick_ + 1; c < now; ++c) {
-      credit_ += s.bytes_per_cycle;
+      // Pattern gating is a pure function of the cycle number, so the
+      // replay can re-evaluate it per skipped cycle; kRandom/kHotspot
+      // gates are always open and this reduces to the original loop.
+      if (pattern_gate_open(s, c)) credit_ += s.bytes_per_cycle;
     }
   }
   last_tick_ = now;
   // Open-loop cores accrue credit unconditionally (their rate is a
   // real-time requirement); closed-loop cores stop while their
-  // outstanding window is full.
-  const bool may_emit =
-      emitting_ && (s.open_loop || outstanding_ < s.max_outstanding);
+  // outstanding window is full. Bursty/frame patterns additionally
+  // gate on their cycle-periodic window.
+  const bool may_emit = emitting_ &&
+                        (s.open_loop || outstanding_ < s.max_outstanding) &&
+                        pattern_gate_open(s, now);
   if (may_emit) {
     credit_ += s.bytes_per_cycle;
     while (credit_ >= static_cast<double>(next_size_) &&
@@ -154,10 +167,17 @@ Cycle CoreGenerator::next_event(Cycle now) const {
   if (!backlog_.empty()) h = std::min(h, std::max(link_free_at_, now));
   const CoreSpec& s = cfg_.spec;
   if (accruing_ && emitting_ && s.bytes_per_cycle > 0.0) {
+    if (!pattern_gate_open(s, now)) {
+      // Gated off: nothing accrues or emits before the gate reopens.
+      h = std::min(h, pattern_next_open(s, now));
+      return h;
+    }
     // Lower bound on the cycle the accrued credit reaches next_size_.
     // The margin absorbs the rounding drift of the per-cycle additions
     // the replay will perform; under-estimating only costs a few dense
     // steps near the crossing, over-estimating would skip an emission.
+    // For gated patterns the estimate assumes the gate stays open — a
+    // further under-estimate, still safe.
     const double steps =
         (static_cast<double>(next_size_) - credit_) / s.bytes_per_cycle;
     Cycle k = 1;

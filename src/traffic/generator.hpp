@@ -16,6 +16,7 @@
 #include "noc/packet.hpp"
 #include "sdram/address.hpp"
 #include "traffic/core_spec.hpp"
+#include "traffic/source.hpp"
 
 namespace annoc::traffic {
 
@@ -35,14 +36,7 @@ struct GeneratorConfig {
   std::function<void(const noc::Packet&, std::uint32_t)> on_request;
 };
 
-struct GeneratorStats {
-  std::uint64_t requests_generated = 0;
-  std::uint64_t packets_injected = 0;
-  std::uint64_t bytes_requested = 0;
-  std::uint64_t inject_stalls = 0;  ///< cycles blocked on a full buffer
-};
-
-class CoreGenerator {
+class CoreGenerator final : public TrafficSource {
  public:
   CoreGenerator(const GeneratorConfig& cfg,
                 const sdram::AddressMapper& mapper, PacketId& id_source);
@@ -51,30 +45,34 @@ class CoreGenerator {
   /// Cycles skipped by the fast-forward scheduler are replayed as
   /// individual credit additions, so the floating-point accumulation is
   /// bit-identical to dense stepping (a += k*b is not k times a += b).
-  void tick(Cycle now, noc::Network& net);
+  void tick(Cycle now, noc::Network& net) override;
 
   /// Earliest future cycle (>= now) this generator can act: inject its
   /// backlog, or accrue enough credit to emit. The emission horizon is
   /// a deliberately safe under-estimate of the credit-crossing cycle
   /// (landing early costs a few dense steps; landing late would change
   /// results). kNeverCycle when drained and rate-less.
-  [[nodiscard]] Cycle next_event(Cycle now) const;
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
 
   /// A parent request completed (all subpackets serviced).
-  void on_parent_completed() {
+  void on_parent_completed() override {
     ANNOC_ASSERT(outstanding_ > 0);
     --outstanding_;
   }
 
   /// Gate request generation (drain phase: injection of the existing
   /// backlog continues, but no new requests are created).
-  void set_emitting(bool emitting) { emitting_ = emitting; }
+  void set_emitting(bool emitting) override { emitting_ = emitting; }
 
-  [[nodiscard]] const GeneratorStats& stats() const { return stats_; }
-  [[nodiscard]] CoreId core_id() const { return cfg_.core_id; }
-  [[nodiscard]] const CoreSpec& spec() const { return cfg_.spec; }
+  [[nodiscard]] const GeneratorStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] CoreId core_id() const override { return cfg_.core_id; }
+  [[nodiscard]] const CoreSpec& spec() const override { return cfg_.spec; }
   [[nodiscard]] std::uint32_t outstanding() const { return outstanding_; }
-  [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+  [[nodiscard]] std::size_t backlog() const override {
+    return backlog_.size();
+  }
 
  private:
   [[nodiscard]] std::uint32_t pick_size();

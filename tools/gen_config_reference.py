@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Generate docs/CONFIG_REFERENCE.md from src/core/system_config.hpp.
+"""Generate docs/CONFIG_REFERENCE.md from src/core/system_config.hpp
+and src/scenario/schema.hpp.
 
 Parses the SystemConfig struct: each member's type, default value and
 doc comment, plus (by grepping tests/ and bench/) which tests pin each
-knob — so the table doubles as a coverage map. Stdlib only; run from
-the repository root:
+knob — so the table doubles as a coverage map. Also parses the KeyInfo
+tables in scenario/schema.hpp into the "Scenario file schema" section,
+so the scenario-JSON surface documented here can never drift from what
+the loader accepts. Stdlib only; run from the repository root:
 
     python3 tools/gen_config_reference.py          # rewrite the doc
     python3 tools/gen_config_reference.py --check  # CI: fail if stale
@@ -16,7 +19,61 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 HEADER = ROOT / "src" / "core" / "system_config.hpp"
+SCHEMA = ROOT / "src" / "scenario" / "schema.hpp"
 OUTPUT = ROOT / "docs" / "CONFIG_REFERENCE.md"
+
+# KeyInfo arrays in schema.hpp, in render order: (array name, heading,
+# lead-in sentence).
+SCHEMA_TABLES = [
+    (
+        "kScenarioKeys",
+        "Top-level keys",
+        "Every key accepted at the top level of a scenario file. `app`"
+        " and `cores`/`mesh` are mutually exclusive ways to pick the"
+        " workload; the rest map one-to-one onto `SystemConfig` knobs"
+        " above.",
+    ),
+    (
+        "kMeshKeys",
+        "`mesh` object",
+        "Geometry of a custom core set's mesh (required whenever"
+        " `cores` is present).",
+    ),
+    (
+        "kCoreKeys",
+        "`cores[]` entries",
+        "One object per core. `node` and `region_base` are each"
+        " all-or-none across the array: give them on every core or on"
+        " none (auto-placement needs exactly width×height cores).",
+    ),
+]
+
+# One C string literal, escapes included.
+STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def parse_schema_array(text: str, array: str):
+    """Rows of one `inline constexpr KeyInfo <array>[] = {...}` table.
+
+    Each entry is `{"key", "type", "default", "doc"},` (schema.hpp keeps
+    that shape by contract); we pull the string literals and group them
+    in fours.
+    """
+    m = re.search(re.escape(array) + r"\[\]\s*=\s*\{", text)
+    if not m:
+        raise SystemExit(f"{array} not found in {SCHEMA}")
+    body = text[m.end() : text.index("};", m.end())]
+    lits = [s.replace('\\"', '"') for s in STRING_RE.findall(body)]
+    if not lits or len(lits) % 4:
+        raise SystemExit(
+            f"{array}: expected groups of four string literals, got"
+            f" {len(lits)} — keep the {{key, type, default, doc}} shape"
+        )
+    return [
+        {"key": lits[i], "type": lits[i + 1], "default": lits[i + 2],
+         "doc": lits[i + 3]}
+        for i in range(0, len(lits), 4)
+    ]
 
 
 def extract_struct(text: str) -> str:
@@ -80,7 +137,43 @@ def esc(s: str) -> str:
     return s.replace("|", "\\|").replace("<", "&lt;").replace(">", "&gt;")
 
 
-def render(members) -> str:
+def render_schema_section(schema_text: str) -> list[str]:
+    lines = [
+        "",
+        "# Scenario file schema",
+        "",
+        "Keys of the declarative scenario files under"
+        " [`scenarios/`](../scenarios), parsed from the `KeyInfo` tables"
+        " in [`src/scenario/schema.hpp`](../src/scenario/schema.hpp)"
+        " (the same tables the loader validates against, so this section"
+        " cannot drift from the code). Narrative guide with worked"
+        " examples: [docs/WORKLOADS.md](WORKLOADS.md).",
+    ]
+    for array, heading, blurb in SCHEMA_TABLES:
+        rows = parse_schema_array(schema_text, array)
+        lines += [
+            "",
+            f"## {heading}",
+            "",
+            blurb,
+            "",
+            "| key | type | default | description |",
+            "|---|---|---|---|",
+        ]
+        for r in rows:
+            default = r["default"]
+            lines.append(
+                "| `{}` | `{}` | {} | {} |".format(
+                    r["key"],
+                    esc(r["type"]),
+                    f"`{esc(default)}`" if default != "-" else "required",
+                    esc(r["doc"]),
+                )
+            )
+    return lines
+
+
+def render(members, schema_text: str) -> str:
     lines = [
         "# SystemConfig reference",
         "",
@@ -109,10 +202,12 @@ def render(members) -> str:
                 shown or "—",
             )
         )
+    lines += render_schema_section(schema_text)
     lines += [
         "",
         "Regenerate with `python3 tools/gen_config_reference.py` after"
-        " changing `system_config.hpp`; CI fails if this file is stale.",
+        " changing `system_config.hpp` or `scenario/schema.hpp`; CI"
+        " fails if this file is stale.",
         "",
     ]
     return "\n".join(lines)
@@ -123,7 +218,7 @@ def main() -> int:
     if not members:
         print("no members parsed — parser bug?", file=sys.stderr)
         return 1
-    doc = render(members)
+    doc = render(members, SCHEMA.read_text(encoding="utf-8"))
     if "--check" in sys.argv:
         current = OUTPUT.read_text(encoding="utf-8") if OUTPUT.exists() else ""
         if current != doc:
