@@ -1,0 +1,123 @@
+#include "core/event_queue.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace annoc::core {
+
+void EventQueue::reset(std::size_t n) {
+  heap_.clear();
+  heap_.reserve(n);
+  pos_.assign(n, kAbsent);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = e;
+  pos_[e.id] = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+    i = child;
+  }
+  heap_[i] = e;
+  pos_[e.id] = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::remove_at(std::size_t i) {
+  pos_[heap_[i].id] = kAbsent;
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (i == heap_.size()) return;
+  heap_[i] = last;
+  pos_[last.id] = static_cast<std::uint32_t>(i);
+  // The replacement may belong above or below its new slot.
+  sift_up(i);
+  sift_down(pos_[last.id]);
+}
+
+void EventQueue::schedule(ComponentId id, Cycle at) {
+  ANNOC_ASSERT(id < pos_.size());
+  const std::uint32_t p = pos_[id];
+  if (at == kNeverCycle) {
+    if (p != kAbsent) {
+      remove_at(p);
+      ++counters_.cancels;
+    }
+    return;
+  }
+  ++counters_.schedules;
+  if (p == kAbsent) {
+    heap_.push_back(Entry{at, id});
+    pos_[id] = static_cast<std::uint32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+    counters_.max_heap_depth =
+        std::max<std::uint64_t>(counters_.max_heap_depth, heap_.size());
+    return;
+  }
+  const Cycle old = heap_[p].deadline;
+  if (old == at) return;
+  heap_[p].deadline = at;
+  if (at < old) {
+    sift_up(p);
+  } else {
+    sift_down(p);
+  }
+}
+
+void EventQueue::dirty(ComponentId id, Cycle at) {
+  ANNOC_ASSERT(id < pos_.size());
+  ANNOC_ASSERT(at != kNeverCycle);
+  const std::uint32_t p = pos_[id];
+  if (p != kAbsent && heap_[p].deadline <= at) return;  // already earlier
+  schedule(id, at);
+}
+
+EventQueue::ComponentId EventQueue::pop_due(Cycle now) {
+  ANNOC_ASSERT(has_due(now));
+  // A deadline strictly in the past means the clock jumped over a
+  // pending wakeup — an advance_event clamping bug, not a component
+  // bug. Catch it here where the offender is identifiable.
+  ANNOC_ASSERT_MSG(heap_.front().deadline >= now,
+                   "component deadline skipped by the event-loop clock");
+  const ComponentId id = heap_.front().id;
+  remove_at(0);
+  ++counters_.wakeups;
+  return id;
+}
+
+bool EventQueue::check_invariants() const {
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const std::size_t parent = (i - 1) / 2;
+    if (before(heap_[i], heap_[parent])) return false;
+  }
+  std::size_t present = 0;
+  for (std::size_t id = 0; id < pos_.size(); ++id) {
+    const std::uint32_t p = pos_[id];
+    if (p == kAbsent) continue;
+    if (p >= heap_.size()) return false;
+    if (heap_[p].id != id) return false;
+    if (heap_[p].deadline == kNeverCycle) return false;
+    ++present;
+  }
+  return present == heap_.size();
+}
+
+}  // namespace annoc::core

@@ -1,0 +1,111 @@
+/// \file event_queue.hpp
+/// Indexed binary min-heap scheduler for the event-driven simulation
+/// core (SystemConfig::sched = event): every top-level component —
+/// the memory subsystem, each request router, the response path and
+/// each traffic source — owns one slot keyed by the deadline of its
+/// next wakeup. The simulator pops and ticks only the components whose
+/// deadline has arrived; components reschedule themselves from their
+/// `next_event` horizon after each tick, and upstream events
+/// (deliveries, completions) pull a sleeping component's deadline
+/// forward via dirty().
+///
+/// Determinism: the heap is ordered by (deadline, component id) — a
+/// strict total order, so pops are reproducible regardless of
+/// insertion history. Component ids are assigned in the dense tick
+/// order (subsystem, routers by node id, response path, generators by
+/// core id), which makes the event loop execute due components in
+/// exactly the dense sequence and keeps Metrics bit-identical to dense
+/// stepping (see DESIGN.md, "The next_event contract").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/counters.hpp"
+
+namespace annoc::core {
+
+class EventQueue {
+ public:
+  using ComponentId = std::uint32_t;
+
+  explicit EventQueue(std::size_t num_components = 0) {
+    reset(num_components);
+  }
+
+  /// Drop every pending deadline and re-size for `n` components.
+  /// Counters survive (they describe the whole run).
+  void reset(std::size_t n);
+
+  [[nodiscard]] std::size_t num_components() const { return pos_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Set `id`'s deadline to exactly `at`, replacing any pending one.
+  /// kNeverCycle cancels: the component leaves the heap until a
+  /// dirty() or schedule() re-arms it.
+  void schedule(ComponentId id, Cycle at);
+
+  /// Pull `id`'s deadline forward to min(current, at) — the upstream
+  /// dirty-marking hook. A component with no pending deadline (drained,
+  /// horizon kNeverCycle) is re-armed at `at`. Never delays a wakeup.
+  void dirty(ComponentId id, Cycle at);
+
+  /// Earliest pending deadline; kNeverCycle when the heap is empty.
+  [[nodiscard]] Cycle next_deadline() const {
+    return heap_.empty() ? kNeverCycle : heap_.front().deadline;
+  }
+
+  /// Is any component due at or before `now`?
+  [[nodiscard]] bool has_due(Cycle now) const {
+    return !heap_.empty() && heap_.front().deadline <= now;
+  }
+
+  /// Pop the due component with the smallest (deadline, id) key.
+  /// Precondition: has_due(now). The component is removed; the caller
+  /// ticks it and schedules its next deadline.
+  ComponentId pop_due(Cycle now);
+
+  /// Pending deadline of `id`; kNeverCycle when not scheduled. Test
+  /// and audit hook, not used on the hot path.
+  [[nodiscard]] Cycle deadline_of(ComponentId id) const {
+    return pos_[id] == kAbsent ? kNeverCycle : heap_[pos_[id]].deadline;
+  }
+
+  [[nodiscard]] const obs::SchedCounters& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] obs::SchedCounters& counters() { return counters_; }
+
+  /// Full structural self-check (heap order on (deadline, id), index
+  /// map consistency) — O(n), for the randomized scheduler tests.
+  [[nodiscard]] bool check_invariants() const;
+
+ private:
+  struct Entry {
+    Cycle deadline = kNeverCycle;
+    ComponentId id = 0;
+  };
+
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  /// The total order: deadline first, then the fixed component id.
+  /// Deterministic pops are what keeps `ExperimentRunner --jobs N`
+  /// bit-identical to a serial run — nothing about heap history or
+  /// memory layout may influence which due component runs first.
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) {
+    return a.deadline != b.deadline ? a.deadline < b.deadline : a.id < b.id;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void remove_at(std::size_t i);
+
+  std::vector<Entry> heap_;
+  /// pos_[id] = heap index of the component's entry, or kAbsent.
+  std::vector<std::uint32_t> pos_;
+  obs::SchedCounters counters_;
+};
+
+}  // namespace annoc::core

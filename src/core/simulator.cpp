@@ -8,10 +8,76 @@
 
 namespace annoc::core {
 
+namespace {
+
+/// Cheap component-state fingerprints for the horizon audit
+/// (SystemConfig::audit_horizons). They fold the externally observable
+/// counters and occupancy of a component — enough to detect that a tick
+/// changed visible state — while excluding internal bookkeeping that
+/// legitimately mutates without constituting an observable event
+/// (generator credit accrual, GSS token aging inside arbitration).
+[[nodiscard]] std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return h * 1099511628211ull + v;
+}
+
+[[nodiscard]] std::uint64_t fingerprint(const noc::Router& r) {
+  const noc::RouterStats& s = r.stats();
+  std::uint64_t h = mix(0, s.packets_forwarded);
+  h = mix(h, s.flits_forwarded);
+  h = mix(h, s.arbitration_rounds);
+  h = mix(h, s.idle_grants);
+  h = mix(h, s.blocked_on_downstream);
+  h = mix(h, r.buffered_packets());
+  for (int p = 0; p < noc::kNumPorts; ++p) {
+    const noc::Transfer& t = r.output(static_cast<noc::Port>(p));
+    h = mix(h, t.active ? t.end : 0);
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fingerprint(const memctrl::MemorySubsystem& sub) {
+  std::uint64_t h = mix(0, sub.pending_requests());
+  const memctrl::EngineStats& es = sub.engine_stats();
+  h = mix(h, es.requests_completed);
+  h = mix(h, es.cas_issued);
+  h = mix(h, es.act_issued);
+  h = mix(h, es.pre_issued);
+  h = mix(h, es.stall_cycles);
+  const sdram::DeviceStats& ds = sub.device().stats();
+  h = mix(h, ds.activates);
+  h = mix(h, ds.precharges);
+  h = mix(h, ds.reads);
+  h = mix(h, ds.writes);
+  h = mix(h, ds.refreshes);
+  h = mix(h, ds.total_beats);
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fingerprint(const ResponsePath& rp) {
+  std::uint64_t h = mix(0, rp.backlog());
+  const noc::NetworkStats& ns = rp.network().stats();
+  h = mix(h, ns.injected_packets);
+  h = mix(h, ns.ejected_packets);
+  h = mix(h, rp.network().in_flight_packets());
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fingerprint(const traffic::TrafficSource& gen) {
+  const traffic::GeneratorStats& s = gen.stats();
+  std::uint64_t h = mix(0, s.requests_generated);
+  h = mix(h, s.packets_injected);
+  h = mix(h, s.inject_stalls);
+  h = mix(h, gen.backlog());
+  return h;
+}
+
+}  // namespace
+
 Simulator::Simulator(const SystemConfig& cfg)
     : cfg_(cfg),
       app_(cfg.custom_app ? *cfg.custom_app
                           : traffic::build_application(cfg.app)) {
+  sched_ = cfg_.resolved_sched();
   // --- SDRAM device ---
   dev_cfg_.generation = cfg.generation;
   dev_cfg_.clock_mhz = cfg.clock_mhz;
@@ -270,6 +336,10 @@ void Simulator::on_subpacket_complete(const noc::Packet& pkt) {
   // data lands back at the core.
   if (response_path_ && pkt.rw == RW::kRead) {
     response_path_->queue_response(pkt, now_);
+    // The response path now has backlog to inject this very cycle; its
+    // component id is higher than every possible caller's (subsystem),
+    // so under the event scheduler it has not been popped yet.
+    if (primed_) queue_.dirty(response_id(), now_);
     return;
   }
   finish_subpacket(pkt, pkt.service_done);
@@ -294,6 +364,11 @@ void Simulator::finish_subpacket(const noc::Packet& pkt, Cycle done) {
     }
     record_parent(*ps);
     generators_[ps->core]->on_parent_completed();
+    // The freed request-window slot may unblock emission this cycle.
+    // Generators carry the highest component ids, so under the event
+    // scheduler this one has not been popped yet and ticks at now_ —
+    // exactly when dense stepping would let it emit again.
+    if (primed_) queue_.dirty(generator_id(ps->core), now_);
     parents_.erase(pkt.parent_id);
   }
 }
@@ -321,6 +396,12 @@ void Simulator::step() {
     end_measurement();
   }
 
+  if (cfg_.audit_horizons) {
+    step_audited();
+    ++now_;
+    return;
+  }
+
   // 1. Memory subsystem: issue commands, retire requests.
   subsystem_->tick(now_);
   for (noc::Packet& done : subsystem_->drain_completions()) {
@@ -341,8 +422,89 @@ void Simulator::step() {
   ++now_;
 }
 
+void Simulator::step_audited() {
+  // Same cycle body as step(), but each component's tick is bracketed
+  // by its own horizon and state fingerprint: a component whose visible
+  // state changed at now_ after reporting next_event > now_ violated
+  // the contract (the fast-forward and event schedulers would have let
+  // it sleep through this cycle and silently diverge from dense).
+  // Fingerprints are captured immediately before each component's own
+  // tick, so mutations caused by earlier components this cycle (a
+  // delivery landing in a router's buffer) are not misattributed.
+  const auto check = [this](const char* what, std::size_t idx, Cycle h,
+                            std::uint64_t fp0, std::uint64_t fp1) {
+    if (fp0 == fp1 || h <= now_) return;
+    std::fprintf(stderr,
+                 "horizon audit: %s[%zu] changed state at cycle %llu but its "
+                 "reported next_event horizon was %llu\n",
+                 what, idx, static_cast<unsigned long long>(now_),
+                 static_cast<unsigned long long>(h));
+    ANNOC_ASSERT_MSG(false,
+                     "next_event contract violation (see stderr); DESIGN.md "
+                     "\"The next_event contract\" has the triage guide");
+  };
+
+  {
+    const Cycle h = subsystem_->next_event(now_);
+    const std::uint64_t fp0 = fingerprint(*subsystem_);
+    subsystem_->tick(now_);
+    check("subsystem", 0, h, fp0, fingerprint(*subsystem_));
+  }
+  for (noc::Packet& done : subsystem_->drain_completions()) {
+    on_subpacket_complete(done);
+  }
+
+  for (NodeId r = 0; r < network_->num_routers(); ++r) {
+    const noc::Router& router = network_->router(r);
+    const Cycle h = router.next_event(now_);
+    const std::uint64_t fp0 = fingerprint(router);
+    network_->tick_router(r, now_);
+    check("router", r, h, fp0, fingerprint(router));
+  }
+
+  if (response_path_) {
+    const Cycle h = response_path_->next_event(now_);
+    const std::uint64_t fp0 = fingerprint(*response_path_);
+    response_path_->tick(now_);
+    check("response_path", 0, h, fp0, fingerprint(*response_path_));
+  }
+
+  for (std::size_t c = 0; c < generators_.size(); ++c) {
+    traffic::TrafficSource& gen = *generators_[c];
+    const Cycle h = gen.next_event(now_);
+    const std::uint64_t fp0 = fingerprint(gen);
+    gen.tick(now_, *network_);
+    check("generator", c, h, fp0, fingerprint(gen));
+  }
+}
+
 void Simulator::fast_forward(Cycle limit) {
-  if (!cfg_.fast_forward) return;
+  if (sched_ != SchedMode::kFastForward) return;
+  // Attempt backoff — the fix for fast-forward running SLOWER than
+  // dense on saturated workloads: with the mesh saturated, every
+  // attempt pays a full all-component horizon scan only to find some
+  // component busy. After a fruitless attempt (advance <= 1 cycle),
+  // skip the next `penalty` attempts, doubling the penalty up to 64;
+  // any real jump resets it. Jumps are optional under the next_event
+  // contract, so skipped attempts never change results — they only
+  // delay the next jump by at most 64 dense cycles after an idle
+  // pocket opens, while capping scan overhead at a vanishing fraction
+  // of saturated-phase runtime.
+  if (ff_backoff_ > 0) {
+    --ff_backoff_;
+    return;
+  }
+  const Cycle before = now_;
+  try_fast_forward(limit);
+  if (now_ >= before + 2) {
+    ff_penalty_ = 0;
+  } else {
+    ff_penalty_ = ff_penalty_ == 0 ? 1 : std::min<Cycle>(ff_penalty_ * 2, 64);
+    ff_backoff_ = ff_penalty_;
+  }
+}
+
+void Simulator::try_fast_forward(Cycle limit) {
   // Horizons are lower bounds on the next state change; any component
   // with work this cycle returns now_ and vetoes the jump.
   Cycle h = subsystem_->next_event(now_);
@@ -366,6 +528,129 @@ void Simulator::fast_forward(Cycle limit) {
   now_ = std::min(h, cap);  // h == kNeverCycle jumps straight to cap
 }
 
+void Simulator::prime_event_queue() {
+  queue_.reset(num_components());
+  // Arm everything at the current cycle rather than at each component's
+  // horizon: several components cannot report a meaningful horizon
+  // before their first tick (a CoreGenerator has no accrual history yet
+  // and would answer kNeverCycle — nothing would ever run).
+  const auto n = static_cast<EventQueue::ComponentId>(num_components());
+  for (EventQueue::ComponentId id = 0; id < n; ++id) {
+    if (!response_path_ && id == response_id()) continue;
+    queue_.schedule(id, now_);
+  }
+  network_->set_waker(this);
+  primed_ = true;
+}
+
+void Simulator::dispatch(EventQueue::ComponentId id) {
+  if (id == subsystem_id()) {
+    subsystem_->tick(now_);
+    for (noc::Packet& done : subsystem_->drain_completions()) {
+      on_subpacket_complete(done);
+    }
+    return;
+  }
+  const auto num_routers =
+      static_cast<EventQueue::ComponentId>(network_->num_routers());
+  if (id <= num_routers) {
+    network_->tick_router(static_cast<NodeId>(id - 1), now_);
+    return;
+  }
+  if (id == response_id()) {
+    ANNOC_ASSERT(response_path_ != nullptr);
+    response_path_->tick(now_);
+    return;
+  }
+  generators_[id - response_id() - 1]->tick(now_, *network_);
+}
+
+Cycle Simulator::horizon_of(EventQueue::ComponentId id, Cycle now) const {
+  Cycle h = kNeverCycle;
+  if (id == subsystem_id()) {
+    h = subsystem_->next_event(now);
+  } else if (id <= network_->num_routers()) {
+    h = network_->router(static_cast<NodeId>(id - 1)).next_event(now);
+  } else if (id == response_id()) {
+    h = response_path_->next_event(now);
+  } else {
+    h = generators_[id - response_id() - 1]->next_event(now);
+  }
+  // Horizons are >= now by contract; clamping keeps a buggy component
+  // from wedging the loop in the past (pop_due still asserts on clock
+  // skips, and the audit mode pins down the offender).
+  return h == kNeverCycle ? h : std::max(h, now);
+}
+
+void Simulator::wake_router(NodeId router, Cycle at) {
+  queue_.dirty(router_id(router), at);
+}
+
+void Simulator::wake_memory(Cycle at) { queue_.dirty(subsystem_id(), at); }
+
+void Simulator::step_event() {
+  if (burst_remaining_ > 0) {
+    // Saturation fallback (see kBurstStreak): plain dense cycles, heap
+    // untouched (wakers may still lower stale deadlines — harmless,
+    // the re-prime below rebuilds the heap from scratch). Dense cycles
+    // are trivially identical to dense stepping, and re-priming arms
+    // every component at now_ exactly like the initial prime, so the
+    // event loop resumes on a correct schedule.
+    --burst_remaining_;
+    step();
+    ++queue_.counters().executed_cycles;
+    if (burst_remaining_ == 0) prime_event_queue();
+    return;
+  }
+
+  if (!measuring_ && now_ >= cfg_.warmup_cycles) begin_measurement();
+  if (measuring_ && !measurement_ended_ &&
+      now_ >= cfg_.warmup_cycles + cfg_.sim_cycles) {
+    end_measurement();
+  }
+
+  // Every due deadline equals now_ exactly (advance_event never
+  // overshoots one), so pops come out in ascending component id — the
+  // dense tick order. Components dirtied at now_ by an earlier pop
+  // (completions waking the response path or a generator) enter the
+  // heap behind the popper's id and are served in the same sweep.
+  while (queue_.has_due(now_)) {
+    const EventQueue::ComponentId id = queue_.pop_due(now_);
+    dispatch(id);
+    // A waker may have re-armed `id` mid-dispatch (e.g. a generator's
+    // injection waking the source router that already ran this cycle);
+    // keep the earlier of that deadline and the component's own horizon.
+    queue_.schedule(
+        id, std::min(queue_.deadline_of(id), horizon_of(id, now_ + 1)));
+  }
+  ++queue_.counters().executed_cycles;
+  ++now_;
+}
+
+void Simulator::advance_event(Cycle limit) {
+  if (burst_remaining_ > 0) return;  // mid-burst: dense, no jumps
+  // Never jump over a phase boundary: begin/end_measurement must take
+  // their stat snapshots on the exact cycle dense stepping would.
+  Cycle cap = limit;
+  if (now_ < cfg_.warmup_cycles) cap = std::min(cap, cfg_.warmup_cycles);
+  const Cycle measure_end = cfg_.warmup_cycles + cfg_.sim_cycles;
+  if (now_ < measure_end) cap = std::min(cap, measure_end);
+  const Cycle target = std::min(queue_.next_deadline(), cap);
+  if (target > now_) {
+    queue_.counters().skipped_cycles += target - now_;
+    now_ = target;
+    dense_streak_ = 0;
+    burst_len_ = kBurstMin;
+  } else if (++dense_streak_ >= kBurstStreak) {
+    // Saturated: every recent cycle had due work. Drop to dense bursts
+    // and grow them while saturation persists, so heap overhead decays
+    // to nothing and event-mode throughput converges to dense.
+    dense_streak_ = 0;
+    burst_remaining_ = burst_len_;
+    burst_len_ = std::min(burst_len_ * 2, kBurstMax);
+  }
+}
+
 void Simulator::drain() {
   end_measurement();
   // Stop request generation; already-queued backlog still injects and
@@ -374,6 +659,18 @@ void Simulator::drain() {
   for (auto& gen : generators_) gen->set_emitting(false);
   const Cycle limit = cfg_.drain_cycle_limit;
   const Cycle drain_end = now_ + limit;
+  if (sched_ == SchedMode::kEvent && primed_) {
+    // Event-driven drain: same exit conditions as the dense loop below,
+    // so the final now_ (and thus drained_cycles_) matches it exactly.
+    const Cycle drain_start = now_;
+    while (!parents_.empty() && now_ < drain_end) {
+      step_event();
+      if (parents_.empty() || now_ >= drain_end) break;
+      advance_event(drain_end);
+    }
+    drained_cycles_ += now_ - drain_start;
+    return;
+  }
   while (!parents_.empty() && now_ < drain_end) {
     step();
     ++drained_cycles_;
@@ -389,9 +686,17 @@ void Simulator::drain() {
 
 Metrics Simulator::run() {
   const Cycle total = cfg_.warmup_cycles + cfg_.sim_cycles;
-  while (now_ < total) {
-    step();
-    if (now_ < total) fast_forward(total);
+  if (sched_ == SchedMode::kEvent) {
+    if (!primed_) prime_event_queue();
+    while (now_ < total) {
+      step_event();
+      if (now_ < total) advance_event(total);
+    }
+  } else {
+    while (now_ < total) {
+      step();
+      if (now_ < total) fast_forward(total);
+    }
   }
   drain();
   // One finish() for every sink: the counter sink closes open bank

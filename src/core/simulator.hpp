@@ -13,6 +13,7 @@
 #include "check/conservation.hpp"
 #include "check/timing_oracle.hpp"
 #include "common/flat_map.hpp"
+#include "core/event_queue.hpp"
 #include "core/metrics.hpp"
 #include "core/response_path.hpp"
 #include "core/system_config.hpp"
@@ -30,7 +31,10 @@
 
 namespace annoc::core {
 
-class Simulator {
+/// Top-level simulation driver. Implements noc::NetworkWaker so packet
+/// handoffs inside the request mesh can dirty sleeping components when
+/// the event-driven scheduler is active (SystemConfig::sched = event).
+class Simulator : private noc::NetworkWaker {
  public:
   explicit Simulator(const SystemConfig& cfg);
 
@@ -46,8 +50,9 @@ class Simulator {
   /// after `now()`, jump the clock to the earliest such cycle, clamped
   /// to `limit` and to the warmup/measurement boundaries (those cycles
   /// must execute densely so the stat snapshots land exactly where
-  /// dense stepping puts them). No-op when `cfg.fast_forward` is off or
-  /// any component still has work this cycle.
+  /// dense stepping puts them). No-op unless the run resolved to
+  /// SchedMode::kFastForward, when a backoff window is active (see the
+  /// implementation), or when any component still has work this cycle.
   void fast_forward(Cycle limit);
 
   /// Close the measurement window (if still open) and simulate up to
@@ -66,6 +71,17 @@ class Simulator {
 
   /// Snapshot metrics accumulated so far (measurement window only).
   [[nodiscard]] Metrics metrics() const;
+
+  /// The scheduler mode this run resolved to (SystemConfig::sched, or
+  /// the legacy fast_forward bool when unset).
+  [[nodiscard]] SchedMode sched() const { return sched_; }
+
+  /// Event-scheduler behaviour counters (wakeups, re-keys, executed vs
+  /// skipped cycles). All zero unless sched() == SchedMode::kEvent.
+  /// Deliberately not part of Metrics — see obs::SchedCounters.
+  [[nodiscard]] const obs::SchedCounters& sched_counters() const {
+    return queue_.counters();
+  }
 
   /// Attach an additional observer to the run (tests use this to record
   /// or re-check the event stream). Must be called before run()/step();
@@ -96,6 +112,53 @@ class Simulator {
     /// ones that fit in a single subpacket.
     bool forked = false;
   };
+
+  // --- event-driven scheduler core (SystemConfig::sched = event) ---
+  //
+  // Component ids in dense tick rank: the memory subsystem first, then
+  // the request routers by node id, the response path, and finally the
+  // traffic sources by core id. Due components pop from the heap in
+  // (deadline, id) order, so within one cycle they execute in exactly
+  // the dense sequence — the keystone of bitwise Metrics identity.
+  [[nodiscard]] EventQueue::ComponentId subsystem_id() const { return 0; }
+  [[nodiscard]] EventQueue::ComponentId router_id(NodeId r) const {
+    return 1 + r;
+  }
+  [[nodiscard]] EventQueue::ComponentId response_id() const {
+    return 1 + static_cast<EventQueue::ComponentId>(network_->num_routers());
+  }
+  [[nodiscard]] EventQueue::ComponentId generator_id(CoreId c) const {
+    return response_id() + 1 + c;
+  }
+  [[nodiscard]] std::size_t num_components() const {
+    return 2 + network_->num_routers() + generators_.size();
+  }
+  /// Arm every component at the current cycle and attach the network
+  /// waker. Priming at `now_` (not at each component's horizon) matters:
+  /// several components cannot report a meaningful horizon before their
+  /// first tick (a CoreGenerator starts with no accrual history).
+  void prime_event_queue();
+  /// Execute one cycle: run every due component in (deadline, id) order,
+  /// reschedule each from its own horizon, then advance the clock by 1.
+  void step_event();
+  /// Jump the clock to the earliest pending deadline, clamped to `limit`
+  /// and the warmup/measurement boundaries (those cycles must execute so
+  /// the stat snapshots land exactly where dense stepping puts them).
+  void advance_event(Cycle limit);
+  /// Tick one component (the event-loop dispatch).
+  void dispatch(EventQueue::ComponentId id);
+  /// The component's own next_event horizon, clamped to >= `now`.
+  [[nodiscard]] Cycle horizon_of(EventQueue::ComponentId id,
+                                 Cycle now) const;
+  // NetworkWaker: packet handoffs dirty the receiving component.
+  void wake_router(NodeId router, Cycle at) override;
+  void wake_memory(Cycle at) override;
+  /// The horizon-audited dense cycle body (SystemConfig::audit_horizons):
+  /// wraps each component's tick in a state fingerprint and aborts when
+  /// a component acted at `now_` after reporting a horizon beyond it.
+  void step_audited();
+  /// The actual fast-forward scan + jump; fast_forward() adds backoff.
+  void try_fast_forward(Cycle limit);
 
   void on_subpacket_complete(const noc::Packet& pkt);
   /// Final bookkeeping once a subpacket is truly done at `done` (its
@@ -141,6 +204,27 @@ class Simulator {
   PacketId next_packet_id_ = 1;
 
   Cycle now_ = 0;
+  SchedMode sched_ = SchedMode::kDense;
+  EventQueue queue_;
+  bool primed_ = false;
+  /// Saturation fallback: after `kBurstStreak` consecutive executed
+  /// cycles with no skippable gap, the event loop stops paying heap
+  /// overhead and runs plain dense cycles for a burst (exponentially
+  /// grown up to kBurstMax), then re-primes the heap. This is how the
+  /// event scheduler subsumes dense stepping as its degenerate case:
+  /// on fully saturated traffic it converges to dense-loop cost instead
+  /// of losing to per-component pop/reschedule churn.
+  static constexpr Cycle kBurstStreak = 32;
+  static constexpr Cycle kBurstMin = 4096;
+  static constexpr Cycle kBurstMax = 65536;
+  Cycle burst_remaining_ = 0;
+  Cycle dense_streak_ = 0;
+  Cycle burst_len_ = kBurstMin;
+  /// Fast-forward attempt backoff (see fast_forward()): remaining
+  /// attempts to skip, and the current penalty (doubles on consecutive
+  /// fruitless attempts, resets on a real jump).
+  Cycle ff_backoff_ = 0;
+  Cycle ff_penalty_ = 0;
   bool measuring_ = false;
   Cycle measure_start_ = 0;
   bool measurement_ended_ = false;

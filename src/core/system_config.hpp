@@ -72,6 +72,26 @@ enum class DesignPoint : std::uint8_t {
                                             : sdram::BurstMode::kBl4;
 }
 
+/// Execution scheduling mode: how the simulator decides which cycles
+/// and components to tick. All three modes produce bit-identical
+/// Metrics (tests/fast_forward_test.cpp, tests/event_sched_test.cpp
+/// and the differential fuzz harness enforce it); they differ only in
+/// wall-clock speed.
+enum class SchedMode : std::uint8_t {
+  kDense,        ///< tick every component every cycle (the reference)
+  kFastForward,  ///< dense ticking, but jump globally-idle gaps
+  kEvent,        ///< per-component wakeups via the EventQueue heap
+};
+
+[[nodiscard]] inline const char* to_string(SchedMode m) {
+  switch (m) {
+    case SchedMode::kDense: return "dense";
+    case SchedMode::kFastForward: return "fast_forward";
+    case SchedMode::kEvent: return "event";
+  }
+  return "?";
+}
+
 /// How much the observability layer records (see src/obs/ and the
 /// DESIGN.md "Observability" chapter). Off is the measurement
 /// configuration: no sink is attached and every emission site reduces to
@@ -144,6 +164,24 @@ struct SystemConfig {
   /// are bit-identical to dense stepping — see DESIGN.md, "The
   /// next_event contract". Off = always step cycle by cycle.
   bool fast_forward = true;
+
+  /// Scheduling mode: dense, fast_forward or event (see SchedMode).
+  /// Unset defers to the legacy `fast_forward` bool above, so existing
+  /// configs keep their meaning; set it to SchedMode::kEvent for the
+  /// per-component event-driven core (fastest on saturated traffic,
+  /// still bit-identical). Resolve with resolved_sched().
+  std::optional<SchedMode> sched;
+
+  /// Audit the next_event contract while stepping: before each
+  /// component's tick, capture its fresh horizon and a fingerprint of
+  /// its observable state; if the tick changed the fingerprint although
+  /// the horizon claimed the component had nothing to do this cycle,
+  /// abort with the offender named. Catches stale/too-late horizons —
+  /// the bugs that silently corrupt event-driven runs — at their
+  /// source. Costs a few percent; meant for tests and triage runs, not
+  /// measurement. Applies to dense and fast_forward stepping (event
+  /// mode *consumes* horizons; auditing needs the dense reference).
+  bool audit_horizons = false;
 
   /// GSS priority control token (2..5/6); paper Section IV-B.
   std::uint32_t pct = 4;
@@ -226,6 +264,13 @@ struct SystemConfig {
   /// would idle half of every data slot (the paper's explanation of why
   /// SAGM gains less on DDR III).
   std::uint32_t split_beats = 0;
+
+  /// The scheduling mode this config actually runs: `sched` when set,
+  /// else the legacy `fast_forward` bool.
+  [[nodiscard]] SchedMode resolved_sched() const {
+    if (sched) return *sched;
+    return fast_forward ? SchedMode::kFastForward : SchedMode::kDense;
+  }
 };
 
 /// Resolve the SAGM split granularity for a generation.

@@ -21,7 +21,19 @@ bool StreamlinedSubsystem::can_accept(const noc::Packet& pkt) const {
 }
 
 void StreamlinedSubsystem::deliver(noc::Packet&& pkt, Cycle now) {
-  (void)now;
+  // Event-scheduler path: a delivery can land while this subsystem
+  // sleeps (its next wakeup is the packet's tail arrival, later than
+  // now). Dense stepping would have ticked it on every cycle since
+  // last_tick_ and counted each as starved (engine idle, input empty
+  // right up to this push); credit them here. Dense and fast-forward
+  // runs make this a no-op: dense ticked this very cycle
+  // (last_tick_ == now), and fast-forward only jumps when no packet is
+  // in flight toward the memory port.
+  if (engine_.idle() && input_.empty() && last_tick_ != kNeverCycle &&
+      now > last_tick_) {
+    starved_ += now - last_tick_;
+    last_tick_ = now;
+  }
   input_used_flits_ += std::min(pkt.flits, cfg_.input_flits);
   const bool ok = input_.push(std::move(pkt));
   ANNOC_ASSERT_MSG(ok, "deliver() without can_accept()");

@@ -103,7 +103,8 @@ Cycle Network::next_event(Cycle now) const {
 
 bool Network::try_inject(Packet&& pkt, Cycle now) {
   ANNOC_ASSERT(pkt.src_node < routers_.size());
-  Router& r = *routers_[pkt.src_node];
+  const NodeId src = pkt.src_node;
+  Router& r = *routers_[src];
   const auto vc = r.find_vc(kPortLocal, pkt);
   if (!vc) return false;
   // `injected` documents when the packet left its source queue on the
@@ -116,8 +117,10 @@ bool Network::try_inject(Packet&& pkt, Cycle now) {
   pkt.tail_arrival = now + pkt.flits;
   stats_.injected_packets += 1;
   stats_.injected_flits += pkt.flits;
-  const Port out = route(pkt.src_node, pkt.dst_node, pkt.to_memory);
+  const Port out = route(src, pkt.dst_node, pkt.to_memory);
   r.on_arrival(std::move(pkt), kPortLocal, *vc, out, now);
+  // The injecting router has a new head landing at now + 1.
+  if (waker_ != nullptr) waker_->wake_router(src, now + 1);
   return true;
 }
 
@@ -126,75 +129,86 @@ void Network::deliver(Packet&& pkt, NodeId to, Port in_port,
   Router& r = *routers_[to];
   const Port out = route(to, pkt.dst_node, pkt.to_memory);
   r.on_arrival(std::move(pkt), in_port, vc, out, now);
+  if (waker_ != nullptr) waker_->wake_router(to, now + 1);
+}
+
+/// Output service order within a router: the memory port first (it
+/// gates everything downstream of it), then the mesh directions, local
+/// injections last.
+static constexpr Port kOrder[kNumPorts] = {kPortMem,  kPortNorth, kPortEast,
+                                           kPortSouth, kPortWest,  kPortLocal};
+
+void Network::tick_router(NodeId id, Cycle now) {
+  Router& r = *routers_[id];
+  // Phase 1: free this router's channels whose transfer has completed.
+  for (int p = 0; p < kNumPorts; ++p) {
+    Transfer& t = r.output(static_cast<Port>(p));
+    if (t.active && now >= t.end) t.active = false;
+  }
+
+  // Phase 2: arbitrate every free output.
+  for (const Port out : kOrder) {
+    Transfer& tr = r.output(out);
+    if (tr.active) continue;
+    if (r.output_pool_empty(out)) continue;  // guaranteed no-op
+    const std::optional<VcId> win = r.arbitrate(out, now);
+    if (!win) continue;
+
+    if (out == kPortMem) {
+      ANNOC_ASSERT_MSG(r.id() == cfg_.mem_node,
+                       "memory port used away from the memory node");
+      ANNOC_ASSERT(sink_ != nullptr);
+      if (!sink_->can_accept(r.head(*win))) {
+        r.note_blocked(out, obs::StallCause::kSinkBusy, now);
+        continue;
+      }
+      Packet pkt = r.grant(*win, out, now);
+      pkt.mem_arrival = pkt.tail_arrival;  // tail lands when channel frees
+      stats_.ejected_packets += 1;
+      stats_.ejected_flits += pkt.flits;
+      const Cycle lands = pkt.mem_arrival;
+      sink_->deliver(std::move(pkt), now);
+      if (waker_ != nullptr) waker_->wake_memory(lands);
+      continue;
+    }
+
+    if (out == kPortLocal) {
+      // Core-bound ejection (read responses): cores always sink. The
+      // packet counts as delivered when its tail lands.
+      ANNOC_ASSERT_MSG(local_sink_ != nullptr,
+                       "core-bound packet without a local sink");
+      Packet pkt = r.grant(*win, out, now);
+      const Cycle done = pkt.tail_arrival;
+      stats_.ejected_packets += 1;
+      stats_.ejected_flits += pkt.flits;
+      local_sink_(std::move(pkt), done);
+      continue;
+    }
+
+    // Mesh link: the neighbour and its facing input port come from
+    // the table precomputed in the constructor.
+    const Link& l = links_[r.id()][out];
+    ANNOC_ASSERT_MSG(l.nb != kInvalidNode,
+                     "granted output leaves the mesh");
+
+    Router& down = *routers_[l.nb];
+    const auto vc = down.find_vc(l.nb_in, r.head(*win));
+    if (!vc) {
+      r.note_blocked(out, obs::StallCause::kDownstreamFull, now);
+      continue;
+    }
+    Packet pkt = r.grant(*win, out, now);
+    deliver(std::move(pkt), l.nb, l.nb_in, *vc, now);
+  }
 }
 
 void Network::tick(Cycle now) {
-  // Phase 1: free channels whose transfer has completed.
-  for (auto& r : routers_) {
-    for (int p = 0; p < kNumPorts; ++p) {
-      Transfer& tr = r->output(static_cast<Port>(p));
-      if (tr.active && now >= tr.end) tr.active = false;
-    }
-  }
-
-  // Phase 2: arbitrate every free output. Routers are visited in id
-  // order; within a router, the memory port first (it gates everything
-  // downstream of it).
-  static constexpr Port kOrder[kNumPorts] = {kPortMem,   kPortNorth,
-                                             kPortEast,  kPortSouth,
-                                             kPortWest,  kPortLocal};
-  for (auto& r : routers_) {
-    for (const Port out : kOrder) {
-      Transfer& tr = r->output(out);
-      if (tr.active) continue;
-      const std::optional<VcId> win = r->arbitrate(out, now);
-      if (!win) continue;
-
-      if (out == kPortMem) {
-        ANNOC_ASSERT_MSG(r->id() == cfg_.mem_node,
-                         "memory port used away from the memory node");
-        ANNOC_ASSERT(sink_ != nullptr);
-        if (!sink_->can_accept(r->head(*win))) {
-          r->note_blocked(out, obs::StallCause::kSinkBusy, now);
-          continue;
-        }
-        Packet pkt = r->grant(*win, out, now);
-        pkt.mem_arrival = pkt.tail_arrival;  // tail lands when channel frees
-        stats_.ejected_packets += 1;
-        stats_.ejected_flits += pkt.flits;
-        sink_->deliver(std::move(pkt), now);
-        continue;
-      }
-
-      if (out == kPortLocal) {
-        // Core-bound ejection (read responses): cores always sink. The
-        // packet counts as delivered when its tail lands.
-        ANNOC_ASSERT_MSG(local_sink_ != nullptr,
-                         "core-bound packet without a local sink");
-        Packet pkt = r->grant(*win, out, now);
-        const Cycle done = pkt.tail_arrival;
-        stats_.ejected_packets += 1;
-        stats_.ejected_flits += pkt.flits;
-        local_sink_(std::move(pkt), done);
-        continue;
-      }
-
-      // Mesh link: the neighbour and its facing input port come from
-      // the table precomputed in the constructor.
-      const Link& l = links_[r->id()][out];
-      ANNOC_ASSERT_MSG(l.nb != kInvalidNode,
-                       "granted output leaves the mesh");
-
-      Router& down = *routers_[l.nb];
-      const auto vc = down.find_vc(l.nb_in, r->head(*win));
-      if (!vc) {
-        r->note_blocked(out, obs::StallCause::kDownstreamFull, now);
-        continue;
-      }
-      Packet pkt = r->grant(*win, out, now);
-      deliver(std::move(pkt), l.nb, l.nb_in, *vc, now);
-    }
-  }
+  // Per-router ticking in id order is equivalent to the historical
+  // free-all-channels-then-arbitrate-all order: arbitration at router i
+  // never reads another router's Transfer state (see tick_router's doc
+  // comment), so whether router j > i frees its channels before or
+  // after router i arbitrates is unobservable to i.
+  for (NodeId id = 0; id < routers_.size(); ++id) tick_router(id, now);
 }
 
 std::vector<FlowControlKind> Network::mixed_kinds(const NocConfig& cfg,

@@ -30,6 +30,23 @@ class PacketSink {
   virtual void deliver(Packet&& pkt, Cycle now) = 0;
 };
 
+/// Receives wake notifications when a packet handoff makes a sleeping
+/// component runnable — the event-driven scheduler's dirty-marking
+/// hook (SystemConfig::sched = event). The network reports the cycle
+/// at which the receiver can first observe the handoff: the cycle the
+/// head lands for router-to-router moves and injections, the tail
+/// arrival for memory-sink deliveries. Unset (the default) in dense
+/// and fast-forward runs — the null check is the only cost there.
+class NetworkWaker {
+ public:
+  virtual ~NetworkWaker() = default;
+  /// A packet was delivered into `router`'s input buffers; its head is
+  /// visible there from cycle `at`.
+  virtual void wake_router(NodeId router, Cycle at) = 0;
+  /// A packet was handed to the memory sink; its tail lands at `at`.
+  virtual void wake_memory(Cycle at) = 0;
+};
+
 /// Packet routing policy (Section IV-A: the GSS router works with
 /// deterministic or adaptive routing; the paper's experiments use XY).
 enum class RoutingPolicy : std::uint8_t {
@@ -71,6 +88,10 @@ class Network {
 
   void attach_sink(PacketSink* sink) { sink_ = sink; }
 
+  /// Attach the event-driven scheduler's dirty-marking hook (nullptr
+  /// detaches; dense and fast-forward runs leave it unset).
+  void set_waker(NetworkWaker* waker) { waker_ = waker; }
+
   /// Attach an observer to every router (arbitration, stall and GSS
   /// ladder events). nullptr detaches.
   void set_observer(obs::EventSink* sink) {
@@ -90,6 +111,17 @@ class Network {
   /// Advance one cycle: free completed channels, then arbitrate and
   /// grant on every free output.
   void tick(Cycle now);
+
+  /// Advance ONE router one cycle: free its completed transfers, then
+  /// arbitrate its free outputs. tick() is exactly tick_router over all
+  /// routers in id order; the event-driven scheduler calls it for just
+  /// the routers whose deadline arrived. Per-router ticking is
+  /// dense-equivalent because a router's arbitration phase reads only
+  /// its own transfers, its own and downstream input buffers, and the
+  /// sink — never another router's Transfer state — so freeing each
+  /// router's channels immediately before its own arbitration observes
+  /// the same world as the global free-all-then-arbitrate-all order.
+  void tick_router(NodeId id, Cycle now);
 
   /// Earliest future cycle (>= now) any router's state can change (min
   /// over all routers' horizons); kNeverCycle when the mesh is empty
@@ -154,6 +186,7 @@ class Network {
   /// downstream_free() nor tick() redoes the x/y switch per call.
   std::vector<std::array<Link, kNumPorts>> links_;
   PacketSink* sink_ = nullptr;
+  NetworkWaker* waker_ = nullptr;
   LocalSink local_sink_;
   NetworkStats stats_;
 };

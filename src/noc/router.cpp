@@ -106,6 +106,13 @@ void Router::on_arrival(Packet&& pkt, Port in, std::uint32_t vc, Port out,
 
 std::optional<VcId> Router::arbitrate(Port out, Cycle now) {
   ANNOC_ASSERT(!outputs_[out].active);
+  // Candidates are always pool members (a candidate is a buffered head
+  // routed to `out`; the pool holds every buffered packet routed to
+  // `out`), so an empty pool means the 6-port scan below cannot find
+  // anything — and on saturated traffic most (output, cycle) pairs hit
+  // exactly this case. O(1) out, no stats touched (the old scan also
+  // counted nothing when it came up empty).
+  if (pools_[out].empty()) return std::nullopt;
   cand_scratch_.clear();
   source_scratch_.clear();
   for (int in = 0; in < kNumPorts; ++in) {

@@ -232,6 +232,12 @@ class Router {
   /// Total packets currently buffered in this router.
   [[nodiscard]] std::size_t buffered_packets() const;
 
+  /// No buffered packet is routed to `out`: arbitration there is a
+  /// guaranteed no-op this cycle (hot-path gate for Network::tick).
+  [[nodiscard]] bool output_pool_empty(Port out) const {
+    return pools_[out].empty();
+  }
+
   /// Earliest future cycle (>= now) at which this router's state can
   /// change on its own: an active transfer completing, or a buffered
   /// head becoming pipeline-eligible toward a free output. Returns

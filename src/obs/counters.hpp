@@ -61,6 +61,23 @@ struct GssCounters {
   }
 };
 
+/// Event-scheduler behaviour over one run (SystemConfig::sched =
+/// event): how many component wakeups the heap served, how much
+/// re-keying traffic the dirty-marking produced, and how many cycles
+/// the loop actually executed versus skipped. Deliberately NOT part of
+/// Metrics: the sched mode changes *when* code runs, never *what* it
+/// computes, so Metrics stay bit-identical across modes while these
+/// counters necessarily differ. Exposed via Simulator::sched_counters()
+/// for tooling and the scheduler sanity tests.
+struct SchedCounters {
+  std::uint64_t wakeups = 0;    ///< components popped and ticked
+  std::uint64_t schedules = 0;  ///< deadline inserts + re-keys
+  std::uint64_t cancels = 0;    ///< horizons collapsing to kNeverCycle
+  std::uint64_t max_heap_depth = 0;  ///< high-water components pending
+  std::uint64_t executed_cycles = 0;  ///< cycles with at least a tick
+  std::uint64_t skipped_cycles = 0;   ///< cycles jumped over entirely
+};
+
 /// Everything the CounterSink derives. Accumulated over the whole run
 /// (warmup + measurement + drain) — it is a forensic event log digest,
 /// not a measurement-window metric; window-scoped quantities stay in

@@ -244,23 +244,34 @@ std::array<core::DesignPoint, 4> fuzz_design_points(std::uint64_t seed) {
 }
 
 std::string run_differential(const core::SystemConfig& cfg) {
+  // Three-way scheduler identity: dense stepping is the reference,
+  // fast-forward and the event-driven core must match it bitwise.
   core::SystemConfig dense = cfg;
   dense.fast_forward = false;
+  dense.sched = core::SchedMode::kDense;
   core::SystemConfig fast = cfg;
   fast.fast_forward = true;
+  fast.sched = core::SchedMode::kFastForward;
+  core::SystemConfig event = cfg;
+  event.sched = core::SchedMode::kEvent;
 
   const core::Metrics serial_dense = core::run_simulation(dense);
   const core::Metrics serial_fast = core::run_simulation(fast);
+  const core::Metrics serial_event = core::run_simulation(event);
 
   std::string err = compare_metrics("fast-forward vs dense", serial_fast,
                                     serial_dense);
   if (!err.empty()) return err;
+  err = compare_metrics("event vs dense", serial_event, serial_dense);
+  if (!err.empty()) return err;
 
   ExperimentRunner pool(2u);
-  const auto parallel = pool.run_metrics({dense, fast});
+  const auto parallel = pool.run_metrics({dense, fast, event});
   err = compare_metrics("runner[dense] vs serial", parallel[0], serial_dense);
   if (!err.empty()) return err;
   err = compare_metrics("runner[fast] vs serial", parallel[1], serial_fast);
+  if (!err.empty()) return err;
+  err = compare_metrics("runner[event] vs serial", parallel[2], serial_event);
   if (!err.empty()) return err;
 
   return sanity_check(cfg, serial_dense);

@@ -201,6 +201,20 @@ core::ObserveLevel parse_observe(const ObjectReader& r) {
                  "'; expected off, counters or full");
 }
 
+std::optional<core::SchedMode> parse_sched(const ObjectReader& r) {
+  const JsonMember* m = r.find("sched");
+  if (m == nullptr) return std::nullopt;
+  if (!m->value().is(JsonKind::kString)) {
+    r.fail(*m, "expected a string");
+  }
+  const std::string& s = m->value().string;
+  if (s == "dense") return core::SchedMode::kDense;
+  if (s == "fast_forward") return core::SchedMode::kFastForward;
+  if (s == "event") return core::SchedMode::kEvent;
+  r.fail(*m, "unknown sched mode '" + s +
+                 "'; expected dense, fast_forward or event");
+}
+
 traffic::TrafficPattern parse_pattern(const ObjectReader& r) {
   const JsonMember* m = r.find("pattern");
   if (m == nullptr) return traffic::TrafficPattern::kRandom;
@@ -557,6 +571,8 @@ Scenario parse_scenario(std::string_view text, const std::string& origin) {
     }
   }
   cfg.fast_forward = r.get_bool("fast_forward", true);
+  cfg.sched = parse_sched(r);
+  cfg.audit_horizons = r.get_bool("audit_horizons", false);
   cfg.pct = static_cast<std::uint32_t>(r.get_u64("pct", 4, 2, 6));
   cfg.num_gss_routers = r.get_opt_u32("num_gss_routers", 0, 1u << 12);
   cfg.engine_lookahead = r.get_opt_u32("engine_lookahead", 1, 64);
@@ -636,6 +652,8 @@ std::string dump_scenario(const Scenario& s) {
     d.str("seed", std::to_string(c.seed));
   }
   d.boolean("fast_forward", c.fast_forward);
+  if (c.sched) d.str("sched", to_string(*c.sched));
+  d.boolean("audit_horizons", c.audit_horizons);
   d.num("pct", static_cast<std::uint64_t>(c.pct));
   d.opt("num_gss_routers",
         c.num_gss_routers

@@ -47,6 +47,10 @@ inline constexpr KeyInfo kScenarioKeys[] = {
      "Traffic RNG seed; write seeds above 2^53 as a decimal string."},
     {"fast_forward", "bool", "true",
      "Idle-cycle fast-forward; bit-identical to dense stepping, just faster."},
+    {"sched", "string|null", "null",
+     "Scheduler: dense, fast_forward or event (all bit-identical); overrides the fast_forward bool, null keeps its meaning."},
+    {"audit_horizons", "bool", "false",
+     "Debug: dense-step under per-component state fingerprints; abort when one acts past its reported next_event horizon."},
     {"pct", "number", "4",
      "GSS priority control token threshold (2..6), paper Section IV-B."},
     {"num_gss_routers", "number|null", "null",

@@ -24,6 +24,20 @@ TEST(FuzzSim, DifferentialAcrossSeeds) {
   }
 }
 
+TEST(FuzzSim, RegressionSeedResponsePathTieBreak) {
+  // Pinned regression for the heap's (deadline, id) tie-break: seed
+  // 40060 derives a config with the response path modelled (its
+  // reserved component id sits between the routers and the traffic
+  // sources), priority on and 2 virtual channels — the densest
+  // same-cycle pop ordering the scheduler sees. A tie-break or
+  // component-numbering regression diverges event-mode Metrics here.
+  const auto cfg = random_config(40060);
+  ASSERT_TRUE(cfg.model_response_path);
+  ASSERT_TRUE(cfg.priority_enabled);
+  ASSERT_EQ(cfg.num_vcs, 2u);
+  EXPECT_EQ(fuzz_seed(40060), "");
+}
+
 TEST(FuzzSim, ConfigsAreValidAndDeterministic) {
   // random_config itself must be a pure function of the seed.
   for (std::uint64_t s : {1ull, 77ull, 20260806ull}) {

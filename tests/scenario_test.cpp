@@ -49,6 +49,8 @@ void expect_config_eq(const SystemConfig& a, const SystemConfig& b,
   EXPECT_EQ(a.drain_cycle_limit, b.drain_cycle_limit) << tag;
   EXPECT_EQ(a.seed, b.seed) << tag;
   EXPECT_EQ(a.fast_forward, b.fast_forward) << tag;
+  EXPECT_EQ(a.sched, b.sched) << tag;
+  EXPECT_EQ(a.audit_horizons, b.audit_horizons) << tag;
   EXPECT_EQ(a.pct, b.pct) << tag;
   EXPECT_EQ(a.num_gss_routers, b.num_gss_routers) << tag;
   EXPECT_EQ(a.engine_lookahead, b.engine_lookahead) << tag;
@@ -168,6 +170,26 @@ TEST(ScenarioErrors, WrongTypeAndRange) {
   EXPECT_EQ(capture("{\"design\": \"warp\"}").key(), "design");
   EXPECT_EQ(capture("{\"observe\": \"loud\"}").key(), "observe");
   EXPECT_EQ(capture("{\"ddr\": 4}").key(), "ddr");
+  EXPECT_EQ(capture("{\"sched\": \"warp\"}").key(), "sched");
+  EXPECT_EQ(capture("{\"sched\": true}").key(), "sched");
+}
+
+TEST(ScenarioSched, ParsesAndRoundTrips) {
+  // The sched knob overrides the legacy fast_forward bool; unset keeps
+  // the bool's meaning (resolved_sched()).
+  const Scenario s =
+      scenario::parse_scenario("{\"sched\": \"event\"}", "<test>");
+  ASSERT_TRUE(s.config.sched.has_value());
+  EXPECT_EQ(*s.config.sched, core::SchedMode::kEvent);
+  EXPECT_EQ(s.config.resolved_sched(), core::SchedMode::kEvent);
+  const Scenario back =
+      scenario::parse_scenario(scenario::dump_scenario(s), "<dump>");
+  EXPECT_EQ(back.config.sched, s.config.sched);
+
+  const Scenario unset = scenario::parse_scenario("{}", "<test>");
+  EXPECT_FALSE(unset.config.sched.has_value());
+  EXPECT_EQ(unset.config.resolved_sched(),
+            core::SchedMode::kFastForward);
 }
 
 TEST(ScenarioErrors, DuplicateKey) {
