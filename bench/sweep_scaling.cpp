@@ -1,0 +1,139 @@
+/// \file sweep_scaling.cpp
+/// Sweep-engine scaling and memory-boundedness measurement, recorded
+/// at the repo root as BENCH_sweep.json. Three legs over the
+/// 1008-job scenarios/sweeps/scaling.json grid:
+///
+///   1. a quarter of the grid, serial — establishes the steady-state
+///      RSS of streaming execution;
+///   2. the full grid, serial — ru_maxrss must stay flat despite 4x
+///      the jobs (the engine never holds more than workers-many
+///      Metrics), and this is the serial wall-clock baseline;
+///   3. the full grid, one worker per hardware thread — wall-clock
+///      speedup over leg 2 is the scaling figure.
+///
+/// Usage: sweep_scaling [--json] [--spec=PATH] [--out=DIR]
+/// (--out defaults to a disposable directory under TMPDIR; every leg
+/// starts from an empty directory.)
+#include <sys/resource.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "explore/executor.hpp"
+#include "explore/sweep_spec.hpp"
+
+using namespace annoc;
+
+namespace {
+
+[[nodiscard]] double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] long max_rss_kb() {
+  rusage u{};
+  getrusage(RUSAGE_SELF, &u);
+  return u.ru_maxrss;
+}
+
+void remove_tree(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string spec_path = std::string(ANNOC_SCENARIO_DIR) +
+                          "/sweeps/scaling.json";
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string out_base = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                         "/annoc_sweep_scaling." +
+                         std::to_string(static_cast<long>(getpid()));
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(a, "--spec=", 7) == 0) {
+      spec_path = a + 7;
+    } else if (std::strncmp(a, "--out=", 6) == 0) {
+      out_base = a + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json] [--spec=PATH] [--out=DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  explore::SweepSpec spec;
+  try {
+    spec = explore::load_sweep_spec(spec_path);
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "%s\n", e.to_string());
+    return 1;
+  }
+  const std::uint64_t total = spec.job_count();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  const auto leg = [&](const char* name, unsigned jobs,
+                       std::uint64_t max_jobs) -> double {
+    explore::ExecutorOptions opts;
+    opts.out_dir = out_base + "/" + name;
+    opts.jobs = jobs;
+    opts.max_jobs = max_jobs;
+    remove_tree(opts.out_dir);
+    const double t0 = now_seconds();
+    const explore::SweepOutcome out = explore::run_sweep(spec, opts);
+    const double dt = now_seconds() - t0;
+    std::fprintf(stderr, "%s: %llu jobs, %u worker(s), %.2fs, rss %ld kB\n",
+                 name, static_cast<unsigned long long>(out.completed_now),
+                 jobs, dt, max_rss_kb());
+    return dt;
+  };
+
+  // ru_maxrss is a per-process high-water mark: leg order matters.
+  // The quarter-grid leg sets the streaming steady state; if the full
+  // grid then pushes the mark up, memory is scaling with sweep size
+  // and the bounded-memory contract is broken.
+  (void)leg("quarter_serial", 1, total / 4);
+  const long rss_quarter_kb = max_rss_kb();
+  const double serial_s = leg("full_serial", 1, 0);
+  const long rss_full_kb = max_rss_kb();
+  const double parallel_s = leg("full_parallel", hw, 0);
+  remove_tree(out_base);
+
+  const double scaling = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  const double linear_fraction = scaling / static_cast<double>(hw);
+  const double rss_ratio =
+      rss_quarter_kb > 0
+          ? static_cast<double>(rss_full_kb) / static_cast<double>(rss_quarter_kb)
+          : 0.0;
+
+  std::FILE* out = json ? stdout : stderr;
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"sweep_scaling\",\n"
+               "  \"spec\": \"%s\",\n"
+               "  \"total_jobs\": %llu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"serial_seconds\": %.3f,\n"
+               "  \"parallel_seconds\": %.3f,\n"
+               "  \"scaling_x\": %.3f,\n"
+               "  \"linear_fraction\": %.3f,\n"
+               "  \"rss_quarter_kb\": %ld,\n"
+               "  \"rss_full_kb\": %ld,\n"
+               "  \"rss_ratio\": %.3f\n"
+               "}\n",
+               spec.name.c_str(), static_cast<unsigned long long>(total), hw,
+               serial_s, parallel_s, scaling, linear_fraction, rss_quarter_kb,
+               rss_full_kb, rss_ratio);
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -138,9 +139,14 @@ int main(int argc, char** argv) {
   }
 
   std::vector<scenario::Scenario> scenarios;
+  std::map<std::string, scenario::Scenario> parsed;  // parse each file once
   try {
     for (const std::string& f : opt.files) {
-      scenario::Scenario s = scenario::load_scenario(f);
+      auto it = parsed.find(f);
+      if (it == parsed.end()) {
+        it = parsed.emplace(f, scenario::load_scenario(f)).first;
+      }
+      scenario::Scenario s = it->second;
       if (opt.have_observe) s.config.observe = opt.observe;
       if (opt.have_seed) s.config.seed = opt.seed;
       if (!opt.record_trace.empty()) {

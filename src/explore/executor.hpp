@@ -1,0 +1,77 @@
+/// \file executor.hpp
+/// Sharded, resumable sweep execution. A sweep's output directory is
+/// the coordination medium — no daemon, no sockets:
+///
+///   out/
+///     manifest.json        sweep fingerprint (job count, chunk size);
+///                          first writer wins, later runs must match
+///     claims/chunk_N.claim created O_CREAT|O_EXCL — whichever process
+///                          creates it owns those jobs, forever
+///     rows/<worker>.jsonl  one JSONL row per completed job, appended
+///                          and flushed as each job finishes
+///     merged.jsonl         all rows sorted by job index (on finish)
+///     pareto.json          non-dominated points (on finish)
+///     summary.json         headline counts (on finish)
+///
+/// Because job expansion is a pure function of (spec, index) and every
+/// row records its job index, a killed sweep loses at most the rows
+/// being written at the kill; rerunning with the same worker id adopts
+/// its claims, re-runs exactly the missing jobs, and produces
+/// bit-identical merged outputs. Two processes pointed at the same
+/// directory (distinct worker ids) shard the grid between them — the
+/// O_EXCL claim is the entire arbitration protocol, so shards may live
+/// on different machines sharing a filesystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "explore/sweep_spec.hpp"
+
+namespace annoc::explore {
+
+/// Fired once per job this process completes.
+struct SweepProgress {
+  std::uint64_t completed_now = 0;  ///< jobs finished by this process
+  std::uint64_t total_jobs = 0;
+  std::uint64_t job = 0;            ///< index of the job just finished
+  double wall_seconds = 0.0;
+};
+
+struct ExecutorOptions {
+  std::string out_dir;
+  /// Worker threads inside this process (0 = hardware concurrency).
+  unsigned jobs = 0;
+  /// Shard identity: names this process's row file and claim
+  /// ownership. Resuming MUST reuse the id (claims are adopted, never
+  /// stolen); concurrent shards MUST differ.
+  std::string worker_id = "w0";
+  /// Jobs per claim — the sharding granularity. Pinned by the first
+  /// run's manifest; later runs must match.
+  std::uint64_t chunk = 16;
+  /// Stop handing out work after this many jobs (0 = no limit). In-
+  /// flight jobs still finish and checkpoint — this is a clean pause,
+  /// and the resume tests use it as a deterministic kill point.
+  std::uint64_t max_jobs = 0;
+  /// Also stream rows to this CSV file (resumable, same append/flush
+  /// discipline as the JSONL checkpoint). Empty = off.
+  std::string csv_path;
+  std::function<void(const SweepProgress&)> on_progress;
+};
+
+struct SweepOutcome {
+  std::uint64_t total_jobs = 0;
+  std::uint64_t completed_now = 0;  ///< jobs run by this invocation
+  std::uint64_t rows_present = 0;   ///< distinct jobs done, all shards
+  /// True when every job is done and merged.jsonl / pareto.json /
+  /// summary.json were (re)written this invocation.
+  bool finished = false;
+};
+
+/// Run (or resume) a sweep. Throws annoc::ParseError when the output
+/// directory belongs to a different sweep shape, and std::runtime_error
+/// when the directory cannot be created or written.
+SweepOutcome run_sweep(const SweepSpec& spec, const ExecutorOptions& opts);
+
+}  // namespace annoc::explore

@@ -1,0 +1,46 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+
+namespace annoc::explore {
+namespace {
+
+[[nodiscard]] bool same_objectives(const ParetoPoint& a,
+                                   const ParetoPoint& b) {
+  return a.latency_all == b.latency_all && a.utilization == b.utilization &&
+         a.gates == b.gates;
+}
+
+}  // namespace
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.latency_all > b.latency_all) return false;
+  if (a.utilization < b.utilization) return false;
+  if (a.gates > b.gates) return false;
+  return a.latency_all < b.latency_all || a.utilization > b.utilization ||
+         a.gates < b.gates;
+}
+
+std::vector<ParetoPoint> pareto_frontier(std::vector<ParetoPoint> points) {
+  // Job order first: duplicate-objective groups then deterministically
+  // keep their lowest job index, independent of input order.
+  std::sort(points.begin(), points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.job < b.job;
+            });
+  std::vector<ParetoPoint> frontier;
+  for (const ParetoPoint& p : points) {
+    bool beaten = false;
+    for (const ParetoPoint& q : points) {
+      if (&q == &p) continue;
+      if (dominates(q, p) || (same_objectives(q, p) && q.job < p.job)) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) frontier.push_back(p);
+  }
+  return frontier;
+}
+
+}  // namespace annoc::explore

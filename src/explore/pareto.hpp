@@ -1,0 +1,39 @@
+/// \file pareto.hpp
+/// Pareto-frontier extraction over the three objectives a design-space
+/// sweep trades off: request latency (minimize), SDRAM utilization
+/// (maximize) and gate count (minimize, the Table IV area model). The
+/// frontier is the set of sweep points no other point beats on every
+/// objective at once — the only points worth plotting, whatever weight
+/// a reader puts on each axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace annoc::explore {
+
+/// One sweep point projected onto the objectives, tagged with its job
+/// index (the join key back into merged.jsonl) and the override set
+/// that produced it.
+struct ParetoPoint {
+  std::uint64_t job = 0;
+  std::string point;          ///< canonical override JSON (provenance)
+  double latency_all = 0.0;   ///< minimize: mean request latency, cycles
+  double utilization = 0.0;   ///< maximize: useful-beat bus utilization
+  double gates = 0.0;         ///< minimize: 3x3 NoC gate count
+};
+
+/// True when `a` dominates `b`: at least as good on every objective
+/// and strictly better on one.
+[[nodiscard]] bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Extract the non-dominated subset, returned sorted by job index.
+/// Order-independent: any permutation of `points` yields the same
+/// frontier. Points with identical objectives keep only the lowest job
+/// index, so a resumed or sharded sweep reproduces the frontier
+/// byte-for-byte.
+[[nodiscard]] std::vector<ParetoPoint> pareto_frontier(
+    std::vector<ParetoPoint> points);
+
+}  // namespace annoc::explore

@@ -1,0 +1,86 @@
+/// \file sweep_spec.hpp
+/// Declarative design-space sweeps: a small JSON spec names a base
+/// scenario and a list of axes (any sweepable scenario key), and the
+/// engine expands it into an ordered job list — the full cross product
+/// in grid mode, seeded independent draws in random mode. Expansion is
+/// a pure function of (spec, job index): job k's config can be
+/// recomputed on any machine at any time, which is what makes sweeps
+/// resumable and shardable (executor.hpp). The schema lives in
+/// sweep_schema.hpp (rendered into docs/CONFIG_REFERENCE.md); the
+/// walkthrough is docs/EXPERIMENTS.md. All validation errors throw
+/// annoc::ParseError carrying file, line and the offending key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/system_config.hpp"
+#include "scenario/json.hpp"
+
+namespace annoc::explore {
+
+enum class SweepMode : std::uint8_t {
+  kGrid,    ///< cross product of every axis, last axis fastest
+  kRandom,  ///< `samples` jobs, each axis drawn independently per job
+};
+
+/// One axis: a scenario key plus its candidate values. Candidates are
+/// kept as parsed JSON scalars (with their source positions), so a
+/// value that fails scenario validation is reported at the exact spot
+/// in the spec file that wrote it.
+struct SweepAxis {
+  std::string key;
+  std::vector<scenario::JsonValue> values;
+};
+
+/// A parsed, validated sweep: the shared base config (the scenario is
+/// loaded once, not per job) plus the expansion rule. Every candidate
+/// value was test-applied to the base during parsing, so job_config()
+/// cannot fail on a spec that parsed.
+struct SweepSpec {
+  std::string name;
+  std::string origin;         ///< spec path (or "<string>") for errors
+  std::string scenario_path;  ///< resolved base scenario; "" = defaults
+  std::string application;    ///< label: base scenario app (or "default")
+  SweepMode mode = SweepMode::kGrid;
+  std::uint64_t samples = 0;  ///< random mode only
+  std::uint64_t sweep_seed = 1;
+  std::vector<SweepAxis> axes;
+  core::SystemConfig base;  ///< expanded once, shared by all jobs
+
+  /// Total jobs: grid = product of axis sizes, random = samples.
+  [[nodiscard]] std::uint64_t job_count() const;
+
+  /// Candidate index chosen on each axis for job `index` — the pure
+  /// expansion function. Grid decodes `index` in mixed radix (last
+  /// axis fastest); random derives one RNG per job from sweep_seed, so
+  /// job k's draw never depends on jobs 0..k-1 having been expanded.
+  [[nodiscard]] std::vector<std::size_t> job_choice(
+      std::uint64_t index) const;
+
+  /// The full config for job `index`: a copy of the base with this
+  /// job's axis values applied through scenario::apply_overrides.
+  [[nodiscard]] core::SystemConfig job_config(std::uint64_t index) const;
+
+  /// Canonical one-line JSON object of job `index`'s overrides, e.g.
+  /// `{"pct": 3, "clock_mhz": 200}` — the provenance column of every
+  /// exported row. Deterministic: same spec + index, same bytes.
+  [[nodiscard]] std::string job_point(std::uint64_t index) const;
+};
+
+/// Parse and validate a sweep spec. `origin` labels errors; a relative
+/// `scenario` path is resolved against `base_dir` (empty = the current
+/// directory). Loads the base scenario and test-applies every
+/// candidate value, so all spec errors surface here, not mid-sweep.
+[[nodiscard]] SweepSpec parse_sweep_spec(std::string_view text,
+                                         const std::string& origin,
+                                         const std::string& base_dir = "");
+
+/// Read and parse a sweep-spec file; the base scenario resolves
+/// relative to the spec file's directory. Throws annoc::ParseError
+/// (also for an unreadable file).
+[[nodiscard]] SweepSpec load_sweep_spec(const std::string& path);
+
+}  // namespace annoc::explore

@@ -75,40 +75,70 @@ ExperimentRunner::ExperimentRunner(RunnerOptions opts)
 
 std::vector<RunResult> ExperimentRunner::run(
     const std::vector<core::SystemConfig>& configs) {
+  // The batch API is the streaming API over a vector source: results
+  // land in their submission slot, so completion order never shows.
   std::vector<RunResult> results(configs.size());
   const unsigned jobs = resolve_jobs(opts_.jobs);
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, std::max<std::size_t>(configs.size(), 1)));
 
-  if (jobs == 1 || configs.size() <= 1) {
-    // Inline: no pool, no synchronization, exceptions propagate.
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      results[i] = run_one(configs[i], i);
-      if (opts_.on_progress) {
-        opts_.on_progress(
-            ProgressEvent{i + 1, configs.size(), i, results[i].wall_seconds});
-      }
+  std::size_t next = 0;  // guarded by the runner's source lock
+  const JobSource source = [&]() -> std::optional<StreamJob> {
+    if (next >= configs.size()) return std::nullopt;
+    const std::size_t i = next++;
+    return StreamJob{i, configs[i]};
+  };
+  std::size_t completed = 0;  // guarded by the runner's sink lock
+  const StreamSink sink = [&](RunResult&& r) {
+    const std::size_t i = r.index;
+    results[i] = std::move(r);
+    ++completed;
+    if (opts_.on_progress) {
+      opts_.on_progress(ProgressEvent{completed, configs.size(), i,
+                                      results[i].wall_seconds});
     }
-    return results;
+  };
+  run_stream_with(source, sink, workers);
+  return results;
+}
+
+void ExperimentRunner::run_stream(const JobSource& source,
+                                  const StreamSink& sink) {
+  run_stream_with(source, sink, resolve_jobs(opts_.jobs));
+}
+
+void ExperimentRunner::run_stream_with(const JobSource& source,
+                                       const StreamSink& sink,
+                                       unsigned workers) {
+  if (workers <= 1) {
+    // Inline: no pool, no synchronization, exceptions propagate.
+    for (;;) {
+      std::optional<StreamJob> job = source();
+      if (!job) return;
+      sink(run_one(job->config, job->index));
+    }
   }
 
-  // Work-stealing by atomic index: each worker owns a whole run, so no
-  // simulator state is ever shared and determinism is structural.
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> completed{0};
-  std::mutex progress_mutex;
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(jobs, configs.size()));
-
+  // Pull-based backpressure: a worker asks for the next job only when
+  // its previous run is finished and delivered, so in-flight state is
+  // bounded by the worker count. Each worker owns a whole Simulator —
+  // no shared mutable state, determinism is structural. Source and
+  // sink get separate locks: handing out job N+1 proceeds while the
+  // sink is still appending job N's row.
+  std::mutex source_mutex;
+  std::mutex sink_mutex;
   auto worker = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= configs.size()) return;
-      results[i] = run_one(configs[i], i);
-      const std::size_t done =
-          completed.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (opts_.on_progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        opts_.on_progress(
-            ProgressEvent{done, configs.size(), i, results[i].wall_seconds});
+      std::optional<StreamJob> job;
+      {
+        const std::lock_guard<std::mutex> lock(source_mutex);
+        job = source();
+      }
+      if (!job) return;
+      RunResult r = run_one(job->config, job->index);
+      {
+        const std::lock_guard<std::mutex> lock(sink_mutex);
+        sink(std::move(r));
       }
     }
   };
@@ -117,7 +147,6 @@ std::vector<RunResult> ExperimentRunner::run(
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  return results;
 }
 
 std::vector<core::Metrics> ExperimentRunner::run_metrics(

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/simulator.hpp"
@@ -56,6 +57,26 @@ struct RunnerOptions {
 /// flags on top. Prints a diagnostic and exits on a malformed value.
 [[nodiscard]] unsigned parse_jobs(int argc, char** argv);
 
+/// One unit of streamed work: the caller's job index (tags the
+/// RunResult, so out-of-order completion stays attributable) plus the
+/// config to simulate.
+struct StreamJob {
+  std::size_t index = 0;
+  core::SystemConfig config;
+};
+
+/// Pulls the next job; std::nullopt ends the stream. Called under the
+/// runner's source lock (never concurrently with itself), from worker
+/// threads.
+using JobSource = std::function<std::optional<StreamJob>()>;
+
+/// Receives each finished run, in completion order (not submission
+/// order — sort or key by RunResult::index downstream). Called under
+/// the runner's sink lock, from worker threads. The source keeps being
+/// polled while the sink runs, so a slow sink (disk append) does not
+/// stall job handout beyond the one worker inside it.
+using StreamSink = std::function<void(RunResult&&)>;
+
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(RunnerOptions opts = {});
@@ -64,8 +85,8 @@ class ExperimentRunner {
 
   /// Run every config and return results in submission order. With
   /// jobs == 1 the batch runs inline on the calling thread; otherwise a
-  /// pool of resolve_jobs(opts.jobs) workers pulls indices from a
-  /// shared atomic counter. Either way result[i] corresponds to
+  /// pool of min(resolve_jobs(opts.jobs), batch size) workers pulls
+  /// jobs from the shared list. Either way result[i] corresponds to
   /// configs[i] and is identical between the two modes.
   [[nodiscard]] std::vector<RunResult> run(
       const std::vector<core::SystemConfig>& configs);
@@ -75,9 +96,26 @@ class ExperimentRunner {
   [[nodiscard]] std::vector<core::Metrics> run_metrics(
       const std::vector<core::SystemConfig>& configs);
 
+  /// Streaming submission with backpressure: resolve_jobs(opts.jobs)
+  /// workers each loop { pull from source, simulate, hand to sink }, so
+  /// at most that many runs — configs, Simulators and Metrics — exist
+  /// at once no matter how long the stream is. Memory is bounded by the
+  /// worker count, never the sweep size; a million-job source costs the
+  /// same RSS as a ten-job one. Results are bit-identical to running
+  /// the same configs serially (each worker owns a whole Simulator, RNG
+  /// streams derive from cfg.seed). The worker count is deliberately
+  /// NOT clamped to the stream length (unknowable up front), so
+  /// oversubscribed pools — more threads than jobs or cores — are legal
+  /// and exercised by the fuzz harness. With one worker the stream runs
+  /// inline on the calling thread and exceptions propagate.
+  void run_stream(const JobSource& source, const StreamSink& sink);
+
   [[nodiscard]] const RunnerOptions& options() const { return opts_; }
 
  private:
+  void run_stream_with(const JobSource& source, const StreamSink& sink,
+                       unsigned workers);
+
   RunnerOptions opts_;
 };
 

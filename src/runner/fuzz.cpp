@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "runner/experiment_runner.hpp"
@@ -272,6 +273,30 @@ std::string run_differential(const core::SystemConfig& cfg) {
   err = compare_metrics("runner[fast] vs serial", parallel[1], serial_fast);
   if (!err.empty()) return err;
   err = compare_metrics("runner[event] vs serial", parallel[2], serial_event);
+  if (!err.empty()) return err;
+
+  // Streaming-submission identity under oversubscription: more workers
+  // than jobs AND than cores, pulling from a source and delivering in
+  // whatever completion order the scheduler produces. The sink keys
+  // results by index, so the stream must still match serial bitwise.
+  const core::SystemConfig stream_cfgs[] = {dense, fast, event};
+  core::Metrics streamed[3];
+  std::size_t next = 0;
+  const JobSource source = [&]() -> std::optional<StreamJob> {
+    if (next >= 3) return std::nullopt;
+    const std::size_t i = next++;
+    return StreamJob{i, stream_cfgs[i]};
+  };
+  const StreamSink sink = [&](RunResult&& r) {
+    streamed[r.index] = std::move(r.metrics);
+  };
+  ExperimentRunner oversub(2 * std::thread::hardware_concurrency());
+  oversub.run_stream(source, sink);
+  err = compare_metrics("stream[dense] vs serial", streamed[0], serial_dense);
+  if (!err.empty()) return err;
+  err = compare_metrics("stream[fast] vs serial", streamed[1], serial_fast);
+  if (!err.empty()) return err;
+  err = compare_metrics("stream[event] vs serial", streamed[2], serial_event);
   if (!err.empty()) return err;
 
   return sanity_check(cfg, serial_dense);

@@ -41,115 +41,160 @@ void json_string(std::FILE* out, const std::string& s) {
 
 }  // namespace
 
+const char* csv_header() { return kCsvHeader; }
+
+void write_csv_row(std::FILE* out, const LabeledRun& r) {
+  const core::Metrics& m = r.metrics;
+  std::fprintf(
+      out,
+      "%s,%s,%s,%.0f,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,"
+      "%llu,%llu,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+      r.table.c_str(), r.application.c_str(), r.ddr.c_str(), r.clock_mhz,
+      r.design.c_str(), m.utilization, m.raw_utilization,
+      m.avg_latency_all(), m.avg_latency_demand(), m.avg_latency_priority(),
+      ull(m.completed_requests), ull(m.outstanding_requests),
+      ull(m.measured_cycles), ull(m.drained_cycles),
+      ull(m.device.activates), ull(m.device.precharges),
+      ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
+      r.wall_seconds, ull(m.obs.row_hits_total()),
+      ull(m.obs.conflict_pre_total()), ull(m.obs.ap_elided_total()),
+      ull(m.obs.router_stalls_total()), ull(m.obs.gss.total_admits()),
+      ull(m.obs.gss.sti_hits), ull(m.obs.worst_priority_wait),
+      ull(m.trace_dropped_rows));
+}
+
 void write_csv(std::FILE* out, const std::vector<LabeledRun>& runs) {
   std::fprintf(out, "%s\n", kCsvHeader);
-  for (const LabeledRun& r : runs) {
-    const core::Metrics& m = r.metrics;
-    std::fprintf(
-        out,
-        "%s,%s,%s,%.0f,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%llu,%llu,%llu,%llu,"
-        "%llu,%llu,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
-        r.table.c_str(), r.application.c_str(), r.ddr.c_str(), r.clock_mhz,
-        r.design.c_str(), m.utilization, m.raw_utilization,
-        m.avg_latency_all(), m.avg_latency_demand(), m.avg_latency_priority(),
-        ull(m.completed_requests), ull(m.outstanding_requests),
-        ull(m.measured_cycles), ull(m.drained_cycles),
-        ull(m.device.activates), ull(m.device.precharges),
-        ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
-        r.wall_seconds, ull(m.obs.row_hits_total()),
-        ull(m.obs.conflict_pre_total()), ull(m.obs.ap_elided_total()),
-        ull(m.obs.router_stalls_total()), ull(m.obs.gss.total_admits()),
-        ull(m.obs.gss.sti_hits), ull(m.obs.worst_priority_wait),
-        ull(m.trace_dropped_rows));
+  for (const LabeledRun& r : runs) write_csv_row(out, r);
+}
+
+void write_json_fields(std::FILE* out, const LabeledRun& r) {
+  const core::Metrics& m = r.metrics;
+  std::fputs("\"table\": ", out);
+  json_string(out, r.table);
+  std::fputs(", \"application\": ", out);
+  json_string(out, r.application);
+  std::fputs(", \"ddr\": ", out);
+  json_string(out, r.ddr);
+  std::fprintf(out, ", \"clock_mhz\": %.0f, \"design\": ", r.clock_mhz);
+  json_string(out, r.design);
+  std::fprintf(
+      out,
+      ", \"utilization\": %.4f, \"raw_utilization\": %.4f,"
+      " \"latency_all\": %.2f, \"latency_demand\": %.2f,"
+      " \"latency_priority\": %.2f, \"requests\": %llu,"
+      " \"outstanding_requests\": %llu, \"measured_cycles\": %llu,"
+      " \"drained_cycles\": %llu, \"activates\": %llu,"
+      " \"precharges\": %llu, \"auto_precharges\": %llu,"
+      " \"wasted_beats\": %llu, \"wall_seconds\": %.3f,"
+      " \"trace_dropped_rows\": %llu",
+      m.utilization, m.raw_utilization, m.avg_latency_all(),
+      m.avg_latency_demand(), m.avg_latency_priority(),
+      ull(m.completed_requests), ull(m.outstanding_requests),
+      ull(m.measured_cycles), ull(m.drained_cycles),
+      ull(m.device.activates), ull(m.device.precharges),
+      ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
+      r.wall_seconds, ull(m.trace_dropped_rows));
+  if (m.obs_valid) {
+    // Observability digest: whole-run event tallies (see
+    // obs/counters.hpp). Per-bank and ladder arrays are exported in
+    // full; CSV carries only the totals.
+    std::fprintf(out,
+                 ", \"obs\": {\"row_hits\": %llu, \"conflict_pre\": %llu,"
+                 " \"ap_elided\": %llu, \"sdram_commands\": %llu,"
+                 " \"refreshes\": %llu, \"forks\": %llu, \"joins\": %llu,"
+                 " \"worst_wait\": %llu, \"worst_priority_wait\": %llu",
+                 ull(m.obs.row_hits_total()), ull(m.obs.conflict_pre_total()),
+                 ull(m.obs.ap_elided_total()), ull(m.obs.sdram_commands),
+                 ull(m.obs.refreshes), ull(m.obs.forks), ull(m.obs.joins),
+                 ull(m.obs.worst_wait), ull(m.obs.worst_priority_wait));
+    std::fputs(", \"gss_admits_by_level\": [", out);
+    for (std::size_t l = 0; l < m.obs.gss.admits_by_level.size(); ++l) {
+      std::fprintf(out, "%s%llu", l == 0 ? "" : ", ",
+                   ull(m.obs.gss.admits_by_level[l]));
+    }
+    std::fprintf(out,
+                 "], \"gss_rowhit_admits\": %llu,"
+                 " \"gss_priority_admits\": %llu, \"gss_sti_hits\": %llu,"
+                 " \"gss_retry_rounds\": %llu",
+                 ull(m.obs.gss.rowhit_admits), ull(m.obs.gss.priority_admits),
+                 ull(m.obs.gss.sti_hits), ull(m.obs.gss.retry_rounds));
+    std::fputs(", \"banks\": [", out);
+    for (std::size_t b = 0; b < m.obs.banks.size(); ++b) {
+      const auto& bk = m.obs.banks[b];
+      std::fprintf(out,
+                   "%s{\"activates\": %llu, \"row_hit_cas\": %llu,"
+                   " \"conflict_pre\": %llu, \"ap_elided_pre\": %llu,"
+                   " \"open_cycles\": %llu}",
+                   b == 0 ? "" : ", ", ull(bk.activates), ull(bk.row_hit_cas),
+                   ull(bk.conflict_pre), ull(bk.ap_elided_pre),
+                   ull(bk.open_cycles));
+    }
+    std::fputs("], \"router_stalls\": [", out);
+    for (std::size_t n = 0; n < m.obs.routers.size(); ++n) {
+      const auto& rt = m.obs.routers[n];
+      std::fprintf(out,
+                   "%s{\"grants\": %llu, \"gss_exclusion\": %llu,"
+                   " \"downstream_full\": %llu, \"sink_busy\": %llu}",
+                   n == 0 ? "" : ", ", ull(rt.grants),
+                   ull(rt.stalls[static_cast<std::size_t>(
+                       obs::StallCause::kGssExclusion)]),
+                   ull(rt.stalls[static_cast<std::size_t>(
+                       obs::StallCause::kDownstreamFull)]),
+                   ull(rt.stalls[static_cast<std::size_t>(
+                       obs::StallCause::kSinkBusy)]));
+    }
+    std::fputs("]}", out);
   }
 }
 
 void write_json(std::FILE* out, const std::vector<LabeledRun>& runs) {
   std::fputs("[\n", out);
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    const LabeledRun& r = runs[i];
-    const core::Metrics& m = r.metrics;
     std::fputs("  {", out);
-    std::fputs("\"table\": ", out);
-    json_string(out, r.table);
-    std::fputs(", \"application\": ", out);
-    json_string(out, r.application);
-    std::fputs(", \"ddr\": ", out);
-    json_string(out, r.ddr);
-    std::fprintf(out, ", \"clock_mhz\": %.0f, \"design\": ", r.clock_mhz);
-    json_string(out, r.design);
-    std::fprintf(
-        out,
-        ", \"utilization\": %.4f, \"raw_utilization\": %.4f,"
-        " \"latency_all\": %.2f, \"latency_demand\": %.2f,"
-        " \"latency_priority\": %.2f, \"requests\": %llu,"
-        " \"outstanding_requests\": %llu, \"measured_cycles\": %llu,"
-        " \"drained_cycles\": %llu, \"activates\": %llu,"
-        " \"precharges\": %llu, \"auto_precharges\": %llu,"
-        " \"wasted_beats\": %llu, \"wall_seconds\": %.3f,"
-        " \"trace_dropped_rows\": %llu",
-        m.utilization, m.raw_utilization, m.avg_latency_all(),
-        m.avg_latency_demand(), m.avg_latency_priority(),
-        ull(m.completed_requests), ull(m.outstanding_requests),
-        ull(m.measured_cycles), ull(m.drained_cycles),
-        ull(m.device.activates), ull(m.device.precharges),
-        ull(m.device.auto_precharges), ull(m.device.wasted_beats()),
-        r.wall_seconds, ull(m.trace_dropped_rows));
-    if (m.obs_valid) {
-      // Observability digest: whole-run event tallies (see
-      // obs/counters.hpp). Per-bank and ladder arrays are exported in
-      // full; CSV carries only the totals.
-      std::fprintf(out,
-                   ", \"obs\": {\"row_hits\": %llu, \"conflict_pre\": %llu,"
-                   " \"ap_elided\": %llu, \"sdram_commands\": %llu,"
-                   " \"refreshes\": %llu, \"forks\": %llu, \"joins\": %llu,"
-                   " \"worst_wait\": %llu, \"worst_priority_wait\": %llu",
-                   ull(m.obs.row_hits_total()), ull(m.obs.conflict_pre_total()),
-                   ull(m.obs.ap_elided_total()), ull(m.obs.sdram_commands),
-                   ull(m.obs.refreshes), ull(m.obs.forks), ull(m.obs.joins),
-                   ull(m.obs.worst_wait), ull(m.obs.worst_priority_wait));
-      std::fputs(", \"gss_admits_by_level\": [", out);
-      for (std::size_t l = 0; l < m.obs.gss.admits_by_level.size(); ++l) {
-        std::fprintf(out, "%s%llu", l == 0 ? "" : ", ",
-                     ull(m.obs.gss.admits_by_level[l]));
-      }
-      std::fprintf(out,
-                   "], \"gss_rowhit_admits\": %llu,"
-                   " \"gss_priority_admits\": %llu, \"gss_sti_hits\": %llu,"
-                   " \"gss_retry_rounds\": %llu",
-                   ull(m.obs.gss.rowhit_admits), ull(m.obs.gss.priority_admits),
-                   ull(m.obs.gss.sti_hits), ull(m.obs.gss.retry_rounds));
-      std::fputs(", \"banks\": [", out);
-      for (std::size_t b = 0; b < m.obs.banks.size(); ++b) {
-        const auto& bk = m.obs.banks[b];
-        std::fprintf(out,
-                     "%s{\"activates\": %llu, \"row_hit_cas\": %llu,"
-                     " \"conflict_pre\": %llu, \"ap_elided_pre\": %llu,"
-                     " \"open_cycles\": %llu}",
-                     b == 0 ? "" : ", ", ull(bk.activates), ull(bk.row_hit_cas),
-                     ull(bk.conflict_pre), ull(bk.ap_elided_pre),
-                     ull(bk.open_cycles));
-      }
-      std::fputs("], \"router_stalls\": [", out);
-      for (std::size_t n = 0; n < m.obs.routers.size(); ++n) {
-        const auto& rt = m.obs.routers[n];
-        std::fprintf(out,
-                     "%s{\"grants\": %llu, \"gss_exclusion\": %llu,"
-                     " \"downstream_full\": %llu, \"sink_busy\": %llu}",
-                     n == 0 ? "" : ", ", ull(rt.grants),
-                     ull(rt.stalls[static_cast<std::size_t>(
-                         obs::StallCause::kGssExclusion)]),
-                     ull(rt.stalls[static_cast<std::size_t>(
-                         obs::StallCause::kDownstreamFull)]),
-                     ull(rt.stalls[static_cast<std::size_t>(
-                         obs::StallCause::kSinkBusy)]));
-      }
-      std::fputs("]}", out);
-    }
+    write_json_fields(out, runs[i]);
     std::fputs("}", out);
     std::fputs(i + 1 < runs.size() ? ",\n" : "\n", out);
   }
   std::fputs("]\n", out);
+}
+
+StreamExporter::StreamExporter(const std::string& path, StreamFormat format,
+                               std::string extra_header)
+    : format_(format), extra_header_(std::move(extra_header)) {
+  out_ = std::fopen(path.c_str(), "ab");
+  if (out_ == nullptr) return;
+  if (format_ == StreamFormat::kCsv && std::ftell(out_) == 0) {
+    if (extra_header_.empty()) {
+      std::fprintf(out_, "%s\n", kCsvHeader);
+    } else {
+      std::fprintf(out_, "%s,%s\n", extra_header_.c_str(), kCsvHeader);
+    }
+    std::fflush(out_);
+  }
+}
+
+StreamExporter::~StreamExporter() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void StreamExporter::append(const LabeledRun& run, const std::string& extra) {
+  if (out_ == nullptr) {
+    ++dropped_;
+    return;
+  }
+  if (format_ == StreamFormat::kCsv) {
+    if (!extra.empty()) std::fprintf(out_, "%s,", extra.c_str());
+    write_csv_row(out_, run);
+  } else {
+    std::fputc('{', out_);
+    if (!extra.empty()) std::fprintf(out_, "%s, ", extra.c_str());
+    write_json_fields(out_, run);
+    std::fputs("}\n", out_);
+  }
+  // Flush-on-row: once append returns, the row is in the kernel — a
+  // killed process loses at most the row being formatted right now.
+  std::fflush(out_);
 }
 
 }  // namespace annoc::runner

@@ -33,4 +33,57 @@ void write_csv(std::FILE* out, const std::vector<LabeledRun>& runs);
 /// Emit a JSON array with one object per run (same fields as the CSV).
 void write_json(std::FILE* out, const std::vector<LabeledRun>& runs);
 
+/// The shared CSV column set (no trailing newline). Streaming and
+/// batch exports use the same header, so files mix freely.
+[[nodiscard]] const char* csv_header();
+
+/// Emit one CSV data row (with trailing newline).
+void write_csv_row(std::FILE* out, const LabeledRun& run);
+
+/// Emit the fields of one run as the body of a JSON object — no
+/// surrounding braces, so callers can splice extra members in front
+/// (write_json wraps this in "  {...}", the streaming exporter in
+/// "{...}\n").
+void write_json_fields(std::FILE* out, const LabeledRun& run);
+
+enum class StreamFormat : std::uint8_t {
+  kCsv,        ///< header (on a fresh file) + one row per append
+  kJsonLines,  ///< one self-contained JSON object per line
+};
+
+/// Streaming append exporter: open once, append one row per completed
+/// run, fflush after every row. Built for sweeps where buffering every
+/// Metrics would defeat bounded-memory execution — a 10k-run sweep
+/// holds one row at a time, and a killed process loses at most the row
+/// being written. Appending to an existing file continues it (the CSV
+/// header is only written when the file starts empty), so a resumed
+/// sweep keeps extending its previous results.
+class StreamExporter {
+ public:
+  /// `extra_header`: optional leading CSV columns (e.g. "job,point")
+  /// the caller fills via append()'s `extra`; ignored for kJsonLines.
+  StreamExporter(const std::string& path, StreamFormat format,
+                 std::string extra_header = "");
+  ~StreamExporter();
+  StreamExporter(const StreamExporter&) = delete;
+  StreamExporter& operator=(const StreamExporter&) = delete;
+
+  /// False when the file could not be opened; append() is then a no-op
+  /// and `dropped_rows()` counts what was lost.
+  [[nodiscard]] bool ok() const { return out_ != nullptr; }
+  [[nodiscard]] std::uint64_t dropped_rows() const { return dropped_; }
+
+  /// Append one row and flush it to the OS. `extra` prepends cells
+  /// (CSV — must match extra_header's column count) or splices raw
+  /// JSON members before the standard fields (kJsonLines), e.g.
+  /// `"job": 17, "point": {"pct": 4}`.
+  void append(const LabeledRun& run, const std::string& extra = "");
+
+ private:
+  std::FILE* out_ = nullptr;
+  StreamFormat format_ = StreamFormat::kCsv;
+  std::string extra_header_;
+  std::uint64_t dropped_ = 0;
+};
+
 }  // namespace annoc::runner

@@ -148,9 +148,10 @@ class ObjectReader {
   const std::string& origin_;
 };
 
-core::DesignPoint parse_design(const ObjectReader& r) {
+core::DesignPoint parse_design(const ObjectReader& r,
+                               core::DesignPoint current) {
   const JsonMember* m = r.find("design");
-  if (m == nullptr) return core::DesignPoint::kGss;
+  if (m == nullptr) return current;
   if (!m->value().is(JsonKind::kString)) {
     r.fail(*m, "expected a string");
   }
@@ -179,7 +180,9 @@ traffic::AppId parse_app(const ObjectReader& r, const JsonMember& m) {
                 "'; expected bluray, sdtv or ddtv");
 }
 
-sdram::DdrGeneration parse_ddr(const ObjectReader& r) {
+sdram::DdrGeneration parse_ddr(const ObjectReader& r,
+                               sdram::DdrGeneration current) {
+  if (r.find("ddr") == nullptr) return current;
   switch (r.get_u64("ddr", 2, 1, 3)) {
     case 1: return sdram::DdrGeneration::kDdr1;
     case 3: return sdram::DdrGeneration::kDdr3;
@@ -187,9 +190,10 @@ sdram::DdrGeneration parse_ddr(const ObjectReader& r) {
   }
 }
 
-core::ObserveLevel parse_observe(const ObjectReader& r) {
+core::ObserveLevel parse_observe(const ObjectReader& r,
+                                 core::ObserveLevel current) {
   const JsonMember* m = r.find("observe");
-  if (m == nullptr) return core::ObserveLevel::kOff;
+  if (m == nullptr) return current;
   if (!m->value().is(JsonKind::kString)) {
     r.fail(*m, "expected a string");
   }
@@ -201,9 +205,10 @@ core::ObserveLevel parse_observe(const ObjectReader& r) {
                  "'; expected off, counters or full");
 }
 
-std::optional<core::SchedMode> parse_sched(const ObjectReader& r) {
+std::optional<core::SchedMode> parse_sched(
+    const ObjectReader& r, std::optional<core::SchedMode> current) {
   const JsonMember* m = r.find("sched");
-  if (m == nullptr) return std::nullopt;
+  if (m == nullptr) return current;
   if (!m->value().is(JsonKind::kString)) {
     r.fail(*m, "expected a string");
   }
@@ -260,6 +265,73 @@ std::vector<traffic::SizeMix> parse_sizes(const ObjectReader& core_r,
     mix.push_back(sm);
   }
   return mix;
+}
+
+/// Apply every *present* top-level scalar key onto `cfg`, leaving
+/// absent keys at their current value. Shared between parse_scenario
+/// (where cfg starts at the struct defaults, so "keep current" equals
+/// the documented schema defaults) and apply_overrides (where cfg is an
+/// already-loaded base config and a sweep point perturbs a few knobs).
+void apply_scalar_keys(const ObjectReader& r, core::SystemConfig& cfg) {
+  cfg.design = parse_design(r, cfg.design);
+  cfg.generation = parse_ddr(r, cfg.generation);
+  cfg.clock_mhz = r.get_double("clock_mhz", cfg.clock_mhz, 1.0, 100000.0);
+  cfg.priority_enabled = r.get_bool("priority", cfg.priority_enabled);
+  cfg.model_response_path =
+      r.get_bool("model_response_path", cfg.model_response_path);
+  cfg.sim_cycles = r.get_u64("measure_cycles", cfg.sim_cycles, 1, 1ull << 40);
+  cfg.warmup_cycles =
+      r.get_u64("warmup_cycles", cfg.warmup_cycles, 0, 1ull << 40);
+  cfg.drain_cycle_limit =
+      r.get_u64("drain_cycle_limit", cfg.drain_cycle_limit, 0, 1ull << 40);
+  // Seeds use the full 64-bit range; a JSON number only carries 53 bits
+  // exactly, so large seeds are written (and accepted) as a decimal
+  // string instead of silently losing low bits.
+  if (const JsonMember* m = r.find("seed")) {
+    if (m->value().is(JsonKind::kString)) {
+      const std::string& sv = m->value().string;
+      char* end = nullptr;
+      errno = 0;
+      const std::uint64_t v = std::strtoull(sv.c_str(), &end, 0);
+      if (sv.empty() || end != sv.c_str() + sv.size() || errno == ERANGE) {
+        r.fail(*m, "malformed seed string '" + sv +
+                       "' (decimal or 0x-hex integer)");
+      }
+      cfg.seed = v;
+    } else {
+      cfg.seed = r.u64_of(*m, 0, 1ull << 53);
+    }
+  }
+  cfg.fast_forward = r.get_bool("fast_forward", cfg.fast_forward);
+  cfg.sched = parse_sched(r, cfg.sched);
+  cfg.audit_horizons = r.get_bool("audit_horizons", cfg.audit_horizons);
+  cfg.pct = static_cast<std::uint32_t>(r.get_u64("pct", cfg.pct, 2, 6));
+  if (r.find("num_gss_routers") != nullptr) {
+    cfg.num_gss_routers = r.get_opt_u32("num_gss_routers", 0, 1u << 12);
+  }
+  if (r.find("engine_lookahead") != nullptr) {
+    cfg.engine_lookahead = r.get_opt_u32("engine_lookahead", 1, 64);
+  }
+  if (r.find("engine_reorder_depth") != nullptr) {
+    cfg.engine_reorder_depth = r.get_opt_u32("engine_reorder_depth", 1, 1024);
+  }
+  if (r.find("engine_window") != nullptr) {
+    cfg.engine_window = r.get_opt_u32("engine_window", 1, 1024);
+  }
+  cfg.map_chunk_bytes = static_cast<std::uint32_t>(
+      r.get_u64("map_chunk_bytes", cfg.map_chunk_bytes, 0, 1u << 20));
+  cfg.num_vcs =
+      static_cast<std::uint32_t>(r.get_u64("num_vcs", cfg.num_vcs, 1, 16));
+  cfg.adaptive_routing = r.get_bool("adaptive_routing", cfg.adaptive_routing);
+  cfg.observe = parse_observe(r, cfg.observe);
+  cfg.perfetto_path = r.get_string("perfetto_path", cfg.perfetto_path);
+  cfg.trace_path = r.get_string("trace_path", cfg.trace_path);
+  cfg.record_trace_path = r.get_string("record_trace", cfg.record_trace_path);
+  cfg.replay_trace_path = r.get_string("replay_trace", cfg.replay_trace_path);
+  cfg.check = r.get_bool("check", cfg.check);
+  cfg.refresh = r.get_bool("refresh", cfg.refresh);
+  cfg.split_beats = static_cast<std::uint32_t>(
+      r.get_u64("split_beats", cfg.split_beats, 0, 64));
 }
 
 /// One entry of the `cores` array -> CoreSpec (+ optional node/region).
@@ -543,54 +615,7 @@ Scenario parse_scenario(std::string_view text, const std::string& origin) {
   Scenario s;
   s.name = r.get_string("name", "");
   core::SystemConfig& cfg = s.config;
-  cfg.design = parse_design(r);
-  cfg.generation = parse_ddr(r);
-  cfg.clock_mhz = r.get_double("clock_mhz", 333.0, 1.0, 100000.0);
-  cfg.priority_enabled = r.get_bool("priority", false);
-  cfg.model_response_path = r.get_bool("model_response_path", false);
-  cfg.sim_cycles = r.get_u64("measure_cycles", 200000, 1, 1ull << 40);
-  cfg.warmup_cycles = r.get_u64("warmup_cycles", 20000, 0, 1ull << 40);
-  cfg.drain_cycle_limit =
-      r.get_u64("drain_cycle_limit", 20000, 0, 1ull << 40);
-  // Seeds use the full 64-bit range; a JSON number only carries 53 bits
-  // exactly, so large seeds are written (and accepted) as a decimal
-  // string instead of silently losing low bits.
-  if (const JsonMember* m = r.find("seed")) {
-    if (m->value().is(JsonKind::kString)) {
-      const std::string& sv = m->value().string;
-      char* end = nullptr;
-      errno = 0;
-      const std::uint64_t v = std::strtoull(sv.c_str(), &end, 0);
-      if (sv.empty() || end != sv.c_str() + sv.size() || errno == ERANGE) {
-        r.fail(*m, "malformed seed string '" + sv +
-                       "' (decimal or 0x-hex integer)");
-      }
-      cfg.seed = v;
-    } else {
-      cfg.seed = r.u64_of(*m, 0, 1ull << 53);
-    }
-  }
-  cfg.fast_forward = r.get_bool("fast_forward", true);
-  cfg.sched = parse_sched(r);
-  cfg.audit_horizons = r.get_bool("audit_horizons", false);
-  cfg.pct = static_cast<std::uint32_t>(r.get_u64("pct", 4, 2, 6));
-  cfg.num_gss_routers = r.get_opt_u32("num_gss_routers", 0, 1u << 12);
-  cfg.engine_lookahead = r.get_opt_u32("engine_lookahead", 1, 64);
-  cfg.engine_reorder_depth = r.get_opt_u32("engine_reorder_depth", 1, 1024);
-  cfg.engine_window = r.get_opt_u32("engine_window", 1, 1024);
-  cfg.map_chunk_bytes =
-      static_cast<std::uint32_t>(r.get_u64("map_chunk_bytes", 0, 0, 1u << 20));
-  cfg.num_vcs = static_cast<std::uint32_t>(r.get_u64("num_vcs", 1, 1, 16));
-  cfg.adaptive_routing = r.get_bool("adaptive_routing", false);
-  cfg.observe = parse_observe(r);
-  cfg.perfetto_path = r.get_string("perfetto_path", "");
-  cfg.trace_path = r.get_string("trace_path", "");
-  cfg.record_trace_path = r.get_string("record_trace", "");
-  cfg.replay_trace_path = r.get_string("replay_trace", "");
-  cfg.check = r.get_bool("check", true);
-  cfg.refresh = r.get_bool("refresh", false);
-  cfg.split_beats =
-      static_cast<std::uint32_t>(r.get_u64("split_beats", 0, 0, 64));
+  apply_scalar_keys(r, cfg);
 
   const JsonMember* app_m = r.find("app");
   const JsonMember* mesh_m = r.find("mesh");
@@ -610,6 +635,49 @@ Scenario parse_scenario(std::string_view text, const std::string& origin) {
                                : traffic::AppId::kSingleDtv;
   }
   return s;
+}
+
+bool is_sweepable_key(std::string_view key) {
+  // Workload structure is fixed per sweep (a sweep perturbs knobs, not
+  // the core set), `name` labels the scenario itself, and the output
+  // paths would make thousands of jobs overwrite one file.
+  static constexpr std::string_view kFixed[] = {
+      "name",         "mesh",        "cores",        "trace_path",
+      "record_trace", "replay_trace", "perfetto_path"};
+  for (const std::string_view f : kFixed) {
+    if (key == f) return false;
+  }
+  for (std::size_t i = 0; i < kNumScenarioKeys; ++i) {
+    if (key == kScenarioKeys[i].key) return true;
+  }
+  return false;
+}
+
+void apply_overrides(core::SystemConfig& cfg, const JsonValue& point,
+                     const std::string& origin) {
+  if (!point.is(JsonKind::kObject)) {
+    throw ParseError(origin, point.line, point.column, "",
+                     "a sweep point must be a JSON object");
+  }
+  // ObjectReader first, so a typo'd key gets the standard "unknown
+  // scenario key" diagnostic before the sweepability check below.
+  ObjectReader r(point, kScenarioKeys, kNumScenarioKeys, origin, "scenario");
+  for (const JsonMember& m : point.object) {
+    if (!is_sweepable_key(m.name)) {
+      throw ParseError(origin, m.line, m.column, m.name,
+                       "this key cannot be swept: workload structure "
+                       "(name/mesh/cores) and output paths are fixed "
+                       "for every job of a sweep");
+    }
+  }
+  if (const JsonMember* m = r.find("app")) {
+    if (cfg.custom_app) {
+      r.fail(*m, "the base scenario defines a custom core set; "
+                 "'app' cannot override it");
+    }
+    cfg.app = parse_app(r, *m);
+  }
+  apply_scalar_keys(r, cfg);
 }
 
 Scenario load_scenario(const std::string& path) {

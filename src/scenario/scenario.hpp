@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "core/system_config.hpp"
+#include "scenario/json.hpp"
 
 namespace annoc::scenario {
 
@@ -34,6 +35,24 @@ struct Scenario {
 /// their traces. Throws annoc::ParseError (also for an unreadable
 /// file).
 [[nodiscard]] Scenario load_scenario(const std::string& path);
+
+/// True when `key` is a top-level scenario key a sweep axis may
+/// override: every scalar SystemConfig knob (design, ddr, clock_mhz,
+/// seed, pct, ...) plus `app`. Workload-structure keys (name, mesh,
+/// cores) and output paths (trace_path, record_trace, replay_trace,
+/// perfetto_path) are not sweepable — thousands of jobs would fight
+/// over one file. Unknown keys return false.
+[[nodiscard]] bool is_sweepable_key(std::string_view key);
+
+/// Apply the members of an already-parsed JSON object (one sweep
+/// point) onto an existing config, reusing the scenario loader's
+/// validation: unknown keys, wrong types, out-of-range values and
+/// non-sweepable keys all throw annoc::ParseError positioned at the
+/// offending member. Absent keys keep their current value, so a point
+/// perturbs exactly the knobs it names. `app` is accepted unless the
+/// base config carries a custom core set.
+void apply_overrides(core::SystemConfig& cfg, const JsonValue& point,
+                     const std::string& origin);
 
 /// Serialize a scenario to canonical JSON: every key explicit, schema
 /// order, integers undecorated and doubles via %.17g, custom cores with

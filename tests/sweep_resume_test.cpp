@@ -1,0 +1,220 @@
+/// Sweep executor integration tests: kill/resume bitwise identity,
+/// torn-row repair, and claim exclusivity under two concurrent
+/// executors sharing one output directory. These drive run_sweep()
+/// in-process (max_jobs is the deterministic kill point); the CI
+/// sweep workflow additionally kills a real annoc_sweep process with
+/// SIGKILL and diffs the resumed outputs.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/executor.hpp"
+#include "explore/sweep_spec.hpp"
+#include "scenario/json.hpp"
+
+using namespace annoc;
+
+namespace {
+
+/// 24 fast jobs over library defaults (windows shrunk via pinned
+/// single-value axes).
+constexpr const char* kSpecText = R"({
+  "name": "test/resume",
+  "axes": [
+    {"key": "design", "values": ["gss", "ref4"]},
+    {"key": "pct", "values": [3, 4]},
+    {"key": "seed", "values": [1, 2, 3, 4, 5, 6]},
+    {"key": "measure_cycles", "values": [1200]},
+    {"key": "warmup_cycles", "values": [300]},
+    {"key": "drain_cycle_limit", "values": [1200]}
+  ]
+})";
+
+[[nodiscard]] std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "annoc_sweep_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    ADD_FAILURE() << "mkdtemp failed";
+  }
+  return tmpl;
+}
+
+void remove_tree(const std::string& dir) {
+  const std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] const int rc = std::system(cmd.c_str());
+}
+
+[[nodiscard]] std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    ADD_FAILURE() << "cannot open " << path;
+    return "";
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+/// Job indices recorded in one shard's row file.
+[[nodiscard]] std::set<std::uint64_t> jobs_in(const std::string& path) {
+  std::set<std::uint64_t> jobs;
+  const std::string text = slurp(path);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const scenario::JsonValue row =
+        scenario::parse_json(text.substr(pos, nl - pos), "<row>");
+    jobs.insert(
+        static_cast<std::uint64_t>(row.find("job")->value().number));
+    pos = nl + 1;
+  }
+  return jobs;
+}
+
+struct Reference {
+  std::string merged;
+  std::string pareto;
+  std::string summary;
+};
+
+/// The uninterrupted single-process outputs every other execution
+/// shape must reproduce byte-for-byte.
+[[nodiscard]] const Reference& reference(const explore::SweepSpec& spec) {
+  static Reference ref = [&] {
+    const std::string dir = make_temp_dir();
+    explore::ExecutorOptions opts;
+    opts.out_dir = dir;
+    opts.jobs = 1;
+    const explore::SweepOutcome out = explore::run_sweep(spec, opts);
+    EXPECT_TRUE(out.finished);
+    EXPECT_EQ(out.completed_now, spec.job_count());
+    Reference r{slurp(dir + "/merged.jsonl"), slurp(dir + "/pareto.json"),
+                slurp(dir + "/summary.json")};
+    remove_tree(dir);
+    return r;
+  }();
+  return ref;
+}
+
+[[nodiscard]] explore::SweepSpec test_spec() {
+  return explore::parse_sweep_spec(kSpecText, "<resume-test>");
+}
+
+void expect_matches_reference(const std::string& dir,
+                              const explore::SweepSpec& spec,
+                              const std::string& what) {
+  const Reference& ref = reference(spec);
+  EXPECT_EQ(slurp(dir + "/merged.jsonl"), ref.merged) << what;
+  EXPECT_EQ(slurp(dir + "/pareto.json"), ref.pareto) << what;
+  EXPECT_EQ(slurp(dir + "/summary.json"), ref.summary) << what;
+}
+
+TEST(SweepResume, KilledSweepResumesBitwiseIdentical) {
+  const explore::SweepSpec spec = test_spec();
+  for (const std::uint64_t kill_at : {1u, 7u, 17u}) {
+    const std::string dir = make_temp_dir();
+    explore::ExecutorOptions opts;
+    opts.out_dir = dir;
+    opts.jobs = 1;
+    opts.chunk = 4;
+    opts.max_jobs = kill_at;
+    const explore::SweepOutcome paused = explore::run_sweep(spec, opts);
+    EXPECT_FALSE(paused.finished);
+    EXPECT_EQ(paused.completed_now, kill_at);
+    EXPECT_EQ(paused.rows_present, kill_at);
+
+    opts.max_jobs = 0;
+    const explore::SweepOutcome done = explore::run_sweep(spec, opts);
+    EXPECT_TRUE(done.finished);
+    // Exactly the missing jobs ran — nothing was redone.
+    EXPECT_EQ(done.completed_now, spec.job_count() - kill_at);
+    expect_matches_reference(dir, spec,
+                             "kill at " + std::to_string(kill_at));
+    remove_tree(dir);
+  }
+}
+
+TEST(SweepResume, TornTrailingRowIsRepaired) {
+  const explore::SweepSpec spec = test_spec();
+  const std::string dir = make_temp_dir();
+  explore::ExecutorOptions opts;
+  opts.out_dir = dir;
+  opts.jobs = 1;
+  opts.max_jobs = 5;
+  (void)explore::run_sweep(spec, opts);
+
+  // A SIGKILL mid-append leaves a partial line with no newline; the
+  // resuming process must drop it and re-run that job.
+  std::FILE* f = std::fopen((dir + "/rows/w0.jsonl").c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"job\": 5, \"point\": {\"trunca", f);
+  std::fclose(f);
+
+  opts.max_jobs = 0;
+  const explore::SweepOutcome done = explore::run_sweep(spec, opts);
+  EXPECT_TRUE(done.finished);
+  EXPECT_EQ(done.completed_now, spec.job_count() - 5);
+  expect_matches_reference(dir, spec, "torn trailing row");
+  remove_tree(dir);
+}
+
+TEST(SweepResume, ConcurrentShardsClaimDisjointJobs) {
+  const explore::SweepSpec spec = test_spec();
+  const std::string dir = make_temp_dir();
+
+  const auto shard = [&](const char* worker) {
+    explore::ExecutorOptions opts;
+    opts.out_dir = dir;
+    opts.jobs = 1;
+    opts.chunk = 3;
+    opts.worker_id = worker;
+    (void)explore::run_sweep(spec, opts);
+  };
+  std::thread a([&] { shard("shard_a"); });
+  std::thread b([&] { shard("shard_b"); });
+  a.join();
+  b.join();
+
+  // O_EXCL claims make the job sets disjoint and jointly complete.
+  const std::set<std::uint64_t> jobs_a = jobs_in(dir + "/rows/shard_a.jsonl");
+  const std::set<std::uint64_t> jobs_b = jobs_in(dir + "/rows/shard_b.jsonl");
+  std::vector<std::uint64_t> overlap;
+  std::set_intersection(jobs_a.begin(), jobs_a.end(), jobs_b.begin(),
+                        jobs_b.end(), std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty()) << overlap.size() << " jobs ran twice";
+  EXPECT_EQ(jobs_a.size() + jobs_b.size(), spec.job_count());
+
+  // Whichever shard finished last may have raced the other's final
+  // rows; a no-op rerun (no jobs left) finalizes deterministically.
+  shard("shard_a");
+  expect_matches_reference(dir, spec, "two concurrent shards");
+  remove_tree(dir);
+}
+
+TEST(SweepResume, ManifestPinsTheSweepShape) {
+  const explore::SweepSpec spec = test_spec();
+  const std::string dir = make_temp_dir();
+  explore::ExecutorOptions opts;
+  opts.out_dir = dir;
+  opts.jobs = 1;
+  opts.max_jobs = 1;
+  (void)explore::run_sweep(spec, opts);
+
+  // Same directory, different chunking → refused (job indices would
+  // be regrouped under another claim layout).
+  opts.chunk = 5;
+  EXPECT_THROW((void)explore::run_sweep(spec, opts), ParseError);
+  remove_tree(dir);
+}
+
+}  // namespace

@@ -5,9 +5,10 @@ and src/scenario/schema.hpp.
 Parses the SystemConfig struct: each member's type, default value and
 doc comment, plus (by grepping tests/ and bench/) which tests pin each
 knob — so the table doubles as a coverage map. Also parses the KeyInfo
-tables in scenario/schema.hpp into the "Scenario file schema" section,
-so the scenario-JSON surface documented here can never drift from what
-the loader accepts. Stdlib only; run from the repository root:
+tables in scenario/schema.hpp and explore/sweep_schema.hpp into the
+"Scenario file schema" and "Sweep spec schema" sections, so neither
+JSON surface documented here can drift from what the loaders accept.
+Stdlib only; run from the repository root:
 
     python3 tools/gen_config_reference.py          # rewrite the doc
     python3 tools/gen_config_reference.py --check  # CI: fail if stale
@@ -20,6 +21,7 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 HEADER = ROOT / "src" / "core" / "system_config.hpp"
 SCHEMA = ROOT / "src" / "scenario" / "schema.hpp"
+SWEEP_SCHEMA = ROOT / "src" / "explore" / "sweep_schema.hpp"
 OUTPUT = ROOT / "docs" / "CONFIG_REFERENCE.md"
 
 # KeyInfo arrays in schema.hpp, in render order: (array name, heading,
@@ -48,20 +50,41 @@ SCHEMA_TABLES = [
     ),
 ]
 
+# KeyInfo arrays in explore/sweep_schema.hpp, same shape and contract.
+SWEEP_TABLES = [
+    (
+        "kSweepKeys",
+        "Top-level sweep keys",
+        "Every key accepted at the top level of a sweep-spec file"
+        " (`scenarios/sweeps/*.json`, run by `annoc_sweep`).",
+    ),
+    (
+        "kAxisKeys",
+        "`axes[]` entries",
+        "One object per swept scenario key. Exactly one of `values` and"
+        " `range` supplies the candidate list.",
+    ),
+    (
+        "kRangeKeys",
+        "`range` object",
+        "Evenly spaced numeric candidates, both endpoints included.",
+    ),
+]
+
 # One C string literal, escapes included.
 STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 
-def parse_schema_array(text: str, array: str):
+def parse_schema_array(text: str, array: str, origin: str = "schema.hpp"):
     """Rows of one `inline constexpr KeyInfo <array>[] = {...}` table.
 
-    Each entry is `{"key", "type", "default", "doc"},` (schema.hpp keeps
-    that shape by contract); we pull the string literals and group them
-    in fours.
+    Each entry is `{"key", "type", "default", "doc"},` (schema.hpp and
+    sweep_schema.hpp keep that shape by contract); we pull the string
+    literals and group them in fours.
     """
     m = re.search(re.escape(array) + r"\[\]\s*=\s*\{", text)
     if not m:
-        raise SystemExit(f"{array} not found in {SCHEMA}")
+        raise SystemExit(f"{array} not found in {origin}")
     body = text[m.end() : text.index("};", m.end())]
     lits = [s.replace('\\"', '"') for s in STRING_RE.findall(body)]
     if not lits or len(lits) % 4:
@@ -149,8 +172,14 @@ def render_schema_section(schema_text: str) -> list[str]:
         " cannot drift from the code). Narrative guide with worked"
         " examples: [docs/WORKLOADS.md](WORKLOADS.md).",
     ]
-    for array, heading, blurb in SCHEMA_TABLES:
-        rows = parse_schema_array(schema_text, array)
+    lines += render_key_tables(schema_text, SCHEMA_TABLES, "schema.hpp")
+    return lines
+
+
+def render_key_tables(text: str, tables, origin: str) -> list[str]:
+    lines: list[str] = []
+    for array, heading, blurb in tables:
+        rows = parse_schema_array(text, array, origin)
         lines += [
             "",
             f"## {heading}",
@@ -173,7 +202,25 @@ def render_schema_section(schema_text: str) -> list[str]:
     return lines
 
 
-def render(members, schema_text: str) -> str:
+def render_sweep_section(sweep_text: str) -> list[str]:
+    lines = [
+        "",
+        "# Sweep spec schema",
+        "",
+        "Keys of the design-space sweep files under"
+        " [`scenarios/sweeps/`](../scenarios/sweeps), parsed from the"
+        " `KeyInfo` tables in"
+        " [`src/explore/sweep_schema.hpp`](../src/explore/sweep_schema.hpp)"
+        " (the same tables `annoc_sweep` validates against). Any"
+        " sweepable scenario key can be an axis; a grid takes the cross"
+        " product, `\"mode\": \"random\"` draws `samples` seeded points."
+        " Walkthrough: [EXPERIMENTS.md](../EXPERIMENTS.md).",
+    ]
+    lines += render_key_tables(sweep_text, SWEEP_TABLES, "sweep_schema.hpp")
+    return lines
+
+
+def render(members, schema_text: str, sweep_text: str) -> str:
     lines = [
         "# SystemConfig reference",
         "",
@@ -203,11 +250,12 @@ def render(members, schema_text: str) -> str:
             )
         )
     lines += render_schema_section(schema_text)
+    lines += render_sweep_section(sweep_text)
     lines += [
         "",
         "Regenerate with `python3 tools/gen_config_reference.py` after"
-        " changing `system_config.hpp` or `scenario/schema.hpp`; CI"
-        " fails if this file is stale.",
+        " changing `system_config.hpp`, `scenario/schema.hpp` or"
+        " `explore/sweep_schema.hpp`; CI fails if this file is stale.",
         "",
     ]
     return "\n".join(lines)
@@ -218,7 +266,8 @@ def main() -> int:
     if not members:
         print("no members parsed — parser bug?", file=sys.stderr)
         return 1
-    doc = render(members, SCHEMA.read_text(encoding="utf-8"))
+    doc = render(members, SCHEMA.read_text(encoding="utf-8"),
+                 SWEEP_SCHEMA.read_text(encoding="utf-8"))
     if "--check" in sys.argv:
         current = OUTPUT.read_text(encoding="utf-8") if OUTPUT.exists() else ""
         if current != doc:

@@ -1,0 +1,42 @@
+# Sweep-engine smoke: run the small checked-in grid with a mid-sweep
+# stop (--max-jobs), resume it, and demand the merged outputs be
+# byte-identical to an uninterrupted 2-worker run. Driven by ctest as
+# `annoc_sweep_smoke` (label sweep-smoke); the sweep CI workflow does
+# the same dance with a real SIGKILL. Invoke:
+#
+#   cmake -DSWEEP_BIN=<annoc_sweep> -DSPEC=<spec.json> -DOUT_DIR=<dir> \
+#         -P tools/sweep_smoke.cmake
+
+foreach(var SWEEP_BIN SPEC OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_smoke.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+function(run_sweep)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "failed (exit ${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+# Interrupted leg: stop after 2 jobs, then resume to completion.
+run_sweep("${SWEEP_BIN}" "--out=${OUT_DIR}/resumed" --max-jobs=2 "${SPEC}")
+run_sweep("${SWEEP_BIN}" "--out=${OUT_DIR}/resumed" "${SPEC}")
+
+# Reference leg: uninterrupted, 2 workers.
+run_sweep("${SWEEP_BIN}" "--out=${OUT_DIR}/ref" -j2 "${SPEC}")
+
+foreach(artifact merged.jsonl pareto.json summary.json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${OUT_DIR}/resumed/${artifact}" "${OUT_DIR}/ref/${artifact}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+      "${artifact}: resumed sweep differs from uninterrupted run")
+  endif()
+endforeach()
+message(STATUS "sweep smoke OK: resume is byte-identical")
