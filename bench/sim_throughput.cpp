@@ -118,6 +118,30 @@ std::vector<Point> points() {
     p.cfg.check = true;
     pts.push_back(std::move(p));
   }
+
+  // Fabric scaling (the Fig. 8 flavor): the dual-DTV core mix re-tiled
+  // onto growing meshes, the controller count scaling alongside so
+  // per-controller load stays comparable. These points track how the
+  // per-cycle cost grows with fabric size and how much the event core
+  // recovers once a big fabric is only partly busy. Shorter windows
+  // than the saturated points: a 16x16 dense run ticks 256 routers per
+  // cycle and the ratios converge well before 20k measured cycles.
+  const auto scale = [&base](const char* name, const char* preset,
+                             std::uint32_t ctrls) {
+    Point p{name, base()};
+    p.cfg.design = core::DesignPoint::kGssSagm;
+    p.cfg.priority_enabled = true;
+    p.cfg.app = traffic::AppId::kDualDtv;
+    p.cfg.mesh_preset = preset;
+    p.cfg.num_controllers = ctrls;
+    p.cfg.sim_cycles = 20000;
+    p.cfg.warmup_cycles = 4000;
+    return p;
+  };
+  pts.push_back(scale("scale/4x4_1ctrl", "4x4", 1));
+  pts.push_back(scale("scale/8x8_2ctrl", "8x8", 2));
+  pts.push_back(scale("scale/12x12_4ctrl", "12x12", 4));
+  pts.push_back(scale("scale/16x16_8ctrl", "16x16", 8));
   return pts;
 }
 

@@ -164,9 +164,29 @@ void ConservationChecker::on_run_end(const EndState& s) {
                     " packets still buffered in the request mesh");
     }
     if (s.subsystem_pending != 0) {
-      log_.flag(s.at, "drain-subsystem", kNoBank,
-                std::to_string(s.subsystem_pending) +
-                    " requests still pending in the memory subsystem");
+      if (s.per_controller_pending.size() > 1) {
+        for (std::size_t c = 0; c < s.per_controller_pending.size(); ++c) {
+          if (s.per_controller_pending[c] == 0) continue;
+          log_.flag(s.at, "drain-subsystem", kNoBank,
+                    std::to_string(s.per_controller_pending[c]) +
+                        " requests still pending in memory controller " +
+                        std::to_string(c));
+        }
+      } else {
+        log_.flag(s.at, "drain-subsystem", kNoBank,
+                  std::to_string(s.subsystem_pending) +
+                      " requests still pending in the memory subsystem");
+      }
+    }
+    std::uint64_t per_controller_sum = 0;
+    for (const std::uint64_t p : s.per_controller_pending)
+      per_controller_sum += p;
+    if (!s.per_controller_pending.empty() &&
+        per_controller_sum != s.subsystem_pending) {
+      log_.flag(s.at, "pending-sum", kNoBank,
+                "per-controller pending sums to " +
+                    std::to_string(per_controller_sum) + " but the total is " +
+                    std::to_string(s.subsystem_pending));
     }
     if (s.generator_backlog != 0) {
       log_.flag(s.at, "drain-backlog", kNoBank,

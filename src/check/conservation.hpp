@@ -13,6 +13,7 @@
 
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "check/violation.hpp"
 #include "noc/network.hpp"
@@ -49,6 +50,11 @@ class ConservationChecker final : public obs::EventSink {
     noc::NetworkStats request_net{};
     Audit request_in_flight{};
     std::uint64_t subsystem_pending = 0;
+    /// Pending count per controller (sums to subsystem_pending); lets
+    /// the undrained-end diagnostic name the offending controller in a
+    /// multi-controller fabric. May be empty (treated as one
+    /// controller holding the whole sum).
+    std::vector<std::uint64_t> per_controller_pending{};
     std::uint64_t generator_backlog = 0;  ///< queued, not yet injected
     /// Response path (zeros when not modelled).
     std::uint64_t response_backlog = 0;

@@ -27,6 +27,11 @@ TimingOracle::TimingOracle(const sdram::DeviceConfig& cfg,
     : cfg_(cfg), t_(timing), banks_(cfg.geometry.num_banks) {}
 
 void TimingOracle::on_command(const obs::SdramCommandEvent& e) {
+  // One oracle per controller: commands from the other channels of a
+  // multi-controller fabric are someone else's stream — the global
+  // constraints (command bus, tCCD, tFAW, data-bus direction) are
+  // per-controller, so mixing channels would flag legal interleavings.
+  if (e.channel != cfg_.channel) return;
   ++commands_;
   if (commands_ > 1 && e.at < last_event_at_) {
     log_.flag(e.at, "event-order", e.bank,

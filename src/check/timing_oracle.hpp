@@ -26,7 +26,10 @@ namespace annoc::check {
 class TimingOracle final : public obs::EventSink {
  public:
   /// Oracle for a device configuration; derives Timing the same way the
-  /// device does (sdram::make_timing).
+  /// device does (sdram::make_timing). In a multi-controller fabric the
+  /// simulator instantiates one oracle per controller on the shared
+  /// event hub; each ignores commands whose `channel` is not its own
+  /// (cfg.channel), since every constraint here is per-controller.
   explicit TimingOracle(const sdram::DeviceConfig& cfg);
   /// Test hook: validate the stream against an explicit (possibly
   /// perturbed) Timing instead of the config-derived one.

@@ -25,27 +25,46 @@ ResponsePath::ResponsePath(const noc::NocConfig& cfg)
   };
   static NoSink no_sink;
   net_.attach_sink(&no_sink);
+  backlogs_.resize(net_.mem_nodes().size());
+  link_free_at_.assign(net_.mem_nodes().size(), 0);
 }
 
 void ResponsePath::queue_response(const noc::Packet& served, Cycle now) {
   (void)now;
   noc::Packet resp = served;
   resp.to_memory = false;
-  resp.src_node = cfg_.mem_node;
   resp.dst_node = served.src_node;
+  // The request's destination is the controller that served it; the
+  // response departs from that node. Packets that never set dst_node
+  // (direct single-controller users of this class) depart from the one
+  // memory node.
+  const auto& mems = net_.mem_nodes();
+  std::size_t channel = 0;
+  while (channel < mems.size() && mems[channel] != served.dst_node) {
+    ++channel;
+  }
+  if (channel == mems.size()) {
+    ANNOC_ASSERT_MSG(mems.size() == 1,
+                     "served packet's dst_node is not a memory node");
+    channel = 0;
+  }
+  resp.src_node = mems[channel];
   // The response carries the read data: same flit count as the request
   // (body flits are the payload in both directions).
-  backlog_.push_back(std::move(resp));
+  backlogs_[channel].push_back(std::move(resp));
 }
 
 void ResponsePath::tick(Cycle now) {
-  // Serialize responses onto the subsystem's response port, one packet
-  // at a time, like every other link in the model.
-  if (!backlog_.empty() && now >= link_free_at_) {
-    const std::uint32_t flits = backlog_.front().flits;
-    if (net_.try_inject(std::move(backlog_.front()), now)) {
-      backlog_.pop_front();
-      link_free_at_ = now + flits;
+  // Serialize responses onto each subsystem's response port, one packet
+  // at a time per controller, like every other link in the model.
+  for (std::size_t c = 0; c < backlogs_.size(); ++c) {
+    std::deque<noc::Packet>& backlog = backlogs_[c];
+    if (!backlog.empty() && now >= link_free_at_[c]) {
+      const std::uint32_t flits = backlog.front().flits;
+      if (net_.try_inject(std::move(backlog.front()), now)) {
+        backlog.pop_front();
+        link_free_at_[c] = now + flits;
+      }
     }
   }
   net_.tick(now);
@@ -53,7 +72,11 @@ void ResponsePath::tick(Cycle now) {
 
 Cycle ResponsePath::next_event(Cycle now) const {
   Cycle h = net_.next_event(now);
-  if (!backlog_.empty()) h = std::min(h, std::max(link_free_at_, now));
+  for (std::size_t c = 0; c < backlogs_.size(); ++c) {
+    if (!backlogs_[c].empty()) {
+      h = std::min(h, std::max(link_free_at_[c], now));
+    }
+  }
   return h;
 }
 

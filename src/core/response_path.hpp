@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/types.hpp"
 #include "noc/network.hpp"
@@ -25,7 +26,10 @@ namespace annoc::core {
 
 class ResponsePath {
  public:
-  /// `cfg` — topology shared with the request network.
+  /// `cfg` — topology shared with the request network. Every memory
+  /// node (one per controller) gets its own response-injection link and
+  /// backlog: controllers return read data independently, serialized
+  /// only over their own port.
   explicit ResponsePath(const noc::NocConfig& cfg);
 
   /// Called with each delivered response and the delivery cycle.
@@ -34,27 +38,34 @@ class ResponsePath {
   }
 
   /// Queue the response for a serviced read subpacket. The response
-  /// carries the read data (same flit count) from the memory node back
-  /// to the requesting core.
+  /// carries the read data (same flit count) from the serving memory
+  /// node (served.dst_node) back to the requesting core.
   void queue_response(const noc::Packet& served, Cycle now);
 
-  /// Inject backlog (one packet at a time over the subsystem's response
-  /// port) and advance the response mesh by one cycle.
+  /// Inject backlog (one packet at a time over each controller's
+  /// response port) and advance the response mesh by one cycle.
   void tick(Cycle now);
 
   /// Earliest future cycle (>= now) the response path can act: inject
-  /// its backlog or move a packet inside the response mesh.
-  /// kNeverCycle when fully drained.
+  /// any controller's backlog or move a packet inside the response
+  /// mesh. kNeverCycle when fully drained.
   [[nodiscard]] Cycle next_event(Cycle now) const;
 
   [[nodiscard]] const noc::Network& network() const { return net_; }
-  [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+  /// Responses queued across all controllers.
+  [[nodiscard]] std::size_t backlog() const {
+    std::size_t n = 0;
+    for (const auto& b : backlogs_) n += b.size();
+    return n;
+  }
 
  private:
   noc::NocConfig cfg_;
   noc::Network net_;
-  std::deque<noc::Packet> backlog_;
-  Cycle link_free_at_ = 0;
+  /// One backlog and one injection link per controller (index ==
+  /// channel, matching net_.mem_nodes()).
+  std::vector<std::deque<noc::Packet>> backlogs_;
+  std::vector<Cycle> link_free_at_;
   std::function<void(noc::Packet&&, Cycle)> on_delivered_;
 };
 

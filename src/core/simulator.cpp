@@ -71,6 +71,41 @@ namespace {
   return h;
 }
 
+/// Deterministic controller placement when SystemConfig::mem_nodes is
+/// empty: spread the C controllers evenly over the mesh perimeter
+/// (clockwise from the (0,0) corner, so one controller reduces to the
+/// classic memory-corner layout), or evenly over the node ids of an
+/// irregular topology.
+[[nodiscard]] std::vector<NodeId> default_mem_nodes(
+    const noc::NocConfig& noc, std::uint32_t num_controllers) {
+  std::vector<NodeId> ring;
+  if (noc.topology) {
+    ring.resize(noc.topology->num_nodes());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      ring[i] = static_cast<NodeId>(i);
+    }
+  } else {
+    const std::uint32_t w = noc.width, h = noc.height;
+    if (w == 1 || h == 1) {
+      for (std::uint32_t i = 0; i < w * h; ++i) ring.push_back(i);
+    } else {
+      for (std::uint32_t x = 0; x < w; ++x) ring.push_back(x);
+      for (std::uint32_t y = 1; y < h; ++y) ring.push_back(y * w + (w - 1));
+      for (std::uint32_t x = w - 1; x-- > 0;) ring.push_back((h - 1) * w + x);
+      for (std::uint32_t y = h - 1; y-- > 1;) ring.push_back(y * w);
+    }
+  }
+  ANNOC_ASSERT_MSG(num_controllers <= ring.size(),
+                   "more controllers than placeable nodes");
+  std::vector<NodeId> mems;
+  mems.reserve(num_controllers);
+  for (std::uint32_t c = 0; c < num_controllers; ++c) {
+    mems.push_back(
+        ring[static_cast<std::size_t>(c) * ring.size() / num_controllers]);
+  }
+  return mems;
+}
+
 }  // namespace
 
 Simulator::Simulator(const SystemConfig& cfg)
@@ -78,6 +113,15 @@ Simulator::Simulator(const SystemConfig& cfg)
       app_(cfg.custom_app ? *cfg.custom_app
                           : traffic::build_application(cfg.app)) {
   sched_ = cfg_.resolved_sched();
+  // --- mesh preset: re-tile the application onto a WxH mesh ---
+  if (!cfg.mesh_preset.empty()) {
+    std::uint32_t w = 0, h = 0;
+    ANNOC_ASSERT_MSG(parse_mesh_preset(cfg.mesh_preset, &w, &h),
+                     "mesh_preset must be \"WxH\" with 1 <= W,H <= 64");
+    ANNOC_ASSERT_MSG(app_.noc.topology == nullptr,
+                     "mesh_preset and a custom topology are exclusive");
+    app_ = traffic::tile_application(app_, w, h);
+  }
   // --- SDRAM device ---
   dev_cfg_.generation = cfg.generation;
   dev_cfg_.clock_mhz = cfg.clock_mhz;
@@ -88,28 +132,75 @@ Simulator::Simulator(const SystemConfig& cfg)
       dev_cfg_.geometry, sdram::MapPolicy::kChunkedBankInterleave,
       cfg.map_chunk_bytes != 0 ? cfg.map_chunk_bytes : 256u);
 
-  // --- memory subsystem ---
-  if (uses_conv_subsystem(cfg.design)) {
-    memctrl::ConvConfig mc;
-    mc.priority_first =
-        cfg.design == DesignPoint::kConvPfs && cfg.priority_enabled;
-    if (cfg.engine_window) mc.window_depth = *cfg.engine_window;
-    if (cfg.engine_lookahead) mc.lookahead = *cfg.engine_lookahead;
-    if (cfg.engine_reorder_depth) mc.reorder_depth = *cfg.engine_reorder_depth;
-    subsystem_ = std::make_unique<memctrl::ConvSubsystem>(dev_cfg_, mc);
-  } else {
-    memctrl::StreamlinedConfig sc;
-    if (uses_sagm(cfg.design)) {
-      // SAGM entries are single subpackets (<= 4 beats), i.e. half the
-      // time-horizon of a BL8 request; double the window so the bank
-      // look-ahead covers the same number of cycles.
-      sc.window_depth *= 2;
-      sc.lookahead *= 2;
+  // --- controllers and the address interleave ---
+  const std::uint32_t num_ctrl = std::max<std::uint32_t>(1,
+                                                         cfg.num_controllers);
+  std::vector<NodeId> mems = cfg.mem_nodes;
+  if (mems.empty()) {
+    mems = num_ctrl == 1 ? std::vector<NodeId>{app_.noc.mem_node}
+                         : default_mem_nodes(app_.noc, num_ctrl);
+  }
+  ANNOC_ASSERT_MSG(mems.size() == num_ctrl,
+                   "mem_nodes must list exactly one node per controller");
+  app_.noc.mem_nodes = mems;
+  app_.noc.mem_node = mems[0];
+  sdram::ChannelConfig ch;
+  ch.channels = num_ctrl;
+  ch.shift = cfg.interleave_shift
+                 ? *cfg.interleave_shift
+                 : sdram::default_interleave_shift(mapper_->boundary_unit());
+  ch.mem_nodes = mems;
+  memmap_ = std::make_unique<sdram::MemoryMap>(*mapper_, ch);
+
+  // --- memory subsystems (one per controller; all share the device
+  // geometry, per-controller engine knobs override the globals) ---
+  for (std::uint32_t c = 0; c < num_ctrl; ++c) {
+    sdram::DeviceConfig dc = dev_cfg_;
+    dc.channel = c;
+    const ControllerOverrides* ov =
+        c < cfg.controller_overrides.size() ? &cfg.controller_overrides[c]
+                                            : nullptr;
+    if (uses_conv_subsystem(cfg.design)) {
+      memctrl::ConvConfig mc;
+      mc.priority_first =
+          cfg.design == DesignPoint::kConvPfs && cfg.priority_enabled;
+      if (cfg.engine_window) mc.window_depth = *cfg.engine_window;
+      if (cfg.engine_lookahead) mc.lookahead = *cfg.engine_lookahead;
+      if (cfg.engine_reorder_depth) {
+        mc.reorder_depth = *cfg.engine_reorder_depth;
+      }
+      if (ov) {
+        if (ov->engine_window) mc.window_depth = *ov->engine_window;
+        if (ov->engine_lookahead) mc.lookahead = *ov->engine_lookahead;
+        if (ov->engine_reorder_depth) {
+          mc.reorder_depth = *ov->engine_reorder_depth;
+        }
+      }
+      subsystems_.push_back(std::make_unique<memctrl::ConvSubsystem>(dc, mc));
+    } else {
+      memctrl::StreamlinedConfig sc;
+      if (uses_sagm(cfg.design)) {
+        // SAGM entries are single subpackets (<= 4 beats), i.e. half the
+        // time-horizon of a BL8 request; double the window so the bank
+        // look-ahead covers the same number of cycles.
+        sc.window_depth *= 2;
+        sc.lookahead *= 2;
+      }
+      if (cfg.engine_window) sc.window_depth = *cfg.engine_window;
+      if (cfg.engine_lookahead) sc.lookahead = *cfg.engine_lookahead;
+      if (cfg.engine_reorder_depth) {
+        sc.reorder_depth = *cfg.engine_reorder_depth;
+      }
+      if (ov) {
+        if (ov->engine_window) sc.window_depth = *ov->engine_window;
+        if (ov->engine_lookahead) sc.lookahead = *ov->engine_lookahead;
+        if (ov->engine_reorder_depth) {
+          sc.reorder_depth = *ov->engine_reorder_depth;
+        }
+      }
+      subsystems_.push_back(
+          std::make_unique<memctrl::StreamlinedSubsystem>(dc, sc));
     }
-    if (cfg.engine_window) sc.window_depth = *cfg.engine_window;
-    if (cfg.engine_lookahead) sc.lookahead = *cfg.engine_lookahead;
-    if (cfg.engine_reorder_depth) sc.reorder_depth = *cfg.engine_reorder_depth;
-    subsystem_ = std::make_unique<memctrl::StreamlinedSubsystem>(dev_cfg_, sc);
   }
 
   // --- network ---
@@ -131,7 +222,11 @@ Simulator::Simulator(const SystemConfig& cfg)
   }
   if (cfg.num_vcs > 1) app_.noc.num_vcs = cfg.num_vcs;
   network_ = std::make_unique<noc::Network>(app_.noc, std::move(kinds), gss);
-  network_->attach_sink(subsystem_.get());
+  node_channel_.assign(network_->num_routers(), kInvalidChannel);
+  for (std::uint32_t c = 0; c < num_ctrl; ++c) {
+    network_->attach_sink(mems[c], subsystems_[c].get());
+    node_channel_[mems[c]] = c;
+  }
 
   if (!cfg.trace_path.empty()) {
     trace_ = std::make_unique<TraceWriter>(cfg.trace_path);
@@ -206,7 +301,7 @@ Simulator::Simulator(const SystemConfig& cfg)
       rc.split_beats = split;
       rc.on_request = on_request;
       generators_.push_back(std::make_unique<traffic::TraceReplayer>(
-          rc, std::move(slices[core_id]), *mapper_, next_packet_id_,
+          rc, std::move(slices[core_id]), *memmap_, next_packet_id_,
           cfg.replay_trace_path));
     } else {
       traffic::GeneratorConfig gc;
@@ -220,7 +315,7 @@ Simulator::Simulator(const SystemConfig& cfg)
       gc.seed = cfg.seed;
       gc.on_request = on_request;
       generators_.push_back(std::make_unique<traffic::CoreGenerator>(
-          gc, *mapper_, next_packet_id_));
+          gc, *memmap_, next_packet_id_));
     }
     core_names_.push_back(cp.spec.name);
     ++core_id;
@@ -234,7 +329,7 @@ Simulator::Simulator(const SystemConfig& cfg)
       cfg.observe != ObserveLevel::kOff || !cfg.perfetto_path.empty();
   if (counters_on) {
     counter_sink_ = std::make_unique<obs::CounterSink>(
-        network_->num_routers());
+        network_->num_routers(), subsystems_.size());
     hub_.attach(counter_sink_.get());
   }
   if (!cfg.perfetto_path.empty()) {
@@ -254,18 +349,24 @@ Simulator::Simulator(const SystemConfig& cfg)
   if (cfg.check) {
     // Self-checkers attach after the user-facing sinks so a violating
     // event still reaches the trace/Perfetto export before the abort.
-    oracle_ = std::make_unique<check::TimingOracle>(dev_cfg_);
+    // One oracle per controller: DDR constraints are per-channel, so
+    // each oracle filters the shared hub stream to its own channel.
+    for (std::uint32_t c = 0; c < num_ctrl; ++c) {
+      sdram::DeviceConfig dc = dev_cfg_;
+      dc.channel = c;
+      oracles_.push_back(std::make_unique<check::TimingOracle>(dc));
+      hub_.attach(oracles_.back().get());
+    }
     conservation_ = std::make_unique<check::ConservationChecker>();
-    hub_.attach(oracle_.get());
     hub_.attach(conservation_.get());
   }
 #endif
   if (hub_.num_sinks() > 0) obs_ = &hub_;
-  if (counters_on || oracle_) {
+  if (counters_on || !oracles_.empty()) {
     // Device and router emission sites only matter to the counter and
     // Perfetto sinks and the checkers; with just the CSV trace attached,
     // leave them unobserved (the trace consumes only completion records).
-    subsystem_->device().set_observer(&hub_);
+    for (auto& sub : subsystems_) sub->device().set_observer(&hub_);
     network_->set_observer(&hub_);
   }
 }
@@ -273,18 +374,52 @@ Simulator::Simulator(const SystemConfig& cfg)
 void Simulator::attach_sink(obs::EventSink* sink) {
   hub_.attach(sink);
   obs_ = &hub_;
-  subsystem_->device().set_observer(&hub_);
+  for (auto& sub : subsystems_) sub->device().set_observer(&hub_);
   network_->set_observer(&hub_);
 }
 
-const memctrl::EngineStats& Simulator::engine_stats() const {
-  return subsystem_->engine_stats();
+memctrl::EngineStats Simulator::engine_stats() const {
+  memctrl::EngineStats total = subsystems_[0]->engine_stats();
+  for (std::size_t c = 1; c < subsystems_.size(); ++c) {
+    const memctrl::EngineStats& es = subsystems_[c]->engine_stats();
+    total.requests_completed += es.requests_completed;
+    total.cas_issued += es.cas_issued;
+    total.act_issued += es.act_issued;
+    total.pre_issued += es.pre_issued;
+    total.prep_acts += es.prep_acts;
+    total.stall_cycles += es.stall_cycles;
+    total.stall_need_act += es.stall_need_act;
+    total.stall_need_pre += es.stall_need_pre;
+    total.stall_cas_timing += es.stall_cas_timing;
+  }
+  return total;
+}
+
+sdram::DeviceStats Simulator::device_stats() const {
+  sdram::DeviceStats total = subsystems_[0]->device().stats();
+  for (std::size_t c = 1; c < subsystems_.size(); ++c) {
+    const sdram::DeviceStats& ds = subsystems_[c]->device().stats();
+    total.activates += ds.activates;
+    total.precharges += ds.precharges;
+    total.auto_precharges += ds.auto_precharges;
+    total.reads += ds.reads;
+    total.writes += ds.writes;
+    total.refreshes += ds.refreshes;
+    total.cas_row_hits += ds.cas_row_hits;
+    total.total_beats += ds.total_beats;
+    total.useful_beats += ds.useful_beats;
+    total.bus_direction_turnarounds += ds.bus_direction_turnarounds;
+    for (std::size_t b = 0; b < total.cas_per_bank.size(); ++b) {
+      total.cas_per_bank[b] += ds.cas_per_bank[b];
+    }
+  }
+  return total;
 }
 
 void Simulator::begin_measurement() {
   measuring_ = true;
   measure_start_ = now_;
-  device_baseline_ = subsystem_->device().stats();
+  device_baseline_ = device_stats();
   engine_baseline_ = engine_stats();
   noc_flits_baseline_ = 0;
   noc_packets_baseline_ = 0;
@@ -377,7 +512,7 @@ void Simulator::end_measurement() {
   if (!measuring_ || measurement_ended_) return;
   measurement_ended_ = true;
   measure_end_ = now_;
-  device_end_ = subsystem_->device().stats();
+  device_end_ = device_stats();
   engine_end_ = engine_stats();
   noc_flits_end_ = 0;
   noc_packets_end_ = 0;
@@ -402,10 +537,16 @@ void Simulator::step() {
     return;
   }
 
-  // 1. Memory subsystem: issue commands, retire requests.
-  subsystem_->tick(now_);
-  for (noc::Packet& done : subsystem_->drain_completions()) {
-    on_subpacket_complete(done);
+  // 1. Memory subsystems in channel order: issue commands, retire
+  //    requests. Each drains its completions right after its own tick —
+  //    the same per-component order the event scheduler dispatches, and
+  //    equivalent to tick-all-then-drain-all because no subsystem reads
+  //    another's state.
+  for (auto& sub : subsystems_) {
+    sub->tick(now_);
+    for (noc::Packet& done : sub->drain_completions()) {
+      on_subpacket_complete(done);
+    }
   }
 
   // 2. Network: free channels, arbitrate, move packets; then the
@@ -444,14 +585,15 @@ void Simulator::step_audited() {
                      "\"The next_event contract\" has the triage guide");
   };
 
-  {
-    const Cycle h = subsystem_->next_event(now_);
-    const std::uint64_t fp0 = fingerprint(*subsystem_);
-    subsystem_->tick(now_);
-    check("subsystem", 0, h, fp0, fingerprint(*subsystem_));
-  }
-  for (noc::Packet& done : subsystem_->drain_completions()) {
-    on_subpacket_complete(done);
+  for (std::size_t c = 0; c < subsystems_.size(); ++c) {
+    memctrl::MemorySubsystem& sub = *subsystems_[c];
+    const Cycle h = sub.next_event(now_);
+    const std::uint64_t fp0 = fingerprint(sub);
+    sub.tick(now_);
+    check("subsystem", c, h, fp0, fingerprint(sub));
+    for (noc::Packet& done : sub.drain_completions()) {
+      on_subpacket_complete(done);
+    }
   }
 
   for (NodeId r = 0; r < network_->num_routers(); ++r) {
@@ -507,8 +649,11 @@ void Simulator::fast_forward(Cycle limit) {
 void Simulator::try_fast_forward(Cycle limit) {
   // Horizons are lower bounds on the next state change; any component
   // with work this cycle returns now_ and vetoes the jump.
-  Cycle h = subsystem_->next_event(now_);
-  if (h <= now_) return;
+  Cycle h = kNeverCycle;
+  for (const auto& sub : subsystems_) {
+    h = std::min(h, sub->next_event(now_));
+    if (h <= now_) return;
+  }
   h = std::min(h, network_->next_event(now_));
   if (h <= now_) return;
   if (response_path_) {
@@ -544,17 +689,18 @@ void Simulator::prime_event_queue() {
 }
 
 void Simulator::dispatch(EventQueue::ComponentId id) {
-  if (id == subsystem_id()) {
-    subsystem_->tick(now_);
-    for (noc::Packet& done : subsystem_->drain_completions()) {
+  const auto num_subs =
+      static_cast<EventQueue::ComponentId>(subsystems_.size());
+  if (id < num_subs) {
+    memctrl::MemorySubsystem& sub = *subsystems_[id];
+    sub.tick(now_);
+    for (noc::Packet& done : sub.drain_completions()) {
       on_subpacket_complete(done);
     }
     return;
   }
-  const auto num_routers =
-      static_cast<EventQueue::ComponentId>(network_->num_routers());
-  if (id <= num_routers) {
-    network_->tick_router(static_cast<NodeId>(id - 1), now_);
+  if (id < response_id()) {
+    network_->tick_router(static_cast<NodeId>(id - num_subs), now_);
     return;
   }
   if (id == response_id()) {
@@ -567,10 +713,12 @@ void Simulator::dispatch(EventQueue::ComponentId id) {
 
 Cycle Simulator::horizon_of(EventQueue::ComponentId id, Cycle now) const {
   Cycle h = kNeverCycle;
-  if (id == subsystem_id()) {
-    h = subsystem_->next_event(now);
-  } else if (id <= network_->num_routers()) {
-    h = network_->router(static_cast<NodeId>(id - 1)).next_event(now);
+  const auto num_subs =
+      static_cast<EventQueue::ComponentId>(subsystems_.size());
+  if (id < num_subs) {
+    h = subsystems_[id]->next_event(now);
+  } else if (id < response_id()) {
+    h = network_->router(static_cast<NodeId>(id - num_subs)).next_event(now);
   } else if (id == response_id()) {
     h = response_path_->next_event(now);
   } else {
@@ -586,7 +734,11 @@ void Simulator::wake_router(NodeId router, Cycle at) {
   queue_.dirty(router_id(router), at);
 }
 
-void Simulator::wake_memory(Cycle at) { queue_.dirty(subsystem_id(), at); }
+void Simulator::wake_memory(NodeId mem_node, Cycle at) {
+  ANNOC_ASSERT(mem_node < node_channel_.size() &&
+               node_channel_[mem_node] != kInvalidChannel);
+  queue_.dirty(subsystem_id(node_channel_[mem_node]), at);
+}
 
 void Simulator::step_event() {
   if (burst_remaining_ > 0) {
@@ -716,7 +868,11 @@ void Simulator::enforce_checks() {
     s.outstanding_parents = parents_.size();
     s.request_net = network_->stats();
     s.request_in_flight = conservation_->audit_network(*network_, now_);
-    s.subsystem_pending = subsystem_->pending_requests();
+    for (const auto& sub : subsystems_) {
+      const std::uint64_t pending = sub->pending_requests();
+      s.subsystem_pending += pending;
+      s.per_controller_pending.push_back(pending);
+    }
     for (const auto& gen : generators_) s.generator_backlog += gen->backlog();
     if (response_path_) {
       s.response_backlog = response_path_->backlog();
@@ -724,13 +880,16 @@ void Simulator::enforce_checks() {
     }
     conservation_->on_run_end(s);
   }
-  const bool oracle_bad = oracle_ && !oracle_->ok();
-  const bool conservation_bad = conservation_ && !conservation_->ok();
-  if (oracle_bad) {
-    std::fprintf(stderr, "TimingOracle: %llu violation(s)\n%s",
-                 static_cast<unsigned long long>(oracle_->log().total()),
-                 oracle_->log().report().c_str());
+  bool oracle_bad = false;
+  for (std::size_t c = 0; c < oracles_.size(); ++c) {
+    if (oracles_[c]->ok()) continue;
+    oracle_bad = true;
+    std::fprintf(
+        stderr, "TimingOracle[channel %zu]: %llu violation(s)\n%s", c,
+        static_cast<unsigned long long>(oracles_[c]->log().total()),
+        oracles_[c]->log().report().c_str());
   }
+  const bool conservation_bad = conservation_ && !conservation_->ok();
   if (conservation_bad) {
     std::fprintf(
         stderr, "ConservationChecker: %llu violation(s)\n%s",
@@ -763,8 +922,8 @@ Metrics Simulator::metrics() const {
   m.completed_requests = completed_requests_;
   m.completed_subpackets = completed_subpackets_;
 
-  const sdram::DeviceStats& ds =
-      measurement_ended_ ? device_end_ : subsystem_->device().stats();
+  const sdram::DeviceStats ds =
+      measurement_ended_ ? device_end_ : device_stats();
   auto sub = [](std::uint64_t a, std::uint64_t b) { return a - b; };
   m.device.activates = sub(ds.activates, device_baseline_.activates);
   m.device.precharges = sub(ds.precharges, device_baseline_.precharges);
@@ -786,13 +945,17 @@ Metrics Simulator::metrics() const {
   }
 
   if (m.measured_cycles > 0) {
-    m.utilization = static_cast<double>(m.device.useful_beats) /
-                    (2.0 * static_cast<double>(m.measured_cycles));
-    m.raw_utilization = static_cast<double>(m.device.total_beats) /
-                        (2.0 * static_cast<double>(m.measured_cycles));
+    // Aggregate bus utilization: each controller contributes 2 beats
+    // per cycle of data-bus capacity. One controller multiplies the
+    // denominator by exactly 1.0, so single-controller results stay
+    // bitwise identical to the pre-multi-controller simulator.
+    const double capacity = 2.0 * static_cast<double>(m.measured_cycles) *
+                            static_cast<double>(subsystems_.size());
+    m.utilization = static_cast<double>(m.device.useful_beats) / capacity;
+    m.raw_utilization = static_cast<double>(m.device.total_beats) / capacity;
   }
 
-  const memctrl::EngineStats& es =
+  const memctrl::EngineStats es =
       measurement_ended_ ? engine_end_ : engine_stats();
   m.engine.requests_completed =
       sub(es.requests_completed, engine_baseline_.requests_completed);

@@ -12,6 +12,7 @@
 
 #include "check/conservation.hpp"
 #include "check/timing_oracle.hpp"
+#include "common/assert.hpp"
 #include "common/flat_map.hpp"
 #include "core/event_queue.hpp"
 #include "core/metrics.hpp"
@@ -24,6 +25,7 @@
 #include "obs/perfetto.hpp"
 #include "obs/sink.hpp"
 #include "sdram/address.hpp"
+#include "sdram/interleave.hpp"
 #include "traffic/application.hpp"
 #include "traffic/generator.hpp"
 #include "traffic/source.hpp"
@@ -64,7 +66,25 @@ class Simulator : private noc::NetworkWaker {
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] const SystemConfig& config() const { return cfg_; }
   [[nodiscard]] noc::Network& network() { return *network_; }
-  [[nodiscard]] memctrl::MemorySubsystem& subsystem() { return *subsystem_; }
+  /// The first (or only) memory subsystem — the single-controller view
+  /// most tests and examples use.
+  [[nodiscard]] memctrl::MemorySubsystem& subsystem() {
+    return *subsystems_[0];
+  }
+  /// Controller `c`'s subsystem (c < num_controllers()).
+  [[nodiscard]] memctrl::MemorySubsystem& subsystem(std::size_t c) {
+    ANNOC_ASSERT(c < subsystems_.size());
+    return *subsystems_[c];
+  }
+  [[nodiscard]] std::size_t num_controllers() const {
+    return subsystems_.size();
+  }
+  /// The address interleave: byte address -> (controller, device
+  /// location). Pass-through of the device mapper when
+  /// num_controllers() == 1.
+  [[nodiscard]] const sdram::MemoryMap& memory_map() const {
+    return *memmap_;
+  }
   [[nodiscard]] const traffic::Application& application() const {
     return app_;
   }
@@ -89,9 +109,15 @@ class Simulator : private noc::NetworkWaker {
   void attach_sink(obs::EventSink* sink);
 
   /// The self-checkers, when SystemConfig::check is set and the layer is
-  /// compiled in; nullptr otherwise.
+  /// compiled in; nullptr otherwise. There is one TimingOracle per
+  /// controller; the no-argument form returns channel 0's (the
+  /// single-controller view).
   [[nodiscard]] const check::TimingOracle* timing_oracle() const {
-    return oracle_.get();
+    return oracles_.empty() ? nullptr : oracles_[0].get();
+  }
+  [[nodiscard]] const check::TimingOracle* timing_oracle(
+      std::size_t c) const {
+    return c < oracles_.size() ? oracles_[c].get() : nullptr;
   }
   [[nodiscard]] const check::ConservationChecker* conservation() const {
     return conservation_.get();
@@ -115,23 +141,28 @@ class Simulator : private noc::NetworkWaker {
 
   // --- event-driven scheduler core (SystemConfig::sched = event) ---
   //
-  // Component ids in dense tick rank: the memory subsystem first, then
-  // the request routers by node id, the response path, and finally the
-  // traffic sources by core id. Due components pop from the heap in
-  // (deadline, id) order, so within one cycle they execute in exactly
-  // the dense sequence — the keystone of bitwise Metrics identity.
-  [[nodiscard]] EventQueue::ComponentId subsystem_id() const { return 0; }
+  // Component ids in dense tick rank: the memory subsystems first (by
+  // channel), then the request routers by node id, the response path,
+  // and finally the traffic sources by core id. Due components pop from
+  // the heap in (deadline, id) order, so within one cycle they execute
+  // in exactly the dense sequence — the keystone of bitwise Metrics
+  // identity.
+  [[nodiscard]] EventQueue::ComponentId subsystem_id(std::size_t c) const {
+    return static_cast<EventQueue::ComponentId>(c);
+  }
   [[nodiscard]] EventQueue::ComponentId router_id(NodeId r) const {
-    return 1 + r;
+    return static_cast<EventQueue::ComponentId>(subsystems_.size() + r);
   }
   [[nodiscard]] EventQueue::ComponentId response_id() const {
-    return 1 + static_cast<EventQueue::ComponentId>(network_->num_routers());
+    return static_cast<EventQueue::ComponentId>(subsystems_.size() +
+                                                network_->num_routers());
   }
   [[nodiscard]] EventQueue::ComponentId generator_id(CoreId c) const {
     return response_id() + 1 + c;
   }
   [[nodiscard]] std::size_t num_components() const {
-    return 2 + network_->num_routers() + generators_.size();
+    return subsystems_.size() + 1 + network_->num_routers() +
+           generators_.size();
   }
   /// Arm every component at the current cycle and attach the network
   /// waker. Priming at `now_` (not at each component's horizon) matters:
@@ -150,9 +181,10 @@ class Simulator : private noc::NetworkWaker {
   /// The component's own next_event horizon, clamped to >= `now`.
   [[nodiscard]] Cycle horizon_of(EventQueue::ComponentId id,
                                  Cycle now) const;
-  // NetworkWaker: packet handoffs dirty the receiving component.
+  // NetworkWaker: packet handoffs dirty the receiving component (the
+  // mem node identifies which controller's subsystem to wake).
   void wake_router(NodeId router, Cycle at) override;
-  void wake_memory(Cycle at) override;
+  void wake_memory(NodeId mem_node, Cycle at) override;
   /// The horizon-audited dense cycle body (SystemConfig::audit_horizons):
   /// wraps each component's tick in a state fingerprint and aborts when
   /// a component acted at `now_` after reporting a horizon beyond it.
@@ -178,7 +210,15 @@ class Simulator : private noc::NetworkWaker {
   traffic::Application app_;
   sdram::DeviceConfig dev_cfg_;
   std::unique_ptr<sdram::AddressMapper> mapper_;
-  std::unique_ptr<memctrl::MemorySubsystem> subsystem_;
+  /// Byte address -> (controller, device location); wraps mapper_.
+  std::unique_ptr<sdram::MemoryMap> memmap_;
+  /// One memory subsystem per controller, index == channel. Ticked in
+  /// channel order (each drains its completions immediately after its
+  /// own tick, matching the event scheduler's per-component dispatch).
+  std::vector<std::unique_ptr<memctrl::MemorySubsystem>> subsystems_;
+  /// NoC node -> channel (kInvalidChannel off the mem nodes).
+  std::vector<std::uint32_t> node_channel_;
+  static constexpr std::uint32_t kInvalidChannel = 0xffffffffu;
   std::unique_ptr<noc::Network> network_;
   std::unique_ptr<ResponsePath> response_path_;
   std::unique_ptr<TraceWriter> trace_;
@@ -191,8 +231,9 @@ class Simulator : private noc::NetworkWaker {
   std::unique_ptr<obs::PerfettoSink> perfetto_sink_;
   // Self-checking layer (SystemConfig::check): pure observers on the
   // same hub; enforce_checks() turns their findings into an abort at end
-  // of run. Null when disabled (or compiled out).
-  std::unique_ptr<check::TimingOracle> oracle_;
+  // of run. Empty/null when disabled (or compiled out). One oracle per
+  // controller — all-global DDR constraints hold per channel.
+  std::vector<std::unique_ptr<check::TimingOracle>> oracles_;
   std::unique_ptr<check::ConservationChecker> conservation_;
   obs::EventSink* obs_ = nullptr;
   // Trace recording (SystemConfig::record_trace_path): one more sink on
@@ -260,7 +301,10 @@ class Simulator : private noc::NetworkWaker {
   std::uint64_t noc_flits_end_ = 0;
   std::uint64_t noc_packets_end_ = 0;
 
-  [[nodiscard]] const memctrl::EngineStats& engine_stats() const;
+  /// Aggregates over all controllers (field-wise sums). With one
+  /// controller these reduce to that subsystem's own stats.
+  [[nodiscard]] memctrl::EngineStats engine_stats() const;
+  [[nodiscard]] sdram::DeviceStats device_stats() const;
 };
 
 /// Convenience: build, run, return metrics.

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "noc/flow_controller.hpp"
@@ -112,6 +113,15 @@ enum class ObserveLevel : std::uint8_t {
   }
   return "?";
 }
+
+/// Per-controller command-engine overrides for multi-controller
+/// fabrics (SystemConfig::controller_overrides); unset fields fall
+/// back to the global engine knobs.
+struct ControllerOverrides {
+  std::optional<std::uint32_t> engine_lookahead;
+  std::optional<std::uint32_t> engine_reorder_depth;
+  std::optional<std::uint32_t> engine_window;
+};
 
 struct SystemConfig {
   /// Which of the paper's seven design points to build (routers x
@@ -257,6 +267,36 @@ struct SystemConfig {
   /// the paper's evaluation; the refresh-under-load tests turn it on.
   bool refresh = false;
 
+  /// Number of memory controllers (channels). 1 keeps the paper's
+  /// single-subsystem fabric bit-exactly; N > 1 stripes the address
+  /// space across N controllers (see interleave_shift) each hanging
+  /// off its own NoC node (see mem_nodes).
+  std::uint32_t num_controllers = 1;
+
+  /// Channel-select granule as a power of two: consecutive
+  /// (1 << interleave_shift)-byte granules go to consecutive
+  /// controllers. nullopt derives it from the address-map chunk (so
+  /// channel hops align with bank hops). Ignored when
+  /// num_controllers == 1.
+  std::optional<std::uint32_t> interleave_shift;
+
+  /// NoC node of each controller (index == channel). Empty
+  /// auto-places: the application's mem_node for one controller, a
+  /// deterministic perimeter spread for more. Must have
+  /// num_controllers entries when set.
+  std::vector<NodeId> mem_nodes;
+
+  /// Mesh preset "WxH" (e.g. "8x8", "16x16"): re-tile the selected
+  /// application's cores round-robin onto a W x H mesh instead of its
+  /// native geometry. Empty = native. Mutually exclusive with a custom
+  /// topology.
+  std::string mesh_preset;
+
+  /// Per-controller command-engine overrides, indexed by channel;
+  /// entries beyond the list (or unset fields) fall back to the global
+  /// engine_window/engine_lookahead/engine_reorder_depth knobs.
+  std::vector<ControllerOverrides> controller_overrides;
+
   /// SAGM split granularity in beats; 0 = per-generation default.
   /// DDR I/II: 4 beats (one BL4 CAS, 2 bus cycles — the paper's "packet
   /// BL 2"). DDR III: 8 beats — tCCD = 4 cycles means a BL4 CAS cannot
@@ -277,6 +317,32 @@ struct SystemConfig {
 [[nodiscard]] inline std::uint32_t default_split_beats(
     sdram::DdrGeneration gen) {
   return gen == sdram::DdrGeneration::kDdr3 ? 8u : 4u;
+}
+
+/// Parse a "WxH" mesh preset (e.g. "8x8", "16x16"). Dimensions are
+/// capped at 64 per side — far beyond the paper's design space, small
+/// enough to catch typos like "16x16000". Shared by the simulator
+/// (which asserts on it) and the scenario loader (which turns a
+/// violation into a positioned diagnostic).
+[[nodiscard]] inline bool parse_mesh_preset(const std::string& s,
+                                            std::uint32_t* w,
+                                            std::uint32_t* h) {
+  const std::size_t x = s.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= s.size()) return false;
+  std::uint32_t dims[2] = {0, 0};
+  const std::size_t starts[2] = {0, x + 1};
+  const std::size_t ends[2] = {x, s.size()};
+  for (int d = 0; d < 2; ++d) {
+    for (std::size_t i = starts[d]; i < ends[d]; ++i) {
+      if (s[i] < '0' || s[i] > '9') return false;
+      dims[d] = dims[d] * 10 + static_cast<std::uint32_t>(s[i] - '0');
+      if (dims[d] > 64) return false;
+    }
+    if (dims[d] == 0) return false;
+  }
+  *w = dims[0];
+  *h = dims[1];
+  return true;
 }
 
 }  // namespace annoc::core

@@ -10,31 +10,71 @@ namespace annoc::noc {
 Network::Network(const NocConfig& cfg, std::vector<FlowControlKind> fc_kinds,
                  const GssParams& gss)
     : cfg_(cfg) {
+  const bool topo = cfg_.topology != nullptr;
   const std::size_t n =
-      static_cast<std::size_t>(cfg.width) * static_cast<std::size_t>(cfg.height);
+      topo ? cfg_.topology->num_nodes()
+           : static_cast<std::size_t>(cfg.width) *
+                 static_cast<std::size_t>(cfg.height);
   ANNOC_ASSERT(n > 0);
-  ANNOC_ASSERT(cfg.mem_node < n);
+  if (topo) {
+    ANNOC_ASSERT_MSG(validate_topology(*cfg_.topology).ok(),
+                     "Network given an invalid topology");
+    ANNOC_ASSERT_MSG(cfg_.routing == RoutingPolicy::kXY,
+                     "adaptive routing needs mesh geometry");
+  }
   ANNOC_ASSERT_MSG(fc_kinds.size() == 1 || fc_kinds.size() == n,
-                   "fc_kinds must have 1 or width*height entries");
+                   "fc_kinds must have 1 or num-node entries");
+
+  // Resolve the controller set: explicit list, or the classic single
+  // corner node.
+  mem_nodes_ = cfg_.mem_nodes.empty() ? std::vector<NodeId>{cfg_.mem_node}
+                                      : cfg_.mem_nodes;
+  is_mem_.assign(n, 0);
+  sinks_.assign(n, nullptr);
+  for (const NodeId m : mem_nodes_) {
+    ANNOC_ASSERT(m < n);
+    ANNOC_ASSERT_MSG(!is_mem_[m], "duplicate memory node");
+    is_mem_[m] = 1;
+  }
+
   routers_.reserve(n);
   for (NodeId id = 0; id < n; ++id) {
     const FlowControlKind kind =
         fc_kinds.size() == 1 ? fc_kinds[0] : fc_kinds[id];
+    // Irregular topologies have no grid coordinates; the router's x/y
+    // are only consulted by mesh XY routing, which topology mode never
+    // runs.
+    const std::uint32_t x = topo ? id : x_of(id);
+    const std::uint32_t y = topo ? 0 : y_of(id);
     routers_.push_back(std::make_unique<Router>(
-        id, x_of(id), y_of(id), cfg.buffer_flits, cfg.pipeline_latency, kind,
-        gss, std::max(1u, cfg.num_vcs)));
+        id, x, y, cfg.buffer_flits, cfg.pipeline_latency, kind, gss,
+        std::max(1u, cfg.num_vcs)));
   }
   links_.resize(n);
-  for (NodeId id = 0; id < n; ++id) {
-    const std::uint32_t x = x_of(id), y = y_of(id);
-    if (y > 0) links_[id][kPortNorth] = Link{node_at(x, y - 1), kPortSouth};
-    if (y + 1 < cfg_.height) {
-      links_[id][kPortSouth] = Link{node_at(x, y + 1), kPortNorth};
+  if (topo) {
+    const TopologyPorts ports = assign_ports(*cfg_.topology);
+    for (NodeId id = 0; id < n; ++id) {
+      for (std::uint8_t s = 0; s < 4; ++s) {
+        const TopologyPorts::Slot& slot = ports.slots[id][s];
+        if (slot.nb == kInvalidNode) continue;
+        links_[id][kPortNorth + s] =
+            Link{slot.nb, static_cast<Port>(kPortNorth + slot.nb_slot)};
+      }
     }
-    if (x + 1 < cfg_.width) {
-      links_[id][kPortEast] = Link{node_at(x + 1, y), kPortWest};
+    topo_dist_ = bfs_distances(*cfg_.topology);
+    topo_next_ = bfs_next_hops(*cfg_.topology, ports, topo_dist_);
+  } else {
+    for (NodeId id = 0; id < n; ++id) {
+      const std::uint32_t x = x_of(id), y = y_of(id);
+      if (y > 0) links_[id][kPortNorth] = Link{node_at(x, y - 1), kPortSouth};
+      if (y + 1 < cfg_.height) {
+        links_[id][kPortSouth] = Link{node_at(x, y + 1), kPortNorth};
+      }
+      if (x + 1 < cfg_.width) {
+        links_[id][kPortEast] = Link{node_at(x + 1, y), kPortWest};
+      }
+      if (x > 0) links_[id][kPortWest] = Link{node_at(x - 1, y), kPortEast};
     }
-    if (x > 0) links_[id][kPortWest] = Link{node_at(x - 1, y), kPortEast};
   }
 }
 
@@ -46,13 +86,21 @@ std::uint32_t Network::downstream_free(NodeId at, Port out) const {
 
 Port Network::route(NodeId at, NodeId dst, bool to_memory) const {
   ANNOC_ASSERT(at < routers_.size() && dst < routers_.size());
-  const std::uint32_t ax = x_of(at), ay = y_of(at);
-  const std::uint32_t dx = x_of(dst), dy = y_of(dst);
   if (at == dst) {
     // Arrived: memory-bound packets eject into the subsystem,
     // core-bound packets (read responses) into the local core.
     return to_memory ? kPortMem : kPortLocal;
   }
+
+  if (!topo_next_.empty()) {
+    // Irregular topology: precomputed BFS next-hop slot toward dst.
+    const std::size_t n = routers_.size();
+    return static_cast<Port>(kPortNorth +
+                             topo_next_[static_cast<std::size_t>(dst) * n + at]);
+  }
+
+  const std::uint32_t ax = x_of(at), ay = y_of(at);
+  const std::uint32_t dx = x_of(dst), dy = y_of(dst);
 
   if (cfg_.routing == RoutingPolicy::kAdaptiveMinimal) {
     // Negative-first: take all west/north moves before any east/south
@@ -80,6 +128,9 @@ Port Network::route(NodeId at, NodeId dst, bool to_memory) const {
 }
 
 std::uint32_t Network::hops(NodeId a, NodeId b) const {
+  if (!topo_dist_.empty()) {
+    return topo_dist_[static_cast<std::size_t>(a) * routers_.size() + b];
+  }
   const auto dx = static_cast<std::int64_t>(x_of(a)) - x_of(b);
   const auto dy = static_cast<std::int64_t>(y_of(a)) - y_of(b);
   return static_cast<std::uint32_t>((dx < 0 ? -dx : dx) +
@@ -155,10 +206,11 @@ void Network::tick_router(NodeId id, Cycle now) {
     if (!win) continue;
 
     if (out == kPortMem) {
-      ANNOC_ASSERT_MSG(r.id() == cfg_.mem_node,
-                       "memory port used away from the memory node");
-      ANNOC_ASSERT(sink_ != nullptr);
-      if (!sink_->can_accept(r.head(*win))) {
+      ANNOC_ASSERT_MSG(is_mem_[r.id()],
+                       "memory port used away from a memory node");
+      PacketSink* const sink = sinks_[r.id()];
+      ANNOC_ASSERT(sink != nullptr);
+      if (!sink->can_accept(r.head(*win))) {
         r.note_blocked(out, obs::StallCause::kSinkBusy, now);
         continue;
       }
@@ -167,8 +219,8 @@ void Network::tick_router(NodeId id, Cycle now) {
       stats_.ejected_packets += 1;
       stats_.ejected_flits += pkt.flits;
       const Cycle lands = pkt.mem_arrival;
-      sink_->deliver(std::move(pkt), now);
-      if (waker_ != nullptr) waker_->wake_memory(lands);
+      sink->deliver(std::move(pkt), now);
+      if (waker_ != nullptr) waker_->wake_memory(r.id(), lands);
       continue;
     }
 
@@ -215,17 +267,34 @@ std::vector<FlowControlKind> Network::mixed_kinds(const NocConfig& cfg,
                                                   std::size_t num_gss,
                                                   FlowControlKind gss_kind,
                                                   FlowControlKind base_kind) {
-  const std::size_t n =
-      static_cast<std::size_t>(cfg.width) * static_cast<std::size_t>(cfg.height);
-  // Sort nodes by Manhattan distance to the memory node (closest first).
+  const bool topo = cfg.topology != nullptr;
+  const std::size_t n = topo ? cfg.topology->num_nodes()
+                             : static_cast<std::size_t>(cfg.width) *
+                                   static_cast<std::size_t>(cfg.height);
+  const std::vector<NodeId> mems =
+      cfg.mem_nodes.empty() ? std::vector<NodeId>{cfg.mem_node}
+                            : cfg.mem_nodes;
+  const std::vector<std::uint16_t> bfs =
+      topo ? bfs_distances(*cfg.topology) : std::vector<std::uint16_t>{};
+  // Sort nodes by hop distance to the NEAREST memory node (closest
+  // first): the GSS investment goes where controller-bound traffic
+  // converges, whichever controller that is.
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), 0u);
   const auto dist = [&](NodeId id) {
-    const auto x = id % cfg.width, y = id / cfg.width;
-    const auto mx = cfg.mem_node % cfg.width, my = cfg.mem_node / cfg.width;
-    const auto dx = x > mx ? x - mx : mx - x;
-    const auto dy = y > my ? y - my : my - y;
-    return dx + dy;
+    std::uint32_t best = ~0u;
+    for (const NodeId m : mems) {
+      std::uint32_t d;
+      if (topo) {
+        d = bfs[static_cast<std::size_t>(id) * n + m];
+      } else {
+        const auto x = id % cfg.width, y = id / cfg.width;
+        const auto mx = m % cfg.width, my = m / cfg.width;
+        d = (x > mx ? x - mx : mx - x) + (y > my ? y - my : my - y);
+      }
+      best = std::min(best, d);
+    }
+    return best;
   };
   std::stable_sort(order.begin(), order.end(),
                    [&](NodeId a, NodeId b) { return dist(a) < dist(b); });

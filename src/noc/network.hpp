@@ -1,12 +1,17 @@
 /// \file network.hpp
-/// 2-D mesh network with XY routing and a memory subsystem hanging off a
-/// corner router's dedicated port (Fig. 7).
+/// The request fabric: a 2-D mesh with XY routing (Fig. 7) or a
+/// file-defined irregular topology (topology.hpp), with one or more
+/// memory subsystems hanging off dedicated router ports.
 ///
 /// XY routing is deterministic and minimal, hence deadlock- and
-/// livelock-free (Section IV-A); all request traffic is memory-bound.
-/// Read responses return on a dedicated response network modelled as
-/// contention-free (fixed per-hop latency), which matches the paper's
-/// focus: all scheduling effects are on the request path.
+/// livelock-free (Section IV-A); topology mode substitutes BFS
+/// shortest-path next-hop tables with deterministic tie-breaks (each
+/// hop strictly decreases the distance, so routes stay live). All
+/// request traffic is memory-bound — toward whichever controller the
+/// address interleave selects. Read responses return on a dedicated
+/// response network modelled as contention-free (fixed per-hop
+/// latency), which matches the paper's focus: all scheduling effects
+/// are on the request path.
 #pragma once
 
 #include <array>
@@ -15,8 +20,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "noc/router.hpp"
+#include "noc/topology.hpp"
 
 namespace annoc::noc {
 
@@ -43,8 +50,10 @@ class NetworkWaker {
   /// A packet was delivered into `router`'s input buffers; its head is
   /// visible there from cycle `at`.
   virtual void wake_router(NodeId router, Cycle at) = 0;
-  /// A packet was handed to the memory sink; its tail lands at `at`.
-  virtual void wake_memory(Cycle at) = 0;
+  /// A packet was handed to the memory sink at node `mem_node`; its
+  /// tail lands at `at`. The node identifies the controller in a
+  /// multi-controller fabric.
+  virtual void wake_memory(NodeId mem_node, Cycle at) = 0;
 };
 
 /// Packet routing policy (Section IV-A: the GSS router works with
@@ -62,7 +71,8 @@ enum class RoutingPolicy : std::uint8_t {
 struct NocConfig {
   std::uint32_t width = 3;
   std::uint32_t height = 3;
-  /// Mesh node whose kPortMem connects to the memory subsystem.
+  /// Mesh node whose kPortMem connects to the memory subsystem (the
+  /// single-controller default; superseded by `mem_nodes` when set).
   NodeId mem_node = 0;
   std::uint32_t buffer_flits = 16;
   std::uint32_t pipeline_latency = 1;
@@ -70,6 +80,17 @@ struct NocConfig {
   /// Virtual channels per input port (1 = wormhole, the paper's
   /// experimental configuration; >1 enables VC flow control).
   std::uint32_t num_vcs = 1;
+  /// Multi-controller fabrics: every node whose kPortMem hosts a
+  /// memory controller, index == channel. Empty means {mem_node}.
+  std::vector<NodeId> mem_nodes{};
+  /// Irregular topology (file/scenario-defined). When set, width/height
+  /// and XY routing are ignored: the node count is
+  /// topology->num_nodes() and routing follows per-destination BFS
+  /// next-hop tables (see topology.hpp). Must already validate
+  /// (validate_topology().ok()); the scenario loader guarantees this
+  /// with positioned diagnostics. Requires RoutingPolicy::kXY (the
+  /// adaptive policy is a mesh-geometry concept).
+  std::shared_ptr<const TopologySpec> topology{};
 };
 
 struct NetworkStats {
@@ -86,7 +107,26 @@ class Network {
   Network(const NocConfig& cfg, std::vector<FlowControlKind> fc_kinds,
           const GssParams& gss);
 
-  void attach_sink(PacketSink* sink) { sink_ = sink; }
+  /// Attach one sink to EVERY memory node (the single-subsystem
+  /// shape, and the natural one for tests with one sink object).
+  void attach_sink(PacketSink* sink) {
+    for (const NodeId n : mem_nodes_) sinks_[n] = sink;
+  }
+
+  /// Attach the sink serving one specific memory node (one controller
+  /// of a multi-controller fabric). `mem_node` must be in mem_nodes().
+  void attach_sink(NodeId mem_node, PacketSink* sink) {
+    ANNOC_ASSERT(mem_node < sinks_.size() && is_mem_[mem_node]);
+    sinks_[mem_node] = sink;
+  }
+
+  /// Memory-controller nodes, index == channel.
+  [[nodiscard]] const std::vector<NodeId>& mem_nodes() const {
+    return mem_nodes_;
+  }
+  [[nodiscard]] bool is_mem_node(NodeId n) const {
+    return n < is_mem_.size() && is_mem_[n] != 0;
+  }
 
   /// Attach the event-driven scheduler's dirty-marking hook (nullptr
   /// detaches; dense and fast-forward runs leave it unset).
@@ -140,6 +180,8 @@ class Network {
   [[nodiscard]] const NocConfig& config() const { return cfg_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
 
+  /// Mesh coordinate helpers — meaningful in mesh mode only (an
+  /// irregular topology has no grid coordinates).
   [[nodiscard]] NodeId node_at(std::uint32_t x, std::uint32_t y) const {
     return y * cfg_.width + x;
   }
@@ -155,15 +197,18 @@ class Network {
   /// Downstream free space (flits) seen from `at` through output `out`.
   [[nodiscard]] std::uint32_t downstream_free(NodeId at, Port out) const;
 
-  /// Manhattan hop distance between two nodes.
+  /// Hop distance between two nodes: Manhattan in mesh mode, BFS
+  /// shortest-path in topology mode.
   [[nodiscard]] std::uint32_t hops(NodeId a, NodeId b) const;
 
   /// Number of packets currently buffered anywhere in the mesh.
   [[nodiscard]] std::size_t in_flight_packets() const;
 
   /// Helper for the Fig. 8 sweep: per-router flow-control kinds where
-  /// the `num_gss` routers closest to the memory node (ties broken by
-  /// node id) use `gss_kind` and the rest use `base_kind`.
+  /// the `num_gss` routers closest to a memory node (min over all
+  /// controllers; ties broken by node id) use `gss_kind` and the rest
+  /// use `base_kind`. Distance is Manhattan on a mesh, BFS hops on an
+  /// irregular topology.
   [[nodiscard]] static std::vector<FlowControlKind> mixed_kinds(
       const NocConfig& cfg, std::size_t num_gss, FlowControlKind gss_kind,
       FlowControlKind base_kind);
@@ -183,9 +228,18 @@ class Network {
   NocConfig cfg_;
   std::vector<std::unique_ptr<Router>> routers_;
   /// links_[node][out], precomputed in the constructor so neither
-  /// downstream_free() nor tick() redoes the x/y switch per call.
+  /// downstream_free() nor tick() redoes the x/y switch per call. In
+  /// topology mode the table is filled from the assigned link slots.
   std::vector<std::array<Link, kNumPorts>> links_;
-  PacketSink* sink_ = nullptr;
+  /// Memory-controller nodes (resolved from cfg) and the sink serving
+  /// each; sinks_ is indexed by node id, nullptr off the mem nodes.
+  std::vector<NodeId> mem_nodes_;
+  std::vector<std::uint8_t> is_mem_;
+  std::vector<PacketSink*> sinks_;
+  /// Topology mode only: all-pairs BFS distances and next-hop slots
+  /// (see topology.hpp); empty in mesh mode.
+  std::vector<std::uint16_t> topo_dist_;
+  std::vector<std::uint8_t> topo_next_;
   NetworkWaker* waker_ = nullptr;
   LocalSink local_sink_;
   NetworkStats stats_;

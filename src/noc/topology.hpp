@@ -1,0 +1,101 @@
+/// \file topology.hpp
+/// File-defined network topologies: named nodes, explicit bidirectional
+/// links, routing tables computed from the graph (the garnet
+/// Topology/FileTopology pattern) instead of the parametric mesh's
+/// hardcoded XY switch.
+///
+/// A TopologySpec is pure data — the scenario loader builds one from a
+/// `topology` object (inline or a separate file) with positioned
+/// diagnostics; `Network` consumes it: each link occupies the lowest
+/// free direction slot (N/E/S/W, so a node's degree is bounded by 4,
+/// matching the router's physical ports) on both endpoints in
+/// declaration order, and per-destination next-hop tables come from a
+/// breadth-first search with smallest-port tie-breaking — shortest-path
+/// routing that is deterministic and, on any graph, live (each hop
+/// strictly decreases the BFS distance). See docs/TOPOLOGIES.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace annoc::noc {
+
+/// An irregular topology: nodes identified by index (names are labels
+/// for scenario files and diagnostics), links undirected.
+struct TopologySpec {
+  struct Edge {
+    NodeId a = 0;
+    NodeId b = 0;
+  };
+
+  std::vector<std::string> node_names;  ///< index == NodeId
+  std::vector<Edge> links;
+
+  [[nodiscard]] std::size_t num_nodes() const { return node_names.size(); }
+
+  /// Index of a named node; nullopt when absent.
+  [[nodiscard]] std::optional<NodeId> index_of(std::string_view name) const;
+};
+
+/// Per-node link slots after assignment: slot s (0..3) maps onto router
+/// port kPortNorth + s. `nb == kInvalidNode` marks a free slot.
+struct TopologyPorts {
+  struct Slot {
+    NodeId nb = kInvalidNode;
+    std::uint8_t nb_slot = 0;  ///< slot index on the neighbour side
+  };
+  std::vector<std::array<Slot, 4>> slots;  ///< indexed by node
+};
+
+/// Structural problems a spec can have, reported value-level (the
+/// scenario loader re-checks key-by-key so its errors carry file
+/// positions; this is the shared ground truth and the API for
+/// programmatic construction).
+struct TopologyIssue {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kNoNodes,
+    kDuplicateName,   ///< `node` = the second occurrence's index
+    kDanglingLink,    ///< `link` endpoint >= num_nodes
+    kSelfLink,        ///< `link` with a == b
+    kDuplicateLink,   ///< same unordered pair twice
+    kDegreeOverflow,  ///< `node` needs a fifth link slot
+    kUnreachable,     ///< `node` not connected to node 0
+  };
+  Kind kind = Kind::kNone;
+  std::size_t node = 0;  ///< offending node index (kind-dependent)
+  std::size_t link = 0;  ///< offending link index (kind-dependent)
+
+  [[nodiscard]] bool ok() const { return kind == Kind::kNone; }
+  [[nodiscard]] std::string message(const TopologySpec& spec) const;
+};
+
+/// First structural issue found, in a deterministic order (names, then
+/// links in declaration order, then connectivity). ok() when sound.
+[[nodiscard]] TopologyIssue validate_topology(const TopologySpec& spec);
+
+/// Assign each link the lowest free direction slot on both endpoints,
+/// in declaration order. Asserts the spec validates.
+[[nodiscard]] TopologyPorts assign_ports(const TopologySpec& spec);
+
+/// All-pairs BFS hop distances, row-major `dist[src * n + dst]`.
+/// Unreachable pairs (impossible after validate_topology) map to
+/// 0xffff.
+[[nodiscard]] std::vector<std::uint16_t> bfs_distances(
+    const TopologySpec& spec);
+
+/// Next-hop slot table `next[dst * n + at]`: the direction slot router
+/// `at` forwards through toward `dst` (meaningless when at == dst).
+/// Shortest path; ties broken toward the smallest slot index, so the
+/// table — and every routed path — is a pure function of the spec.
+[[nodiscard]] std::vector<std::uint8_t> bfs_next_hops(
+    const TopologySpec& spec, const TopologyPorts& ports,
+    const std::vector<std::uint16_t>& dist);
+
+}  // namespace annoc::noc

@@ -4,29 +4,33 @@
 
 namespace annoc::obs {
 
-CounterSink::CounterSink(std::size_t num_routers) {
+CounterSink::CounterSink(std::size_t num_routers, std::size_t num_channels)
+    : num_channels_(num_channels == 0 ? 1 : num_channels) {
   counters_.routers.resize(num_routers);
-  open_since_.fill(0);
-  open_.fill(false);
+  open_since_.assign(num_channels_ * kMaxObsBanks, 0);
+  open_.assign(num_channels_ * kMaxObsBanks, false);
 }
 
 void CounterSink::on_command(const SdramCommandEvent& e) {
   const std::size_t b = e.bank % kMaxObsBanks;
+  // Open-interval slot: per (channel, bank) so interleaved controller
+  // streams keep independent pairing; tallies still fold per bank.
+  const std::size_t s = (e.channel % num_channels_) * kMaxObsBanks + b;
   BankCounters& bank = counters_.banks[b];
   switch (e.kind) {
     case CommandKind::kActivate:
       ++counters_.sdram_commands;
       ++bank.activates;
-      open_[b] = true;
-      open_since_[b] = e.at;
+      open_[s] = true;
+      open_since_[s] = e.at;
       break;
     case CommandKind::kPrecharge:
       ++counters_.sdram_commands;
       // A refresh-forced PRE is housekeeping, not a row conflict.
       if (!e.refresh_forced) ++bank.conflict_pre;
-      if (open_[b]) {
-        bank.open_cycles += e.at - open_since_[b];
-        open_[b] = false;
+      if (open_[s]) {
+        bank.open_cycles += e.at - open_since_[s];
+        open_[s] = false;
       }
       break;
     case CommandKind::kRead:
@@ -45,9 +49,9 @@ void CounterSink::on_command(const SdramCommandEvent& e) {
     case CommandKind::kAutoPrecharge:
       // Self-timed close: no command-bus slot, but the open interval
       // ends here.
-      if (open_[b]) {
-        bank.open_cycles += e.at - open_since_[b];
-        open_[b] = false;
+      if (open_[s]) {
+        bank.open_cycles += e.at - open_since_[s];
+        open_[s] = false;
       }
       break;
   }
@@ -98,10 +102,10 @@ void CounterSink::on_subpacket(const SubpacketRecord& e) {
 void CounterSink::finish(Cycle end) {
   // Close still-open bank intervals at the final cycle so open-cycle
   // tallies cover the whole run.
-  for (std::size_t b = 0; b < kMaxObsBanks; ++b) {
-    if (open_[b]) {
-      counters_.banks[b].open_cycles += end - open_since_[b];
-      open_[b] = false;
+  for (std::size_t s = 0; s < open_.size(); ++s) {
+    if (open_[s]) {
+      counters_.banks[s % kMaxObsBanks].open_cycles += end - open_since_[s];
+      open_[s] = false;
     }
   }
 }

@@ -119,10 +119,14 @@ struct ObsCounters {
 };
 
 /// Folds the event stream into ObsCounters. Preallocates per-router
-/// slots so steady-state accumulation never allocates.
+/// slots so steady-state accumulation never allocates. With multiple
+/// memory controllers the per-bank tallies fold all channels into the
+/// same bank index (the report stays one table), but the open-interval
+/// tracking is keyed (channel, bank) so interleaved command streams
+/// cannot corrupt each other's open/close pairing.
 class CounterSink final : public EventSink {
  public:
-  explicit CounterSink(std::size_t num_routers);
+  explicit CounterSink(std::size_t num_routers, std::size_t num_channels = 1);
 
   void on_command(const SdramCommandEvent& e) override;
   void on_arbitration(const ArbitrationEvent& e) override;
@@ -139,9 +143,11 @@ class CounterSink final : public EventSink {
 
  private:
   ObsCounters counters_;
-  /// Bank-open interval tracking (ACT opens, PRE/AP/refresh closes).
-  std::array<Cycle, kMaxObsBanks> open_since_{};
-  std::array<bool, kMaxObsBanks> open_{};
+  /// Bank-open interval tracking (ACT opens, PRE/AP/refresh closes),
+  /// one slot per (channel, bank).
+  std::size_t num_channels_ = 1;
+  std::vector<Cycle> open_since_;
+  std::vector<bool> open_;
 };
 
 }  // namespace annoc::obs

@@ -84,6 +84,7 @@ struct SdramCommandEvent {
   bool row_hit = false;            ///< CAS beyond the first of an activation
   bool refresh_forced = false;     ///< PRE forced by the refresh drain
   Cycle data_start = 0, data_end = 0;  ///< CAS data-bus window
+  std::uint32_t channel = 0;       ///< emitting controller (multi-channel)
 };
 
 /// A packet won a router output channel (emitted at grant time — the

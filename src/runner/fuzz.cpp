@@ -222,6 +222,28 @@ core::SystemConfig random_config(std::uint64_t seed) {
   const std::uint32_t splits[] = {0, 0, 4, 8};
   cfg.split_beats = splits[rng.next_below(4)];
 
+  // Multi-controller fabrics: a quarter of the configs stripe the
+  // address space over 2 or 3 controllers (auto-placed on the mesh
+  // perimeter), sometimes with an explicit channel granule and a
+  // per-controller engine override — the three-way scheduler identity
+  // and the per-controller checkers must hold there too.
+  if (rng.chance(0.25)) {
+    cfg.num_controllers = 2 + static_cast<std::uint32_t>(rng.next_below(2));
+    if (rng.chance(0.5)) {
+      // Keep the channel granule within the address-map chunk
+      // (map_chunk_bytes 0 means the 256-byte default).
+      const std::uint32_t max_shift = cfg.map_chunk_bytes == 128 ? 7u : 8u;
+      cfg.interleave_shift =
+          6 + static_cast<std::uint32_t>(rng.next_below(max_shift - 5));
+    }
+    if (rng.chance(0.5)) {
+      core::ControllerOverrides ov;
+      ov.engine_reorder_depth =
+          1 + static_cast<std::uint32_t>(rng.next_below(4));
+      cfg.controller_overrides.push_back(ov);  // channel 0 only
+    }
+  }
+
   if (rng.chance(0.25)) {
     cfg.engine_lookahead = static_cast<std::uint32_t>(rng.next_below(5));
   }

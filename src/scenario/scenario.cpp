@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
+#include "noc/topology.hpp"
 #include "scenario/json.hpp"
 #include "scenario/schema.hpp"
 
@@ -310,7 +312,7 @@ void apply_scalar_keys(const ObjectReader& r, core::SystemConfig& cfg) {
     cfg.num_gss_routers = r.get_opt_u32("num_gss_routers", 0, 1u << 12);
   }
   if (r.find("engine_lookahead") != nullptr) {
-    cfg.engine_lookahead = r.get_opt_u32("engine_lookahead", 1, 64);
+    cfg.engine_lookahead = r.get_opt_u32("engine_lookahead", 0, 64);
   }
   if (r.find("engine_reorder_depth") != nullptr) {
     cfg.engine_reorder_depth = r.get_opt_u32("engine_reorder_depth", 1, 1024);
@@ -332,6 +334,44 @@ void apply_scalar_keys(const ObjectReader& r, core::SystemConfig& cfg) {
   cfg.refresh = r.get_bool("refresh", cfg.refresh);
   cfg.split_beats = static_cast<std::uint32_t>(
       r.get_u64("split_beats", cfg.split_beats, 0, 64));
+  cfg.num_controllers = static_cast<std::uint32_t>(
+      r.get_u64("num_controllers", cfg.num_controllers, 1, 64));
+  if (r.find("interleave_shift") != nullptr) {
+    cfg.interleave_shift = r.get_opt_u32("interleave_shift", 3, 30);
+  }
+  if (const JsonMember* m = r.find("mesh_preset")) {
+    if (!m->value().is(JsonKind::kString)) {
+      r.fail(*m, "expected a string");
+    }
+    const std::string& s = m->value().string;
+    std::uint32_t w = 0, h = 0;
+    if (!s.empty() && !core::parse_mesh_preset(s, &w, &h)) {
+      r.fail(*m, "malformed mesh preset '" + s +
+                     "'; expected \"WxH\" with 1 <= W,H <= 64");
+    }
+    cfg.mesh_preset = s;
+  }
+  // Cross-field: a channel granule wider than the address-map chunk
+  // would let one request straddle two controllers. Only diagnosable
+  // here when one of the involved keys is present; the MemoryMap
+  // asserts the same invariant at simulator construction.
+  const std::uint32_t chunk =
+      cfg.map_chunk_bytes != 0 ? cfg.map_chunk_bytes : 256u;
+  if (cfg.num_controllers > 1 && cfg.interleave_shift &&
+      (std::uint64_t{1} << *cfg.interleave_shift) > chunk) {
+    const JsonMember* m = r.find("interleave_shift");
+    if (m == nullptr) m = r.find("map_chunk_bytes");
+    if (m == nullptr) m = r.find("num_controllers");
+    if (m != nullptr) {
+      r.fail(*m, "channel granule (1 << " +
+                     std::to_string(*cfg.interleave_shift) + " = " +
+                     std::to_string(std::uint64_t{1}
+                                    << *cfg.interleave_shift) +
+                     " bytes) exceeds the address-map chunk (" +
+                     std::to_string(chunk) +
+                     " bytes); a request could straddle two controllers");
+    }
+  }
 }
 
 /// One entry of the `cores` array -> CoreSpec (+ optional node/region).
@@ -343,7 +383,8 @@ struct ParsedCore {
 };
 
 ParsedCore parse_core(const JsonValue& v, const std::string& origin,
-                      std::uint64_t mesh_nodes) {
+                      std::uint64_t mesh_nodes,
+                      const noc::TopologySpec* topo) {
   if (!v.is(JsonKind::kObject)) {
     throw ParseError(origin, v.line, v.column, "cores",
                      "each core must be an object");
@@ -361,7 +402,20 @@ ParsedCore parse_core(const JsonValue& v, const std::string& origin,
     s.name = m->value().string;
   }
   if (const JsonMember* m = r.find("node")) {
-    pc.node = static_cast<NodeId>(r.u64_of(*m, 0, mesh_nodes - 1));
+    if (m->value().is(JsonKind::kString)) {
+      if (topo == nullptr) {
+        r.fail(*m, "node names need a topology; meshes place cores by "
+                   "row-major id");
+      }
+      const std::optional<NodeId> idx = topo->index_of(m->value().string);
+      if (!idx) {
+        r.fail(*m, "unknown node '" + m->value().string +
+                       "' (not in topology.nodes)");
+      }
+      pc.node = *idx;
+    } else {
+      pc.node = static_cast<NodeId>(r.u64_of(*m, 0, mesh_nodes - 1));
+    }
   }
   s.bytes_per_cycle = r.get_double("bytes_per_cycle", 1.0, 0.0, 1.0e6);
   s.read_fraction = r.get_double("read_fraction", 0.7, 0.0, 1.0);
@@ -403,25 +457,187 @@ ParsedCore parse_core(const JsonValue& v, const std::string& origin,
   return pc;
 }
 
+/// A parsed `topology` key: the validated spec plus the router knobs
+/// that live beside it (an irregular fabric has no `mesh` object to
+/// carry them).
+struct ParsedTopology {
+  std::shared_ptr<noc::TopologySpec> spec;
+  std::uint32_t buffer_flits = 16;
+  std::uint32_t pipeline_latency = 1;
+};
+
+/// One endpoint of a link entry: a node name or a bare index.
+NodeId parse_link_endpoint(const JsonValue& e, const noc::TopologySpec& spec,
+                           const std::string& origin) {
+  if (e.is(JsonKind::kString)) {
+    const std::optional<NodeId> idx = spec.index_of(e.string);
+    if (!idx) {
+      throw ParseError(origin, e.line, e.column, "links",
+                       "unknown node '" + e.string +
+                           "' (not in topology.nodes)");
+    }
+    return *idx;
+  }
+  if (!e.is(JsonKind::kNumber)) {
+    throw ParseError(origin, e.line, e.column, "links",
+                     "link endpoints are node names or indices, got " +
+                         std::string(to_string(e.kind)));
+  }
+  const double v = e.number;
+  if (v < 0.0 || v != std::floor(v) ||
+      v >= static_cast<double>(spec.num_nodes())) {
+    throw ParseError(origin, e.line, e.column, "links",
+                     "node index out of range [0, " +
+                         std::to_string(spec.num_nodes() - 1) + "]");
+  }
+  return static_cast<NodeId>(v);
+}
+
+/// Parse and fully validate a topology object. Every structural issue
+/// TopologyIssue can report is re-checked key-by-key here so the
+/// diagnostic carries the offending member's file position; the final
+/// validate_topology call catches what the per-key checks cannot see
+/// ahead of time (connectivity) and guards against drift between the
+/// two layers.
+ParsedTopology parse_topology_object(const JsonValue& v,
+                                     const std::string& origin) {
+  if (!v.is(JsonKind::kObject)) {
+    throw ParseError(origin, v.line, v.column, "topology",
+                     "expected an object or a file path string");
+  }
+  ObjectReader r(v, kTopologyKeys, kNumTopologyKeys, origin, "topology");
+  ParsedTopology out;
+  out.spec = std::make_shared<noc::TopologySpec>();
+  noc::TopologySpec& spec = *out.spec;
+
+  const JsonMember* nodes_m = r.find("nodes");
+  if (nodes_m == nullptr) r.fail_missing("nodes");
+  if (!nodes_m->value().is(JsonKind::kArray) ||
+      nodes_m->value().array.empty()) {
+    r.fail(*nodes_m, "expected a non-empty array of node names");
+  }
+  if (nodes_m->value().array.size() > 4096) {
+    r.fail(*nodes_m, "more than 4096 nodes");
+  }
+  for (const JsonValue& e : nodes_m->value().array) {
+    if (!e.is(JsonKind::kString) || e.string.empty()) {
+      throw ParseError(origin, e.line, e.column, "nodes",
+                       "each node is a non-empty name string");
+    }
+    if (spec.index_of(e.string)) {
+      throw ParseError(origin, e.line, e.column, "nodes",
+                       "duplicate node name '" + e.string + "'");
+    }
+    spec.node_names.push_back(e.string);
+  }
+
+  const JsonMember* links_m = r.find("links");
+  if (links_m == nullptr) r.fail_missing("links");
+  if (!links_m->value().is(JsonKind::kArray)) {
+    r.fail(*links_m, "expected an array of [\"a\", \"b\"] pairs");
+  }
+  std::vector<std::uint32_t> degree(spec.num_nodes(), 0);
+  for (const JsonValue& e : links_m->value().array) {
+    if (!e.is(JsonKind::kArray) || e.array.size() != 2) {
+      throw ParseError(origin, e.line, e.column, "links",
+                       "each link is a two-element [\"a\", \"b\"] pair");
+    }
+    const NodeId a = parse_link_endpoint(e.array[0], spec, origin);
+    const NodeId b = parse_link_endpoint(e.array[1], spec, origin);
+    if (a == b) {
+      throw ParseError(origin, e.line, e.column, "links",
+                       "node '" + spec.node_names[a] +
+                           "' is linked to itself");
+    }
+    for (const noc::TopologySpec::Edge& prev : spec.links) {
+      if ((prev.a == a && prev.b == b) || (prev.a == b && prev.b == a)) {
+        throw ParseError(origin, e.line, e.column, "links",
+                         "duplicate link between '" + spec.node_names[a] +
+                             "' and '" + spec.node_names[b] + "'");
+      }
+    }
+    for (const NodeId n : {a, b}) {
+      if (degree[n] == 4) {
+        throw ParseError(origin, e.line, e.column, "links",
+                         "node '" + spec.node_names[n] +
+                             "' needs a fifth link; a router has 4 "
+                             "neighbour ports");
+      }
+      ++degree[n];
+    }
+    spec.links.push_back({a, b});
+  }
+
+  const noc::TopologyIssue issue = noc::validate_topology(spec);
+  if (!issue.ok()) {
+    // Connectivity (and any check the per-key loop above missed).
+    throw ParseError(origin, v.line, v.column, "topology",
+                     issue.message(spec));
+  }
+
+  out.buffer_flits =
+      static_cast<std::uint32_t>(r.get_u64("buffer_flits", 16, 1, 4096));
+  out.pipeline_latency =
+      static_cast<std::uint32_t>(r.get_u64("pipeline_latency", 1, 1, 64));
+  return out;
+}
+
+/// Resolve a string-valued `topology` key: read the named file
+/// (relative paths resolve against the scenario's directory) and parse
+/// the whole document as one topology object, so its diagnostics are
+/// positioned inside the topology file.
+ParsedTopology load_topology_file(const ObjectReader& r, const JsonMember& m,
+                                  const std::string& base_dir) {
+  std::string path = m.value().string;
+  if (path.empty()) {
+    r.fail(m, "topology file path is empty");
+  }
+  if (path.front() != '/' && !base_dir.empty()) {
+    path = base_dir + "/" + path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    r.fail(m, "cannot open topology file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  return parse_topology_object(parse_json(text, path), path);
+}
+
 traffic::Application build_custom_app(const ObjectReader& top,
-                                      const JsonMember& mesh_m,
+                                      const JsonMember* mesh_m,
                                       const JsonMember& cores_m,
+                                      const ParsedTopology* topo,
                                       const std::string& name,
                                       const std::string& origin) {
-  if (!mesh_m.value().is(JsonKind::kObject)) {
-    top.fail(mesh_m, "expected an object");
-  }
-  ObjectReader mr(mesh_m.value(), kMeshKeys, kNumMeshKeys, origin, "mesh");
   noc::NocConfig noc;
-  noc.width = static_cast<std::uint32_t>(mr.require_u64("width", 1, 64));
-  noc.height = static_cast<std::uint32_t>(mr.require_u64("height", 1, 64));
-  const std::uint64_t nodes =
-      static_cast<std::uint64_t>(noc.width) * noc.height;
-  noc.mem_node = static_cast<NodeId>(mr.get_u64("mem_node", 0, 0, nodes - 1));
-  noc.buffer_flits =
-      static_cast<std::uint32_t>(mr.get_u64("buffer_flits", 16, 1, 4096));
-  noc.pipeline_latency =
-      static_cast<std::uint32_t>(mr.get_u64("pipeline_latency", 1, 1, 64));
+  std::uint64_t nodes = 0;
+  if (topo != nullptr) {
+    // Irregular fabric: node count and wiring come from the spec;
+    // width/height only satisfy the mesh invariant width*height == n.
+    noc.topology = topo->spec;
+    nodes = topo->spec->num_nodes();
+    noc.width = static_cast<std::uint32_t>(nodes);
+    noc.height = 1;
+    noc.mem_node = 0;
+    noc.buffer_flits = topo->buffer_flits;
+    noc.pipeline_latency = topo->pipeline_latency;
+  } else {
+    if (!mesh_m->value().is(JsonKind::kObject)) {
+      top.fail(*mesh_m, "expected an object");
+    }
+    ObjectReader mr(mesh_m->value(), kMeshKeys, kNumMeshKeys, origin, "mesh");
+    noc.width = static_cast<std::uint32_t>(mr.require_u64("width", 1, 64));
+    noc.height = static_cast<std::uint32_t>(mr.require_u64("height", 1, 64));
+    nodes = static_cast<std::uint64_t>(noc.width) * noc.height;
+    noc.mem_node =
+        static_cast<NodeId>(mr.get_u64("mem_node", 0, 0, nodes - 1));
+    noc.buffer_flits =
+        static_cast<std::uint32_t>(mr.get_u64("buffer_flits", 16, 1, 4096));
+    noc.pipeline_latency =
+        static_cast<std::uint32_t>(mr.get_u64("pipeline_latency", 1, 1, 64));
+  }
 
   if (!cores_m.value().is(JsonKind::kArray) ||
       cores_m.value().array.empty()) {
@@ -429,7 +645,8 @@ traffic::Application build_custom_app(const ObjectReader& top,
   }
   std::vector<ParsedCore> cores;
   for (const JsonValue& v : cores_m.value().array) {
-    cores.push_back(parse_core(v, origin, nodes));
+    cores.push_back(
+        parse_core(v, origin, nodes, topo ? topo->spec.get() : nullptr));
   }
 
   // node and region_base are each all-or-none across the array: mixing
@@ -456,6 +673,14 @@ traffic::Application build_custom_app(const ObjectReader& top,
     throw ParseError(origin, c.value->line, c.value->column, "region_base",
                      "either every core names a region_base or none does "
                      "(back-to-back layout)");
+  }
+  if (topo != nullptr && with_node != cores.size()) {
+    const auto& c = *std::find_if(
+        cores.begin(), cores.end(),
+        [](const ParsedCore& pc) { return !pc.node.has_value(); });
+    throw ParseError(origin, c.value->line, c.value->column, "node",
+                     "topology mode places cores explicitly: give every "
+                     "core a node (auto-placement is a mesh concept)");
   }
 
   if (with_region == 0) {
@@ -498,6 +723,92 @@ traffic::Application build_custom_app(const ObjectReader& top,
   specs.reserve(cores.size());
   for (ParsedCore& c : cores) specs.push_back(std::move(c.spec));
   return traffic::place_application(name, noc, std::move(specs));
+}
+
+/// Parse the `memory` object into cfg.mem_nodes (controller placement)
+/// and cfg.controller_overrides. `fabric_nodes` is the node count of
+/// the final fabric (after any mesh_preset re-tiling).
+void parse_memory(const ObjectReader& top, const JsonMember& m,
+                  core::SystemConfig& cfg, const noc::TopologySpec* topo,
+                  std::uint64_t fabric_nodes, const std::string& origin) {
+  if (!m.value().is(JsonKind::kObject)) {
+    top.fail(m, "expected an object");
+  }
+  ObjectReader r(m.value(), kMemoryKeys, kNumMemoryKeys, origin, "memory");
+  if (const JsonMember* nm = r.find("nodes")) {
+    if (!nm->value().is(JsonKind::kArray) || nm->value().array.empty()) {
+      r.fail(*nm, "expected a non-empty array of controller nodes");
+    }
+    if (nm->value().array.size() != cfg.num_controllers) {
+      r.fail(*nm, "expected one node per controller (num_controllers = " +
+                      std::to_string(cfg.num_controllers) + "), got " +
+                      std::to_string(nm->value().array.size()));
+    }
+    std::vector<NodeId> mems;
+    for (const JsonValue& e : nm->value().array) {
+      NodeId n = 0;
+      if (e.is(JsonKind::kString)) {
+        if (topo == nullptr) {
+          throw ParseError(origin, e.line, e.column, "nodes",
+                           "node names need a topology; meshes place "
+                           "controllers by row-major id");
+        }
+        const std::optional<NodeId> idx = topo->index_of(e.string);
+        if (!idx) {
+          throw ParseError(origin, e.line, e.column, "nodes",
+                           "unknown node '" + e.string +
+                               "' (not in topology.nodes)");
+        }
+        n = *idx;
+      } else if (e.is(JsonKind::kNumber)) {
+        const double v = e.number;
+        if (v < 0.0 || v != std::floor(v) ||
+            v >= static_cast<double>(fabric_nodes)) {
+          throw ParseError(origin, e.line, e.column, "nodes",
+                           "node index out of range [0, " +
+                               std::to_string(fabric_nodes - 1) + "]");
+        }
+        n = static_cast<NodeId>(v);
+      } else {
+        throw ParseError(origin, e.line, e.column, "nodes",
+                         "controller nodes are names or indices, got " +
+                             std::string(to_string(e.kind)));
+      }
+      if (std::find(mems.begin(), mems.end(), n) != mems.end()) {
+        throw ParseError(origin, e.line, e.column, "nodes",
+                         "node " + std::to_string(n) +
+                             " hosts two controllers");
+      }
+      mems.push_back(n);
+    }
+    cfg.mem_nodes = std::move(mems);
+  }
+  if (const JsonMember* cm = r.find("controllers")) {
+    if (!cm->value().is(JsonKind::kArray)) {
+      r.fail(*cm, "expected an array of per-controller override objects");
+    }
+    if (cm->value().array.size() > cfg.num_controllers) {
+      r.fail(*cm, "more override entries (" +
+                      std::to_string(cm->value().array.size()) +
+                      ") than controllers (" +
+                      std::to_string(cfg.num_controllers) + ")");
+    }
+    std::vector<core::ControllerOverrides> ovs;
+    for (const JsonValue& e : cm->value().array) {
+      if (!e.is(JsonKind::kObject)) {
+        throw ParseError(origin, e.line, e.column, "controllers",
+                         "each entry is an object of engine overrides");
+      }
+      ObjectReader er(e, kControllerKeys, kNumControllerKeys, origin,
+                      "controller");
+      core::ControllerOverrides ov;
+      ov.engine_lookahead = er.get_opt_u32("engine_lookahead", 0, 64);
+      ov.engine_reorder_depth = er.get_opt_u32("engine_reorder_depth", 1, 1024);
+      ov.engine_window = er.get_opt_u32("engine_window", 1, 1024);
+      ovs.push_back(ov);
+    }
+    cfg.controller_overrides = std::move(ovs);
+  }
 }
 
 // --- dump ---
@@ -604,7 +915,8 @@ std::string dump_core(const traffic::CorePlacement& cp) {
 
 }  // namespace
 
-Scenario parse_scenario(std::string_view text, const std::string& origin) {
+Scenario parse_scenario(std::string_view text, const std::string& origin,
+                        const std::string& base_dir) {
   const JsonValue root = parse_json(text, origin);
   if (!root.is(JsonKind::kObject)) {
     throw ParseError(origin, root.line, root.column, "",
@@ -620,19 +932,75 @@ Scenario parse_scenario(std::string_view text, const std::string& origin) {
   const JsonMember* app_m = r.find("app");
   const JsonMember* mesh_m = r.find("mesh");
   const JsonMember* cores_m = r.find("cores");
+  const JsonMember* topo_m = r.find("topology");
+  const JsonMember* memory_m = r.find("memory");
+
+  std::optional<ParsedTopology> topo;
+  if (topo_m != nullptr) {
+    if (cores_m == nullptr) {
+      r.fail(*topo_m, "topology needs a custom core set (cores) placed on "
+                      "its named nodes; the paper applications are "
+                      "mesh-defined");
+    }
+    if (mesh_m != nullptr) {
+      r.fail(*mesh_m, "mesh and topology are mutually exclusive "
+                      "(the topology defines the fabric)");
+    }
+    if (!cfg.mesh_preset.empty()) {
+      r.fail(*r.find("mesh_preset"),
+             "mesh_preset re-tiles a mesh; it cannot reshape a topology");
+    }
+    if (cfg.adaptive_routing) {
+      r.fail(*r.find("adaptive_routing"),
+             "adaptive routing is a mesh-geometry concept; topology mode "
+             "routes by BFS next-hop tables");
+    }
+    topo = topo_m->value().is(JsonKind::kString)
+               ? load_topology_file(r, *topo_m, base_dir)
+               : parse_topology_object(topo_m->value(), origin);
+  }
+
   if (cores_m != nullptr) {
     if (app_m != nullptr) {
       r.fail(*app_m, "app and cores are mutually exclusive "
                      "(a scenario is a paper app or a custom core set)");
     }
-    if (mesh_m == nullptr) r.fail_missing("mesh");
-    cfg.custom_app = build_custom_app(r, *mesh_m, *cores_m, s.name, origin);
+    if (!topo && mesh_m == nullptr) r.fail_missing("mesh");
+    cfg.custom_app = build_custom_app(r, mesh_m, *cores_m,
+                                      topo ? &*topo : nullptr, s.name, origin);
   } else {
     if (mesh_m != nullptr) {
       r.fail(*mesh_m, "mesh is only meaningful together with cores");
     }
     cfg.app = app_m != nullptr ? parse_app(r, *app_m)
                                : traffic::AppId::kSingleDtv;
+  }
+
+  // Node count of the final fabric (after any mesh_preset re-tiling),
+  // for controller-placement validation.
+  std::uint64_t fabric_nodes = 0;
+  if (topo) {
+    fabric_nodes = topo->spec->num_nodes();
+  } else if (!cfg.mesh_preset.empty()) {
+    std::uint32_t w = 0, h = 0;
+    core::parse_mesh_preset(cfg.mesh_preset, &w, &h);
+    fabric_nodes = static_cast<std::uint64_t>(w) * h;
+  } else if (cfg.custom_app) {
+    fabric_nodes = static_cast<std::uint64_t>(cfg.custom_app->noc.width) *
+                   cfg.custom_app->noc.height;
+  } else {
+    const noc::NocConfig app_noc = traffic::build_application(cfg.app).noc;
+    fabric_nodes = static_cast<std::uint64_t>(app_noc.width) * app_noc.height;
+  }
+
+  if (memory_m != nullptr) {
+    parse_memory(r, *memory_m, cfg, topo ? topo->spec.get() : nullptr,
+                 fabric_nodes, origin);
+  }
+  if (cfg.num_controllers > fabric_nodes) {
+    r.fail(*r.find("num_controllers"),
+           "more controllers (" + std::to_string(cfg.num_controllers) +
+               ") than fabric nodes (" + std::to_string(fabric_nodes) + ")");
   }
   return s;
 }
@@ -642,8 +1010,9 @@ bool is_sweepable_key(std::string_view key) {
   // the core set), `name` labels the scenario itself, and the output
   // paths would make thousands of jobs overwrite one file.
   static constexpr std::string_view kFixed[] = {
-      "name",         "mesh",        "cores",        "trace_path",
-      "record_trace", "replay_trace", "perfetto_path"};
+      "name",         "mesh",         "cores",         "topology",
+      "memory",       "trace_path",   "record_trace",  "replay_trace",
+      "perfetto_path"};
   for (const std::string_view f : kFixed) {
     if (key == f) return false;
   }
@@ -678,6 +1047,43 @@ void apply_overrides(core::SystemConfig& cfg, const JsonValue& point,
     cfg.app = parse_app(r, *m);
   }
   apply_scalar_keys(r, cfg);
+
+  // Cross-field guards a sweep point can violate against its base
+  // scenario. Any offending combination here involves a key the point
+  // itself set (the base already validated its own), so the diagnostic
+  // can always be positioned at a member of the point.
+  const bool on_topology =
+      cfg.custom_app && cfg.custom_app->noc.topology != nullptr;
+  if (on_topology && !cfg.mesh_preset.empty()) {
+    r.fail(*r.find("mesh_preset"),
+           "mesh_preset re-tiles a mesh; the base scenario defines a "
+           "topology");
+  }
+  if (on_topology && cfg.adaptive_routing) {
+    r.fail(*r.find("adaptive_routing"),
+           "adaptive routing is a mesh-geometry concept; the base "
+           "scenario defines a topology");
+  }
+  if (!cfg.mem_nodes.empty() &&
+      cfg.mem_nodes.size() != cfg.num_controllers) {
+    r.fail(*r.find("num_controllers"),
+           "num_controllers (" + std::to_string(cfg.num_controllers) +
+               ") disagrees with the base scenario's memory.nodes (" +
+               std::to_string(cfg.mem_nodes.size()) + " entries)");
+  }
+  if (!cfg.mem_nodes.empty() && !cfg.mesh_preset.empty()) {
+    if (const JsonMember* m = r.find("mesh_preset")) {
+      std::uint32_t w = 0, h = 0;
+      core::parse_mesh_preset(cfg.mesh_preset, &w, &h);
+      for (const NodeId n : cfg.mem_nodes) {
+        if (n >= static_cast<std::uint64_t>(w) * h) {
+          r.fail(*m, "the base scenario places a controller on node " +
+                         std::to_string(n) + ", outside the " +
+                         cfg.mesh_preset + " mesh");
+        }
+      }
+    }
+  }
 }
 
 Scenario load_scenario(const std::string& path) {
@@ -687,9 +1093,13 @@ Scenario load_scenario(const std::string& path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  Scenario s = parse_scenario(buf.str(), path);
-  // Ship scenarios next to their traces: a relative replay path is
-  // resolved against the scenario file's directory.
+  // Ship scenarios next to their referenced files: a relative topology
+  // path (below) or replay path (here) is resolved against the
+  // scenario file's own directory.
+  const std::size_t dir_slash = path.find_last_of('/');
+  const std::string base_dir =
+      dir_slash == std::string::npos ? "" : path.substr(0, dir_slash);
+  Scenario s = parse_scenario(buf.str(), path, base_dir);
   std::string& replay = s.config.replay_trace_path;
   if (!replay.empty() && replay.front() != '/') {
     const std::size_t slash = path.find_last_of('/');
@@ -742,9 +1152,68 @@ std::string dump_scenario(const Scenario& s) {
   d.boolean("check", c.check);
   d.boolean("refresh", c.refresh);
   d.num("split_beats", static_cast<std::uint64_t>(c.split_beats));
+  d.num("num_controllers", static_cast<std::uint64_t>(c.num_controllers));
+  d.opt("interleave_shift", c.interleave_shift);
+  d.str("mesh_preset", c.mesh_preset);
+  if (c.custom_app && c.custom_app->noc.topology) {
+    const noc::TopologySpec& t = *c.custom_app->noc.topology;
+    Dumper td("    ");
+    {
+      std::string nodes = "[";
+      for (std::size_t i = 0; i < t.node_names.size(); ++i) {
+        if (i != 0) nodes += ", ";
+        nodes += json_quote(t.node_names[i]);
+      }
+      nodes += "]";
+      td.field("nodes", std::move(nodes));
+    }
+    {
+      std::string links = "[";
+      for (std::size_t i = 0; i < t.links.size(); ++i) {
+        if (i != 0) links += ", ";
+        links += "[" + json_quote(t.node_names[t.links[i].a]) + ", " +
+                 json_quote(t.node_names[t.links[i].b]) + "]";
+      }
+      links += "]";
+      td.field("links", std::move(links));
+    }
+    td.num("buffer_flits",
+           static_cast<std::uint64_t>(c.custom_app->noc.buffer_flits));
+    td.num("pipeline_latency",
+           static_cast<std::uint64_t>(c.custom_app->noc.pipeline_latency));
+    d.field("topology", td.close("  "));
+  }
+  if (!c.mem_nodes.empty() || !c.controller_overrides.empty()) {
+    Dumper md("    ");
+    if (!c.mem_nodes.empty()) {
+      std::string nodes = "[";
+      for (std::size_t i = 0; i < c.mem_nodes.size(); ++i) {
+        if (i != 0) nodes += ", ";
+        nodes += std::to_string(c.mem_nodes[i]);
+      }
+      nodes += "]";
+      md.field("nodes", std::move(nodes));
+    }
+    if (!c.controller_overrides.empty()) {
+      std::string arr = "[\n";
+      for (std::size_t i = 0; i < c.controller_overrides.size(); ++i) {
+        const core::ControllerOverrides& ov = c.controller_overrides[i];
+        Dumper od("        ");
+        od.opt("engine_lookahead", ov.engine_lookahead);
+        od.opt("engine_reorder_depth", ov.engine_reorder_depth);
+        od.opt("engine_window", ov.engine_window);
+        arr += "      " + od.close("      ");
+        if (i + 1 < c.controller_overrides.size()) arr += ',';
+        arr += '\n';
+      }
+      arr += "    ]";
+      md.field("controllers", std::move(arr));
+    }
+    d.field("memory", md.close("  "));
+  }
   if (c.custom_app) {
     const traffic::Application& app = *c.custom_app;
-    {
+    if (!app.noc.topology) {
       Dumper m("    ");
       m.num("width", static_cast<std::uint64_t>(app.noc.width));
       m.num("height", static_cast<std::uint64_t>(app.noc.height));

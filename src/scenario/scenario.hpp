@@ -25,10 +25,12 @@ struct Scenario {
 };
 
 /// Parse a scenario document. `origin` labels errors (file path or a
-/// pseudo-name like "<string>"). No path resolution happens here —
-/// replay_trace is taken verbatim.
+/// pseudo-name like "<string>"). `base_dir` resolves a relative
+/// file-path-valued `topology` key (empty = current directory);
+/// replay_trace is taken verbatim either way.
 [[nodiscard]] Scenario parse_scenario(std::string_view text,
-                                      const std::string& origin);
+                                      const std::string& origin,
+                                      const std::string& base_dir = "");
 
 /// Read and parse a scenario file. A relative replay_trace is resolved
 /// against the scenario file's directory, so scenarios ship alongside

@@ -56,7 +56,7 @@ inline constexpr KeyInfo kScenarioKeys[] = {
     {"num_gss_routers", "number|null", "null",
      "Fig. 8 sweep: routers (closest to memory first) running GSS; null = all."},
     {"engine_lookahead", "number|null", "null",
-     "Controller ablation: banks prepared ahead of the oldest request."},
+     "Controller ablation: banks prepared ahead of the oldest request (0 = none)."},
     {"engine_reorder_depth", "number|null", "null",
      "Controller ablation: cross-master CAS slip window (1 = strictly in-order)."},
     {"engine_window", "number|null", "null",
@@ -83,10 +83,51 @@ inline constexpr KeyInfo kScenarioKeys[] = {
      "Enable the SDRAM refresh engine (default off, matching the paper)."},
     {"split_beats", "number", "0",
      "SAGM split granularity in beats; 0 = per-generation default (4, 4, 8)."},
+    {"num_controllers", "number", "1",
+     "Memory controllers (channels, 1..64); addresses stripe across them in channel granules."},
+    {"interleave_shift", "number|null", "null",
+     "log2 of the channel-select granule in bytes (3..30); null matches the address-map chunk."},
+    {"mesh_preset", "string", "\"\"",
+     "Re-tile the application onto a \"WxH\" mesh (e.g. \"8x8\", max 64x64); empty keeps the native geometry."},
+    {"topology", "object|string", "-",
+     "Irregular fabric: inline topology object, or path to a topology JSON file (resolved against the scenario file). Requires cores with explicit nodes."},
+    {"memory", "object", "-",
+     "Controller placement and per-controller engine overrides (see the memory keys)."},
     {"mesh", "object", "-",
      "Mesh geometry for a custom core set; required with cores, rejected with app."},
     {"cores", "array", "-",
      "Custom core set (array of core objects); mutually exclusive with app."},
+};
+
+/// Keys of the `topology` object (inline, or the whole document of a
+/// separate file named by a string-valued `topology` key). See
+/// docs/TOPOLOGIES.md for the authoring guide.
+inline constexpr KeyInfo kTopologyKeys[] = {
+    {"nodes", "array", "-",
+     "Node names: unique non-empty strings; array order defines the node ids."},
+    {"links", "array", "-",
+     "Undirected links: two-element [\"a\", \"b\"] pairs of node names or indices; at most 4 links per node, every node reachable from the first."},
+    {"buffer_flits", "number", "16", "Input buffer depth per port, in flits."},
+    {"pipeline_latency", "number", "1", "Router pipeline latency in cycles."},
+};
+
+/// Keys of the `memory` object.
+inline constexpr KeyInfo kMemoryKeys[] = {
+    {"nodes", "array", "auto",
+     "One NoC node per controller (row-major id, or a node name in topology mode); num_controllers distinct entries. Omit to auto-place on the perimeter."},
+    {"controllers", "array", "[]",
+     "Per-controller engine overrides, indexed by channel (see the controller keys); at most num_controllers entries."},
+};
+
+/// Keys of one entry of `memory.controllers`; null (or an absent key)
+/// falls back to the matching top-level engine knob.
+inline constexpr KeyInfo kControllerKeys[] = {
+    {"engine_lookahead", "number|null", "null",
+     "This controller's bank-prepare lookahead."},
+    {"engine_reorder_depth", "number|null", "null",
+     "This controller's cross-master CAS slip window (1 = strictly in-order)."},
+    {"engine_window", "number|null", "null",
+     "This controller's scheduler candidate window."},
 };
 
 /// Keys of the `mesh` object.
@@ -105,8 +146,8 @@ inline constexpr KeyInfo kMeshKeys[] = {
 /// needs exactly width*height cores.
 inline constexpr KeyInfo kCoreKeys[] = {
     {"name", "string", "-", "Core name (metrics are reported per name)."},
-    {"node", "number", "auto",
-     "Mesh node (row-major); omit on every core to auto-place by weight."},
+    {"node", "number|string", "auto",
+     "Mesh node (row-major id), or a node name in topology mode; omit on every core to auto-place by weight (mesh only)."},
     {"bytes_per_cycle", "number", "1.0",
      "Offered useful payload rate, bytes per memory-clock cycle."},
     {"read_fraction", "number", "0.7", "Fraction of requests that are reads."},
@@ -149,5 +190,11 @@ inline constexpr std::size_t kNumMeshKeys =
     sizeof(kMeshKeys) / sizeof(kMeshKeys[0]);
 inline constexpr std::size_t kNumCoreKeys =
     sizeof(kCoreKeys) / sizeof(kCoreKeys[0]);
+inline constexpr std::size_t kNumTopologyKeys =
+    sizeof(kTopologyKeys) / sizeof(kTopologyKeys[0]);
+inline constexpr std::size_t kNumMemoryKeys =
+    sizeof(kMemoryKeys) / sizeof(kMemoryKeys[0]);
+inline constexpr std::size_t kNumControllerKeys =
+    sizeof(kControllerKeys) / sizeof(kControllerKeys[0]);
 
 }  // namespace annoc::scenario

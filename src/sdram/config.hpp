@@ -103,6 +103,10 @@ struct DeviceConfig {
   BurstMode burst_mode = BurstMode::kBl8;
   Geometry geometry{};
   bool refresh_enabled = false;  ///< uniform across design points; see DESIGN.md
+  /// Which controller this device belongs to in a multi-controller
+  /// fabric; stamped into every emitted SdramCommandEvent so the
+  /// per-channel checkers/counters can demultiplex one shared hub.
+  std::uint32_t channel = 0;
 };
 
 }  // namespace annoc::sdram

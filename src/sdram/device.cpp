@@ -59,7 +59,8 @@ void Device::tick(Cycle now) {
                                .at = ap_[b].start,
                                .kind = obs::CommandKind::kAutoPrecharge,
                                .bank = b,
-                               .row = banks_[b].open_row}));
+                               .row = banks_[b].open_row,
+                               .channel = cfg_.channel}));
       banks_[b].on_precharge(ap_[b].start, timing_);
       ap_[b].pending = false;
       ++stats_.auto_precharges;
@@ -90,7 +91,8 @@ void Device::tick(Cycle now) {
                                    .kind = obs::CommandKind::kPrecharge,
                                    .bank = b,
                                    .row = bk.open_row,
-                                   .refresh_forced = true}));
+                                   .refresh_forced = true,
+                                   .channel = cfg_.channel}));
           bk.on_precharge(now, timing_);
           ++stats_.precharges;
         }
@@ -106,7 +108,8 @@ void Device::tick(Cycle now) {
       ++stats_.refreshes;
       ANNOC_OBS_EMIT(obs_, on_command(obs::SdramCommandEvent{
                                .at = now,
-                               .kind = obs::CommandKind::kRefresh}));
+                               .kind = obs::CommandKind::kRefresh,
+                               .channel = cfg_.channel}));
       for (Bank& bk : banks_) bk.ready_at = refresh_done_;
     }
   }
@@ -235,7 +238,8 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
                                .at = now,
                                .kind = obs::CommandKind::kActivate,
                                .bank = cmd.bank,
-                               .row = cmd.row}));
+                               .row = cmd.row,
+                               .channel = cfg_.channel}));
       return {};
     }
     case CommandType::kPrecharge: {
@@ -245,7 +249,8 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
                                .at = now,
                                .kind = obs::CommandKind::kPrecharge,
                                .bank = cmd.bank,
-                               .row = bk.open_row}));
+                               .row = bk.open_row,
+                               .channel = cfg_.channel}));
       bk.on_precharge(now, timing_);
       ++stats_.precharges;
       return {};
@@ -294,7 +299,8 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
                          .auto_precharge = cmd.auto_precharge,
                          .row_hit = !first_cas_this_activation,
                          .data_start = w.start,
-                         .data_end = w.end}));
+                         .data_end = w.end,
+                         .channel = cfg_.channel}));
 
       if (cmd.auto_precharge) {
         // Self-timed precharge at the latest of tRAS / tRTP / tWR.

@@ -1,0 +1,126 @@
+/// \file interleave.hpp
+/// Channel-interleaved address decoding for multi-controller fabrics.
+///
+/// A `MemoryMap` sits in front of the per-device `AddressMapper`: the
+/// flat byte address space is striped across N controllers (channels)
+/// in granules of `1 << shift` bytes, the classic channel-select-bits
+/// layout. `channel_of` picks the controller, `local_of` compacts the
+/// address into that controller's private space (dropping the channel
+/// bits), and the local address feeds the unchanged per-device
+/// bank/row/column mapper. With one channel every operation is an exact
+/// pass-through of the wrapped mapper — the single-controller configs
+/// stay bitwise identical to the pre-multi-controller simulator.
+///
+/// Boundary discipline: a request must never straddle a channel
+/// granule (it would need service from two controllers), nor the
+/// per-device chunk/row boundary of the local mapping. Both limits are
+/// folded into `bytes_to_boundary` / `boundary_unit`, so the generator
+/// and SAGM splitter need no channel-specific logic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "sdram/address.hpp"
+
+namespace annoc::sdram {
+
+/// How the flat address space is striped across controllers.
+struct ChannelConfig {
+  std::uint32_t channels = 1;  ///< number of memory controllers
+  std::uint32_t shift = 8;     ///< granule = 1 << shift bytes per hop
+  /// NoC node of each controller, index == channel. Size must equal
+  /// `channels`.
+  std::vector<NodeId> mem_nodes{0};
+};
+
+/// Channel-select granule matched to the per-device interleave chunk:
+/// consecutive granules land on consecutive controllers, and within a
+/// controller the local space is exactly as dense as before.
+[[nodiscard]] inline std::uint32_t default_interleave_shift(
+    std::uint64_t boundary_unit) {
+  std::uint32_t shift = 0;
+  while ((std::uint64_t{1} << (shift + 1)) <= boundary_unit) ++shift;
+  return shift;
+}
+
+/// The full byte-address -> (controller, device location) decode.
+/// Wraps a caller-owned AddressMapper (all controllers share one
+/// geometry; per-controller engine knobs live elsewhere).
+class MemoryMap {
+ public:
+  MemoryMap(const AddressMapper& mapper, const ChannelConfig& channels)
+      : mapper_(&mapper), cfg_(channels) {
+    ANNOC_ASSERT(cfg_.channels >= 1);
+    ANNOC_ASSERT(cfg_.mem_nodes.size() == cfg_.channels);
+    ANNOC_ASSERT_MSG(granule() <= mapper.boundary_unit() ||
+                         cfg_.channels == 1,
+                     "channel granule must not exceed the device boundary "
+                     "unit, or requests could straddle banks");
+  }
+
+  [[nodiscard]] std::uint32_t channels() const { return cfg_.channels; }
+  [[nodiscard]] std::uint64_t granule() const {
+    return std::uint64_t{1} << cfg_.shift;
+  }
+  [[nodiscard]] const std::vector<NodeId>& mem_nodes() const {
+    return cfg_.mem_nodes;
+  }
+  [[nodiscard]] const AddressMapper& device_mapper() const { return *mapper_; }
+
+  /// Which controller serves this byte address.
+  [[nodiscard]] std::uint32_t channel_of(std::uint64_t addr) const {
+    if (cfg_.channels == 1) return 0;
+    return static_cast<std::uint32_t>((addr >> cfg_.shift) % cfg_.channels);
+  }
+
+  /// NoC node of the controller serving this byte address.
+  [[nodiscard]] NodeId node_of(std::uint64_t addr) const {
+    return cfg_.mem_nodes[channel_of(addr)];
+  }
+
+  /// The address within the serving controller's private space: the
+  /// channel-select bits are squeezed out, so each controller sees a
+  /// dense space of capacity_bytes() regardless of channel count.
+  [[nodiscard]] std::uint64_t local_of(std::uint64_t addr) const {
+    if (cfg_.channels == 1) return addr;
+    const std::uint64_t low = addr & (granule() - 1);
+    const std::uint64_t gran = addr >> cfg_.shift;
+    return ((gran / cfg_.channels) << cfg_.shift) | low;
+  }
+
+  /// Device location (bank/row/col) within the serving controller.
+  [[nodiscard]] Location map(std::uint64_t addr) const {
+    return mapper_->map(local_of(addr));
+  }
+
+  /// Bytes until the next boundary a request must not straddle: the
+  /// channel granule or the device chunk/row of the local mapping,
+  /// whichever is nearer. One channel defers entirely to the mapper.
+  [[nodiscard]] std::uint64_t bytes_to_boundary(std::uint64_t addr) const {
+    if (cfg_.channels == 1) return mapper_->bytes_to_boundary(addr);
+    const std::uint64_t to_granule = granule() - (addr % granule());
+    const std::uint64_t to_device = mapper_->bytes_to_boundary(local_of(addr));
+    return to_granule < to_device ? to_granule : to_device;
+  }
+
+  /// Largest span a single request may cover (see bytes_to_boundary).
+  [[nodiscard]] std::uint64_t boundary_unit() const {
+    if (cfg_.channels == 1) return mapper_->boundary_unit();
+    const std::uint64_t dev = mapper_->boundary_unit();
+    return granule() < dev ? granule() : dev;
+  }
+
+  /// Total capacity across all controllers.
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return mapper_->capacity_bytes() * cfg_.channels;
+  }
+
+ private:
+  const AddressMapper* mapper_;
+  ChannelConfig cfg_;
+};
+
+}  // namespace annoc::sdram

@@ -102,6 +102,33 @@ Application place_application(std::string name, const noc::NocConfig& noc,
   return app;
 }
 
+Application tile_application(const Application& base, std::uint32_t width,
+                             std::uint32_t height) {
+  ANNOC_ASSERT(width > 0 && height > 0);
+  ANNOC_ASSERT(!base.cores.empty());
+  const std::size_t n = static_cast<std::size_t>(width) * height;
+  std::vector<CoreSpec> specs;
+  specs.reserve(n);
+  std::uint64_t offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    CoreSpec s = base.cores[i % base.cores.size()].spec;
+    const std::size_t replica = i / base.cores.size();
+    if (replica > 0) s.name += "#" + std::to_string(replica);
+    s.region_base = offset;
+    offset += s.region_bytes;
+    specs.push_back(std::move(s));
+  }
+  noc::NocConfig noc = base.noc;
+  noc.width = width;
+  noc.height = height;
+  noc.mem_node = 0;
+  noc.mem_nodes.clear();
+  noc.topology.reset();
+  return place_application(base.name + " @" + std::to_string(width) + "x" +
+                               std::to_string(height),
+                           noc, std::move(specs));
+}
+
 Application build_application(AppId id) {
   noc::NocConfig noc;
   noc.mem_node = 0;  // memory subsystem off the (0,0) corner router

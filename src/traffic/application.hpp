@@ -63,4 +63,16 @@ struct Application {
                                             const noc::NocConfig& noc,
                                             std::vector<CoreSpec> specs);
 
+/// Re-tile `base` onto a `width` x `height` mesh (the scaling knob
+/// behind SystemConfig::mesh_preset): its core specs repeat round-robin
+/// until every node hosts one core (replica k of core "x" is named
+/// "x#k"), address regions are re-laid out back-to-back so replicas
+/// stay disjoint, and the bandwidth-ordered placement reruns on the new
+/// geometry with the memory corner reset to node 0. Any custom
+/// mem_nodes/topology on the base config are dropped — callers set
+/// those after tiling.
+[[nodiscard]] Application tile_application(const Application& base,
+                                           std::uint32_t width,
+                                           std::uint32_t height);
+
 }  // namespace annoc::traffic

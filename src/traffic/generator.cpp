@@ -11,8 +11,20 @@ namespace annoc::traffic {
 CoreGenerator::CoreGenerator(const GeneratorConfig& cfg,
                              const sdram::AddressMapper& mapper,
                              PacketId& id_source)
+    : CoreGenerator(cfg,
+                    sdram::MemoryMap(
+                        mapper, sdram::ChannelConfig{
+                                    1,
+                                    sdram::default_interleave_shift(
+                                        mapper.boundary_unit()),
+                                    {cfg.mem_node}}),
+                    id_source) {}
+
+CoreGenerator::CoreGenerator(const GeneratorConfig& cfg,
+                             const sdram::MemoryMap& map,
+                             PacketId& id_source)
     : cfg_(cfg),
-      mapper_(mapper),
+      map_(map),
       id_source_(id_source),
       rng_(cfg.seed ^ (0xa5a5a5a5ULL + cfg.core_id * 0x9e3779b9ULL)) {
   ANNOC_ASSERT(!cfg_.spec.sizes.empty());
@@ -49,11 +61,13 @@ std::uint64_t CoreGenerator::pick_address(std::uint32_t bytes) {
     const std::uint64_t span = std::max<std::uint64_t>(span_bytes / align, 1);
     cursor_ = s.region_base + rng_.next_below(span) * align;
   }
-  // Keep the request inside one mapping unit (chunk/row): SDRAM bursts
-  // never cross rows, and a request crossing a chunk would change bank
-  // mid-request; real masters split at these boundaries anyway.
-  if (mapper_.bytes_to_boundary(cursor_) < bytes) {
-    cursor_ += mapper_.bytes_to_boundary(cursor_);
+  // Keep the request inside one mapping unit (chunk/row, and channel
+  // granule when interleaved): SDRAM bursts never cross rows, a request
+  // crossing a chunk would change bank mid-request, and one crossing a
+  // granule would need two controllers; real masters split at these
+  // boundaries anyway.
+  if (map_.bytes_to_boundary(cursor_) < bytes) {
+    cursor_ += map_.bytes_to_boundary(cursor_);
   }
   // Wrap at the region end.
   if (cursor_ + bytes > s.region_base + s.region_bytes) {
@@ -69,13 +83,12 @@ void CoreGenerator::emit_request(Cycle now) {
   // Masters split their bursts at the interconnect's interleave
   // boundary; a request can never span two banks.
   next_size_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-      next_size_, mapper_.boundary_unit()));
+      next_size_, map_.boundary_unit()));
   noc::Packet pkt;
   pkt.id = id_source_++;
   pkt.parent_id = pkt.id;
   pkt.src_core = cfg_.core_id;
   pkt.src_node = cfg_.node;
-  pkt.dst_node = cfg_.mem_node;
   pkt.rw = rng_.chance(s.read_fraction) ? RW::kRead : RW::kWrite;
   pkt.kind = next_is_demand_
                  ? RequestKind::kDemand
@@ -85,10 +98,12 @@ void CoreGenerator::emit_request(Cycle now) {
                 : ServiceClass::kBestEffort;
   pkt.useful_bytes = next_size_;
   pkt.byte_addr = pick_address(next_size_);
+  // The interleave picks the serving controller per address.
+  pkt.dst_node = map_.node_of(pkt.byte_addr);
   pkt.useful_beats =
       (pkt.useful_bytes + cfg_.bus_bytes - 1) / cfg_.bus_bytes;
   pkt.flits = noc::Packet::flits_for_beats(pkt.useful_beats);
-  pkt.loc = mapper_.map(pkt.byte_addr);
+  pkt.loc = map_.map(pkt.byte_addr);
   pkt.created = now;
 
   ++stats_.requests_generated;
@@ -97,7 +112,7 @@ void CoreGenerator::emit_request(Cycle now) {
 
   if (cfg_.split_beats > 0) {
     std::vector<noc::Packet> subs = split_packet(
-        pkt, cfg_.split_beats, cfg_.bus_bytes, mapper_, id_source_);
+        pkt, cfg_.split_beats, cfg_.bus_bytes, map_, id_source_);
     if (cfg_.on_request) {
       cfg_.on_request(pkt, static_cast<std::uint32_t>(subs.size()));
     }

@@ -15,6 +15,7 @@
 #include "noc/network.hpp"
 #include "noc/packet.hpp"
 #include "sdram/address.hpp"
+#include "sdram/interleave.hpp"
 #include "traffic/core_spec.hpp"
 #include "traffic/source.hpp"
 
@@ -24,6 +25,9 @@ struct GeneratorConfig {
   CoreSpec spec;
   CoreId core_id = 0;
   NodeId node = 0;
+  /// Destination when constructed with a bare AddressMapper (the
+  /// single-controller compat path). The MemoryMap constructor routes
+  /// each request to map.node_of(addr) instead and ignores this field.
   NodeId mem_node = 0;
   std::uint32_t bus_bytes = 4;
   /// Assign ServiceClass::kPriority to demand requests (Table II mode).
@@ -38,6 +42,15 @@ struct GeneratorConfig {
 
 class CoreGenerator final : public TrafficSource {
  public:
+  /// Multi-controller construction: requests decode through `map`,
+  /// which picks the destination controller per address. The map is
+  /// copied (it only points at the caller-owned AddressMapper).
+  CoreGenerator(const GeneratorConfig& cfg, const sdram::MemoryMap& map,
+                PacketId& id_source);
+
+  /// Single-controller compat: wraps `mapper` in a one-channel map
+  /// targeting cfg.mem_node. Bitwise identical to the multi-controller
+  /// constructor with channels == 1.
   CoreGenerator(const GeneratorConfig& cfg,
                 const sdram::AddressMapper& mapper, PacketId& id_source);
 
@@ -80,7 +93,7 @@ class CoreGenerator final : public TrafficSource {
   void emit_request(Cycle now);
 
   GeneratorConfig cfg_;
-  const sdram::AddressMapper& mapper_;
+  sdram::MemoryMap map_;
   PacketId& id_source_;
   Rng rng_;
 

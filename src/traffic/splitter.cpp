@@ -11,6 +11,17 @@ std::vector<noc::Packet> split_packet(const noc::Packet& base,
                                       std::uint32_t bus_bytes,
                                       const sdram::AddressMapper& mapper,
                                       PacketId& next_id) {
+  // Single-channel MemoryMap is an exact pass-through of the mapper.
+  return split_packet(base, granularity_beats, bus_bytes,
+                      sdram::MemoryMap(mapper, sdram::ChannelConfig{}),
+                      next_id);
+}
+
+std::vector<noc::Packet> split_packet(const noc::Packet& base,
+                                      std::uint32_t granularity_beats,
+                                      std::uint32_t bus_bytes,
+                                      const sdram::MemoryMap& mapper,
+                                      PacketId& next_id) {
   ANNOC_ASSERT(granularity_beats > 0);
   ANNOC_ASSERT(bus_bytes > 0);
   std::vector<noc::Packet> out;
@@ -32,6 +43,10 @@ std::vector<noc::Packet> split_packet(const noc::Packet& base,
     ANNOC_ASSERT_MSG(sub.loc.row == base.loc.row &&
                          sub.loc.bank == base.loc.bank,
                      "request straddles a row; generator must prevent this");
+    ANNOC_ASSERT_MSG(mapper.channel_of(addr) ==
+                         mapper.channel_of(base.byte_addr),
+                     "request straddles a channel granule; all subpackets "
+                     "of one parent must share a controller");
     remaining -= sub.useful_bytes;
     addr += sub.useful_bytes;
     out.push_back(sub);

@@ -13,6 +13,7 @@
 
 #include "noc/packet.hpp"
 #include "sdram/address.hpp"
+#include "sdram/interleave.hpp"
 
 namespace annoc::traffic {
 
@@ -23,6 +24,15 @@ namespace annoc::traffic {
 [[nodiscard]] std::vector<noc::Packet> split_packet(
     const noc::Packet& base, std::uint32_t granularity_beats,
     std::uint32_t bus_bytes, const sdram::AddressMapper& mapper,
+    PacketId& next_id);
+
+/// Channel-aware overload: locations decode through the MemoryMap.
+/// Callers keep requests inside one channel granule (the map folds the
+/// granule into bytes_to_boundary), so every subpacket of a parent
+/// targets the same controller and the fork/join stays on one channel.
+[[nodiscard]] std::vector<noc::Packet> split_packet(
+    const noc::Packet& base, std::uint32_t granularity_beats,
+    std::uint32_t bus_bytes, const sdram::MemoryMap& map,
     PacketId& next_id);
 
 }  // namespace annoc::traffic

@@ -313,17 +313,32 @@ TraceReplayer::TraceReplayer(const ReplayConfig& cfg,
                              const sdram::AddressMapper& mapper,
                              PacketId& id_source,
                              const std::string& trace_path)
+    : TraceReplayer(cfg, std::move(records),
+                    sdram::MemoryMap(
+                        mapper, sdram::ChannelConfig{
+                                    1,
+                                    sdram::default_interleave_shift(
+                                        mapper.boundary_unit()),
+                                    {cfg.mem_node}}),
+                    id_source, trace_path) {}
+
+TraceReplayer::TraceReplayer(const ReplayConfig& cfg,
+                             std::vector<TraceRecord> records,
+                             const sdram::MemoryMap& map,
+                             PacketId& id_source,
+                             const std::string& trace_path)
     : cfg_(cfg),
-      mapper_(mapper),
+      map_(map),
       id_source_(id_source),
       records_(std::move(records)) {
-  // Requests must stay inside one mapping unit (chunk/row): the SDRAM
-  // protocol model never lets a burst cross rows, and the generators
-  // split at these boundaries. A hand-written trace that violates this
-  // is an input error, reported with its source line — truncating it
-  // silently would replay different traffic than the file says.
+  // Requests must stay inside one mapping unit (chunk/row, and channel
+  // granule when interleaved): the SDRAM protocol model never lets a
+  // burst cross rows, and the generators split at these boundaries. A
+  // hand-written trace that violates this is an input error, reported
+  // with its source line — truncating it silently would replay
+  // different traffic than the file says.
   for (const TraceRecord& r : records_) {
-    if (mapper_.bytes_to_boundary(r.addr) < r.bytes) {
+    if (map_.bytes_to_boundary(r.addr) < r.bytes) {
       throw ParseError(
           trace_path, r.line, 0, "addr",
           "request of " + std::to_string(r.bytes) +
@@ -335,7 +350,7 @@ TraceReplayer::TraceReplayer(const ReplayConfig& cfg,
                 return std::string(hex);
               }() +
               " crosses a bank-interleave boundary (" +
-              std::to_string(mapper_.boundary_unit()) +
+              std::to_string(map_.boundary_unit()) +
               "-byte units); split it at the boundary");
     }
   }
@@ -347,7 +362,7 @@ void TraceReplayer::emit_record(const TraceRecord& rec, Cycle now) {
   pkt.parent_id = pkt.id;
   pkt.src_core = cfg_.core_id;
   pkt.src_node = cfg_.node;
-  pkt.dst_node = cfg_.mem_node;
+  pkt.dst_node = map_.node_of(rec.addr);
   pkt.rw = rec.rw;
   pkt.kind = rec.priority ? RequestKind::kDemand : RequestKind::kStream;
   pkt.svc = rec.priority ? ServiceClass::kPriority
@@ -357,7 +372,7 @@ void TraceReplayer::emit_record(const TraceRecord& rec, Cycle now) {
   pkt.useful_beats =
       (pkt.useful_bytes + cfg_.bus_bytes - 1) / cfg_.bus_bytes;
   pkt.flits = noc::Packet::flits_for_beats(pkt.useful_beats);
-  pkt.loc = mapper_.map(pkt.byte_addr);
+  pkt.loc = map_.map(pkt.byte_addr);
   pkt.created = now;
 
   ++stats_.requests_generated;
@@ -366,7 +381,7 @@ void TraceReplayer::emit_record(const TraceRecord& rec, Cycle now) {
 
   if (cfg_.split_beats > 0) {
     std::vector<noc::Packet> subs = split_packet(
-        pkt, cfg_.split_beats, cfg_.bus_bytes, mapper_, id_source_);
+        pkt, cfg_.split_beats, cfg_.bus_bytes, map_, id_source_);
     if (cfg_.on_request) {
       cfg_.on_request(pkt, static_cast<std::uint32_t>(subs.size()));
     }

@@ -39,6 +39,7 @@
 #include "noc/packet.hpp"
 #include "obs/sink.hpp"
 #include "sdram/address.hpp"
+#include "sdram/interleave.hpp"
 #include "traffic/source.hpp"
 
 namespace annoc::traffic {
@@ -107,6 +108,9 @@ struct ReplayConfig {
   CoreSpec spec;  ///< name/placement metadata; rates are ignored
   CoreId core_id = 0;
   NodeId node = 0;
+  /// Destination when constructed with a bare AddressMapper (the
+  /// single-controller compat path); the MemoryMap constructor routes
+  /// per address instead.
   NodeId mem_node = 0;
   std::uint32_t bus_bytes = 4;
   /// SAGM: split requests into subpackets of this many beats (0 = off).
@@ -126,9 +130,16 @@ struct ReplayConfig {
 class TraceReplayer final : public TrafficSource {
  public:
   /// `records` is this core's slice, sorted by cycle (the trace loader
-  /// guarantees it). Each record is validated against the address
-  /// mapper: a request crossing a bank-interleave boundary is reported
-  /// (with its source line) rather than silently truncated.
+  /// guarantees it). Each record is validated against the memory map:
+  /// a request crossing a bank-interleave or channel-granule boundary
+  /// is reported (with its source line) rather than silently truncated.
+  /// The map picks the destination controller per record address.
+  TraceReplayer(const ReplayConfig& cfg, std::vector<TraceRecord> records,
+                const sdram::MemoryMap& map, PacketId& id_source,
+                const std::string& trace_path);
+
+  /// Single-controller compat: wraps `mapper` in a one-channel map
+  /// targeting cfg.mem_node.
   TraceReplayer(const ReplayConfig& cfg, std::vector<TraceRecord> records,
                 const sdram::AddressMapper& mapper, PacketId& id_source,
                 const std::string& trace_path);
@@ -159,7 +170,7 @@ class TraceReplayer final : public TrafficSource {
   void emit_record(const TraceRecord& rec, Cycle now);
 
   ReplayConfig cfg_;
-  const sdram::AddressMapper& mapper_;
+  sdram::MemoryMap map_;
   PacketId& id_source_;
   std::vector<TraceRecord> records_;
   std::size_t pos_ = 0;

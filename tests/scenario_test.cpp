@@ -67,6 +67,23 @@ void expect_config_eq(const SystemConfig& a, const SystemConfig& b,
   EXPECT_EQ(a.check, b.check) << tag;
   EXPECT_EQ(a.refresh, b.refresh) << tag;
   EXPECT_EQ(a.split_beats, b.split_beats) << tag;
+  EXPECT_EQ(a.num_controllers, b.num_controllers) << tag;
+  EXPECT_EQ(a.interleave_shift, b.interleave_shift) << tag;
+  EXPECT_EQ(a.mem_nodes, b.mem_nodes) << tag;
+  EXPECT_EQ(a.mesh_preset, b.mesh_preset) << tag;
+  ASSERT_EQ(a.controller_overrides.size(), b.controller_overrides.size())
+      << tag;
+  for (std::size_t i = 0; i < a.controller_overrides.size(); ++i) {
+    EXPECT_EQ(a.controller_overrides[i].engine_lookahead,
+              b.controller_overrides[i].engine_lookahead)
+        << tag << " ctrl " << i;
+    EXPECT_EQ(a.controller_overrides[i].engine_reorder_depth,
+              b.controller_overrides[i].engine_reorder_depth)
+        << tag << " ctrl " << i;
+    EXPECT_EQ(a.controller_overrides[i].engine_window,
+              b.controller_overrides[i].engine_window)
+        << tag << " ctrl " << i;
+  }
   EXPECT_EQ(a.custom_app.has_value(), b.custom_app.has_value()) << tag;
 }
 
@@ -87,6 +104,7 @@ TEST(ScenarioRoundTrip, CheckedInScenarioFiles) {
   const char* files[] = {
       "table2_conv_pfs.json", "table2_ref4_pfs.json", "table2_gss.json",
       "table2_gss_sagm.json", "example_patterns.json",
+      "ring8_dual_ctrl.json", "ddtv_8x8_quad_ctrl.json",
   };
   for (const char* f : files) {
     const Scenario s = scenario::load_scenario(scenario_path(f));

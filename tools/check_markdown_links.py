@@ -1,9 +1,15 @@
 #!/usr/bin/env python3
 """Check that every relative link in the repository's markdown files
-resolves to an existing file (and, for in-repo anchors, an existing
-heading). External http(s)/mailto links are not fetched. Stdlib only.
+resolves to an existing file and, for in-repo anchors, an existing
+heading. External http(s)/mailto links are not fetched. Stdlib only.
 
-    python3 tools/check_markdown_links.py          # check tracked *.md
+Fenced code blocks and inline code spans are stripped before both link
+extraction and heading collection (a `# comment` inside a shell snippet
+is not a heading, and `[i](x)` in code is not a link). Duplicate
+headings get GitHub's -1/-2 suffixes, so anchors to the second "Usage"
+section resolve. Any broken link or missing anchor fails the run.
+
+    python3 tools/check_markdown_links.py          # check all *.md
 """
 
 import pathlib
@@ -18,6 +24,30 @@ HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
 SKIP_DIRS = {".git", "build", "node_modules"}
 
 
+def strip_fences(text: str) -> str:
+    """Drop fenced code blocks (shell snippets contain `# headings`)."""
+    out = []
+    fence = None
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if fence is None and stripped[:3] in ("```", "~~~"):
+            fence = stripped[:3]
+            continue
+        if fence is not None:
+            if stripped.startswith(fence):
+                fence = None
+            continue
+        out.append(line)
+    return "\n".join(out)
+
+
+def strip_code(text: str) -> str:
+    """Drop fences AND inline code spans — for link extraction only.
+    Headings keep their span text: GitHub's anchor for "The `x` CLI"
+    contains the x."""
+    return re.sub(r"`[^`\n]*`", "", strip_fences(text))
+
+
 def anchor_of(heading: str) -> str:
     """GitHub-style anchor slug for a heading."""
     slug = heading.strip().lower()
@@ -26,38 +56,52 @@ def anchor_of(heading: str) -> str:
     return slug.replace(" ", "-")
 
 
+def anchors_of(text: str) -> set:
+    """All anchors a rendered page exposes, duplicate-heading suffixes
+    included (the second "## Usage" is #usage-1)."""
+    counts = {}
+    anchors = set()
+    for heading in HEADING_RE.findall(strip_fences(text)):
+        slug = anchor_of(heading)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
 def markdown_files():
     for path in sorted(ROOT.rglob("*.md")):
         if not any(part in SKIP_DIRS for part in path.parts):
             yield path
 
 
-def check_file(path: pathlib.Path, errors: list) -> None:
+def check_file(path: pathlib.Path, errors: list, anchor_cache: dict) -> None:
     text = path.read_text(encoding="utf-8")
-    for target in LINK_RE.findall(text):
+    rel = path.relative_to(ROOT)
+    for target in LINK_RE.findall(strip_code(text)):
         target = urllib.parse.unquote(target)
         if target.startswith(("http://", "https://", "mailto:")):
             continue
         base, _, fragment = target.partition("#")
         dest = path if not base else (path.parent / base).resolve()
-        rel = path.relative_to(ROOT)
-        if base:
-            if not dest.exists():
-                errors.append(f"{rel}: broken link -> {target}")
-                continue
-        if fragment and dest.suffix == ".md" and dest.exists():
-            anchors = {anchor_of(h) for h in HEADING_RE.findall(
-                dest.read_text(encoding="utf-8"))}
-            if fragment.lower() not in anchors:
+        if base and not dest.exists():
+            errors.append(f"{rel}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md" and dest.is_file():
+            if dest not in anchor_cache:
+                anchor_cache[dest] = anchors_of(
+                    dest.read_text(encoding="utf-8"))
+            if fragment.lower() not in anchor_cache[dest]:
                 errors.append(f"{rel}: missing anchor -> {target}")
 
 
 def main() -> int:
     errors: list = []
+    anchor_cache: dict = {}
     count = 0
     for path in markdown_files():
         count += 1
-        check_file(path, errors)
+        check_file(path, errors, anchor_cache)
     for e in errors:
         print(e, file=sys.stderr)
     print(f"checked {count} markdown files: "

@@ -48,6 +48,32 @@ SCHEMA_TABLES = [
         " all-or-none across the array: give them on every core or on"
         " none (auto-placement needs exactly width×height cores).",
     ),
+    (
+        "kTopologyKeys",
+        "`topology` object",
+        "An irregular fabric: named nodes wired by explicit links,"
+        " replacing the parametric mesh. Inline object or a file path"
+        " string (resolved against the scenario's directory). Requires"
+        " `cores` with a `node` on every core; mutually exclusive with"
+        " `mesh`, `mesh_preset` and `adaptive_routing`. Authoring guide:"
+        " [docs/TOPOLOGIES.md](TOPOLOGIES.md).",
+    ),
+    (
+        "kMemoryKeys",
+        "`memory` object",
+        "Placement and per-controller configuration of the"
+        " `num_controllers` memory controllers. Omitted, controllers"
+        " land on default nodes (mesh: spread around the perimeter ring;"
+        " topology: spread across node ids).",
+    ),
+    (
+        "kControllerKeys",
+        "`memory.controllers[]` entries",
+        "One override object per controller, index == channel; fewer"
+        " entries than controllers leaves the tail on the top-level"
+        " knobs. `null` (or an absent key) falls back to the matching"
+        " top-level engine knob.",
+    ),
 ]
 
 # KeyInfo arrays in explore/sweep_schema.hpp, same shape and contract.
