@@ -90,6 +90,18 @@ std::vector<Point> points() {
     pts.push_back(std::move(p));
   }
   {
+    // The DPQ bounded-latency arbiter on the same saturated traffic:
+    // fully serialized service plus the always-on latency-bound oracle
+    // (part of the engine's contract, so it is timed here, not hidden
+    // behind a _check variant). Compare against saturated/gss for the
+    // cost of bounded-latency arbitration.
+    Point p{"saturated/dpq", base()};
+    p.cfg.design = core::DesignPoint::kGss;
+    p.cfg.engine = core::EngineKind::kDpq;
+    p.cfg.priority_enabled = true;
+    pts.push_back(std::move(p));
+  }
+  {
     // Same point with the observability counters attached: the delta
     // against saturated/gss_sagm is the cost of event emission (the
     // observe-off points above carry only the null-check branch).

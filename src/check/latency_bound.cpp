@@ -1,0 +1,45 @@
+#include "check/latency_bound.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace annoc::check {
+
+LatencyBoundOracle::LatencyBoundOracle(const sdram::DeviceConfig& cfg,
+                                       std::uint32_t n_requestors,
+                                       std::uint32_t max_beats,
+                                       Cycle promote_after)
+    : LatencyBoundOracle(cfg,
+                         sdram::make_timing(cfg.generation, cfg.clock_mhz),
+                         n_requestors, max_beats, promote_after) {}
+
+LatencyBoundOracle::LatencyBoundOracle(const sdram::DeviceConfig& cfg,
+                                       const sdram::Timing& timing,
+                                       std::uint32_t n_requestors,
+                                       std::uint32_t max_beats,
+                                       Cycle promote_after)
+    : cfg_(cfg),
+      bound_(memctrl::dpq_wcet_bound(timing, n_requestors, cfg.burst_mode,
+                                     max_beats, cfg.refresh_enabled,
+                                     cfg.geometry.num_banks,
+                                     promote_after)) {}
+
+void LatencyBoundOracle::on_subpacket(const obs::SubpacketRecord& rec) {
+  if (rec.channel != cfg_.channel) return;
+  ++requests_;
+  const Cycle observed = rec.service_done >= rec.mem_arrival
+                             ? rec.service_done - rec.mem_arrival
+                             : 0;
+  worst_ = std::max(worst_, observed);
+  if (observed > bound_) {
+    log_.flag(rec.service_done, "dpq-bound", kNoBank,
+              "request " + std::to_string(rec.id) + " core " +
+                  std::to_string(rec.core) + " arrived " +
+                  std::to_string(rec.mem_arrival) + ", served " +
+                  std::to_string(rec.service_done) + ": latency " +
+                  std::to_string(observed) + " exceeds the WCET bound " +
+                  std::to_string(bound_));
+  }
+}
+
+}  // namespace annoc::check

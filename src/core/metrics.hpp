@@ -3,9 +3,11 @@
 /// tables report, plus supporting activity counters for the power model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -121,5 +123,134 @@ struct Metrics {
     return utilization * 8.0;
   }
 };
+
+namespace detail {
+
+/// Aggregate field-count probe: AnyField converts to anything, so
+/// `T{AnyField, ..., AnyField}` (N arguments) is well-formed exactly
+/// when the aggregate T has at least N members.
+struct AnyField {
+  template <typename T>
+  operator T() const;  // never defined — unevaluated probes only
+};
+
+template <typename T, std::size_t... I>
+constexpr bool brace_constructible(std::index_sequence<I...>) {
+  return requires { T{((void)I, AnyField{})...}; };
+}
+
+template <typename T, std::size_t N>
+constexpr bool has_exactly_n_fields() {
+  return brace_constructible<T>(std::make_index_sequence<N>{}) &&
+         !brace_constructible<T>(std::make_index_sequence<N + 1>{});
+}
+
+}  // namespace detail
+
+// Growth guards for the canonical field walk below. When one of these
+// fires you added (or removed) a member: extend
+// for_each_comparable_field accordingly — every comparator in the tree
+// (tests/metrics_identical.hpp, the fuzzer's MetricsDiff) is built on
+// that walk, so a new field can never again be silently skipped — then
+// update the count here.
+static_assert(detail::has_exactly_n_fields<Metrics, 25>(),
+              "Metrics changed: update for_each_comparable_field and this "
+              "count");
+static_assert(detail::has_exactly_n_fields<sdram::DeviceStats, 11>(),
+              "DeviceStats changed: update for_each_comparable_field and "
+              "this count");
+static_assert(detail::has_exactly_n_fields<memctrl::EngineStats, 9>(),
+              "EngineStats changed: update for_each_comparable_field and "
+              "this count");
+static_assert(detail::has_exactly_n_fields<CoreMetrics, 4>(),
+              "CoreMetrics changed: update for_each_comparable_field and "
+              "this count");
+
+/// Canonical walk over every cross-config-comparable field of two
+/// Metrics, in declaration order. The visitor sees each field once:
+///   v.u64(name, a_value, b_value)   — integer counters
+///   v.f64(name, a_value, b_value)   — doubles (compare bitwise!)
+///   v.stat(name, a_stat, b_stat)    — LatencyStat
+/// Excluded by design: `obs_valid`/`obs` (a forensic whole-run event
+/// digest that legitimately varies with observability settings) and
+/// `trace_dropped_rows` (I/O health, not simulation output). Everything
+/// else must be bit-identical across scheduler modes and runners, and
+/// the static_asserts above make it a compile error to grow Metrics
+/// without revisiting this list.
+template <typename V>
+void for_each_comparable_field(const Metrics& a, const Metrics& b, V&& v) {
+  v.f64("utilization", a.utilization, b.utilization);
+  v.f64("raw_utilization", a.raw_utilization, b.raw_utilization);
+  v.stat("all_packets", a.all_packets, b.all_packets);
+  v.stat("demand_packets", a.demand_packets, b.demand_packets);
+  v.stat("priority_packets", a.priority_packets, b.priority_packets);
+  v.stat("source_queue", a.source_queue, b.source_queue);
+  v.stat("network", a.network, b.network);
+  v.stat("memory", a.memory, b.memory);
+  v.stat("source_queue_prio", a.source_queue_prio, b.source_queue_prio);
+  v.stat("network_prio", a.network_prio, b.network_prio);
+  v.stat("memory_prio", a.memory_prio, b.memory_prio);
+  v.stat("response_path", a.response_path, b.response_path);
+  v.u64("completed_requests", a.completed_requests, b.completed_requests);
+  v.u64("completed_subpackets", a.completed_subpackets,
+        b.completed_subpackets);
+  v.u64("outstanding_requests", a.outstanding_requests,
+        b.outstanding_requests);
+  v.u64("measured_cycles", a.measured_cycles, b.measured_cycles);
+  v.u64("drained_cycles", a.drained_cycles, b.drained_cycles);
+
+  v.u64("device.activates", a.device.activates, b.device.activates);
+  v.u64("device.precharges", a.device.precharges, b.device.precharges);
+  v.u64("device.auto_precharges", a.device.auto_precharges,
+        b.device.auto_precharges);
+  v.u64("device.reads", a.device.reads, b.device.reads);
+  v.u64("device.writes", a.device.writes, b.device.writes);
+  v.u64("device.refreshes", a.device.refreshes, b.device.refreshes);
+  v.u64("device.cas_row_hits", a.device.cas_row_hits, b.device.cas_row_hits);
+  v.u64("device.total_beats", a.device.total_beats, b.device.total_beats);
+  v.u64("device.useful_beats", a.device.useful_beats, b.device.useful_beats);
+  v.u64("device.bus_direction_turnarounds",
+        a.device.bus_direction_turnarounds,
+        b.device.bus_direction_turnarounds);
+  for (std::size_t i = 0; i < a.device.cas_per_bank.size(); ++i) {
+    v.u64("device.cas_per_bank[" + std::to_string(i) + "]",
+          a.device.cas_per_bank[i], b.device.cas_per_bank[i]);
+  }
+
+  v.u64("engine.requests_completed", a.engine.requests_completed,
+        b.engine.requests_completed);
+  v.u64("engine.cas_issued", a.engine.cas_issued, b.engine.cas_issued);
+  v.u64("engine.act_issued", a.engine.act_issued, b.engine.act_issued);
+  v.u64("engine.pre_issued", a.engine.pre_issued, b.engine.pre_issued);
+  v.u64("engine.prep_acts", a.engine.prep_acts, b.engine.prep_acts);
+  v.u64("engine.stall_cycles", a.engine.stall_cycles, b.engine.stall_cycles);
+  v.u64("engine.stall_need_act", a.engine.stall_need_act,
+        b.engine.stall_need_act);
+  v.u64("engine.stall_need_pre", a.engine.stall_need_pre,
+        b.engine.stall_need_pre);
+  v.u64("engine.stall_cas_timing", a.engine.stall_cas_timing,
+        b.engine.stall_cas_timing);
+
+  v.u64("noc_flits_forwarded", a.noc_flits_forwarded, b.noc_flits_forwarded);
+  v.u64("noc_packets_forwarded", a.noc_packets_forwarded,
+        b.noc_packets_forwarded);
+
+  v.u64("per_core.size", a.per_core.size(), b.per_core.size());
+  for (const auto& [name, ca] : a.per_core) {
+    const auto it = b.per_core.find(name);
+    if (it == b.per_core.end()) {
+      // Surfaces as 1 != 0 in whatever form the visitor reports.
+      v.u64("per_core[" + name + "].present", 1, 0);
+      continue;
+    }
+    v.u64("per_core[" + name + "].requests", ca.requests,
+          it->second.requests);
+    v.f64("per_core[" + name + "].avg_latency", ca.avg_latency,
+          it->second.avg_latency);
+    v.f64("per_core[" + name + "].achieved_bytes_per_cycle",
+          ca.achieved_bytes_per_cycle,
+          it->second.achieved_bytes_per_cycle);
+  }
+}
 
 }  // namespace annoc::core

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "memctrl/conv.hpp"
+#include "memctrl/dpq.hpp"
 #include "memctrl/streamlined.hpp"
 
 namespace annoc::core {
@@ -160,7 +161,19 @@ Simulator::Simulator(const SystemConfig& cfg)
     const ControllerOverrides* ov =
         c < cfg.controller_overrides.size() ? &cfg.controller_overrides[c]
                                             : nullptr;
-    if (uses_conv_subsystem(cfg.design)) {
+    const EngineKind ek = cfg.resolved_engine(c);
+    if (ek == EngineKind::kDpq) {
+      memctrl::DpqConfig qc;
+      qc.n_requestors = static_cast<std::uint32_t>(app_.cores.size());
+      // The mapper splits every request at the interleave boundary, so
+      // this beat cap is exact, and with it the WCET bound.
+      qc.max_beats = static_cast<std::uint32_t>(
+          memmap_->boundary_unit() / dev_cfg_.geometry.bus_bytes);
+      qc.promote_after = cfg.dpq_promote_after;
+      auto dpq = std::make_unique<memctrl::DpqSubsystem>(dc, qc);
+      dpq_subs_.push_back(dpq.get());
+      subsystems_.push_back(std::move(dpq));
+    } else if (ek == EngineKind::kConv) {
       memctrl::ConvConfig mc;
       mc.priority_first =
           cfg.design == DesignPoint::kConvPfs && cfg.priority_enabled;
@@ -360,6 +373,23 @@ Simulator::Simulator(const SystemConfig& cfg)
     conservation_ = std::make_unique<check::ConservationChecker>();
     hub_.attach(conservation_.get());
   }
+  // The DPQ latency-bound oracle is on whenever a controller runs the
+  // DPQ engine — the bounded-latency claim is the engine's contract, so
+  // it is checked by default rather than only under cfg.check.
+  if (cfg.any_dpq_controller()) {
+    latency_oracles_.resize(num_ctrl);
+    for (std::uint32_t c = 0; c < num_ctrl; ++c) {
+      if (cfg.resolved_engine(c) != EngineKind::kDpq) continue;
+      sdram::DeviceConfig dc = dev_cfg_;
+      dc.channel = c;
+      latency_oracles_[c] = std::make_unique<check::LatencyBoundOracle>(
+          dc, static_cast<std::uint32_t>(app_.cores.size()),
+          static_cast<std::uint32_t>(memmap_->boundary_unit() /
+                                     dev_cfg_.geometry.bus_bytes),
+          cfg.dpq_promote_after);
+      hub_.attach(latency_oracles_[c].get());
+    }
+  }
 #endif
   if (hub_.num_sinks() > 0) obs_ = &hub_;
   if (counters_on || !oracles_.empty()) {
@@ -367,6 +397,7 @@ Simulator::Simulator(const SystemConfig& cfg)
     // Perfetto sinks and the checkers; with just the CSV trace attached,
     // leave them unobserved (the trace consumes only completion records).
     for (auto& sub : subsystems_) sub->device().set_observer(&hub_);
+    for (memctrl::DpqSubsystem* d : dpq_subs_) d->set_arbiter_observer(&hub_);
     network_->set_observer(&hub_);
   }
 }
@@ -375,6 +406,7 @@ void Simulator::attach_sink(obs::EventSink* sink) {
   hub_.attach(sink);
   obs_ = &hub_;
   for (auto& sub : subsystems_) sub->device().set_observer(&hub_);
+  for (memctrl::DpqSubsystem* d : dpq_subs_) d->set_arbiter_observer(&hub_);
   network_->set_observer(&hub_);
 }
 
@@ -481,7 +513,8 @@ void Simulator::on_subpacket_complete(const noc::Packet& pkt) {
 }
 
 void Simulator::finish_subpacket(const noc::Packet& pkt, Cycle done) {
-  ANNOC_OBS_EMIT(obs_, on_subpacket(to_record(pkt, done)));
+  ANNOC_OBS_EMIT(obs_, on_subpacket(to_record(
+                           pkt, done, memmap_->channel_of(pkt.byte_addr))));
   ParentState* ps = parents_.find(pkt.parent_id);
   ANNOC_ASSERT_MSG(ps != nullptr, "completion for unknown parent");
   ANNOC_ASSERT(ps->subpackets_outstanding > 0);
@@ -888,6 +921,15 @@ void Simulator::enforce_checks() {
         stderr, "TimingOracle[channel %zu]: %llu violation(s)\n%s", c,
         static_cast<unsigned long long>(oracles_[c]->log().total()),
         oracles_[c]->log().report().c_str());
+  }
+  for (std::size_t c = 0; c < latency_oracles_.size(); ++c) {
+    const check::LatencyBoundOracle* o = latency_oracles_[c].get();
+    if (o == nullptr || o->ok()) continue;
+    oracle_bad = true;
+    std::fprintf(
+        stderr, "LatencyBoundOracle[channel %zu]: %llu violation(s)\n%s", c,
+        static_cast<unsigned long long>(o->log().total()),
+        o->log().report().c_str());
   }
   const bool conservation_bad = conservation_ && !conservation_->ok();
   if (conservation_bad) {

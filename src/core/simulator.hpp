@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "check/conservation.hpp"
+#include "check/latency_bound.hpp"
 #include "check/timing_oracle.hpp"
 #include "common/assert.hpp"
 #include "common/flat_map.hpp"
@@ -19,6 +20,7 @@
 #include "core/response_path.hpp"
 #include "core/system_config.hpp"
 #include "core/trace.hpp"
+#include "memctrl/dpq.hpp"
 #include "memctrl/subsystem.hpp"
 #include "noc/network.hpp"
 #include "obs/counters.hpp"
@@ -122,6 +124,20 @@ class Simulator : private noc::NetworkWaker {
   [[nodiscard]] const check::ConservationChecker* conservation() const {
     return conservation_.get();
   }
+  /// The DPQ latency-bound oracle of controller `c`; nullptr when that
+  /// controller does not run the DPQ engine (or the check layer is
+  /// compiled out). The no-argument form returns the first DPQ
+  /// channel's — the single-controller view.
+  [[nodiscard]] const check::LatencyBoundOracle* latency_oracle(
+      std::size_t c) const {
+    return c < latency_oracles_.size() ? latency_oracles_[c].get() : nullptr;
+  }
+  [[nodiscard]] const check::LatencyBoundOracle* latency_oracle() const {
+    for (const auto& o : latency_oracles_) {
+      if (o) return o.get();
+    }
+    return nullptr;
+  }
 
  private:
   struct ParentState {
@@ -216,6 +232,9 @@ class Simulator : private noc::NetworkWaker {
   /// channel order (each drains its completions immediately after its
   /// own tick, matching the event scheduler's per-component dispatch).
   std::vector<std::unique_ptr<memctrl::MemorySubsystem>> subsystems_;
+  /// The subset of subsystems_ running the DPQ engine (non-owning), so
+  /// observer attachment can reach set_arbiter_observer without a cast.
+  std::vector<memctrl::DpqSubsystem*> dpq_subs_;
   /// NoC node -> channel (kInvalidChannel off the mem nodes).
   std::vector<std::uint32_t> node_channel_;
   static constexpr std::uint32_t kInvalidChannel = 0xffffffffu;
@@ -234,6 +253,11 @@ class Simulator : private noc::NetworkWaker {
   // of run. Empty/null when disabled (or compiled out). One oracle per
   // controller — all-global DDR constraints hold per channel.
   std::vector<std::unique_ptr<check::TimingOracle>> oracles_;
+  /// One latency-bound oracle per controller, nullptr on channels not
+  /// running the DPQ engine. Attached whenever DPQ is selected — the
+  /// bounded-latency claim is checked by default, independent of
+  /// SystemConfig::check (but compiled out with the layer).
+  std::vector<std::unique_ptr<check::LatencyBoundOracle>> latency_oracles_;
   std::unique_ptr<check::ConservationChecker> conservation_;
   obs::EventSink* obs_ = nullptr;
   // Trace recording (SystemConfig::record_trace_path): one more sink on

@@ -49,6 +49,32 @@ enum class DesignPoint : std::uint8_t {
   return d == DesignPoint::kConv || d == DesignPoint::kConvPfs;
 }
 
+/// Memory-controller arbiter engine. The design point implies one
+/// (CONV designs -> kConv, everything else -> kStreamlined); the
+/// `engine` knob overrides that choice, and kDpq selects the Dynamic
+/// Priority Queue arbiter with a provable worst-case latency bound
+/// (arXiv 1207.1187, ROADMAP item 3).
+enum class EngineKind : std::uint8_t {
+  kConv,         ///< MemMax thread arbiter + Databahn look-ahead engine
+  kStreamlined,  ///< FIFO front of the shared look-ahead command engine
+  kDpq,          ///< DPQ bounded-latency arbiter (one request/requestor)
+};
+
+[[nodiscard]] inline const char* to_string(EngineKind e) {
+  switch (e) {
+    case EngineKind::kConv: return "conv";
+    case EngineKind::kStreamlined: return "streamlined";
+    case EngineKind::kDpq: return "dpq";
+  }
+  return "?";
+}
+
+/// The engine a design point runs when no `engine` override is given.
+[[nodiscard]] inline EngineKind default_engine(DesignPoint d) {
+  return uses_conv_subsystem(d) ? EngineKind::kConv
+                                : EngineKind::kStreamlined;
+}
+
 /// Router flow-control kind for a design point.
 [[nodiscard]] inline noc::FlowControlKind router_kind(DesignPoint d) {
   switch (d) {
@@ -118,6 +144,7 @@ enum class ObserveLevel : std::uint8_t {
 /// fabrics (SystemConfig::controller_overrides); unset fields fall
 /// back to the global engine knobs.
 struct ControllerOverrides {
+  std::optional<EngineKind> engine;
   std::optional<std::uint32_t> engine_lookahead;
   std::optional<std::uint32_t> engine_reorder_depth;
   std::optional<std::uint32_t> engine_window;
@@ -192,6 +219,23 @@ struct SystemConfig {
   /// measurement. Applies to dense and fast_forward stepping (event
   /// mode *consumes* horizons; auditing needs the dense reference).
   bool audit_horizons = false;
+
+  /// Memory-controller arbiter engine. Unset keeps the design point's
+  /// implied engine (CONV designs use the MemMax/Databahn subsystem,
+  /// everything else the streamlined one), so existing configurations
+  /// stay bit-identical; set to EngineKind::kDpq for the
+  /// bounded-latency Dynamic Priority Queue arbiter. Per-controller
+  /// overrides (controller_overrides[].engine) refine this further in
+  /// multi-controller fabrics. Resolve with resolved_engine().
+  std::optional<EngineKind> engine;
+
+  /// DPQ best-effort aging window in cycles (EngineKind::kDpq only):
+  /// a best-effort request is promoted into the priority level after
+  /// waiting this long, which is what bounds its latency. 0 derives
+  /// the default n_requestors * dpq_slot_wcet() (see
+  /// memctrl/dpq_bound.hpp); larger values favour priority traffic at
+  /// the cost of a looser best-effort bound.
+  Cycle dpq_promote_after = 0;
 
   /// GSS priority control token (2..5/6); paper Section IV-B.
   std::uint32_t pct = 4;
@@ -310,6 +354,27 @@ struct SystemConfig {
   [[nodiscard]] SchedMode resolved_sched() const {
     if (sched) return *sched;
     return fast_forward ? SchedMode::kFastForward : SchedMode::kDense;
+  }
+
+  /// The arbiter engine controller `channel` actually runs: its
+  /// per-controller override when set, else the global `engine` knob,
+  /// else the design point's implied engine.
+  [[nodiscard]] EngineKind resolved_engine(std::uint32_t channel) const {
+    if (channel < controller_overrides.size() &&
+        controller_overrides[channel].engine) {
+      return *controller_overrides[channel].engine;
+    }
+    if (engine) return *engine;
+    return default_engine(design);
+  }
+
+  /// True when any controller of this config resolves to the DPQ
+  /// engine (decides whether the LatencyBoundOracle attaches).
+  [[nodiscard]] bool any_dpq_controller() const {
+    for (std::uint32_t c = 0; c < num_controllers; ++c) {
+      if (resolved_engine(c) == EngineKind::kDpq) return true;
+    }
+    return false;
   }
 };
 

@@ -5,7 +5,8 @@
 
 namespace annoc::core {
 
-obs::SubpacketRecord to_record(const noc::Packet& pkt, Cycle done) {
+obs::SubpacketRecord to_record(const noc::Packet& pkt, Cycle done,
+                               std::uint32_t channel) {
   obs::SubpacketRecord r;
   r.id = pkt.id;
   r.parent_id = pkt.parent_id;
@@ -20,6 +21,7 @@ obs::SubpacketRecord to_record(const noc::Packet& pkt, Cycle done) {
   r.bank = pkt.loc.bank;
   r.row = pkt.loc.row;
   r.col = pkt.loc.col;
+  r.channel = channel;
   r.ap_tag = pkt.ap_tag;
   r.split = pkt.is_split;
   r.created = pkt.created;
@@ -32,7 +34,7 @@ obs::SubpacketRecord to_record(const noc::Packet& pkt, Cycle done) {
 
 const char* TraceWriter::header() {
   return "id,parent_id,core,src_node,rw,class,kind,bytes,beats,flits,"
-         "bank,row,col,ap_tag,split,created,injected,mem_arrival,"
+         "bank,row,col,channel,ap_tag,split,created,injected,mem_arrival,"
          "service_done,done";
 }
 
@@ -64,12 +66,13 @@ void TraceWriter::record(const obs::SubpacketRecord& r) {
   }
   std::fprintf(
       file_,
-      "%llu,%llu,%u,%u,%s,%s,%s,%u,%u,%u,%u,%u,%u,%d,%d,%llu,%llu,%llu,"
+      "%llu,%llu,%u,%u,%s,%s,%s,%u,%u,%u,%u,%u,%u,%u,%d,%d,%llu,%llu,%llu,"
       "%llu,%llu\n",
       static_cast<unsigned long long>(r.id),
       static_cast<unsigned long long>(r.parent_id), r.core, r.src_node,
       to_string(r.rw), to_string(r.svc), to_string(r.kind), r.bytes, r.beats,
-      r.flits, r.bank, r.row, r.col, r.ap_tag ? 1 : 0, r.split ? 1 : 0,
+      r.flits, r.bank, r.row, r.col, r.channel, r.ap_tag ? 1 : 0,
+      r.split ? 1 : 0,
       static_cast<unsigned long long>(r.created),
       static_cast<unsigned long long>(r.injected),
       static_cast<unsigned long long>(r.mem_arrival),

@@ -25,9 +25,11 @@ namespace annoc::core {
 
 /// Flatten a completed packet into the plain-data record the sinks
 /// consume; `done` is its final completion cycle (SDRAM service, or
-/// response delivery when the response path is modelled).
+/// response delivery when the response path is modelled), `channel`
+/// the controller that served it (0 in single-controller fabrics).
 [[nodiscard]] obs::SubpacketRecord to_record(const noc::Packet& pkt,
-                                             Cycle done);
+                                             Cycle done,
+                                             std::uint32_t channel = 0);
 
 class TraceWriter final : public obs::EventSink {
  public:

@@ -1,0 +1,223 @@
+#include "memctrl/dpq.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace annoc::memctrl {
+
+using sdram::BurstMode;
+using sdram::Command;
+using sdram::CommandType;
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Beats the next CAS moves (same policy as CommandEngine::next_burst).
+std::uint32_t next_burst(BurstMode mode, std::uint32_t beats_left) {
+  switch (mode) {
+    case BurstMode::kBl4: return 4;
+    case BurstMode::kBl8: return 8;
+    case BurstMode::kBl4Otf: return beats_left >= 8 ? 8u : 4u;
+  }
+  return 8;
+}
+
+}  // namespace
+
+DpqSubsystem::DpqSubsystem(const sdram::DeviceConfig& dev_cfg,
+                           const DpqConfig& cfg)
+    : MemorySubsystem(dev_cfg), cfg_(cfg) {
+  ANNOC_ASSERT(cfg.n_requestors >= 1);
+  ANNOC_ASSERT(cfg.max_beats >= 1);
+  const sdram::Timing& t = device_.timing();
+  promote_after_ =
+      cfg.promote_after != 0
+          ? cfg.promote_after
+          : dpq_promote_after(t, cfg.n_requestors, dev_cfg.burst_mode,
+                              cfg.max_beats);
+  bound_ = dpq_wcet_bound(t, cfg.n_requestors, dev_cfg.burst_mode,
+                          cfg.max_beats, dev_cfg.refresh_enabled,
+                          dev_cfg.geometry.num_banks, promote_after_);
+  waiting_.reserve(cfg.n_requestors);
+}
+
+bool DpqSubsystem::can_accept(const noc::Packet& pkt) const {
+  // One outstanding request per requestor: the arbiter's per-requestor
+  // register is one deep, so a second request waits in the NoC.
+  return pkt.src_core >= busy_core_.size() || !busy_core_[pkt.src_core];
+}
+
+void DpqSubsystem::deliver(noc::Packet&& pkt, Cycle now) {
+  (void)now;
+  ANNOC_ASSERT_MSG(pkt.loc.col < device_.config().geometry.cols_per_row,
+                   "request column outside the row");
+  ANNOC_ASSERT_MSG(std::max(pkt.useful_beats, 1u) <= cfg_.max_beats,
+                   "request exceeds the DPQ bound's size cap");
+  if (pkt.src_core >= busy_core_.size()) {
+    busy_core_.resize(pkt.src_core + 1, 0);
+  }
+  ANNOC_ASSERT_MSG(!busy_core_[pkt.src_core],
+                   "deliver() without can_accept()");
+  busy_core_[pkt.src_core] = 1;
+  waiting_.push_back(std::move(pkt));
+}
+
+std::size_t DpqSubsystem::pick(Cycle now) const {
+  std::size_t best = kNone;
+  std::uint32_t best_level = 0;
+  Cycle best_arrival = 0;
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    const noc::Packet& p = waiting_[i];
+    if (now < p.mem_arrival) continue;  // tail not yet received
+    const bool aged = now - p.mem_arrival >= promote_after_;
+    const std::uint32_t level = (p.is_priority() || aged) ? 0u : 1u;
+    const bool wins =
+        best == kNone ||
+        (level != best_level
+             ? level < best_level
+             : p.mem_arrival != best_arrival
+                   ? p.mem_arrival < best_arrival
+                   : p.src_core < waiting_[best].src_core);
+    if (wins) {
+      best = i;
+      best_level = level;
+      best_arrival = p.mem_arrival;
+    }
+  }
+  return best;
+}
+
+void DpqSubsystem::grant(Cycle now) {
+  const std::size_t i = pick(now);
+  if (i == kNone) return;
+  const Cycle wait = now - waiting_[i].mem_arrival;
+  if (ANNOC_OBS_ENABLED && obs_ != nullptr) {
+    obs::DpqGrantEvent e;
+    e.at = now;
+    e.channel = device_.config().channel;
+    e.core = waiting_[i].src_core;
+    e.queue_depth = static_cast<std::uint32_t>(waiting_.size());
+    e.wait_cycles = wait;
+    e.priority = waiting_[i].is_priority();
+    e.promoted = !e.priority && wait >= promote_after_;
+    obs_->on_dpq_grant(e);
+  }
+  current_ = std::move(waiting_[i]);
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+  serving_ = true;
+  beats_left_ = std::max(current_.useful_beats, 1u);
+  next_col_ = current_.loc.col;
+  all_cas_issued_ = false;
+  data_end_ = 0;
+}
+
+void DpqSubsystem::serve(Cycle now) {
+  if (all_cas_issued_) return;  // streaming data; nothing to issue
+  const BankId bank = current_.loc.bank;
+  const RowId row = current_.loc.row;
+
+  if (device_.row_open(bank, row)) {
+    const std::uint32_t burst =
+        next_burst(device_.config().burst_mode, beats_left_);
+    const bool last = beats_left_ <= burst;
+    Command c;
+    c.type = current_.rw == RW::kRead ? CommandType::kRead
+                                      : CommandType::kWrite;
+    c.bank = bank;
+    c.row = row;
+    c.col = next_col_;
+    c.burst_beats = burst;
+    c.useful_beats = std::min(beats_left_, burst);
+    c.auto_precharge = last && current_.ap_tag;
+    if (device_.can_issue(c, now)) {
+      const sdram::DataWindow w = device_.issue(c, now);
+      ++stats_.cas_issued;
+      data_end_ = w.end;
+      const std::uint32_t cols = device_.config().geometry.cols_per_row;
+      next_col_ = (next_col_ + burst) % cols;
+      beats_left_ -= c.useful_beats;
+      if (last) {
+        all_cas_issued_ = true;
+        beats_left_ = 0;
+      }
+      return;
+    }
+    ++stats_.stall_cycles;
+    ++stats_.stall_cas_timing;
+    return;
+  }
+
+  if (device_.bank_open(bank)) {
+    Command pre;
+    pre.type = CommandType::kPrecharge;
+    pre.bank = bank;
+    if (device_.can_issue(pre, now)) {
+      device_.issue(pre, now);
+      ++stats_.pre_issued;
+      return;
+    }
+    ++stats_.stall_cycles;
+    ++stats_.stall_need_pre;
+    return;
+  }
+
+  Command act;
+  act.type = CommandType::kActivate;
+  act.bank = bank;
+  act.row = row;
+  if (device_.can_issue(act, now)) {
+    device_.issue(act, now);
+    ++stats_.act_issued;
+    return;
+  }
+  ++stats_.stall_cycles;
+  ++stats_.stall_need_act;
+}
+
+void DpqSubsystem::retire(Cycle now) {
+  if (!serving_ || !all_cas_issued_ || now < data_end_) return;
+  current_.service_done = data_end_;
+  ANNOC_ASSERT(current_.src_core < busy_core_.size());
+  busy_core_[current_.src_core] = 0;
+  ++stats_.requests_completed;
+  if (ANNOC_OBS_ENABLED && obs_ != nullptr) {
+    obs::DpqRetireEvent e;
+    e.at = data_end_;
+    e.channel = device_.config().channel;
+    e.core = current_.src_core;
+    e.latency = data_end_ >= current_.mem_arrival
+                    ? data_end_ - current_.mem_arrival
+                    : 0;
+    e.bound = bound_;
+    obs_->on_dpq_retire(e);
+  }
+  completions_.push_back(std::move(current_));
+  serving_ = false;
+}
+
+void DpqSubsystem::tick(Cycle now) {
+  device_.tick(now);
+  retire(now);
+  if (!serving_) grant(now);
+  if (serving_) serve(now);
+}
+
+std::size_t DpqSubsystem::pending_requests() const {
+  return waiting_.size() + (serving_ ? 1u : 0u);
+}
+
+Cycle DpqSubsystem::next_event(Cycle now) const {
+  // A request in service issues/stalls/retires every cycle.
+  if (serving_) return now;
+  Cycle h = device_.next_event(now);
+  for (const noc::Packet& p : waiting_) {
+    // A waiting request becomes eligible once its tail has arrived.
+    h = std::min(h, std::max(p.mem_arrival, now));
+    if (h <= now) return now;
+  }
+  return h;
+}
+
+}  // namespace annoc::memctrl

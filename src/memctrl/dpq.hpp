@@ -1,0 +1,102 @@
+/// \file dpq.hpp
+/// DPQ memory subsystem: the bounded-latency Dynamic Priority Queue
+/// SDRAM arbiter of arXiv 1207.1187 ("An SDRAM Arbiter With Bounded
+/// Access Latencies for Tight WCET Calculation"), adapted to this
+/// simulator's subsystem interface.
+///
+/// The model that makes the bound provable:
+///  * One outstanding request per requestor — can_accept() refuses a
+///    second request of the same core, so the NoC exerts backpressure
+///    exactly like the arbiter's one-deep per-requestor register file.
+///  * Fully serialized service: one request is served to completion
+///    (PRE/ACT preparation, all its CAS bursts, the last data beat)
+///    before the next grant. No overlap means one request can delay
+///    another by at most one worst-case service slot (dpq_slot_wcet).
+///  * Dynamic priority: two levels (the packet's service class), FIFO
+///    by eligibility (tail arrival) within each level, and a
+///    best-effort request is *promoted* into the priority level after
+///    waiting `promote_after` cycles. Priority traffic bypasses at
+///    most one promotion window of best-effort traffic; best-effort
+///    traffic is never starved — every request completes within
+///    dpq_wcet_bound() cycles of its arrival, which the
+///    check::LatencyBoundOracle asserts on every request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memctrl/dpq_bound.hpp"
+#include "memctrl/subsystem.hpp"
+#include "obs/sink.hpp"
+
+namespace annoc::memctrl {
+
+struct DpqConfig {
+  /// Requestors that can hold an outstanding request (the bound scales
+  /// linearly with this; the simulator passes the core count).
+  std::uint32_t n_requestors = 4;
+  /// Request-size cap in useful beats (the address mapper splits every
+  /// request at the bank-interleave boundary, so boundary_unit /
+  /// bus_bytes is exact).
+  std::uint32_t max_beats = 64;
+  /// Best-effort aging window in cycles; 0 derives dpq_promote_after().
+  Cycle promote_after = 0;
+};
+
+class DpqSubsystem final : public MemorySubsystem {
+ public:
+  DpqSubsystem(const sdram::DeviceConfig& dev_cfg, const DpqConfig& cfg);
+
+  // PacketSink
+  [[nodiscard]] bool can_accept(const noc::Packet& pkt) const override;
+  void deliver(noc::Packet&& pkt, Cycle now) override;
+
+  void tick(Cycle now) override;
+
+  [[nodiscard]] std::size_t pending_requests() const override;
+  [[nodiscard]] const EngineStats& engine_stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
+
+  /// The analytical worst-case arrival-to-completion latency this
+  /// controller guarantees (shared formula, see dpq_bound.hpp).
+  [[nodiscard]] Cycle wcet_bound() const { return bound_; }
+  /// The aging window actually in effect (resolved from the config).
+  [[nodiscard]] Cycle promote_after() const { return promote_after_; }
+
+  /// Observer for DpqGrantEvent / DpqRetireEvent (grant/retire only —
+  /// never per-cycle, so Metrics stay sched-mode identical).
+  void set_arbiter_observer(obs::EventSink* sink) { obs_ = sink; }
+
+ private:
+  /// Index of the waiting request to grant at `now`, or npos. Order:
+  /// effective level (priority class, or best-effort aged past the
+  /// promotion window) first, then eligibility time, then core id.
+  [[nodiscard]] std::size_t pick(Cycle now) const;
+
+  /// Issue at most one command for the in-service request.
+  void serve(Cycle now);
+  void retire(Cycle now);
+  void grant(Cycle now);
+
+  DpqConfig cfg_;
+  Cycle promote_after_ = 0;
+  Cycle bound_ = 0;
+
+  std::vector<noc::Packet> waiting_;
+  std::vector<std::uint8_t> busy_core_;  ///< outstanding flag per core id
+
+  // In-service request state.
+  bool serving_ = false;
+  noc::Packet current_{};
+  std::uint32_t beats_left_ = 0;
+  ColId next_col_ = 0;
+  Cycle data_end_ = 0;
+  bool all_cas_issued_ = false;
+
+  EngineStats stats_;
+  obs::EventSink* obs_ = nullptr;
+};
+
+}  // namespace annoc::memctrl

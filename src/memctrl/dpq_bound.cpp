@@ -1,0 +1,100 @@
+#include "memctrl/dpq_bound.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace annoc::memctrl {
+
+namespace {
+
+/// Smallest and largest burst a single CAS can carry in `mode` (OTF
+/// picks 8 while >= 8 beats remain, else 4).
+std::uint32_t min_burst(sdram::BurstMode mode) {
+  return mode == sdram::BurstMode::kBl8 ? 8u : 4u;
+}
+std::uint32_t max_burst(sdram::BurstMode mode) {
+  return mode == sdram::BurstMode::kBl4 ? 4u : 8u;
+}
+
+/// Scheduling margin: grants, retires and command issue all happen on
+/// tick boundaries, so a handful of cycles can separate "legal" from
+/// "issued" (same spirit as TimingOracle::refresh_drain_slack's +32).
+constexpr Cycle kSlotMargin = 8;
+
+}  // namespace
+
+Cycle dpq_slot_wcet(const sdram::Timing& t, sdram::BurstMode mode,
+                    std::uint32_t max_beats) {
+  ANNOC_ASSERT(max_beats >= 1);
+  // CAS count: worst case uses the smallest burst the mode allows.
+  const std::uint32_t k =
+      (max_beats + min_burst(mode) - 1) / min_burst(mode);
+  // Data window per CAS: worst case uses the largest burst.
+  const std::uint32_t dc = dpq_data_cycles(max_burst(mode));
+
+  Cycle slot = 0;
+  // The previous occupant may have activated and written this bank just
+  // before our grant: wait out tRAS / tWR / tRTP before PRE is legal.
+  slot += std::max({t.tras, t.twr, t.trtp});
+  slot += 1 + t.trp;  // PRE slot, then PRE -> ACT
+  // ACT-to-ACT spacing from the previous slots' activates (tRRD, and
+  // the rolling four-activate window in the extreme).
+  slot += std::max(t.trrd, t.tfaw);
+  slot += 1 + t.trcd;  // ACT slot, then ACT -> CAS
+  // First CAS may additionally wait on the previous slot's data: a bus
+  // direction reversal or the write-to-read turnaround.
+  slot += std::max(t.twtr, t.bus_turnaround);
+  // k CAS slots; consecutive CAS are spaced by tCCD or by the data
+  // window, whichever is longer.
+  slot += k * (1 + std::max<Cycle>(t.tccd, dc));
+  // The last CAS's data latency and transfer.
+  slot += std::max(t.cl, t.cwl) + dc;
+  return slot + kSlotMargin;
+}
+
+Cycle dpq_promote_after(const sdram::Timing& t, std::uint32_t n_requestors,
+                        sdram::BurstMode mode, std::uint32_t max_beats) {
+  ANNOC_ASSERT(n_requestors >= 1);
+  return static_cast<Cycle>(n_requestors) *
+         dpq_slot_wcet(t, mode, max_beats);
+}
+
+Cycle dpq_wcet_bound(const sdram::Timing& t, std::uint32_t n_requestors,
+                     sdram::BurstMode mode, std::uint32_t max_beats,
+                     bool refresh_enabled, std::uint32_t num_banks,
+                     Cycle promote_after) {
+  ANNOC_ASSERT(n_requestors >= 1);
+  const Cycle slot = dpq_slot_wcet(t, mode, max_beats);
+  const Cycle window =
+      promote_after != 0
+          ? promote_after
+          : dpq_promote_after(t, n_requestors, mode, max_beats);
+  // Promotion window + one in-flight service + up to (n-1) queued
+  // requestors + the request's own service slot.
+  const Cycle base =
+      window + static_cast<Cycle>(n_requestors + 1) * slot;
+  if (!refresh_enabled) return base;
+
+  // Refresh inflation: every refresh blackout costs at most the drain
+  // (forced precharges across all banks waiting out tRAS/tWR/tRTP and
+  // the in-flight data, then tRP) plus tRFC. The number of refreshes
+  // that can land inside the bound grows with the bound itself, so
+  // iterate to the fixed point (monotone, converges in a few rounds;
+  // the iteration cap only guards a pathological trefi of 1).
+  ANNOC_ASSERT(t.trefi >= 1);
+  const Cycle dc = dpq_data_cycles(max_burst(mode));
+  const Cycle per_ref = static_cast<Cycle>(num_banks)  // forced PRE slots
+                        + std::max({t.tras, t.twr, t.trtp}) + t.trp +
+                        std::max(t.cl, t.cwl) + dc + t.trfc + kSlotMargin;
+  Cycle bound = base;
+  for (int i = 0; i < 16; ++i) {
+    const Cycle refs = bound / t.trefi + 2;
+    const Cycle next = base + refs * per_ref;
+    if (next == bound) break;
+    bound = next;
+  }
+  return bound;
+}
+
+}  // namespace annoc::memctrl

@@ -1,0 +1,59 @@
+/// \file dpq_bound.hpp
+/// Closed-form worst-case access-latency bound of the DPQ arbiter
+/// (arXiv 1207.1187): pure functions of the JEDEC timing numbers, the
+/// requestor count and the request-size cap, shared by the subsystem
+/// (promotion window, headroom histogram), the LatencyBoundOracle and
+/// the property-test suite so all three agree on one formula. The
+/// derivation and its assumptions live in DESIGN.md, "Validation".
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sdram/config.hpp"
+
+namespace annoc::memctrl {
+
+/// Data-bus cycles one CAS of `burst_beats` occupies (DDR moves two
+/// beats per clock).
+[[nodiscard]] constexpr std::uint32_t dpq_data_cycles(
+    std::uint32_t burst_beats) {
+  return (burst_beats + 1) / 2;
+}
+
+/// Worst-case cycles one DPQ service slot can take: from the grant of a
+/// request of at most `max_beats` useful beats (worst-case bank and bus
+/// state: wrong row open, freshly activated and written) until its last
+/// data beat has crossed the bus and the next grant can be issued. The
+/// DPQ arbiter serves one request at a time, so slots never overlap.
+[[nodiscard]] Cycle dpq_slot_wcet(const sdram::Timing& t,
+                                  sdram::BurstMode mode,
+                                  std::uint32_t max_beats);
+
+/// The promotion window the DPQ arbiter uses when the config leaves it
+/// automatic (0): a best-effort request ages into the priority level
+/// after n_requestors worst-case slots, so priority traffic can bypass
+/// at most one full queue generation.
+[[nodiscard]] Cycle dpq_promote_after(const sdram::Timing& t,
+                                      std::uint32_t n_requestors,
+                                      sdram::BurstMode mode,
+                                      std::uint32_t max_beats);
+
+/// Worst-case arrival-to-completion latency of any request through the
+/// DPQ arbiter: promotion window + (n_requestors + 1) worst-case slots
+/// (one in-flight service, up to n_requestors - 1 queued requestors —
+/// each holds at most one outstanding request — plus the request's own
+/// service), inflated by the refresh blackouts that can land inside
+/// that interval when the refresh engine runs. `promote_after` = 0
+/// derives the window with dpq_promote_after (the arbiter's default);
+/// pass the configured value otherwise. Every quantity is a
+/// compile-time-known function of its arguments — no simulation state.
+[[nodiscard]] Cycle dpq_wcet_bound(const sdram::Timing& t,
+                                   std::uint32_t n_requestors,
+                                   sdram::BurstMode mode,
+                                   std::uint32_t max_beats,
+                                   bool refresh_enabled = false,
+                                   std::uint32_t num_banks = 8,
+                                   Cycle promote_after = 0);
+
+}  // namespace annoc::memctrl

@@ -99,6 +99,28 @@ void CounterSink::on_subpacket(const SubpacketRecord& e) {
   }
 }
 
+void CounterSink::on_dpq_grant(const DpqGrantEvent& e) {
+  DpqCounters& d = counters_.dpq;
+  ++d.grants;
+  if (e.priority) ++d.priority_grants;
+  if (e.promoted) ++d.promoted_grants;
+  const std::size_t depth =
+      std::min<std::size_t>(e.queue_depth, kDpqDepthBuckets - 1);
+  ++d.queue_depth[depth];
+  d.worst_grant_wait = std::max(d.worst_grant_wait, e.wait_cycles);
+}
+
+void CounterSink::on_dpq_retire(const DpqRetireEvent& e) {
+  DpqCounters& d = counters_.dpq;
+  d.worst_latency = std::max(d.worst_latency, e.latency);
+  std::size_t bucket = kDpqHeadroomBuckets - 1;
+  if (e.bound > 0 && e.latency < e.bound) {
+    bucket = static_cast<std::size_t>(
+        (e.latency * kDpqHeadroomBuckets) / e.bound);
+  }
+  ++d.bound_headroom[std::min(bucket, kDpqHeadroomBuckets - 1)];
+}
+
 void CounterSink::finish(Cycle end) {
   // Close still-open bank intervals at the final cycle so open-cycle
   // tallies cover the whole run.

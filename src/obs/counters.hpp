@@ -61,6 +61,36 @@ struct GssCounters {
   }
 };
 
+/// Headroom histogram resolution for the DPQ bound (eighths of the
+/// analytical bound actually used; bucket 0 = under 1/8 of the bound).
+inline constexpr std::size_t kDpqHeadroomBuckets = 8;
+/// Queue-depth histogram cap (depths beyond fold into the last bucket).
+inline constexpr std::size_t kDpqDepthBuckets = 8;
+
+/// DPQ arbiter behaviour aggregated over every DPQ controller: how
+/// deep the dynamic priority queue ran, how often aging promoted a
+/// best-effort request into the priority level, and how much of the
+/// analytical WCET bound observed latencies actually consumed.
+struct DpqCounters {
+  std::uint64_t grants = 0;
+  std::uint64_t priority_grants = 0;  ///< ServiceClass::kPriority grants
+  std::uint64_t promoted_grants = 0;  ///< best-effort aged into priority
+  /// Waiting requests at each grant (incl. the granted one), capped.
+  std::array<std::uint64_t, kDpqDepthBuckets> queue_depth{};
+  /// floor(latency * 8 / bound) per retired request: how close each
+  /// request came to the bound (everything lands in the low buckets on
+  /// a healthy run — the bound is deliberately conservative).
+  std::array<std::uint64_t, kDpqHeadroomBuckets> bound_headroom{};
+  Cycle worst_latency = 0;  ///< worst arrival -> completion observed
+  Cycle worst_grant_wait = 0;  ///< worst eligibility -> grant observed
+
+  [[nodiscard]] std::uint64_t retires() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t h : bound_headroom) t += h;
+    return t;
+  }
+};
+
 /// Event-scheduler behaviour over one run (SystemConfig::sched =
 /// event): how many component wakeups the heap served, how much
 /// re-keying traffic the dirty-marking produced, and how many cycles
@@ -86,6 +116,7 @@ struct ObsCounters {
   std::vector<RouterCounters> routers;  ///< indexed by router node id
   std::array<BankCounters, kMaxObsBanks> banks{};
   GssCounters gss;
+  DpqCounters dpq;
   std::uint64_t forks = 0;
   std::uint64_t joins = 0;
   std::uint64_t sdram_commands = 0;  ///< command-bus slots consumed
@@ -137,6 +168,8 @@ class CounterSink final : public EventSink {
   void on_fork(const ForkEvent& e) override;
   void on_join(const JoinEvent& e) override;
   void on_subpacket(const SubpacketRecord& e) override;
+  void on_dpq_grant(const DpqGrantEvent& e) override;
+  void on_dpq_retire(const DpqRetireEvent& e) override;
   void finish(Cycle end) override;
 
   [[nodiscard]] const ObsCounters& counters() const { return counters_; }

@@ -179,6 +179,29 @@ struct JoinEvent {
   bool priority = false;
 };
 
+/// The DPQ arbiter granted a request: service begins (one grant per
+/// request; the arbiter serves one request at a time).
+struct DpqGrantEvent {
+  Cycle at = 0;
+  std::uint32_t channel = 0;  ///< emitting controller
+  CoreId core = 0;
+  std::uint32_t queue_depth = 0;  ///< waiting requests at grant, incl. this
+  Cycle wait_cycles = 0;          ///< eligibility (tail arrival) -> grant
+  bool priority = false;          ///< ServiceClass::kPriority
+  bool promoted = false;  ///< best-effort aged into the priority level
+};
+
+/// A DPQ-served request retired: its last data beat crossed the bus.
+/// `bound` is the controller's dpq_wcet_bound, so sinks can histogram
+/// the headroom without re-deriving the formula.
+struct DpqRetireEvent {
+  Cycle at = 0;
+  std::uint32_t channel = 0;
+  CoreId core = 0;
+  Cycle latency = 0;  ///< mem_arrival -> service_done
+  Cycle bound = 0;
+};
+
 /// One completed subpacket with its full lifecycle — the CSV trace row
 /// and the Perfetto lifecycle track. `done` is the final completion
 /// cycle: SDRAM service, or response delivery when the response path is
@@ -197,6 +220,7 @@ struct SubpacketRecord {
   std::uint32_t bank = 0;
   std::uint32_t row = 0;
   std::uint32_t col = 0;
+  std::uint32_t channel = 0;  ///< serving controller (multi-channel)
   bool ap_tag = false;
   bool split = false;
   Cycle created = 0;

@@ -36,6 +36,8 @@ class EventSink {
   virtual void on_fork(const ForkEvent&) {}
   virtual void on_join(const JoinEvent&) {}
   virtual void on_subpacket(const SubpacketRecord&) {}
+  virtual void on_dpq_grant(const DpqGrantEvent&) {}
+  virtual void on_dpq_retire(const DpqRetireEvent&) {}
 
   /// End of run (after the drain phase); `end` is the final cycle.
   virtual void finish(Cycle end) { (void)end; }
@@ -81,6 +83,12 @@ class EventHub final : public EventSink {
   }
   void on_subpacket(const SubpacketRecord& e) override {
     for (EventSink* s : sinks_) s->on_subpacket(e);
+  }
+  void on_dpq_grant(const DpqGrantEvent& e) override {
+    for (EventSink* s : sinks_) s->on_dpq_grant(e);
+  }
+  void on_dpq_retire(const DpqRetireEvent& e) override {
+    for (EventSink* s : sinks_) s->on_dpq_retire(e);
   }
   void finish(Cycle end) override {
     for (EventSink* s : sinks_) s->finish(end);

@@ -12,43 +12,43 @@
 namespace annoc::runner {
 namespace {
 
-/// Field-by-field Metrics comparator. Doubles are compared bitwise —
-/// the determinism contracts (fast-forward, parallel runner) promise
-/// identical arithmetic, not merely close results.
+/// Visitor for core::for_each_comparable_field, recording the first
+/// mismatching field. Doubles are compared bitwise — the determinism
+/// contracts (fast-forward, parallel runner) promise identical
+/// arithmetic, not merely close results. The field list lives with
+/// Metrics itself (a static_assert there fails the build when Metrics
+/// grows a field this comparison would silently skip).
 class MetricsDiff {
  public:
   explicit MetricsDiff(const char* what) : what_(what) {}
 
-  void u64(const char* field, std::uint64_t a, std::uint64_t b) {
+  void u64(const std::string& field, std::uint64_t a, std::uint64_t b) {
     if (!diff_.empty() || a == b) return;
     char buf[192];
-    std::snprintf(buf, sizeof buf, "%s: %s %llu != %llu", what_, field,
-                  static_cast<unsigned long long>(a),
+    std::snprintf(buf, sizeof buf, "%s: %s %llu != %llu", what_,
+                  field.c_str(), static_cast<unsigned long long>(a),
                   static_cast<unsigned long long>(b));
     diff_ = buf;
   }
 
-  void f64(const char* field, double a, double b) {
+  void f64(const std::string& field, double a, double b) {
     if (!diff_.empty()) return;
     if (std::memcmp(&a, &b, sizeof a) == 0) return;
     char buf[192];
     std::snprintf(buf, sizeof buf, "%s: %s %.17g != %.17g (bitwise)", what_,
-                  field, a, b);
+                  field.c_str(), a, b);
     diff_ = buf;
   }
 
-  void lat(const char* field, const LatencyStat& a, const LatencyStat& b) {
-    char name[96];
-    std::snprintf(name, sizeof name, "%s.count", field);
-    u64(name, a.count(), b.count());
-    std::snprintf(name, sizeof name, "%s.mean", field);
-    f64(name, a.mean(), b.mean());
-    std::snprintf(name, sizeof name, "%s.min", field);
-    f64(name, a.min(), b.min());
-    std::snprintf(name, sizeof name, "%s.max", field);
-    f64(name, a.max(), b.max());
-    std::snprintf(name, sizeof name, "%s.p99", field);
-    u64(name, a.p99(), b.p99());
+  void stat(const std::string& field, const LatencyStat& a,
+            const LatencyStat& b) {
+    u64(field + ".count", a.count(), b.count());
+    f64(field + ".mean", a.mean(), b.mean());
+    f64(field + ".min", a.min(), b.min());
+    f64(field + ".max", a.max(), b.max());
+    u64(field + ".p50", a.p50(), b.p50());
+    u64(field + ".p95", a.p95(), b.p95());
+    u64(field + ".p99", a.p99(), b.p99());
   }
 
   [[nodiscard]] const std::string& diff() const { return diff_; }
@@ -61,65 +61,7 @@ class MetricsDiff {
 std::string compare_metrics(const char* what, const core::Metrics& a,
                             const core::Metrics& b) {
   MetricsDiff d(what);
-  d.f64("utilization", a.utilization, b.utilization);
-  d.f64("raw_utilization", a.raw_utilization, b.raw_utilization);
-  d.lat("all_packets", a.all_packets, b.all_packets);
-  d.lat("demand_packets", a.demand_packets, b.demand_packets);
-  d.lat("priority_packets", a.priority_packets, b.priority_packets);
-  d.lat("source_queue", a.source_queue, b.source_queue);
-  d.lat("network", a.network, b.network);
-  d.lat("memory", a.memory, b.memory);
-  d.lat("source_queue_prio", a.source_queue_prio, b.source_queue_prio);
-  d.lat("network_prio", a.network_prio, b.network_prio);
-  d.lat("memory_prio", a.memory_prio, b.memory_prio);
-  d.lat("response_path", a.response_path, b.response_path);
-  d.u64("completed_requests", a.completed_requests, b.completed_requests);
-  d.u64("completed_subpackets", a.completed_subpackets,
-        b.completed_subpackets);
-  d.u64("outstanding_requests", a.outstanding_requests,
-        b.outstanding_requests);
-  d.u64("measured_cycles", a.measured_cycles, b.measured_cycles);
-  d.u64("drained_cycles", a.drained_cycles, b.drained_cycles);
-  d.u64("device.activates", a.device.activates, b.device.activates);
-  d.u64("device.precharges", a.device.precharges, b.device.precharges);
-  d.u64("device.auto_precharges", a.device.auto_precharges,
-        b.device.auto_precharges);
-  d.u64("device.reads", a.device.reads, b.device.reads);
-  d.u64("device.writes", a.device.writes, b.device.writes);
-  d.u64("device.refreshes", a.device.refreshes, b.device.refreshes);
-  d.u64("device.cas_row_hits", a.device.cas_row_hits, b.device.cas_row_hits);
-  d.u64("device.total_beats", a.device.total_beats, b.device.total_beats);
-  d.u64("device.useful_beats", a.device.useful_beats, b.device.useful_beats);
-  d.u64("device.bus_direction_turnarounds",
-        a.device.bus_direction_turnarounds,
-        b.device.bus_direction_turnarounds);
-  for (std::size_t i = 0; i < a.device.cas_per_bank.size(); ++i) {
-    d.u64("device.cas_per_bank[]", a.device.cas_per_bank[i],
-          b.device.cas_per_bank[i]);
-  }
-  d.u64("engine.requests_completed", a.engine.requests_completed,
-        b.engine.requests_completed);
-  d.u64("engine.cas_issued", a.engine.cas_issued, b.engine.cas_issued);
-  d.u64("engine.act_issued", a.engine.act_issued, b.engine.act_issued);
-  d.u64("engine.pre_issued", a.engine.pre_issued, b.engine.pre_issued);
-  d.u64("engine.prep_acts", a.engine.prep_acts, b.engine.prep_acts);
-  d.u64("engine.stall_cycles", a.engine.stall_cycles, b.engine.stall_cycles);
-  d.u64("noc_flits_forwarded", a.noc_flits_forwarded, b.noc_flits_forwarded);
-  d.u64("noc_packets_forwarded", a.noc_packets_forwarded,
-        b.noc_packets_forwarded);
-  d.u64("per_core.size", a.per_core.size(), b.per_core.size());
-  if (d.diff().empty()) {
-    for (const auto& [name, ca] : a.per_core) {
-      const auto it = b.per_core.find(name);
-      if (it == b.per_core.end()) {
-        return std::string(what) + ": per_core missing core " + name;
-      }
-      d.u64("per_core.requests", ca.requests, it->second.requests);
-      d.f64("per_core.avg_latency", ca.avg_latency, it->second.avg_latency);
-      d.f64("per_core.achieved_bytes_per_cycle", ca.achieved_bytes_per_cycle,
-            it->second.achieved_bytes_per_cycle);
-    }
-  }
+  core::for_each_comparable_field(a, b, d);
   return d.diff();
 }
 
@@ -240,6 +182,10 @@ core::SystemConfig random_config(std::uint64_t seed) {
       core::ControllerOverrides ov;
       ov.engine_reorder_depth =
           1 + static_cast<std::uint32_t>(rng.next_below(4));
+      // Mixed-engine fabrics: sometimes pin channel 0 to the DPQ
+      // arbiter while the other channels keep the design-implied
+      // engine — the per-channel latency-bound oracle must hold there.
+      if (rng.chance(1.0 / 3.0)) ov.engine = core::EngineKind::kDpq;
       cfg.controller_overrides.push_back(ov);  // channel 0 only
     }
   }
@@ -335,6 +281,36 @@ std::string fuzz_seed(std::uint64_t seed) {
       std::snprintf(buf, sizeof buf, "seed %llu, design %s: ",
                     static_cast<unsigned long long>(seed),
                     core::to_string(d));
+      return buf + err;
+    }
+  }
+  // Explicit-engine legs: the `engine` knob decouples the arbiter from
+  // the design point. The first always runs the DPQ bounded-latency
+  // arbiter (its latency-bound oracle is attached in every run); the
+  // second crosses conv/streamlined onto the other family's design.
+  struct EngineLeg {
+    core::DesignPoint design;
+    core::EngineKind engine;
+  };
+  const EngineLeg legs[] = {
+      {(seed & 1) != 0 ? core::DesignPoint::kGss
+                       : core::DesignPoint::kGssSagm,
+       core::EngineKind::kDpq},
+      {(seed & 2) != 0 ? core::DesignPoint::kGssSagm
+                       : core::DesignPoint::kConv,
+       (seed & 2) != 0 ? core::EngineKind::kConv
+                       : core::EngineKind::kStreamlined},
+  };
+  for (const EngineLeg& leg : legs) {
+    core::SystemConfig cfg = base;
+    cfg.design = leg.design;
+    cfg.engine = leg.engine;
+    const std::string err = run_differential(cfg);
+    if (!err.empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "seed %llu, design %s, engine %s: ",
+                    static_cast<unsigned long long>(seed),
+                    core::to_string(leg.design), core::to_string(leg.engine));
       return buf + err;
     }
   }

@@ -48,8 +48,12 @@ namespace annoc::runner {
 [[nodiscard]] std::string run_differential(const core::SystemConfig& cfg);
 
 /// Convenience: run_differential() across the seed's four design
-/// points. Returns "" on success, else the failure tagged with the
-/// offending design point.
+/// points, then across two explicit-engine legs (the `engine` knob
+/// decouples the arbiter from the design point): one always runs the
+/// DPQ bounded-latency arbiter — whose latency-bound oracle rides
+/// along in every differential run — and one crosses conv/streamlined
+/// onto the other family's design point. Returns "" on success, else
+/// the failure tagged with the offending design point (and engine).
 [[nodiscard]] std::string fuzz_seed(std::uint64_t seed);
 
 }  // namespace annoc::runner

@@ -222,6 +222,26 @@ std::optional<core::SchedMode> parse_sched(
                  "'; expected dense, fast_forward or event");
 }
 
+std::optional<core::EngineKind> parse_engine(
+    const ObjectReader& r, std::optional<core::EngineKind> current) {
+  const JsonMember* m = r.find("engine");
+  if (m == nullptr) return current;
+  if (m->value().is(JsonKind::kNull)) return std::nullopt;
+  if (!m->value().is(JsonKind::kString)) {
+    r.fail(*m, "expected a string");
+  }
+  const std::string& s = m->value().string;
+  if (s == "conv") return core::EngineKind::kConv;
+  // "gss_sagm" is accepted as the historical name of the streamlined
+  // subsystem (it serves every non-CONV design point, GSS+SAGM first).
+  if (s == "streamlined" || s == "gss_sagm") {
+    return core::EngineKind::kStreamlined;
+  }
+  if (s == "dpq") return core::EngineKind::kDpq;
+  r.fail(*m, "unknown engine '" + s +
+                 "'; expected conv, streamlined (alias gss_sagm) or dpq");
+}
+
 traffic::TrafficPattern parse_pattern(const ObjectReader& r) {
   const JsonMember* m = r.find("pattern");
   if (m == nullptr) return traffic::TrafficPattern::kRandom;
@@ -311,6 +331,9 @@ void apply_scalar_keys(const ObjectReader& r, core::SystemConfig& cfg) {
   if (r.find("num_gss_routers") != nullptr) {
     cfg.num_gss_routers = r.get_opt_u32("num_gss_routers", 0, 1u << 12);
   }
+  cfg.engine = parse_engine(r, cfg.engine);
+  cfg.dpq_promote_after =
+      r.get_u64("dpq_promote_after", cfg.dpq_promote_after, 0, 1ull << 32);
   if (r.find("engine_lookahead") != nullptr) {
     cfg.engine_lookahead = r.get_opt_u32("engine_lookahead", 0, 64);
   }
@@ -802,6 +825,7 @@ void parse_memory(const ObjectReader& top, const JsonMember& m,
       ObjectReader er(e, kControllerKeys, kNumControllerKeys, origin,
                       "controller");
       core::ControllerOverrides ov;
+      ov.engine = parse_engine(er, std::nullopt);
       ov.engine_lookahead = er.get_opt_u32("engine_lookahead", 0, 64);
       ov.engine_reorder_depth = er.get_opt_u32("engine_reorder_depth", 1, 1024);
       ov.engine_window = er.get_opt_u32("engine_window", 1, 1024);
@@ -1138,6 +1162,9 @@ std::string dump_scenario(const Scenario& s) {
             ? std::optional<std::uint32_t>(
                   static_cast<std::uint32_t>(*c.num_gss_routers))
             : std::nullopt);
+  if (c.engine) d.str("engine", to_string(*c.engine));
+  d.num("dpq_promote_after",
+        static_cast<std::uint64_t>(c.dpq_promote_after));
   d.opt("engine_lookahead", c.engine_lookahead);
   d.opt("engine_reorder_depth", c.engine_reorder_depth);
   d.opt("engine_window", c.engine_window);
@@ -1199,6 +1226,7 @@ std::string dump_scenario(const Scenario& s) {
       for (std::size_t i = 0; i < c.controller_overrides.size(); ++i) {
         const core::ControllerOverrides& ov = c.controller_overrides[i];
         Dumper od("        ");
+        if (ov.engine) od.str("engine", to_string(*ov.engine));
         od.opt("engine_lookahead", ov.engine_lookahead);
         od.opt("engine_reorder_depth", ov.engine_reorder_depth);
         od.opt("engine_window", ov.engine_window);

@@ -55,6 +55,10 @@ inline constexpr KeyInfo kScenarioKeys[] = {
      "GSS priority control token threshold (2..6), paper Section IV-B."},
     {"num_gss_routers", "number|null", "null",
      "Fig. 8 sweep: routers (closest to memory first) running GSS; null = all."},
+    {"engine", "string|null", "null",
+     "Memory-controller arbiter engine: conv, streamlined (alias gss_sagm) or dpq (bounded-latency Dynamic Priority Queue); null keeps the design point's implied engine."},
+    {"dpq_promote_after", "number", "0",
+     "DPQ best-effort aging window in cycles before promotion to the priority level; 0 = derived default (n_requestors x worst-case service slot)."},
     {"engine_lookahead", "number|null", "null",
      "Controller ablation: banks prepared ahead of the oldest request (0 = none)."},
     {"engine_reorder_depth", "number|null", "null",
@@ -122,6 +126,8 @@ inline constexpr KeyInfo kMemoryKeys[] = {
 /// Keys of one entry of `memory.controllers`; null (or an absent key)
 /// falls back to the matching top-level engine knob.
 inline constexpr KeyInfo kControllerKeys[] = {
+    {"engine", "string|null", "null",
+     "This controller's arbiter engine: conv, streamlined (alias gss_sagm) or dpq."},
     {"engine_lookahead", "number|null", "null",
      "This controller's bank-prepare lookahead."},
     {"engine_reorder_depth", "number|null", "null",

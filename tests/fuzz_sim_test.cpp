@@ -1,7 +1,8 @@
 /// Randomized differential fuzz (see src/runner/fuzz.hpp): each seed
 /// derives a random-valid SystemConfig, runs it at four design points
-/// in all three execution modes with the self-checkers attached, and
-/// demands bit-identical Metrics plus sanity bounds. CI runs a fixed
+/// plus two explicit-engine legs (one always the DPQ bounded-latency
+/// arbiter) in all three execution modes with the self-checkers
+/// attached, and demands bit-identical Metrics plus sanity bounds. CI runs a fixed
 /// default seed for reproducibility; widen the sweep with
 ///   ANNOC_FUZZ_SEED=<base> ANNOC_FUZZ_RUNS=<n> ./fuzz_sim_test
 /// or use bench/fuzz_sweep for command-line driving.
@@ -36,6 +37,23 @@ TEST(FuzzSim, RegressionSeedResponsePathTieBreak) {
   ASSERT_TRUE(cfg.priority_enabled);
   ASSERT_EQ(cfg.num_vcs, 2u);
   EXPECT_EQ(fuzz_seed(40060), "");
+}
+
+TEST(FuzzSim, RegressionSeedMixedEngineFabric) {
+  // Pinned regression for mixed-engine fabrics: seed 60145 derives a
+  // 3-controller config whose channel-0 override pins the DPQ arbiter
+  // while channels 1-2 keep the design-implied engine, with priority
+  // and refresh both on — so the per-channel latency-bound oracle, the
+  // refresh-inflated WCET bound and the conv/streamlined neighbours
+  // all ride through every differential leg at once.
+  const auto cfg = random_config(60145);
+  ASSERT_EQ(cfg.num_controllers, 3u);
+  ASSERT_TRUE(cfg.priority_enabled);
+  ASSERT_TRUE(cfg.refresh);
+  ASSERT_FALSE(cfg.controller_overrides.empty());
+  ASSERT_TRUE(cfg.controller_overrides[0].engine.has_value());
+  ASSERT_EQ(*cfg.controller_overrides[0].engine, core::EngineKind::kDpq);
+  EXPECT_EQ(fuzz_seed(60145), "");
 }
 
 TEST(FuzzSim, ConfigsAreValidAndDeterministic) {

@@ -2,9 +2,13 @@
 /// Shared bit-identity assertion on two Metrics: every field compared
 /// with EXPECT_EQ, doubles included — the contract across execution
 /// modes (dense vs fast-forward, serial vs parallel, hard-coded vs
-/// scenario-loaded) is bitwise equality, not tolerance. The older
-/// per-test copies (fast_forward_test, observability_test) predate this
-/// header; new tests include it instead of duplicating the list.
+/// scenario-loaded) is bitwise equality, not tolerance. The field list
+/// is not maintained here: the assertion walks
+/// core::for_each_comparable_field, whose static_asserts fail the
+/// build when Metrics grows a field this comparison would silently
+/// skip. The older per-test copies (fast_forward_test,
+/// observability_test) predate this header; new tests include it
+/// instead of duplicating the list.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -26,72 +30,31 @@ inline void expect_stat_identical(const LatencyStat& a, const LatencyStat& b,
   EXPECT_EQ(a.p99(), b.p99()) << what;
 }
 
+namespace detail_identical {
+
+/// Visitor for for_each_comparable_field: every field becomes an
+/// EXPECT_EQ tagged with its canonical name.
+struct GtestComparer {
+  const std::string& tag;
+
+  void u64(const std::string& field, std::uint64_t a,
+           std::uint64_t b) const {
+    EXPECT_EQ(a, b) << tag << "/" << field;
+  }
+  void f64(const std::string& field, double a, double b) const {
+    EXPECT_EQ(a, b) << tag << "/" << field;
+  }
+  void stat(const std::string& field, const LatencyStat& a,
+            const LatencyStat& b) const {
+    expect_stat_identical(a, b, tag + "/" + field);
+  }
+};
+
+}  // namespace detail_identical
+
 inline void expect_metrics_identical(const Metrics& lhs, const Metrics& rhs,
                                      const std::string& tag) {
-  EXPECT_EQ(lhs.utilization, rhs.utilization) << tag;
-  EXPECT_EQ(lhs.raw_utilization, rhs.raw_utilization) << tag;
-  expect_stat_identical(lhs.all_packets, rhs.all_packets, tag + "/all");
-  expect_stat_identical(lhs.demand_packets, rhs.demand_packets,
-                        tag + "/demand");
-  expect_stat_identical(lhs.priority_packets, rhs.priority_packets,
-                        tag + "/priority");
-  expect_stat_identical(lhs.source_queue, rhs.source_queue, tag + "/src");
-  expect_stat_identical(lhs.network, rhs.network, tag + "/net");
-  expect_stat_identical(lhs.memory, rhs.memory, tag + "/mem");
-  expect_stat_identical(lhs.source_queue_prio, rhs.source_queue_prio,
-                        tag + "/src_prio");
-  expect_stat_identical(lhs.network_prio, rhs.network_prio,
-                        tag + "/net_prio");
-  expect_stat_identical(lhs.memory_prio, rhs.memory_prio, tag + "/mem_prio");
-  expect_stat_identical(lhs.response_path, rhs.response_path, tag + "/resp");
-  EXPECT_EQ(lhs.completed_requests, rhs.completed_requests) << tag;
-  EXPECT_EQ(lhs.completed_subpackets, rhs.completed_subpackets) << tag;
-  EXPECT_EQ(lhs.outstanding_requests, rhs.outstanding_requests) << tag;
-  EXPECT_EQ(lhs.measured_cycles, rhs.measured_cycles) << tag;
-  EXPECT_EQ(lhs.drained_cycles, rhs.drained_cycles) << tag;
-
-  EXPECT_EQ(lhs.device.activates, rhs.device.activates) << tag;
-  EXPECT_EQ(lhs.device.precharges, rhs.device.precharges) << tag;
-  EXPECT_EQ(lhs.device.auto_precharges, rhs.device.auto_precharges) << tag;
-  EXPECT_EQ(lhs.device.reads, rhs.device.reads) << tag;
-  EXPECT_EQ(lhs.device.writes, rhs.device.writes) << tag;
-  EXPECT_EQ(lhs.device.refreshes, rhs.device.refreshes) << tag;
-  EXPECT_EQ(lhs.device.cas_row_hits, rhs.device.cas_row_hits) << tag;
-  EXPECT_EQ(lhs.device.total_beats, rhs.device.total_beats) << tag;
-  EXPECT_EQ(lhs.device.useful_beats, rhs.device.useful_beats) << tag;
-  EXPECT_EQ(lhs.device.bus_direction_turnarounds,
-            rhs.device.bus_direction_turnarounds)
-      << tag;
-  for (std::size_t b = 0; b < lhs.device.cas_per_bank.size(); ++b) {
-    EXPECT_EQ(lhs.device.cas_per_bank[b], rhs.device.cas_per_bank[b])
-        << tag << " bank " << b;
-  }
-
-  EXPECT_EQ(lhs.engine.requests_completed, rhs.engine.requests_completed)
-      << tag;
-  EXPECT_EQ(lhs.engine.cas_issued, rhs.engine.cas_issued) << tag;
-  EXPECT_EQ(lhs.engine.act_issued, rhs.engine.act_issued) << tag;
-  EXPECT_EQ(lhs.engine.pre_issued, rhs.engine.pre_issued) << tag;
-  EXPECT_EQ(lhs.engine.prep_acts, rhs.engine.prep_acts) << tag;
-  EXPECT_EQ(lhs.engine.stall_cycles, rhs.engine.stall_cycles) << tag;
-  EXPECT_EQ(lhs.engine.stall_need_act, rhs.engine.stall_need_act) << tag;
-  EXPECT_EQ(lhs.engine.stall_need_pre, rhs.engine.stall_need_pre) << tag;
-  EXPECT_EQ(lhs.engine.stall_cas_timing, rhs.engine.stall_cas_timing) << tag;
-
-  EXPECT_EQ(lhs.noc_flits_forwarded, rhs.noc_flits_forwarded) << tag;
-  EXPECT_EQ(lhs.noc_packets_forwarded, rhs.noc_packets_forwarded) << tag;
-
-  ASSERT_EQ(lhs.per_core.size(), rhs.per_core.size()) << tag;
-  for (const auto& [name, cm] : lhs.per_core) {
-    const auto it = rhs.per_core.find(name);
-    ASSERT_NE(it, rhs.per_core.end()) << tag << " core " << name;
-    EXPECT_EQ(cm.requests, it->second.requests) << tag << " core " << name;
-    EXPECT_EQ(cm.avg_latency, it->second.avg_latency)
-        << tag << " core " << name;
-    EXPECT_EQ(cm.achieved_bytes_per_cycle,
-              it->second.achieved_bytes_per_cycle)
-        << tag << " core " << name;
-  }
+  for_each_comparable_field(lhs, rhs, detail_identical::GtestComparer{tag});
 }
 
 }  // namespace annoc::core

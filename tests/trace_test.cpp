@@ -63,8 +63,9 @@ TEST(TraceWriter, WritesHeaderAndRows) {
   EXPECT_EQ(fields[4], "W");    // rw
   EXPECT_EQ(fields[7], "64");   // bytes
   EXPECT_EQ(fields[10], "2");   // bank
-  EXPECT_EQ(fields[15], "100"); // created
-  EXPECT_EQ(fields[19], "150"); // done
+  EXPECT_EQ(fields[13], "0");   // channel
+  EXPECT_EQ(fields[16], "100"); // created
+  EXPECT_EQ(fields[20], "150"); // done
   std::remove(path.c_str());
 }
 
@@ -118,9 +119,9 @@ TEST(TraceWriter, FullSimulationTraceMatchesCompletions) {
   for (std::size_t i = 1; i < lines.size(); ++i) {
     const auto f = split_csv(lines[i]);
     ASSERT_EQ(f.size(), width) << "row " << i;
-    const auto created = std::stoull(f[15]);
-    const auto injected = std::stoull(f[16]);
-    const auto done = std::stoull(f[19]);
+    const auto created = std::stoull(f[16]);
+    const auto injected = std::stoull(f[17]);
+    const auto done = std::stoull(f[20]);
     EXPECT_LE(created, injected) << "row " << i;
     EXPECT_LE(injected, done) << "row " << i;
   }
