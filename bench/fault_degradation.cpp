@@ -1,0 +1,153 @@
+/// \file fault_degradation.cpp
+/// Degradation under partial failure (EXPERIMENTS.md, "Degradation
+/// under partial failure"): escalate a random fault schedule on two
+/// checked-in scenarios and print the trajectories the chapter quotes.
+///
+///   - faults/gss_escalation.json — GSS+SAGM with priority on: how the
+///     priority class's latency promise erodes. "Priority violations"
+///     counts priority subpackets whose end-to-end latency exceeds the
+///     fault-free run's worst case.
+///   - faults/dpq_escalation.json — the DPQ bounded-latency arbiter:
+///     the analytic WCET bound and the minimum observed margin
+///     (bound - latency) per level. Link/router faults may erode the
+///     *network* stage, but the memory-stage bound must hold — the
+///     LatencyBoundOracle aborts the run if it ever does not.
+///
+/// Escalation overrides only `fault.count` (a sweepable knob); the
+/// schedule is a pure function of the checked-in fault.seed, so levels
+/// nest: level N's faults are the first N of level N+1's.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/sink.hpp"
+#include "scenario/scenario.hpp"
+
+#ifndef ANNOC_SCENARIO_DIR
+#define ANNOC_SCENARIO_DIR "scenarios"
+#endif
+
+using namespace annoc;
+
+namespace {
+
+/// Count priority-class subpackets slower end-to-end than a budget.
+class PriorityViolationSink final : public obs::EventSink {
+ public:
+  explicit PriorityViolationSink(Cycle budget) : budget_(budget) {}
+  void on_subpacket(const obs::SubpacketRecord& rec) override {
+    if (rec.svc != ServiceClass::kPriority) return;
+    ++priority_total_;
+    const Cycle lat = rec.done - rec.created;
+    max_latency_ = std::max(max_latency_, lat);
+    if (budget_ != 0 && lat > budget_) ++violations_;
+  }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] std::uint64_t priority_total() const {
+    return priority_total_;
+  }
+  [[nodiscard]] Cycle max_latency() const { return max_latency_; }
+
+ private:
+  Cycle budget_;
+  std::uint64_t violations_ = 0;
+  std::uint64_t priority_total_ = 0;
+  Cycle max_latency_ = 0;
+};
+
+/// Track the DPQ bound and the tightest observed margin under it.
+class DpqMarginSink final : public obs::EventSink {
+ public:
+  void on_dpq_retire(const obs::DpqRetireEvent& ev) override {
+    bound_ = ev.bound;
+    const Cycle margin = ev.bound >= ev.latency ? ev.bound - ev.latency : 0;
+    if (!seen_ || margin < min_margin_) min_margin_ = margin;
+    seen_ = true;
+  }
+  [[nodiscard]] Cycle bound() const { return bound_; }
+  [[nodiscard]] Cycle min_margin() const { return seen_ ? min_margin_ : 0; }
+
+ private:
+  Cycle bound_ = 0;
+  Cycle min_margin_ = 0;
+  bool seen_ = false;
+};
+
+const std::uint32_t kLevels[] = {0, 1, 2, 4, 8};
+
+void run_gss_leg() {
+  const scenario::Scenario s = scenario::load_scenario(
+      std::string(ANNOC_SCENARIO_DIR) + "/faults/gss_escalation.json");
+  std::printf("\n%s — priority promise under escalating faults\n",
+              s.name.c_str());
+  std::printf("%-7s %-12s %-10s %-10s %-10s %-10s %-10s\n", "count",
+              "activations", "util", "prio p99", "prio max", "violations",
+              "all mean");
+  bench::print_rule(76);
+  Cycle budget = 0;
+  for (const std::uint32_t count : kLevels) {
+    core::SystemConfig cfg = s.config;
+    cfg.fault_count = count;
+    core::Simulator sim(cfg);
+    PriorityViolationSink prio(budget);
+    sim.attach_sink(&prio);
+    const core::Metrics m = sim.run();
+    if (count == 0) budget = prio.max_latency();  // fault-free worst case
+    const std::uint64_t activations =
+        m.fault.dead_link_activations + m.fault.degraded_link_activations +
+        m.fault.slow_router_activations + m.fault.refresh_storm_activations +
+        m.fault.throttled_bank_activations;
+    std::printf("%-7u %-12llu %-10.3f %-10llu %-10llu %-10llu %-10.1f\n",
+                count, static_cast<unsigned long long>(activations),
+                m.utilization,
+                static_cast<unsigned long long>(m.priority_packets.p99()),
+                static_cast<unsigned long long>(prio.max_latency()),
+                static_cast<unsigned long long>(prio.violations()),
+                m.all_packets.mean());
+  }
+  std::printf("violations = priority subpackets slower end-to-end than the\n"
+              "fault-free run's worst case (%llu cycles)\n",
+              static_cast<unsigned long long>(budget));
+}
+
+void run_dpq_leg() {
+  const scenario::Scenario s = scenario::load_scenario(
+      std::string(ANNOC_SCENARIO_DIR) + "/faults/dpq_escalation.json");
+  std::printf("\n%s — WCET bound margin under escalating faults\n",
+              s.name.c_str());
+  std::printf("%-7s %-12s %-10s %-10s %-12s %-12s %-10s\n", "count",
+              "activations", "util", "mem max", "bound", "min margin",
+              "all mean");
+  bench::print_rule(78);
+  for (const std::uint32_t count : kLevels) {
+    core::SystemConfig cfg = s.config;
+    cfg.fault_count = count;
+    core::Simulator sim(cfg);
+    DpqMarginSink margin;
+    sim.attach_sink(&margin);
+    const core::Metrics m = sim.run();
+    const std::uint64_t activations =
+        m.fault.dead_link_activations + m.fault.degraded_link_activations +
+        m.fault.slow_router_activations + m.fault.refresh_storm_activations +
+        m.fault.throttled_bank_activations;
+    std::printf("%-7u %-12llu %-10.3f %-10.0f %-12llu %-12llu %-10.1f\n",
+                count, static_cast<unsigned long long>(activations),
+                m.utilization, m.memory.max(),
+                static_cast<unsigned long long>(margin.bound()),
+                static_cast<unsigned long long>(margin.min_margin()),
+                m.all_packets.mean());
+  }
+  std::printf("min margin = bound - observed memory-stage latency; the\n"
+              "LatencyBoundOracle would abort this bench if it ever went\n"
+              "negative.\n");
+}
+
+}  // namespace
+
+int main() {
+  run_gss_leg();
+  run_dpq_leg();
+  return 0;
+}

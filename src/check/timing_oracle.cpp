@@ -24,7 +24,40 @@ TimingOracle::TimingOracle(const sdram::DeviceConfig& cfg)
 
 TimingOracle::TimingOracle(const sdram::DeviceConfig& cfg,
                            const sdram::Timing& timing)
-    : cfg_(cfg), t_(timing), banks_(cfg.geometry.num_banks) {}
+    : cfg_(cfg),
+      t_(timing),
+      banks_(cfg.geometry.num_banks),
+      next_arm_(timing.trefi),
+      fault_extra_trcd_(cfg.geometry.num_banks, 0),
+      fault_extra_trp_(cfg.geometry.num_banks, 0) {}
+
+void TimingOracle::set_fault_timeline(
+    const fault::SdramFaultTimeline& timeline) {
+  fault_timeline_ = timeline;
+  fault_cursor_ = 0;
+}
+
+void TimingOracle::fold_fault_edges(Cycle at) {
+  while (fault_cursor_ < fault_timeline_.edges.size() &&
+         fault_timeline_.edges[fault_cursor_].at <= at) {
+    const fault::SdramFaultEdge& e = fault_timeline_.edges[fault_cursor_];
+    if (e.kind == fault::SdramFaultEdge::Kind::kTrefi) {
+      t_.trefi = e.trefi;
+      // Same min-pull as Device::fault_apply_trefi: a tightened
+      // interval advances the pending arm, a restored one never
+      // retards it.
+      next_arm_ = std::min(next_arm_, e.at + e.trefi);
+    } else {
+      for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+        if ((e.bank_mask >> (b % 64)) & 1ull) {
+          fault_extra_trcd_[b] = e.extra_trcd;
+          fault_extra_trp_[b] = e.extra_trp;
+        }
+      }
+    }
+    ++fault_cursor_;
+  }
+}
 
 void TimingOracle::on_command(const obs::SdramCommandEvent& e) {
   // One oracle per controller: commands from the other channels of a
@@ -32,6 +65,7 @@ void TimingOracle::on_command(const obs::SdramCommandEvent& e) {
   // constraints (command bus, tCCD, tFAW, data-bus direction) are
   // per-controller, so mixing channels would flag legal interleavings.
   if (e.channel != cfg_.channel) return;
+  fold_fault_edges(e.at);
   ++commands_;
   if (commands_ > 1 && e.at < last_event_at_) {
     log_.flag(e.at, "event-order", e.bank,
@@ -126,6 +160,7 @@ void TimingOracle::check_activate(const obs::SdramCommandEvent& e) {
   bk.seen_act = true;
   bk.row = e.row;
   bk.act_at = e.at;
+  bk.act_extra_trcd = fault_extra_trcd_[e.bank];
   bk.has_read = false;
   bk.has_write = false;
   last_act_ = e.at;
@@ -149,10 +184,10 @@ void TimingOracle::check_cas(const obs::SdramCommandEvent& e) {
               std::string(what) + " while the row is closing (AP at " +
                   std::to_string(bk.ap_expected) + ")");
   }
-  if (bk.open && e.at < bk.act_at + t_.trcd) {
-    log_.flag(e.at, "tRCD", e.bank,
+  if (bk.open && e.at < bk.act_at + t_.trcd + bk.act_extra_trcd) {
+    log_.flag(e.at, bk.act_extra_trcd != 0 ? "tRCD+fault" : "tRCD", e.bank,
               pair_detail("ACT", bk.act_at, what, e.at,
-                          bk.act_at + t_.trcd));
+                          bk.act_at + t_.trcd + bk.act_extra_trcd));
   }
   if (last_cas_ != kNeverCycle && e.at < last_cas_ + t_.tccd) {
     log_.flag(e.at, "tCCD", e.bank,
@@ -262,7 +297,7 @@ void TimingOracle::check_precharge(const obs::SdramCommandEvent& e) {
                             bk.write_data_end + t_.twr));
     }
   }
-  close_bank(bk, e.at);
+  close_bank(bk, e.at, e.bank);
 }
 
 void TimingOracle::check_auto_precharge(const obs::SdramCommandEvent& e) {
@@ -270,7 +305,7 @@ void TimingOracle::check_auto_precharge(const obs::SdramCommandEvent& e) {
   if (!bk.ap_armed) {
     log_.flag(e.at, "AP-unarmed", e.bank,
               "auto-precharge fired with no AP-tagged CAS outstanding");
-    close_bank(bk, e.at);
+    close_bank(bk, e.at, e.bank);
     return;
   }
   // The self-timed precharge point is fully determined by the arming CAS
@@ -281,14 +316,16 @@ void TimingOracle::check_auto_precharge(const obs::SdramCommandEvent& e) {
               "auto-precharge at " + std::to_string(e.at) +
                   ", self-timed point is " + std::to_string(bk.ap_expected));
   }
-  close_bank(bk, e.at);
+  close_bank(bk, e.at, e.bank);
 }
 
-void TimingOracle::close_bank(BankView& bk, Cycle at) {
+void TimingOracle::close_bank(BankView& bk, Cycle at, std::uint32_t bank) {
   bk.open = false;
   bk.ap_armed = false;
-  bk.ready_for_act = at + t_.trp;
-  bk.ready_rule = "tRP";
+  // The device folds the throttle extra into the bank's ready_at at the
+  // precharge, so the expectation uses the extra in effect right now.
+  bk.ready_for_act = at + t_.trp + fault_extra_trp_[bank];
+  bk.ready_rule = fault_extra_trp_[bank] != 0 ? "tRP+fault" : "tRP";
 }
 
 Cycle TimingOracle::refresh_drain_slack() const {
@@ -322,10 +359,11 @@ void TimingOracle::check_refresh(const obs::SdramCommandEvent& e) {
                           last_ref_at_ + t_.trfc));
   }
   if (t_.trefi > 0) {
-    // The engine arms the k-th REF (0-based) at (k+1)*tREFI and must
-    // complete it within the drain slack of the arm point; both bounds
-    // catch a tREFI that drifted off by even one cycle.
-    const Cycle arm = (refreshes_ + 1) * t_.trefi;
+    // The engine arms the k-th REF (0-based) at the incrementally
+    // tracked arm point (nominally (k+1)*tREFI; refresh-storm edges
+    // min-pull it) and must complete it within the drain slack of the
+    // arm; both bounds catch a tREFI that drifted off by even a cycle.
+    const Cycle arm = next_arm_;
     if (e.at < arm) {
       log_.flag(e.at, "REF-early", kNoBank,
                 "REF #" + std::to_string(refreshes_) + " at " +
@@ -344,6 +382,7 @@ void TimingOracle::check_refresh(const obs::SdramCommandEvent& e) {
   }
   ++refreshes_;
   last_ref_at_ = e.at;
+  next_arm_ += t_.trefi;  // mirrors the device's next_refresh_ += tREFI
   for (BankView& bk : banks_) {
     bk.open = false;
     bk.ap_armed = false;

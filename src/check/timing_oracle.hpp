@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "check/violation.hpp"
+#include "fault/schedule.hpp"
 #include "obs/sink.hpp"
 #include "sdram/config.hpp"
 
@@ -37,6 +38,14 @@ class TimingOracle final : public obs::EventSink {
 
   void on_command(const obs::SdramCommandEvent& e) override;
 
+  /// Attach this channel's SDRAM fault timeline (refresh storms, bank
+  /// throttles). The oracle folds each edge into its constraint set at
+  /// the edge's cycle — the same arithmetic the simulator applies to
+  /// the Device — so it re-verifies the *faulted* timing, not the
+  /// nominal one, and a device that ignored a fault gets flagged. Call
+  /// before the first event.
+  void set_fault_timeline(const fault::SdramFaultTimeline& timeline);
+
   [[nodiscard]] bool ok() const { return log_.ok(); }
   [[nodiscard]] const ViolationLog& log() const { return log_; }
   [[nodiscard]] std::uint64_t commands_seen() const { return commands_; }
@@ -50,6 +59,10 @@ class TimingOracle final : public obs::EventSink {
     bool seen_act = false;   ///< any ACT observed (guards tRC on the first)
     std::uint32_t row = 0;
     Cycle act_at = 0;        ///< cycle of the activation that opened `row`
+    /// Fault extra in effect when `row` was opened: the device folds it
+    /// into tRCD at the ACT, so a throttle toggled between ACT and CAS
+    /// must not change the expectation retroactively.
+    std::uint32_t act_extra_trcd = 0;
     Cycle ready_for_act = 0; ///< earliest legal next ACT (tRP / tRFC)
     const char* ready_rule = "tRP";  ///< which rule `ready_for_act` enforces
     Cycle last_read_cas = 0;
@@ -65,7 +78,11 @@ class TimingOracle final : public obs::EventSink {
   void check_precharge(const obs::SdramCommandEvent& e);
   void check_auto_precharge(const obs::SdramCommandEvent& e);
   void check_refresh(const obs::SdramCommandEvent& e);
-  void close_bank(BankView& bk, Cycle at);
+  void close_bank(BankView& bk, Cycle at, std::uint32_t bank);
+  /// Apply every fault-timeline edge with cycle <= `at` (edges are
+  /// applied by the simulator at the top of their cycle, before any
+  /// device activity of that cycle).
+  void fold_fault_edges(Cycle at);
   /// Worst-case cycles the refresh drain may legally take past its arm
   /// point (forced precharges waiting on tRAS/tWR/tRTP, then tRP, then
   /// the data bus going idle).
@@ -89,7 +106,18 @@ class TimingOracle final : public obs::EventSink {
 
   std::uint64_t refreshes_ = 0;
   Cycle last_ref_at_ = 0;
+  /// Incremental refresh arm point, mirroring the device's
+  /// `next_refresh_` arithmetic (init tREFI; += the tREFI in effect at
+  /// each REF; min-pulled at every tREFI fault edge). The closed form
+  /// (k+1)*tREFI cannot express a mid-run tREFI change.
+  Cycle next_arm_ = 0;
   std::uint64_t commands_ = 0;
+
+  // Fault timeline for this channel (empty when fault-free).
+  fault::SdramFaultTimeline fault_timeline_;
+  std::size_t fault_cursor_ = 0;
+  std::vector<std::uint32_t> fault_extra_trcd_;
+  std::vector<std::uint32_t> fault_extra_trp_;
 
   ViolationLog log_;
 };

@@ -25,6 +25,32 @@ struct CoreMetrics {
   double achieved_bytes_per_cycle = 0.0;
 };
 
+/// Fault-injection activity and impact (src/fault/). All zero on a
+/// fault-free run. Like every other Metrics field, bit-identical
+/// across the three scheduler modes.
+struct FaultMetrics {
+  std::uint64_t dead_link_activations = 0;
+  std::uint64_t degraded_link_activations = 0;
+  std::uint64_t slow_router_activations = 0;
+  std::uint64_t refresh_storm_activations = 0;
+  std::uint64_t throttled_bank_activations = 0;
+  std::uint64_t deactivations = 0;
+  /// Cycle of the first activation edge (kNeverCycle when none fired).
+  Cycle first_activation = kNeverCycle;
+  /// Parent requests completed before/after the first activation
+  /// (completion cycle < first_activation goes to `pre`), with the
+  /// corresponding mean latencies — the post-fault latency delta the
+  /// resilience experiments report.
+  std::uint64_t pre_fault_packets = 0;
+  std::uint64_t post_fault_packets = 0;
+  double pre_fault_avg_latency = 0.0;
+  double post_fault_avg_latency = 0.0;
+  /// Useful-beat utilization split at the first activation (both over
+  /// the measurement window; equal to `utilization` split in two).
+  double pre_fault_utilization = 0.0;
+  double post_fault_utilization = 0.0;
+};
+
 struct Metrics {
   /// Paper's memory utilization: useful data-bus cycles / total cycles.
   double utilization = 0.0;
@@ -61,6 +87,9 @@ struct Metrics {
   std::uint64_t noc_packets_forwarded = 0;
 
   std::map<std::string, CoreMetrics> per_core;
+
+  /// Fault-injection activity (zero on fault-free runs).
+  FaultMetrics fault;
 
   /// Observability digest (SystemConfig::observe != kOff): per-router
   /// stall-cause histograms, per-bank open-cycle/row-hit/PRE-elision
@@ -153,9 +182,12 @@ constexpr bool has_exactly_n_fields() {
 // (tests/metrics_identical.hpp, the fuzzer's MetricsDiff) is built on
 // that walk, so a new field can never again be silently skipped — then
 // update the count here.
-static_assert(detail::has_exactly_n_fields<Metrics, 25>(),
+static_assert(detail::has_exactly_n_fields<Metrics, 26>(),
               "Metrics changed: update for_each_comparable_field and this "
               "count");
+static_assert(detail::has_exactly_n_fields<FaultMetrics, 13>(),
+              "FaultMetrics changed: update for_each_comparable_field and "
+              "this count");
 static_assert(detail::has_exactly_n_fields<sdram::DeviceStats, 11>(),
               "DeviceStats changed: update for_each_comparable_field and "
               "this count");
@@ -234,6 +266,33 @@ void for_each_comparable_field(const Metrics& a, const Metrics& b, V&& v) {
   v.u64("noc_flits_forwarded", a.noc_flits_forwarded, b.noc_flits_forwarded);
   v.u64("noc_packets_forwarded", a.noc_packets_forwarded,
         b.noc_packets_forwarded);
+
+  v.u64("fault.dead_link_activations", a.fault.dead_link_activations,
+        b.fault.dead_link_activations);
+  v.u64("fault.degraded_link_activations", a.fault.degraded_link_activations,
+        b.fault.degraded_link_activations);
+  v.u64("fault.slow_router_activations", a.fault.slow_router_activations,
+        b.fault.slow_router_activations);
+  v.u64("fault.refresh_storm_activations", a.fault.refresh_storm_activations,
+        b.fault.refresh_storm_activations);
+  v.u64("fault.throttled_bank_activations",
+        a.fault.throttled_bank_activations,
+        b.fault.throttled_bank_activations);
+  v.u64("fault.deactivations", a.fault.deactivations, b.fault.deactivations);
+  v.u64("fault.first_activation", a.fault.first_activation,
+        b.fault.first_activation);
+  v.u64("fault.pre_fault_packets", a.fault.pre_fault_packets,
+        b.fault.pre_fault_packets);
+  v.u64("fault.post_fault_packets", a.fault.post_fault_packets,
+        b.fault.post_fault_packets);
+  v.f64("fault.pre_fault_avg_latency", a.fault.pre_fault_avg_latency,
+        b.fault.pre_fault_avg_latency);
+  v.f64("fault.post_fault_avg_latency", a.fault.post_fault_avg_latency,
+        b.fault.post_fault_avg_latency);
+  v.f64("fault.pre_fault_utilization", a.fault.pre_fault_utilization,
+        b.fault.pre_fault_utilization);
+  v.f64("fault.post_fault_utilization", a.fault.post_fault_utilization,
+        b.fault.post_fault_utilization);
 
   v.u64("per_core.size", a.per_core.size(), b.per_core.size());
   for (const auto& [name, ca] : a.per_core) {

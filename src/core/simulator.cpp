@@ -1,6 +1,7 @@
 #include "core/simulator.hpp"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/assert.hpp"
 #include "memctrl/conv.hpp"
@@ -241,6 +242,42 @@ Simulator::Simulator(const SystemConfig& cfg)
     node_channel_[mems[c]] = c;
   }
 
+  // --- fault schedule (src/fault/): resolved here, once the network's
+  // canonical link list and the final controller placement exist; both
+  // are pure functions of the scenario, so the schedule is too ---
+  {
+    fault::FabricInfo fi;
+    fi.num_nodes = static_cast<std::uint32_t>(network_->num_routers());
+    fi.links = network_->link_list();
+    fi.mem_nodes = mems;
+    fi.num_channels = num_ctrl;
+    fi.num_banks = dev_cfg_.geometry.num_banks;
+    fi.refresh_enabled = cfg.refresh;
+    fi.nominal_trefi = gss.timing.trefi;
+    fi.trfc = gss.timing.trfc;
+    // Random SDRAM faults never land on a DPQ channel: its always-on
+    // latency-bound oracle proves a WCET derived from nominal timing
+    // (FabricInfo::sdram_fault_ok has the full rationale).
+    fi.sdram_fault_ok.assign(num_ctrl, 1);
+    for (std::uint32_t c = 0; c < num_ctrl; ++c) {
+      if (cfg.resolved_engine(c) == EngineKind::kDpq) {
+        fi.sdram_fault_ok[c] = 0;
+      }
+    }
+    fault::RandomFaultParams rp;
+    rp.seed = cfg.fault_seed;
+    rp.count = cfg.fault_count;
+    rp.kinds = cfg.fault_kinds;
+    rp.start = cfg.fault_start;
+    rp.spacing = cfg.fault_spacing;
+    rp.duration = cfg.fault_duration;
+    fault_schedule_ = fault::FaultSchedule::build(cfg.faults, rp, fi);
+    nominal_trefi_ = gss.timing.trefi;
+    if (!fault_schedule_.edges().empty()) {
+      next_fault_edge_ = fault_schedule_.edges().front().at;
+    }
+  }
+
   if (!cfg.trace_path.empty()) {
     trace_ = std::make_unique<TraceWriter>(cfg.trace_path);
   }
@@ -368,6 +405,10 @@ Simulator::Simulator(const SystemConfig& cfg)
       sdram::DeviceConfig dc = dev_cfg_;
       dc.channel = c;
       oracles_.push_back(std::make_unique<check::TimingOracle>(dc));
+      // Hand the oracle its channel's SDRAM fault timeline, so it
+      // verifies the faulted constraints (tightened tREFI, inflated
+      // tRCD/tRP) rather than flagging the fault as a violation.
+      oracles_.back()->set_fault_timeline(fault_schedule_.timeline(c));
       hub_.attach(oracles_.back().get());
     }
     conservation_ = std::make_unique<check::ConservationChecker>();
@@ -479,6 +520,19 @@ void Simulator::record_parent(const ParentState& ps) {
   core_bytes_[ps.core] += ps.useful_bytes;
   ++core_requests_[ps.core];
   core_latency_sum_[ps.core] += static_cast<double>(latency);
+  // Pre/post-fault latency split (Metrics::fault): a request completing
+  // at or after the first activation edge lands in the post bucket. The
+  // !empty() gate keeps fault-free runs' FaultMetrics all-zero.
+  if (!fault_schedule_.empty()) {
+    if (fault_.first_activation != kNeverCycle &&
+        ps.last_done >= fault_.first_activation) {
+      ++fault_.post_fault_packets;
+      fault_post_lat_sum_ += static_cast<double>(latency);
+    } else {
+      ++fault_.pre_fault_packets;
+      fault_pre_lat_sum_ += static_cast<double>(latency);
+    }
+  }
 }
 
 void Simulator::on_subpacket_complete(const noc::Packet& pkt) {
@@ -557,12 +611,139 @@ void Simulator::end_measurement() {
   }
 }
 
+bool Simulator::apply_fault_edges() {
+  if (next_fault_edge_ > now_) return false;
+  const std::vector<fault::FaultEdge>& edges = fault_schedule_.edges();
+  while (fault_cursor_ < edges.size() && edges[fault_cursor_].at <= now_) {
+    const fault::FaultEdge& e = edges[fault_cursor_];
+    const fault::FaultSpec& f = fault_schedule_.faults()[e.fault];
+    switch (f.kind) {
+      case fault::FaultKind::kDeadLink:
+        network_->set_link_dead(f.a, f.b, e.activate);
+        break;
+      case fault::FaultKind::kDegradedLink:
+        network_->set_link_penalty(f.a, f.b, e.activate ? f.penalty : 0);
+        break;
+      case fault::FaultKind::kSlowRouter:
+        network_->set_router_slow(f.router, e.activate ? f.period : 0, e.at);
+        break;
+      case fault::FaultKind::kRefreshStorm:
+        // The f.trefi == 0 guard mirrors the schedule's timeline build:
+        // a degenerate storm is skipped identically on both sides, so
+        // the oracle and the device always agree on the live tREFI.
+        if (f.trefi != 0) {
+          subsystems_[f.channel]->device().fault_apply_trefi(
+              now_, e.activate ? f.trefi : nominal_trefi_);
+        }
+        break;
+      case fault::FaultKind::kThrottledBanks:
+        subsystems_[f.channel]->device().fault_set_bank_extra(
+            f.bank_mask, e.activate ? f.extra_trcd : 0,
+            e.activate ? f.extra_trp : 0);
+        break;
+    }
+    if (e.activate) {
+      switch (f.kind) {
+        case fault::FaultKind::kDeadLink: ++fault_.dead_link_activations;
+          break;
+        case fault::FaultKind::kDegradedLink:
+          ++fault_.degraded_link_activations;
+          break;
+        case fault::FaultKind::kSlowRouter: ++fault_.slow_router_activations;
+          break;
+        case fault::FaultKind::kRefreshStorm:
+          ++fault_.refresh_storm_activations;
+          break;
+        case fault::FaultKind::kThrottledBanks:
+          ++fault_.throttled_bank_activations;
+          break;
+      }
+      if (fault_.first_activation == kNeverCycle) {
+        fault_.first_activation = e.at;
+        fault_first_beats_ = device_stats().useful_beats;
+      }
+    } else {
+      ++fault_.deactivations;
+    }
+    ANNOC_OBS_EMIT(obs_,
+                   on_fault(obs::FaultEvent{
+                       .at = e.at,
+                       .fault = e.fault,
+                       .kind = static_cast<std::uint8_t>(f.kind),
+                       .activate = e.activate}));
+    ++fault_cursor_;
+  }
+  next_fault_edge_ = fault_cursor_ < edges.size() ? edges[fault_cursor_].at
+                                                  : kNeverCycle;
+  return true;
+}
+
+std::uint64_t Simulator::progress_token() const {
+  std::uint64_t t = network_->progress_token();
+  if (response_path_) t += response_path_->network().progress_token();
+  for (const auto& sub : subsystems_) {
+    t += sub->engine_stats().requests_completed;
+  }
+  return t;
+}
+
+void Simulator::check_watchdog() {
+  if (cfg_.watchdog_cycles == 0) return;
+  const std::uint64_t token = progress_token();
+  // The token comparison (not "which cycle did work happen") is what
+  // keeps the skipping schedulers honest: a skipped-over progress burst
+  // still changes the token, so the first executed cycle afterwards
+  // resets the timer instead of firing spuriously. The watchdog thus
+  // fires within [N, 2N] cycles of a genuine stall, in every mode.
+  if (token != watchdog_token_ || parents_.empty()) {
+    watchdog_token_ = token;
+    watchdog_progress_at_ = now_;
+    return;
+  }
+  if (now_ - watchdog_progress_at_ < cfg_.watchdog_cycles) return;
+
+  obs::WatchdogEvent ev;
+  ev.at = now_;
+  ev.last_progress_at = watchdog_progress_at_;
+  ev.stalled_cycles = now_ - watchdog_progress_at_;
+  ev.outstanding_parents = parents_.size();
+  ev.in_flight_packets = network_->in_flight_packets();
+  ANNOC_OBS_EMIT(obs_, on_watchdog(ev));
+
+  std::cerr << "\n=== deadlock watchdog: no forward progress ===\n"
+            << "cycle " << now_ << ": nothing has moved since cycle "
+            << watchdog_progress_at_ << " (" << ev.stalled_cycles
+            << " cycles) with " << parents_.size()
+            << " parent request(s) outstanding\n";
+  network_->dump_diagnostics(std::cerr, now_);
+  for (std::size_t c = 0; c < subsystems_.size(); ++c) {
+    std::cerr << "subsystem[" << c << "]: "
+              << subsystems_[c]->pending_requests()
+              << " pending request(s)\n";
+  }
+  std::uint64_t backlog = 0;
+  for (const auto& gen : generators_) backlog += gen->backlog();
+  std::cerr << "generator backlog: " << backlog << " request(s)\n";
+  if (response_path_) {
+    std::cerr << "response path: " << response_path_->backlog()
+              << " queued, " << response_path_->network().in_flight_packets()
+              << " in flight\n";
+  }
+  std::cerr.flush();
+  ANNOC_ASSERT_MSG(false,
+                   "deadlock/livelock watchdog fired (census above); raise "
+                   "watchdog_cycles if the stall is expected, or see "
+                   "docs/RESILIENCE.md \"Triaging a watchdog dump\"");
+}
+
 void Simulator::step() {
   if (!measuring_ && now_ >= cfg_.warmup_cycles) begin_measurement();
   if (measuring_ && !measurement_ended_ &&
       now_ >= cfg_.warmup_cycles + cfg_.sim_cycles) {
     end_measurement();
   }
+  apply_fault_edges();
+  check_watchdog();
 
   if (cfg_.audit_horizons) {
     step_audited();
@@ -698,11 +879,19 @@ void Simulator::try_fast_forward(Cycle limit) {
     if (h <= now_) return;
   }
   // Never jump over a phase boundary: begin/end_measurement must take
-  // their stat snapshots on the exact cycle dense stepping would.
+  // their stat snapshots on the exact cycle dense stepping would. The
+  // same goes for fault edges (they mutate component state) and the
+  // watchdog deadline (the stalled cycle must execute to be observed).
   Cycle cap = limit;
   if (now_ < cfg_.warmup_cycles) cap = std::min(cap, cfg_.warmup_cycles);
   const Cycle measure_end = cfg_.warmup_cycles + cfg_.sim_cycles;
   if (now_ < measure_end) cap = std::min(cap, measure_end);
+  cap = std::min(cap, next_fault_edge_);
+  if (cfg_.watchdog_cycles > 0) {
+    cap = std::min(cap, watchdog_progress_at_ + cfg_.watchdog_cycles);
+  }
+  if (cap <= now_) return;  // a clamp already passed (stale watchdog
+                            // sample) — stay dense until it re-samples
   now_ = std::min(h, cap);  // h == kNeverCycle jumps straight to cap
 }
 
@@ -793,6 +982,13 @@ void Simulator::step_event() {
       now_ >= cfg_.warmup_cycles + cfg_.sim_cycles) {
     end_measurement();
   }
+  // A fault edge mutates component state out from under sleeping
+  // horizons (a reroute makes parked packets eligible, slow-router
+  // gating changes a router's cadence), so re-arm everything at now_ —
+  // the pops below then sweep every component in dense id order,
+  // exactly like the cycle a dense run executes here.
+  if (apply_fault_edges() && primed_) prime_event_queue();
+  check_watchdog();
 
   // Every due deadline equals now_ exactly (advance_event never
   // overshoots one), so pops come out in ascending component id — the
@@ -815,11 +1011,17 @@ void Simulator::step_event() {
 void Simulator::advance_event(Cycle limit) {
   if (burst_remaining_ > 0) return;  // mid-burst: dense, no jumps
   // Never jump over a phase boundary: begin/end_measurement must take
-  // their stat snapshots on the exact cycle dense stepping would.
+  // their stat snapshots on the exact cycle dense stepping would. Fault
+  // edges and the watchdog deadline clamp for the same reason as in
+  // try_fast_forward.
   Cycle cap = limit;
   if (now_ < cfg_.warmup_cycles) cap = std::min(cap, cfg_.warmup_cycles);
   const Cycle measure_end = cfg_.warmup_cycles + cfg_.sim_cycles;
   if (now_ < measure_end) cap = std::min(cap, measure_end);
+  cap = std::min(cap, next_fault_edge_);
+  if (cfg_.watchdog_cycles > 0) {
+    cap = std::min(cap, watchdog_progress_at_ + cfg_.watchdog_cycles);
+  }
   const Cycle target = std::min(queue_.next_deadline(), cap);
   if (target > now_) {
     queue_.counters().skipped_cycles += target - now_;
@@ -1027,6 +1229,42 @@ Metrics Simulator::metrics() const {
   }
   m.noc_flits_forwarded = flits - noc_flits_baseline_;
   m.noc_packets_forwarded = pkts - noc_packets_baseline_;
+
+  m.fault = fault_;
+  if (m.fault.pre_fault_packets > 0) {
+    m.fault.pre_fault_avg_latency =
+        fault_pre_lat_sum_ / static_cast<double>(m.fault.pre_fault_packets);
+  }
+  if (m.fault.post_fault_packets > 0) {
+    m.fault.post_fault_avg_latency =
+        fault_post_lat_sum_ / static_cast<double>(m.fault.post_fault_packets);
+  }
+  if (fault_.first_activation != kNeverCycle && m.measured_cycles > 0) {
+    // Utilization split at the first activation edge: useful beats up to
+    // the snapshot taken when that edge applied vs. the rest, each over
+    // its own slice of the measurement window.
+    const Cycle split = std::clamp(fault_.first_activation, measure_start_,
+                                   window_end);
+    std::uint64_t pre_beats = 0;
+    if (fault_.first_activation >= window_end) {
+      pre_beats = m.device.useful_beats;
+    } else if (fault_.first_activation > measure_start_) {
+      pre_beats = fault_first_beats_ - device_baseline_.useful_beats;
+    }
+    const Cycle pre_cycles = split - measure_start_;
+    const Cycle post_cycles = window_end - split;
+    const double per_cycle = 2.0 * static_cast<double>(subsystems_.size());
+    if (pre_cycles > 0) {
+      m.fault.pre_fault_utilization =
+          static_cast<double>(pre_beats) /
+          (per_cycle * static_cast<double>(pre_cycles));
+    }
+    if (post_cycles > 0) {
+      m.fault.post_fault_utilization =
+          static_cast<double>(m.device.useful_beats - pre_beats) /
+          (per_cycle * static_cast<double>(post_cycles));
+    }
+  }
 
   if (counter_sink_) {
     m.obs_valid = true;

@@ -20,6 +20,7 @@
 #include "core/response_path.hpp"
 #include "core/system_config.hpp"
 #include "core/trace.hpp"
+#include "fault/schedule.hpp"
 #include "memctrl/dpq.hpp"
 #include "memctrl/subsystem.hpp"
 #include "noc/network.hpp"
@@ -139,6 +140,13 @@ class Simulator : private noc::NetworkWaker {
     return nullptr;
   }
 
+  /// The resolved fault schedule of this run (explicit scenario faults
+  /// plus deterministically drawn random ones). Empty when the scenario
+  /// declares no faults.
+  [[nodiscard]] const fault::FaultSchedule& fault_schedule() const {
+    return fault_schedule_;
+  }
+
  private:
   struct ParentState {
     std::uint32_t subpackets_outstanding = 0;
@@ -208,6 +216,26 @@ class Simulator : private noc::NetworkWaker {
   /// The actual fast-forward scan + jump; fast_forward() adds backoff.
   void try_fast_forward(Cycle limit);
 
+  /// Apply every fault-schedule edge with `at <= now_` to the live
+  /// components (network link/router state, device timing). Returns true
+  /// when at least one edge was applied — the event loop re-primes then,
+  /// because an edge invalidates sleeping horizons (rerouted packets
+  /// become eligible, slow-router gating changes). Fault edges are
+  /// executed-cycle work: try_fast_forward and advance_event clamp their
+  /// jumps to next_fault_edge_ so no mode can skip one.
+  bool apply_fault_edges();
+  /// Forward-progress sum over everything that can move work: request
+  /// mesh (injections + hops + ejections), response mesh, and per-channel
+  /// completed requests. Strictly monotone while the system is live; flat
+  /// across a cycle means nothing moved.
+  [[nodiscard]] std::uint64_t progress_token() const;
+  /// The deadlock/livelock watchdog (SystemConfig::watchdog_cycles): on
+  /// every executed cycle, compare progress_token() against the last
+  /// sample; with outstanding work and no progress for watchdog_cycles,
+  /// emit a WatchdogEvent, dump a census (stderr) and abort. A pure
+  /// observer otherwise — a run that never deadlocks is bitwise
+  /// identical with the watchdog on or off.
+  void check_watchdog();
   void on_subpacket_complete(const noc::Packet& pkt);
   /// Final bookkeeping once a subpacket is truly done at `done` (its
   /// SDRAM service, or — with the response path — data delivery).
@@ -267,6 +295,24 @@ class Simulator : private noc::NetworkWaker {
   // when SystemConfig::replay_trace_path is set.
   std::vector<std::unique_ptr<traffic::TrafficSource>> generators_;
   PacketId next_packet_id_ = 1;
+
+  // Fault injection (src/fault/): the resolved schedule, a cursor over
+  // its edge list, and the accumulators behind Metrics::fault. The
+  // next-edge cycle doubles as a jump clamp in both skipping schedulers.
+  fault::FaultSchedule fault_schedule_;
+  std::size_t fault_cursor_ = 0;
+  Cycle next_fault_edge_ = kNeverCycle;
+  std::uint64_t nominal_trefi_ = 0;  ///< restore value for refresh storms
+  FaultMetrics fault_;
+  double fault_pre_lat_sum_ = 0.0;
+  double fault_post_lat_sum_ = 0.0;
+  /// device_stats().useful_beats snapshot at the first activation — the
+  /// split point for the pre/post-fault utilization metrics.
+  std::uint64_t fault_first_beats_ = 0;
+  // Watchdog state: last sampled progress token and the cycle it last
+  // changed (or the system last had no outstanding work).
+  std::uint64_t watchdog_token_ = 0;
+  Cycle watchdog_progress_at_ = 0;
 
   Cycle now_ = 0;
   SchedMode sched_ = SchedMode::kDense;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/spec.hpp"
 #include "noc/flow_controller.hpp"
 #include "sdram/config.hpp"
 #include "traffic/application.hpp"
@@ -340,6 +341,36 @@ struct SystemConfig {
   /// entries beyond the list (or unset fields) fall back to the global
   /// engine_window/engine_lookahead/engine_reorder_depth knobs.
   std::vector<ControllerOverrides> controller_overrides;
+
+  /// Explicit fault-injection specs (src/fault/): each entry names a
+  /// fault kind, its activation cycle and an optional end. Applied at
+  /// fixed cycles in every sched mode (activation edges become event
+  /// horizons), so faulted runs stay bit-identical across dense /
+  /// fast_forward / event. See docs/RESILIENCE.md.
+  std::vector<fault::FaultSpec> faults;
+
+  /// Randomized fault schedule (the fuzz harness's fault leg): inject
+  /// `fault_count` faults drawn deterministically from `fault_seed`,
+  /// starting at `fault_start` and spaced `fault_spacing` cycles, each
+  /// lasting `fault_duration` (0 = permanent). `fault_kinds` is a
+  /// comma-separated kind filter, or "all". Random dead-link draws
+  /// always keep every node connected to a memory controller; explicit
+  /// `faults` entries may deliberately partition the fabric (that is
+  /// the watchdog's test vector).
+  std::uint64_t fault_seed = 0;
+  std::uint32_t fault_count = 0;
+  std::string fault_kinds = "all";
+  Cycle fault_start = 30000;
+  Cycle fault_spacing = 20000;
+  Cycle fault_duration = 40000;
+
+  /// Deadlock/livelock watchdog: if no forward progress happens
+  /// anywhere (no injection, hop, ejection, SDRAM completion) for this
+  /// many cycles while requests are outstanding, dump a structured
+  /// diagnostic census through the obs layer and abort. 0 disables.
+  /// Pure observer: a run that never deadlocks is bit-identical with
+  /// the watchdog on or off.
+  Cycle watchdog_cycles = 0;
 
   /// SAGM split granularity in beats; 0 = per-generation default.
   /// DDR I/II: 4 beats (one BL4 CAS, 2 bus cycles — the paper's "packet

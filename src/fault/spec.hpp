@@ -1,0 +1,75 @@
+/// \file spec.hpp
+/// Fault kinds and the per-fault parameter record. A FaultSpec is pure
+/// data: the scenario loader builds them from the `faults` array (and
+/// FaultSchedule::build derives more from the `fault.*` random knobs);
+/// the simulator applies them at their activation/deactivation cycles
+/// through narrow primitive hooks on Network and Device, so the noc and
+/// sdram layers never depend on this library. See docs/RESILIENCE.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace annoc::fault {
+
+/// What breaks. The set follows garnet's FaultModel categories, mapped
+/// onto this simulator's abstractions.
+enum class FaultKind : std::uint8_t {
+  kDeadLink,        ///< a router-router link disappears (both directions)
+  kDegradedLink,    ///< each packet crossing the link pays extra cycles
+  kSlowRouter,      ///< a router arbitrates only every k-th cycle
+  kRefreshStorm,    ///< one channel's tREFI temporarily tightens
+  kThrottledBanks,  ///< selected banks pay inflated tRCD/tRP
+};
+
+[[nodiscard]] inline const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDeadLink: return "dead_link";
+    case FaultKind::kDegradedLink: return "degraded_link";
+    case FaultKind::kSlowRouter: return "slow_router";
+    case FaultKind::kRefreshStorm: return "refresh_storm";
+    case FaultKind::kThrottledBanks: return "throttled_banks";
+  }
+  return "?";
+}
+
+/// Parse the scenario-file token; nullopt on an unknown kind.
+[[nodiscard]] inline std::optional<FaultKind> parse_fault_kind(
+    std::string_view s) {
+  if (s == "dead_link") return FaultKind::kDeadLink;
+  if (s == "degraded_link") return FaultKind::kDegradedLink;
+  if (s == "slow_router") return FaultKind::kSlowRouter;
+  if (s == "refresh_storm") return FaultKind::kRefreshStorm;
+  if (s == "throttled_banks") return FaultKind::kThrottledBanks;
+  return std::nullopt;
+}
+
+/// One fault: what, when, and the kind-specific parameters. Fields not
+/// used by `kind` are ignored.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDeadLink;
+  Cycle at = 0;     ///< activation cycle
+  Cycle until = 0;  ///< deactivation cycle; 0 = permanent
+
+  // kDeadLink / kDegradedLink: the undirected link (a, b).
+  NodeId a = 0;
+  NodeId b = 0;
+  /// kDegradedLink: extra cycles every packet crossing the link pays.
+  std::uint32_t penalty = 8;
+
+  // kSlowRouter.
+  NodeId router = 0;
+  std::uint32_t period = 4;  ///< arbitrate every `period`-th cycle
+
+  // kRefreshStorm / kThrottledBanks.
+  std::uint32_t channel = 0;
+  std::uint64_t trefi = 0;  ///< kRefreshStorm: tightened tREFI in cycles
+  std::uint64_t bank_mask = ~0ull;  ///< kThrottledBanks: affected banks
+  std::uint32_t extra_trcd = 0;     ///< kThrottledBanks: added to tRCD
+  std::uint32_t extra_trp = 0;      ///< kThrottledBanks: added to tRP
+};
+
+}  // namespace annoc::fault

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <ostream>
 
 #include "common/assert.hpp"
 
@@ -51,6 +52,10 @@ Network::Network(const NocConfig& cfg, std::vector<FlowControlKind> fc_kinds,
         std::max(1u, cfg.num_vcs)));
   }
   links_.resize(n);
+  link_dead_.assign(n, {});
+  link_penalty_.assign(n, {});
+  slow_period_.assign(n, 0);
+  slow_anchor_.assign(n, 0);
   if (topo) {
     const TopologyPorts ports = assign_ports(*cfg_.topology);
     for (NodeId id = 0; id < n; ++id) {
@@ -90,6 +95,15 @@ Port Network::route(NodeId at, NodeId dst, bool to_memory) const {
     // Arrived: memory-bound packets eject into the subsystem,
     // core-bound packets (read responses) into the local core.
     return to_memory ? kPortMem : kPortLocal;
+  }
+
+  if (!fault_next_.empty()) {
+    // Dead links present: BFS next hop over the live links (or parked
+    // when the destination is unreachable). Overrides every normal
+    // policy — XY/adaptive minimality assumes an intact fabric.
+    const std::size_t n = routers_.size();
+    return static_cast<Port>(
+        fault_next_[static_cast<std::size_t>(dst) * n + at]);
   }
 
   if (!topo_next_.empty()) {
@@ -146,7 +160,17 @@ std::size_t Network::in_flight_packets() const {
 Cycle Network::next_event(Cycle now) const {
   Cycle h = kNeverCycle;
   for (const auto& r : routers_) {
-    h = std::min(h, r->next_event(now));
+    Cycle rh = r->next_event(now);
+    const std::uint32_t period = slow_period_[r->id()];
+    if (period > 1 && rh != kNeverCycle) {
+      // Slow router: its state only changes at anchor-aligned
+      // arbitration cycles (channel frees between them are
+      // unobservable), so the horizon rounds up to alignment.
+      const Cycle anchor = slow_anchor_[r->id()];
+      const Cycle since = rh > anchor ? rh - anchor : 0;
+      rh = anchor + (since + period - 1) / period * period;
+    }
+    h = std::min(h, rh);
     if (h <= now) return now;
   }
   return h;
@@ -196,6 +220,12 @@ void Network::tick_router(NodeId id, Cycle now) {
     Transfer& t = r.output(static_cast<Port>(p));
     if (t.active && now >= t.end) t.active = false;
   }
+
+  // Slow-router fault: arbitration only on anchor-aligned cycles. The
+  // gate lives here (not in the caller) so dense, fast-forward and
+  // event scheduling all skip the same cycles.
+  const std::uint32_t period = slow_period_[id];
+  if (period > 1 && (now - slow_anchor_[id]) % period != 0) return;
 
   // Phase 2: arbitrate every free output.
   for (const Port out : kOrder) {
@@ -249,7 +279,8 @@ void Network::tick_router(NodeId id, Cycle now) {
       r.note_blocked(out, obs::StallCause::kDownstreamFull, now);
       continue;
     }
-    Packet pkt = r.grant(*win, out, now);
+    // A degraded link (fault) holds the channel extra cycles per grant.
+    Packet pkt = r.grant(*win, out, now, link_penalty_[id][out]);
     deliver(std::move(pkt), l.nb, l.nb_in, *vc, now);
   }
 }
@@ -261,6 +292,135 @@ void Network::tick(Cycle now) {
   // comment), so whether router j > i frees its channels before or
   // after router i arbitrates is unobservable to i.
   for (NodeId id = 0; id < routers_.size(); ++id) tick_router(id, now);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Network::link_list() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId id = 0; id < links_.size(); ++id) {
+    for (int p = kPortNorth; p <= kPortWest; ++p) {
+      const Link& l = links_[id][p];
+      if (l.nb != kInvalidNode && id < l.nb) out.emplace_back(id, l.nb);
+    }
+  }
+  return out;
+}
+
+Port Network::port_toward(NodeId a, NodeId b) const {
+  ANNOC_ASSERT(a < links_.size() && b < links_.size());
+  for (int p = kPortNorth; p <= kPortWest; ++p) {
+    if (links_[a][p].nb == b) return static_cast<Port>(p);
+  }
+  ANNOC_ASSERT_MSG(false, "no link between the given nodes");
+  return kPortLocal;
+}
+
+void Network::rebuild_fault_tables() {
+  const std::size_t n = routers_.size();
+  if (num_dead_links_ == 0) {
+    fault_dist_.clear();
+    fault_next_.clear();
+    return;
+  }
+  fault_dist_.assign(n * n, 0xffff);
+  fault_next_.assign(n * n, static_cast<std::uint8_t>(kNumPorts));
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId dst = 0; dst < n; ++dst) {
+    std::uint16_t* const dist = &fault_dist_[static_cast<std::size_t>(dst) * n];
+    queue.clear();
+    dist[dst] = 0;
+    queue.push_back(dst);
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const NodeId u = queue[qi];
+      for (int p = kPortNorth; p <= kPortWest; ++p) {
+        const Link& l = links_[u][p];
+        if (l.nb == kInvalidNode || link_dead_[u][p]) continue;
+        if (dist[l.nb] != 0xffff) continue;
+        dist[l.nb] = static_cast<std::uint16_t>(dist[u] + 1);
+        queue.push_back(l.nb);
+      }
+    }
+    // Next hop at each node: the first live out-port (N, E, S, W order
+    // — the deterministic tie-break) whose neighbour is one hop closer.
+    for (NodeId at = 0; at < n; ++at) {
+      if (at == dst || dist[at] == 0xffff) continue;
+      for (int p = kPortNorth; p <= kPortWest; ++p) {
+        const Link& l = links_[at][p];
+        if (l.nb == kInvalidNode || link_dead_[at][p]) continue;
+        if (dist[l.nb] + 1 == dist[at]) {
+          fault_next_[static_cast<std::size_t>(dst) * n + at] =
+              static_cast<std::uint8_t>(p);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Network::reroute_all() {
+  for (auto& r : routers_) {
+    const NodeId id = r->id();
+    r->reroute([this, id](const Packet& p) {
+      return route(id, p.dst_node, p.to_memory);
+    });
+  }
+}
+
+void Network::set_link_dead(NodeId a, NodeId b, bool dead) {
+  const Port ab = port_toward(a, b);
+  const Port ba = port_toward(b, a);
+  const std::uint8_t v = dead ? 1 : 0;
+  if (link_dead_[a][ab] == v) return;  // idempotent
+  link_dead_[a][ab] = v;
+  link_dead_[b][ba] = v;
+  num_dead_links_ += dead ? 1u : -1u;
+  rebuild_fault_tables();
+  reroute_all();
+}
+
+void Network::set_link_penalty(NodeId a, NodeId b, std::uint32_t penalty) {
+  link_penalty_[a][port_toward(a, b)] = penalty;
+  link_penalty_[b][port_toward(b, a)] = penalty;
+}
+
+void Network::set_router_slow(NodeId router, std::uint32_t period,
+                              Cycle anchor) {
+  ANNOC_ASSERT(router < routers_.size());
+  slow_period_[router] = period;
+  slow_anchor_[router] = anchor;
+}
+
+std::uint64_t Network::progress_token() const {
+  std::uint64_t t = stats_.injected_packets + stats_.ejected_packets;
+  for (const auto& r : routers_) t += r->stats().packets_forwarded;
+  return t;
+}
+
+void Network::dump_diagnostics(std::ostream& os, Cycle now) const {
+  os << "network: " << in_flight_packets() << " packet(s) in flight across "
+     << routers_.size() << " router(s)\n";
+  bool any_fault = false;
+  for (NodeId id = 0; id < links_.size(); ++id) {
+    for (int p = kPortNorth; p <= kPortWest; ++p) {
+      const Link& l = links_[id][p];
+      if (l.nb == kInvalidNode || id > l.nb) continue;
+      if (link_dead_[id][p]) {
+        os << "  dead link: " << id << " <-> " << l.nb << "\n";
+        any_fault = true;
+      } else if (link_penalty_[id][p] != 0) {
+        os << "  degraded link: " << id << " <-> " << l.nb << " (+"
+           << link_penalty_[id][p] << " cycles/grant)\n";
+        any_fault = true;
+      }
+    }
+    if (slow_period_[id] > 1) {
+      os << "  slow router: " << id << " (arbitrates every "
+         << slow_period_[id] << " cycles)\n";
+      any_fault = true;
+    }
+  }
+  if (!any_fault) os << "  no NoC faults active\n";
+  for (const auto& r : routers_) r->dump(os, now);
 }
 
 std::vector<FlowControlKind> Network::mixed_kinds(const NocConfig& cfg,

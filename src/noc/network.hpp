@@ -17,7 +17,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -204,6 +206,47 @@ class Network {
   /// Number of packets currently buffered anywhere in the mesh.
   [[nodiscard]] std::size_t in_flight_packets() const;
 
+  // --- fault-injection hooks (src/fault/; the simulator applies
+  // schedule edges through these, identically in every sched mode).
+
+  /// Canonical undirected router-router link list, (a, b) with a < b,
+  /// in fixed (node-id, port) iteration order. The fault schedule
+  /// indexes links by position in this list, so the order is part of
+  /// the deterministic contract.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> link_list() const;
+
+  /// Kill or revive the (a, b) link (both directions — links are
+  /// undirected). While any link is dead the network routes by per-
+  /// destination BFS next-hop tables built over the LIVE links only
+  /// (overriding XY/adaptive/topology routing — documented in
+  /// docs/RESILIENCE.md), and every buffered packet is rerouted; a
+  /// packet whose destination became unreachable parks in place
+  /// (kPortParked) until a later edge heals the partition. In-flight
+  /// transfers are not cancelled: the packet object moved downstream at
+  /// grant time, so the dying link only stops future grants.
+  void set_link_dead(NodeId a, NodeId b, bool dead);
+
+  /// Degraded link: every grant across (a, b) — either direction —
+  /// holds the channel `penalty` extra cycles (0 restores full speed).
+  /// Router-router links only.
+  void set_link_penalty(NodeId a, NodeId b, std::uint32_t penalty);
+
+  /// Slow router: arbitration (tick_router phase 2) runs only on
+  /// cycles where (now - anchor) % period == 0; period <= 1 restores
+  /// full speed. Channel frees (phase 1) still settle every tick —
+  /// unobservable between arbitrations, so next_event() quantizes this
+  /// router's horizon up to its next aligned cycle.
+  void set_router_slow(NodeId router, std::uint32_t period, Cycle anchor);
+
+  /// Monotone forward-progress token for the deadlock watchdog: grows
+  /// whenever any packet is injected, forwarded one hop, or ejected.
+  [[nodiscard]] std::uint64_t progress_token() const;
+
+  /// Structured occupancy dump for watchdog diagnostics: per-router
+  /// buffer census (head packets, routed outputs, what blocks them),
+  /// busy channels, dead links and slow routers currently in effect.
+  void dump_diagnostics(std::ostream& os, Cycle now) const;
+
   /// Helper for the Fig. 8 sweep: per-router flow-control kinds where
   /// the `num_gss` routers closest to a memory node (min over all
   /// controllers; ties broken by node id) use `gss_kind` and the rest
@@ -216,6 +259,14 @@ class Network {
  private:
   void deliver(Packet&& pkt, NodeId to, Port in_port, std::uint32_t vc,
                Cycle now);
+
+  /// The output port of `a` facing `b` (asserts the link exists).
+  [[nodiscard]] Port port_toward(NodeId a, NodeId b) const;
+  /// Rebuild fault_dist_/fault_next_ over the live links (cleared when
+  /// the last dead link heals).
+  void rebuild_fault_tables();
+  /// Re-run route() for every buffered packet in every router.
+  void reroute_all();
 
   /// One mesh link as seen from a router output: the neighbour node and
   /// the input port facing back. `nb == kInvalidNode` for ports that
@@ -243,6 +294,20 @@ class Network {
   NetworkWaker* waker_ = nullptr;
   LocalSink local_sink_;
   NetworkStats stats_;
+
+  // Fault-injection state (src/fault/). All zero/empty on a healthy
+  // fabric; the per-port arrays are tiny (n * kNumPorts) and always
+  // allocated, the n^2 BFS tables only while a dead link exists.
+  std::vector<std::array<std::uint8_t, kNumPorts>> link_dead_;
+  std::vector<std::array<std::uint32_t, kNumPorts>> link_penalty_;
+  std::vector<std::uint32_t> slow_period_;
+  std::vector<Cycle> slow_anchor_;
+  std::uint32_t num_dead_links_ = 0;  ///< undirected count
+  /// While num_dead_links_ > 0: fault_dist_[dst*n + at] is the live-
+  /// link BFS distance (0xffff unreachable) and fault_next_[dst*n + at]
+  /// the next-hop port toward dst (kNumPorts = parked).
+  std::vector<std::uint16_t> fault_dist_;
+  std::vector<std::uint8_t> fault_next_;
 };
 
 }  // namespace annoc::noc

@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 namespace annoc::noc {
 
@@ -74,6 +75,9 @@ Cycle Router::next_event(Cycle now) const {
       const InputBuffer& buf = inputs_[in][v];
       if (buf.empty()) continue;
       const Port out = routed_[in][v].front();
+      // A parked head (unreachable destination) cannot move until a
+      // fault edge reroutes it — and fault edges are already horizons.
+      if (out >= kNumPorts) continue;
       // A head behind a busy output can only move once the transfer
       // frees — already covered by tr.end above (a lower bound is
       // legal; the channel may stay contested longer).
@@ -94,6 +98,15 @@ Cycle Router::next_event(Cycle now) const {
 void Router::on_arrival(Packet&& pkt, Port in, std::uint32_t vc, Port out,
                         Cycle now) {
   ANNOC_ASSERT(vc < num_vcs_);
+  if (out >= kNumPorts) {
+    // Parked (destination unreachable under the current dead-link set):
+    // buffer it without pooling; no flow controller owns it until a
+    // reroute assigns a real output.
+    routed_[in][vc].push_back(kPortParked);
+    inputs_[in][vc].push(std::move(pkt));
+    ANNOC_ASSERT(routed_[in][vc].size() == inputs_[in][vc].size());
+    return;
+  }
   // The arrival hook sees every packet already pooled here, excluding
   // the newcomer — append to the pool only afterwards.
   fc_[out]->on_packet_arrival(pkt, pools_[out], now);
@@ -102,6 +115,23 @@ void Router::on_arrival(Packet&& pkt, Port in, std::uint32_t vc, Port out,
   buf.push(std::move(pkt));
   pools_[out].push_back(&buf.back());
   ANNOC_ASSERT(routed_[in][vc].size() == buf.size());
+}
+
+void Router::reroute(const std::function<Port(const Packet&)>& fn) {
+  for (auto& pool : pools_) pool.clear();
+  for (int in = 0; in < kNumPorts; ++in) {
+    for (std::uint32_t v = 0; v < num_vcs_; ++v) {
+      InputBuffer& buf = inputs_[in][v];
+      auto& routed = routed_[in][v];
+      ANNOC_ASSERT(routed.size() == buf.size());
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        Packet& p = buf.at(i);
+        const Port out = fn(p);
+        routed[i] = out;
+        if (out < kNumPorts) pools_[out].push_back(&p);
+      }
+    }
+  }
 }
 
 std::optional<VcId> Router::arbitrate(Port out, Cycle now) {
@@ -146,7 +176,8 @@ std::optional<VcId> Router::arbitrate(Port out, Cycle now) {
   return source_scratch_[*sel];
 }
 
-Packet Router::grant(const VcId& in, Port out, Cycle now) {
+Packet Router::grant(const VcId& in, Port out, Cycle now,
+                     Cycle extra_channel_cycles) {
   InputBuffer& buf = inputs_[in.port][in.vc];
   auto& routed = routed_[in.port][in.vc];
   ANNOC_ASSERT(!buf.empty());
@@ -167,8 +198,11 @@ Packet Router::grant(const VcId& in, Port out, Cycle now) {
   tr.active = true;
   tr.start = now;
   // One flit per cycle from the grant; the tail cannot leave before it
-  // has arrived here (virtual cut-through).
-  tr.end = std::max(now + pkt.flits, pkt.tail_arrival + 1);
+  // has arrived here (virtual cut-through). A degraded link holds the
+  // channel extra cycles on top, and the later tail arrival propagates
+  // the stall downstream.
+  tr.end = std::max(now + pkt.flits, pkt.tail_arrival + 1) +
+           extra_channel_cycles;
 
   ++stats_.packets_forwarded;
   stats_.flits_forwarded += pkt.flits;
@@ -188,6 +222,50 @@ Packet Router::grant(const VcId& in, Port out, Cycle now) {
   pkt.head_arrival = now + 1;
   pkt.tail_arrival = tr.end;
   return pkt;
+}
+
+void Router::dump(std::ostream& os, Cycle now) const {
+  bool header = false;
+  const auto emit_header = [&] {
+    if (!header) {
+      os << "  router " << id_ << ":\n";
+      header = true;
+    }
+  };
+  for (int p = 0; p < kNumPorts; ++p) {
+    const Transfer& tr = outputs_[p];
+    if (!tr.active) continue;
+    emit_header();
+    os << "    out " << to_string(static_cast<Port>(p))
+       << ": channel busy until cycle " << tr.end << "\n";
+  }
+  for (int in = 0; in < kNumPorts; ++in) {
+    for (std::uint32_t v = 0; v < num_vcs_; ++v) {
+      const InputBuffer& buf = inputs_[in][v];
+      if (buf.empty()) continue;
+      emit_header();
+      os << "    in " << to_string(static_cast<Port>(in)) << "/vc" << v
+         << ": " << buf.size() << " pkt(s), " << buf.used_flits() << "/"
+         << buf.capacity_flits() << " flits";
+      const Port out = routed_[in][v].front();
+      const Packet& hd = buf.front();
+      os << "; head pkt " << hd.id << " (core " << hd.src_core << " -> node "
+         << hd.dst_node << ", " << hd.flits << " flits) via ";
+      if (out >= kNumPorts) {
+        os << "PARKED (destination unreachable)";
+      } else {
+        os << to_string(out);
+        if (outputs_[out].active) {
+          os << " [blocked: output busy until " << outputs_[out].end << "]";
+        } else if (now + 1 < hd.head_arrival + pipeline_) {
+          os << " [in pipeline until " << hd.head_arrival + pipeline_ << "]";
+        } else {
+          os << " [eligible: waiting on arbitration/downstream]";
+        }
+      }
+      os << "\n";
+    }
+  }
 }
 
 }  // namespace annoc::noc

@@ -22,6 +22,8 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -45,6 +47,13 @@ enum Port : std::uint8_t {
   kPortMem = 5,
   kNumPorts = 6,
 };
+
+/// Sentinel "output port" for a buffered packet whose destination is
+/// currently unreachable (dead links partitioned the fabric — see
+/// src/fault/). A parked packet stays in its input buffer, is never
+/// pooled or arbitrated (so it exerts ordinary buffer backpressure),
+/// and gets a real output again at the next Network reroute.
+inline constexpr Port kPortParked = kNumPorts;
 
 [[nodiscard]] inline const char* to_string(Port p) {
   switch (p) {
@@ -207,8 +216,21 @@ class Router {
 
   /// Pop the winner, mark it h(n) in `out`'s flow controller, occupy
   /// the channel, and return the packet (stamped with downstream
-  /// head/tail arrival cycles).
-  [[nodiscard]] Packet grant(const VcId& in, Port out, Cycle now);
+  /// head/tail arrival cycles). `extra_channel_cycles` lengthens the
+  /// channel hold past the normal tail time — the degraded-link fault
+  /// stall (src/fault/); zero for healthy links.
+  [[nodiscard]] Packet grant(const VcId& in, Port out, Cycle now,
+                             Cycle extra_channel_cycles = 0);
+
+  /// Recompute the output port of every buffered packet (fault edges:
+  /// dead links appearing or healing). Rebuilds the routed_ records and
+  /// the per-output pools in canonical (in-port, vc, buffer-index)
+  /// order — the order is part of the deterministic contract, since
+  /// pool order is visible to the flow controllers. `fn` may return
+  /// kPortParked for unreachable destinations. Flow-controller arrival
+  /// hooks are deliberately NOT re-run: a reroute is a path change, not
+  /// a new arrival, so GSS token state is preserved.
+  void reroute(const std::function<Port(const Packet&)>& fn);
 
   /// Mark a stall on output `out`: a winner was selected but could not
   /// move (`cause` distinguishes full downstream buffers from a busy
@@ -245,6 +267,11 @@ class Router {
   /// (arbitration must run densely), kNeverCycle when fully drained.
   /// See DESIGN.md "The next_event contract".
   [[nodiscard]] Cycle next_event(Cycle now) const;
+
+  /// Human-readable occupancy dump (watchdog diagnostics): busy
+  /// outputs, per-buffer fill, each head packet with its routed output
+  /// and what blocks it. Quiet (no output) when the router is idle.
+  void dump(std::ostream& os, Cycle now) const;
 
  private:
   NodeId id_;

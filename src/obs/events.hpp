@@ -230,4 +230,26 @@ struct SubpacketRecord {
   Cycle done = 0;
 };
 
+/// A fault-schedule edge was applied (activation or deactivation of
+/// one fault). `kind` is the fault::FaultKind value as a raw integer
+/// (the obs layer sits below fault in the dependency order).
+struct FaultEvent {
+  Cycle at = 0;
+  std::uint32_t fault = 0;  ///< index into the schedule's fault list
+  std::uint8_t kind = 0;    ///< fault::FaultKind
+  bool activate = true;
+};
+
+/// The deadlock/livelock watchdog fired: no forward progress (no
+/// injection, hop, ejection, or request completion anywhere) for
+/// `stalled_cycles` despite outstanding work. The simulator follows
+/// this event with a census dump on stderr and aborts.
+struct WatchdogEvent {
+  Cycle at = 0;
+  Cycle last_progress_at = 0;
+  Cycle stalled_cycles = 0;
+  std::uint64_t outstanding_parents = 0;
+  std::uint64_t in_flight_packets = 0;
+};
+
 }  // namespace annoc::obs

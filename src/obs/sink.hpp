@@ -38,6 +38,8 @@ class EventSink {
   virtual void on_subpacket(const SubpacketRecord&) {}
   virtual void on_dpq_grant(const DpqGrantEvent&) {}
   virtual void on_dpq_retire(const DpqRetireEvent&) {}
+  virtual void on_fault(const FaultEvent&) {}
+  virtual void on_watchdog(const WatchdogEvent&) {}
 
   /// End of run (after the drain phase); `end` is the final cycle.
   virtual void finish(Cycle end) { (void)end; }
@@ -89,6 +91,12 @@ class EventHub final : public EventSink {
   }
   void on_dpq_retire(const DpqRetireEvent& e) override {
     for (EventSink* s : sinks_) s->on_dpq_retire(e);
+  }
+  void on_fault(const FaultEvent& e) override {
+    for (EventSink* s : sinks_) s->on_fault(e);
+  }
+  void on_watchdog(const WatchdogEvent& e) override {
+    for (EventSink* s : sinks_) s->on_watchdog(e);
   }
   void finish(Cycle end) override {
     for (EventSink* s : sinks_) s->finish(end);

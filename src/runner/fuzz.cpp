@@ -1,5 +1,6 @@
 #include "runner/fuzz.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -315,6 +316,33 @@ std::string fuzz_seed(std::uint64_t seed) {
     }
   }
   return "";
+}
+
+std::string fuzz_fault_seed(std::uint64_t seed) {
+  // Reuse the seed's config so fault coverage rides the same knob
+  // distribution as the fault-free legs, then squeeze the random fault
+  // window into the (short) fuzz run: first activation half-way through
+  // warmup, one fault per quarter of the measurement window. Seed bit 0
+  // alternates permanent faults with transient ones (whose deactivation
+  // edges exercise the restore paths), so consecutive seeds cover both.
+  // The watchdog is armed well above any legitimate stall: random
+  // dead-link draws keep memory reachable, so a fire here is a real
+  // deadlock, not an expected partition.
+  core::SystemConfig cfg = random_config(seed);
+  cfg.design = (seed & 2) != 0 ? core::DesignPoint::kGssSagm
+                               : core::DesignPoint::kGss;
+  cfg.fault_seed = seed ^ 0x5eedfa0177ULL;
+  cfg.fault_count = 4;
+  cfg.fault_start = cfg.warmup_cycles / 2;
+  cfg.fault_spacing = std::max<Cycle>(cfg.sim_cycles / 4, 1);
+  cfg.fault_duration = (seed & 1) != 0 ? 0 : cfg.sim_cycles / 3;
+  cfg.watchdog_cycles = 200000;
+  const std::string err = run_differential(cfg);
+  if (err.empty()) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "fault leg, seed %llu: ",
+                static_cast<unsigned long long>(seed));
+  return buf + err;
 }
 
 }  // namespace annoc::runner

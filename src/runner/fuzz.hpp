@@ -56,4 +56,15 @@ namespace annoc::runner {
 /// the failure tagged with the offending design point (and engine).
 [[nodiscard]] std::string fuzz_seed(std::uint64_t seed);
 
+/// Random-fault leg: layer a deterministic random fault schedule
+/// (src/fault/) on top of the seed's derived config and re-run the
+/// full three-way differential. The fault window is squeezed into the
+/// short fuzz run (activations land mid-measurement, alternating
+/// permanent and transient by seed), the deadlock watchdog is armed,
+/// and check stays on — so a clean return certifies that faulted runs
+/// are bit-identical across sched modes, that the TimingOracle
+/// verifies the *faulted* SDRAM constraints, and that the watchdog
+/// never fires on a live fabric. Returns "" on success.
+[[nodiscard]] std::string fuzz_fault_seed(std::uint64_t seed);
+
 }  // namespace annoc::runner

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "fault/spec.hpp"
 #include "noc/topology.hpp"
 #include "scenario/json.hpp"
 #include "scenario/schema.hpp"
@@ -374,6 +375,56 @@ void apply_scalar_keys(const ObjectReader& r, core::SystemConfig& cfg) {
     }
     cfg.mesh_preset = s;
   }
+  cfg.watchdog_cycles =
+      r.get_u64("watchdog_cycles", cfg.watchdog_cycles, 0, 1ull << 40);
+  // fault.seed follows the same string-or-number convention as seed.
+  if (const JsonMember* m = r.find("fault.seed")) {
+    if (m->value().is(JsonKind::kString)) {
+      const std::string& sv = m->value().string;
+      char* end = nullptr;
+      errno = 0;
+      const std::uint64_t v = std::strtoull(sv.c_str(), &end, 0);
+      if (sv.empty() || end != sv.c_str() + sv.size() || errno == ERANGE) {
+        r.fail(*m, "malformed seed string '" + sv +
+                       "' (decimal or 0x-hex integer)");
+      }
+      cfg.fault_seed = v;
+    } else {
+      cfg.fault_seed = r.u64_of(*m, 0, 1ull << 53);
+    }
+  }
+  cfg.fault_count = static_cast<std::uint32_t>(
+      r.get_u64("fault.count", cfg.fault_count, 0, 4096));
+  if (const JsonMember* m = r.find("fault.kinds")) {
+    if (!m->value().is(JsonKind::kString)) {
+      r.fail(*m, "expected a string");
+    }
+    const std::string& s = m->value().string;
+    if (s != "all" && !s.empty()) {
+      std::string_view rest = s;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string_view tok = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        while (!tok.empty() && tok.front() == ' ') tok.remove_prefix(1);
+        while (!tok.empty() && tok.back() == ' ') tok.remove_suffix(1);
+        if (tok.empty()) continue;
+        if (!fault::parse_fault_kind(tok)) {
+          r.fail(*m, "unknown fault kind '" + std::string(tok) +
+                         "'; expected dead_link, degraded_link, "
+                         "slow_router, refresh_storm, throttled_banks "
+                         "or all");
+        }
+      }
+    }
+    cfg.fault_kinds = s;
+  }
+  cfg.fault_start = r.get_u64("fault.start", cfg.fault_start, 0, 1ull << 40);
+  cfg.fault_spacing =
+      r.get_u64("fault.spacing", cfg.fault_spacing, 0, 1ull << 40);
+  cfg.fault_duration =
+      r.get_u64("fault.duration", cfg.fault_duration, 0, 1ull << 40);
   // Cross-field: a channel granule wider than the address-map chunk
   // would let one request straddle two controllers. Only diagnosable
   // here when one of the involved keys is present; the MemoryMap
@@ -835,6 +886,99 @@ void parse_memory(const ObjectReader& top, const JsonMember& m,
   }
 }
 
+/// Parse the explicit `faults` array. Targets are range-checked against
+/// what the parser can see (the schedule clamps fabric-dependent ones
+/// again after mesh_preset re-tiling); kind-specific nonsense — a link
+/// fault with one endpoint, a refresh storm without refresh — is
+/// rejected here with a positioned message.
+void parse_faults(const ObjectReader& top, const JsonMember& m,
+                  core::SystemConfig& cfg, const std::string& origin) {
+  if (!m.value().is(JsonKind::kArray)) {
+    top.fail(m, "expected an array of fault objects");
+  }
+  std::vector<fault::FaultSpec> out;
+  for (const JsonValue& e : m.value().array) {
+    if (!e.is(JsonKind::kObject)) {
+      throw ParseError(origin, e.line, e.column, "faults",
+                       "each fault is an object (see docs/RESILIENCE.md)");
+    }
+    ObjectReader r(e, kFaultKeys, kNumFaultKeys, origin, "fault");
+    fault::FaultSpec f;
+    const JsonMember* km = r.find("kind");
+    if (km == nullptr) r.fail_missing("kind");
+    if (!km->value().is(JsonKind::kString)) {
+      r.fail(*km, "expected a string");
+    }
+    const std::optional<fault::FaultKind> k =
+        fault::parse_fault_kind(km->value().string);
+    if (!k) {
+      r.fail(*km, "unknown fault kind '" + km->value().string +
+                      "'; expected dead_link, degraded_link, slow_router, "
+                      "refresh_storm or throttled_banks");
+    }
+    f.kind = *k;
+    f.at = r.get_u64("at", 0, 0, 1ull << 40);
+    f.until = r.get_u64("until", 0, 0, 1ull << 40);
+    if (f.until != 0 && f.until <= f.at) {
+      r.fail(*r.find("until"),
+             "until must be after at (or 0 for permanent)");
+    }
+    f.a = static_cast<NodeId>(r.get_u64("a", 0, 0, 4095));
+    f.b = static_cast<NodeId>(r.get_u64("b", 0, 0, 4095));
+    f.penalty =
+        static_cast<std::uint32_t>(r.get_u64("penalty", 8, 1, 1u << 16));
+    f.router = static_cast<NodeId>(r.get_u64("router", 0, 0, 4095));
+    f.period =
+        static_cast<std::uint32_t>(r.get_u64("period", 4, 2, 1u << 16));
+    f.channel = static_cast<std::uint32_t>(r.get_u64("channel", 0, 0, 63));
+    f.trefi = r.get_u64("trefi", 0, 0, 1ull << 32);
+    if (const JsonMember* bm = r.find("banks")) {
+      if (!bm->value().is(JsonKind::kNumber)) {
+        r.fail(*bm, "expected a number (bank bitmask, or -1 for all)");
+      }
+      const double v = bm->value().number;
+      if (v == -1.0) {
+        f.bank_mask = ~0ull;
+      } else if (v < 1.0 || v != std::floor(v) || v > kMaxExactInt) {
+        r.fail(*bm, "expected a bank bitmask >= 1, or -1 for every bank");
+      } else {
+        f.bank_mask = static_cast<std::uint64_t>(v);
+      }
+    }
+    f.extra_trcd =
+        static_cast<std::uint32_t>(r.get_u64("extra_trcd", 0, 0, 1u << 16));
+    f.extra_trp =
+        static_cast<std::uint32_t>(r.get_u64("extra_trp", 0, 0, 1u << 16));
+    const bool is_link = f.kind == fault::FaultKind::kDeadLink ||
+                         f.kind == fault::FaultKind::kDegradedLink;
+    if (is_link && f.a == f.b) {
+      throw ParseError(origin, e.line, e.column, "a",
+                       "a link fault needs two distinct endpoint routers "
+                       "(keys a and b)");
+    }
+    if (f.kind == fault::FaultKind::kRefreshStorm) {
+      if (f.trefi == 0) {
+        throw ParseError(origin, e.line, e.column, "trefi",
+                         "refresh_storm needs a nonzero trefi (the "
+                         "tightened interval in cycles)");
+      }
+      if (!cfg.refresh) {
+        throw ParseError(origin, e.line, e.column, "kind",
+                         "refresh_storm needs refresh = true (there is no "
+                         "refresh engine to storm)");
+      }
+    }
+    if (f.kind == fault::FaultKind::kThrottledBanks && f.extra_trcd == 0 &&
+        f.extra_trp == 0) {
+      throw ParseError(origin, e.line, e.column, "extra_trcd",
+                       "throttled_banks needs extra_trcd and/or extra_trp "
+                       "> 0");
+    }
+    out.push_back(f);
+  }
+  cfg.faults = std::move(out);
+}
+
 // --- dump ---
 
 const char* design_token(core::DesignPoint d) {
@@ -1026,17 +1170,21 @@ Scenario parse_scenario(std::string_view text, const std::string& origin,
            "more controllers (" + std::to_string(cfg.num_controllers) +
                ") than fabric nodes (" + std::to_string(fabric_nodes) + ")");
   }
+  if (const JsonMember* fm = r.find("faults")) {
+    parse_faults(r, *fm, cfg, origin);
+  }
   return s;
 }
 
 bool is_sweepable_key(std::string_view key) {
   // Workload structure is fixed per sweep (a sweep perturbs knobs, not
   // the core set), `name` labels the scenario itself, and the output
-  // paths would make thousands of jobs overwrite one file.
+  // paths would make thousands of jobs overwrite one file. The explicit
+  // faults array is structure too — sweeps perturb the fault.* knobs.
   static constexpr std::string_view kFixed[] = {
       "name",         "mesh",         "cores",         "topology",
       "memory",       "trace_path",   "record_trace",  "replay_trace",
-      "perfetto_path"};
+      "perfetto_path", "faults"};
   for (const std::string_view f : kFixed) {
     if (key == f) return false;
   }
@@ -1182,6 +1330,59 @@ std::string dump_scenario(const Scenario& s) {
   d.num("num_controllers", static_cast<std::uint64_t>(c.num_controllers));
   d.opt("interleave_shift", c.interleave_shift);
   d.str("mesh_preset", c.mesh_preset);
+  d.num("watchdog_cycles", static_cast<std::uint64_t>(c.watchdog_cycles));
+  if (c.fault_seed <= (1ull << 53)) {
+    d.num("fault.seed", c.fault_seed);
+  } else {
+    d.str("fault.seed", std::to_string(c.fault_seed));
+  }
+  d.num("fault.count", static_cast<std::uint64_t>(c.fault_count));
+  d.str("fault.kinds", c.fault_kinds);
+  d.num("fault.start", static_cast<std::uint64_t>(c.fault_start));
+  d.num("fault.spacing", static_cast<std::uint64_t>(c.fault_spacing));
+  d.num("fault.duration", static_cast<std::uint64_t>(c.fault_duration));
+  if (!c.faults.empty()) {
+    std::string arr = "[\n";
+    for (std::size_t i = 0; i < c.faults.size(); ++i) {
+      const fault::FaultSpec& f = c.faults[i];
+      Dumper fd("      ");
+      fd.str("kind", fault::to_string(f.kind));
+      fd.num("at", static_cast<std::uint64_t>(f.at));
+      fd.num("until", static_cast<std::uint64_t>(f.until));
+      switch (f.kind) {
+        case fault::FaultKind::kDeadLink:
+          fd.num("a", static_cast<std::uint64_t>(f.a));
+          fd.num("b", static_cast<std::uint64_t>(f.b));
+          break;
+        case fault::FaultKind::kDegradedLink:
+          fd.num("a", static_cast<std::uint64_t>(f.a));
+          fd.num("b", static_cast<std::uint64_t>(f.b));
+          fd.num("penalty", static_cast<std::uint64_t>(f.penalty));
+          break;
+        case fault::FaultKind::kSlowRouter:
+          fd.num("router", static_cast<std::uint64_t>(f.router));
+          fd.num("period", static_cast<std::uint64_t>(f.period));
+          break;
+        case fault::FaultKind::kRefreshStorm:
+          fd.num("channel", static_cast<std::uint64_t>(f.channel));
+          fd.num("trefi", f.trefi);
+          break;
+        case fault::FaultKind::kThrottledBanks:
+          fd.num("channel", static_cast<std::uint64_t>(f.channel));
+          fd.field("banks", f.bank_mask == ~0ull
+                                ? std::string("-1")
+                                : std::to_string(f.bank_mask));
+          fd.num("extra_trcd", static_cast<std::uint64_t>(f.extra_trcd));
+          fd.num("extra_trp", static_cast<std::uint64_t>(f.extra_trp));
+          break;
+      }
+      arr += "    " + fd.close("    ");
+      if (i + 1 < c.faults.size()) arr += ',';
+      arr += '\n';
+    }
+    arr += "  ]";
+    d.field("faults", std::move(arr));
+  }
   if (c.custom_app && c.custom_app->noc.topology) {
     const noc::TopologySpec& t = *c.custom_app->noc.topology;
     Dumper td("    ");

@@ -93,6 +93,22 @@ inline constexpr KeyInfo kScenarioKeys[] = {
      "log2 of the channel-select granule in bytes (3..30); null matches the address-map chunk."},
     {"mesh_preset", "string", "\"\"",
      "Re-tile the application onto a \"WxH\" mesh (e.g. \"8x8\", max 64x64); empty keeps the native geometry."},
+    {"watchdog_cycles", "number", "0",
+     "Deadlock/livelock watchdog: abort with a census dump after this many cycles without forward progress; 0 disables. Pure observer — never perturbs a completing run."},
+    {"fault.seed", "number|string", "0",
+     "Random-fault RNG seed (independent of the traffic seed); write seeds above 2^53 as a decimal string."},
+    {"fault.count", "number", "0",
+     "Random faults drawn from the fabric; 0 = none. Random dead links always keep every node connected to a memory controller."},
+    {"fault.kinds", "string", "all",
+     "Comma-separated kinds eligible for random draws: dead_link, degraded_link, slow_router, refresh_storm, throttled_banks — or all."},
+    {"fault.start", "number", "30000",
+     "Cycle the first random fault activates."},
+    {"fault.spacing", "number", "20000",
+     "Cycles between consecutive random-fault activations."},
+    {"fault.duration", "number", "40000",
+     "Active window of each random fault in cycles; 0 = permanent."},
+    {"faults", "array", "[]",
+     "Explicit fault list (array of fault objects, see the fault keys); applied at fixed cycles in every sched mode."},
     {"topology", "object|string", "-",
      "Irregular fabric: inline topology object, or path to a topology JSON file (resolved against the scenario file). Requires cores with explicit nodes."},
     {"memory", "object", "-",
@@ -134,6 +150,36 @@ inline constexpr KeyInfo kControllerKeys[] = {
      "This controller's cross-master CAS slip window (1 = strictly in-order)."},
     {"engine_window", "number|null", "null",
      "This controller's scheduler candidate window."},
+};
+
+/// Keys of one entry of the `faults` array (see docs/RESILIENCE.md for
+/// the authoring guide). Which target keys apply depends on `kind`:
+/// link faults use a/b, slow_router uses router/period, SDRAM faults use
+/// channel plus their timing knobs.
+inline constexpr KeyInfo kFaultKeys[] = {
+    {"kind", "string", "-",
+     "Fault kind: dead_link, degraded_link, slow_router, refresh_storm or throttled_banks."},
+    {"at", "number", "0", "Activation cycle."},
+    {"until", "number", "0",
+     "Deactivation cycle (exclusive); 0 = permanent for the rest of the run."},
+    {"a", "number", "0",
+     "Link faults: one endpoint router of the faulted link (row-major id)."},
+    {"b", "number", "0", "Link faults: the other endpoint router."},
+    {"penalty", "number", "8",
+     "degraded_link: extra cycles added to every transfer crossing the link."},
+    {"router", "number", "0", "slow_router: the throttled router."},
+    {"period", "number", "4",
+     "slow_router: the router arbitrates only every period-th cycle."},
+    {"channel", "number", "0",
+     "SDRAM faults: the affected controller channel."},
+    {"trefi", "number", "0",
+     "refresh_storm: the tightened tREFI in cycles (0 skips the fault); needs refresh=true."},
+    {"banks", "number", "-1",
+     "throttled_banks: bank bitmask (-1 = every bank)."},
+    {"extra_trcd", "number", "0",
+     "throttled_banks: cycles added to tRCD on the masked banks."},
+    {"extra_trp", "number", "0",
+     "throttled_banks: cycles added to tRP on the masked banks."},
 };
 
 /// Keys of the `mesh` object.
@@ -202,5 +248,7 @@ inline constexpr std::size_t kNumMemoryKeys =
     sizeof(kMemoryKeys) / sizeof(kMemoryKeys[0]);
 inline constexpr std::size_t kNumControllerKeys =
     sizeof(kControllerKeys) / sizeof(kControllerKeys[0]);
+inline constexpr std::size_t kNumFaultKeys =
+    sizeof(kFaultKeys) / sizeof(kFaultKeys[0]);
 
 }  // namespace annoc::scenario

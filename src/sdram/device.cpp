@@ -12,7 +12,9 @@ Device::Device(const DeviceConfig& cfg)
       timing_(make_timing(cfg.generation, cfg.clock_mhz)),
       banks_(cfg.geometry.num_banks),
       ap_(cfg.geometry.num_banks),
-      act_history_(4, kNeverCycle) {
+      act_history_(4, kNeverCycle),
+      fault_extra_trcd_(cfg.geometry.num_banks, 0),
+      fault_extra_trp_(cfg.geometry.num_banks, 0) {
   ANNOC_ASSERT(cfg.geometry.num_banks >= 1);
   if (cfg_.refresh_enabled) next_refresh_ = timing_.trefi;
 }
@@ -62,6 +64,7 @@ void Device::tick(Cycle now) {
                                .row = banks_[b].open_row,
                                .channel = cfg_.channel}));
       banks_[b].on_precharge(ap_[b].start, timing_);
+      banks_[b].ready_at += fault_extra_trp_[b];
       ap_[b].pending = false;
       ++stats_.auto_precharges;
     }
@@ -94,6 +97,7 @@ void Device::tick(Cycle now) {
                                    .refresh_forced = true,
                                    .channel = cfg_.channel}));
           bk.on_precharge(now, timing_);
+          bk.ready_at += fault_extra_trp_[b];
           ++stats_.precharges;
         }
         all_idle = false;
@@ -230,6 +234,7 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
   switch (cmd.type) {
     case CommandType::kActivate: {
       bk.on_activate(now, cmd.row, timing_);
+      bk.ready_at += fault_extra_trcd_[cmd.bank];
       last_act_ = now;
       act_history_[act_history_pos_] = now;
       act_history_pos_ = (act_history_pos_ + 1) % act_history_.size();
@@ -252,6 +257,7 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
                                .row = bk.open_row,
                                .channel = cfg_.channel}));
       bk.on_precharge(now, timing_);
+      bk.ready_at += fault_extra_trp_[cmd.bank];
       ++stats_.precharges;
       return {};
     }
@@ -321,6 +327,28 @@ DataWindow Device::issue(const Command& cmd, Cycle now) {
       return {};
   }
   return {};
+}
+
+void Device::fault_apply_trefi(Cycle now, std::uint64_t trefi) {
+  ANNOC_ASSERT(trefi > 0);
+  timing_.trefi = trefi;
+  if (cfg_.refresh_enabled) {
+    // A tightened interval pulls the pending arm forward; a restored
+    // one never pushes it back (the arm was legally scheduled). The
+    // oracle's incremental next_arm_ applies the identical min-pull.
+    next_refresh_ = std::min(next_refresh_, now + trefi);
+  }
+}
+
+void Device::fault_set_bank_extra(std::uint64_t mask,
+                                  std::uint32_t extra_trcd,
+                                  std::uint32_t extra_trp) {
+  for (BankId b = 0; b < banks_.size(); ++b) {
+    if ((mask >> (b % 64)) & 1ull) {
+      fault_extra_trcd_[b] = extra_trcd;
+      fault_extra_trp_[b] = extra_trp;
+    }
+  }
 }
 
 }  // namespace annoc::sdram

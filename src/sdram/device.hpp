@@ -104,6 +104,22 @@ class Device {
   /// nullptr (the default) is the zero-overhead off state.
   void set_observer(obs::EventSink* sink) { obs_ = sink; }
 
+  // --- fault-injection hooks (src/fault/, applied by the simulator at
+  // fault-schedule edges; the TimingOracle folds the same edges from
+  // its per-channel timeline, so it verifies the faulted constraints).
+
+  /// Refresh storm: retarget tREFI at `now` (restoring the nominal
+  /// value ends the storm). The pending arm is min-pulled so a tighter
+  /// interval takes effect immediately, exactly as the oracle models.
+  void fault_apply_trefi(Cycle now, std::uint64_t trefi);
+
+  /// Throttled banks: every bank in `mask` pays `extra_trcd` on top of
+  /// tRCD at its next ACT and `extra_trp` on top of tRP at its next
+  /// PRE, until cleared (zero extras). Applied at the bank-state
+  /// transition, so a toggle mid-activation only affects later commands.
+  void fault_set_bank_extra(std::uint64_t mask, std::uint32_t extra_trcd,
+                            std::uint32_t extra_trp);
+
  private:
   struct ApEvent {
     bool pending = false;
@@ -135,6 +151,11 @@ class Device {
   Cycle next_refresh_ = 0;
   Cycle refresh_done_ = 0;
   bool refresh_waiting_ = false;
+
+  // Fault-injection state (zero when no fault is active; the extra
+  // vectors are folded into Bank::ready_at at the transition sites).
+  std::vector<std::uint32_t> fault_extra_trcd_;
+  std::vector<std::uint32_t> fault_extra_trp_;
 
   DeviceStats stats_;
   obs::EventSink* obs_ = nullptr;

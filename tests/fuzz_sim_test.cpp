@@ -56,6 +56,22 @@ TEST(FuzzSim, RegressionSeedMixedEngineFabric) {
   EXPECT_EQ(fuzz_seed(60145), "");
 }
 
+TEST(FuzzSim, RandomFaultLeg) {
+  // Faulted differential (see fuzz_fault_seed): a deterministic random
+  // fault schedule squeezed into the fuzz window, watchdog armed,
+  // checkers on. Two pinned base seeds cover both duration parities
+  // (seed & 1): transient faults whose deactivation edges restore
+  // nominal state mid-run, and permanent ones that persist into drain.
+  const std::uint64_t base = env_u64("ANNOC_FUZZ_SEED", 20260806);
+  const std::uint64_t runs = env_u64("ANNOC_FUZZ_RUNS", 2);
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const std::uint64_t seed = base + i;
+    const std::string verdict = fuzz_fault_seed(seed);
+    EXPECT_EQ(verdict, "") << "fault-leg seed " << seed << " diverged";
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
 TEST(FuzzSim, ConfigsAreValidAndDeterministic) {
   // random_config itself must be a pure function of the seed.
   for (std::uint64_t s : {1ull, 77ull, 20260806ull}) {

@@ -71,6 +71,34 @@ void expect_config_eq(const SystemConfig& a, const SystemConfig& b,
   EXPECT_EQ(a.interleave_shift, b.interleave_shift) << tag;
   EXPECT_EQ(a.mem_nodes, b.mem_nodes) << tag;
   EXPECT_EQ(a.mesh_preset, b.mesh_preset) << tag;
+  EXPECT_EQ(a.watchdog_cycles, b.watchdog_cycles) << tag;
+  EXPECT_EQ(a.fault_seed, b.fault_seed) << tag;
+  EXPECT_EQ(a.fault_count, b.fault_count) << tag;
+  EXPECT_EQ(a.fault_kinds, b.fault_kinds) << tag;
+  EXPECT_EQ(a.fault_start, b.fault_start) << tag;
+  EXPECT_EQ(a.fault_spacing, b.fault_spacing) << tag;
+  EXPECT_EQ(a.fault_duration, b.fault_duration) << tag;
+  ASSERT_EQ(a.faults.size(), b.faults.size()) << tag;
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].at, b.faults[i].at) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].until, b.faults[i].until) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].a, b.faults[i].a) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].b, b.faults[i].b) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].penalty, b.faults[i].penalty)
+        << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].router, b.faults[i].router) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].period, b.faults[i].period) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].channel, b.faults[i].channel)
+        << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].trefi, b.faults[i].trefi) << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].bank_mask, b.faults[i].bank_mask)
+        << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].extra_trcd, b.faults[i].extra_trcd)
+        << tag << " fault " << i;
+    EXPECT_EQ(a.faults[i].extra_trp, b.faults[i].extra_trp)
+        << tag << " fault " << i;
+  }
   ASSERT_EQ(a.controller_overrides.size(), b.controller_overrides.size())
       << tag;
   for (std::size_t i = 0; i < a.controller_overrides.size(); ++i) {

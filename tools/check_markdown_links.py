@@ -49,9 +49,14 @@ def strip_code(text: str) -> str:
 
 
 def anchor_of(heading: str) -> str:
-    """GitHub-style anchor slug for a heading."""
+    """GitHub-style anchor slug for a heading.
+
+    Backticks and asterisks are markup and vanish; underscores are
+    literal text and survive (GitHub's anchor for a heading containing
+    `fault_degradation` keeps the underscore).
+    """
     slug = heading.strip().lower()
-    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[`*]", "", slug)
     slug = re.sub(r"[^\w\- ]", "", slug)
     return slug.replace(" ", "-")
 

@@ -49,6 +49,15 @@ SCHEMA_TABLES = [
         " none (auto-placement needs exactly width×height cores).",
     ),
     (
+        "kFaultKeys",
+        "`faults[]` entries",
+        "One object per injected fault. `kind` selects which of the"
+        " kind-specific parameters apply; the rest are ignored. Random"
+        " schedules use the top-level `fault.*` knobs instead. Authoring"
+        " guide with worked examples:"
+        " [docs/RESILIENCE.md](RESILIENCE.md).",
+    ),
+    (
         "kTopologyKeys",
         "`topology` object",
         "An irregular fabric: named nodes wired by explicit links,"
